@@ -1,0 +1,112 @@
+"""E9 — Appendix A: every deterministic guarantee, measured margin.
+
+For each workload and each algorithm, report ``measured / guaranteed``
+(must be ≥ 1 everywhere) plus the portfolio's Corollary A.16 MG margin.
+"""
+
+import math
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.expansion import degree_class_guarantee, mg_bound
+from repro.graphs import (
+    boosted_core,
+    core_graph,
+    gbad,
+    random_bipartite,
+    random_bipartite_regular,
+)
+from repro.spokesman import (
+    nonisolated_right_count,
+    spokesman_degree_classes,
+    spokesman_naive_greedy,
+    spokesman_partition,
+    spokesman_portfolio,
+    spokesman_recursive,
+    spokesman_threshold_partition,
+    threshold_population,
+)
+
+
+def _instances():
+    yield "core(32)", core_graph(32)
+    yield "core(64)", core_graph(64)
+    yield "boosted(16,3)", boosted_core(16, 3).graph
+    yield "gbad(12,6,4)", gbad(12, 6, 4)
+    yield "rand(30,60,.12)", random_bipartite(30, 60, 0.12, rng=91)
+    yield "regular(40,120,4)", random_bipartite_regular(40, 120, 4, rng=92)
+
+
+def guarantee_rows():
+    rows = []
+    for name, gs in _instances():
+        gamma = nonisolated_right_count(gs)
+        deg = gs.right_degrees
+        delta_avg = float(deg[deg >= 1].mean())
+        delta_max = int(deg.max())
+        g_naive = gamma / gs.max_left_degree
+        g_part = gamma / (8 * delta_avg)
+        g_rec = gamma / (9 * math.log2(2 * delta_avg))
+        g_dc = degree_class_guarantee(gamma, delta_max) if delta_max > 1 else 1.0
+        # Threshold t = 4 (Corollary A.8 family): population m, bound m/(2tδ).
+        t = 4.0
+        m_pop = int(threshold_population(gs, t).sum())
+        g_thr = m_pop / (2 * t * delta_avg)
+        g_mg = gamma * mg_bound(max(delta_avg, 1.0))
+        m_naive = spokesman_naive_greedy(gs).unique_count
+        m_part = spokesman_partition(gs).unique_count
+        m_rec = spokesman_recursive(gs).unique_count
+        m_dc = spokesman_degree_classes(gs).unique_count
+        m_thr = spokesman_threshold_partition(gs, t).unique_count
+        best, _ = spokesman_portfolio(gs, rng=93)
+        rows.append(
+            [
+                name,
+                gamma,
+                round(delta_avg, 2),
+                round(m_naive / g_naive, 2),
+                round(m_part / g_part, 2),
+                round(m_rec / g_rec, 2),
+                round(m_dc / g_dc, 2),
+                round(m_thr / g_thr, 2),
+                round(best.unique_count / g_mg, 2),
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "instance",
+    "γ",
+    "δ",
+    "A.1 margin",
+    "A.3 margin",
+    "A.13 margin",
+    "A.6 margin",
+    "A.8 margin",
+    "A.16 margin",
+]
+
+
+def test_e9_appendix_guarantees(benchmark, results_dir):
+    rows = benchmark.pedantic(guarantee_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E9_appendix_guarantees.txt",
+        render_table(
+            HEADERS, rows, title="E9 / Appendix A: measured / guaranteed (≥ 1)"
+        ),
+    )
+    for row in rows:
+        margins = row[3:]
+        assert all(m >= 1.0 - 1e-9 for m in margins), row
+
+
+def test_e9_recursive_speed(benchmark):
+    gs = core_graph(256)
+    res = benchmark.pedantic(
+        lambda: spokesman_recursive(gs), rounds=1, iterations=1
+    )
+    assert res.unique_count > 0

@@ -1,0 +1,119 @@
+"""E12 — ablations: protocol comparison and the sampling-scale choice.
+
+(1) Broadcast protocols on the Section 5 chain and on an expander: flooding
+(collision-prone), round-robin (collision-free but slow), Decay, and the
+spokesman genie.  Reproduces the qualitative ordering the paper's
+introduction lays out: collisions are the enemy; scheduling around them via
+wireless expansion wins.
+
+(2) The Lemma 4.2 scale ablation: payoff of ``2^{-j}`` sampling on the core
+graph as ``j`` sweeps away from the largest-class scale ``j*`` — the payoff
+peaks at (or near) ``j*``, validating the decay-style choice.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import render_table, summarize
+from repro.graphs import broadcast_chain, core_graph, random_regular
+from repro.radio import (
+    DecayProtocol,
+    FloodingProtocol,
+    RoundRobinProtocol,
+    SpokesmanBroadcastProtocol,
+    run_broadcast,
+)
+from repro.spokesman import evaluate_subset
+from repro.spokesman.sampling import largest_degree_class
+
+
+def protocol_rows():
+    chain = broadcast_chain(8, 4, rng=121)
+    expander = random_regular(128, 8, rng=122)
+    rows = []
+    for gname, graph, source, cap in [
+        ("chain(8x4)", chain.graph, chain.root, 4000),
+        ("rr(128,8)", expander, 0, 4000),
+    ]:
+        for proto in (
+            FloodingProtocol(),
+            RoundRobinProtocol(),
+            DecayProtocol(),
+            SpokesmanBroadcastProtocol(),
+        ):
+            rounds = []
+            done = True
+            for rep in range(3):
+                res = run_broadcast(
+                    graph, proto, source=source, max_rounds=cap, rng=300 + rep
+                )
+                rounds.append(res.rounds)
+                done = done and res.completed
+            stats = summarize(rounds)
+            rows.append(
+                [gname, proto.name, done, round(stats.mean, 1), stats.min, stats.max]
+            )
+    return rows
+
+
+PROTO_HEADERS = ["graph", "protocol", "completed", "rounds mean", "min", "max"]
+
+
+def test_e12_protocol_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(protocol_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E12_protocol_ablation.txt",
+        render_table(PROTO_HEADERS, rows, title="E12a / protocol comparison"),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    for gname in ("chain(8x4)", "rr(128,8)"):
+        genie = by_key[(gname, "spokesman")]
+        decay = by_key[(gname, "decay")]
+        robin = by_key[(gname, "round-robin")]
+        assert genie[2] and decay[2] and robin[2]
+        # Genie ≤ Decay ≤ RoundRobin in rounds (the paper's qualitative
+        # ordering: better collision handling -> faster broadcast).
+        assert genie[3] <= decay[3] <= robin[3]
+
+
+def scale_rows():
+    gs = core_graph(64)
+    j_star, members = largest_degree_class(gs)
+    gen = np.random.default_rng(123)
+    rows = []
+    for j in range(0, 8):
+        payoffs = []
+        for _ in range(12):
+            keep = gen.random(gs.n_left) < 2.0 ** (-j)
+            payoffs.append(
+                evaluate_subset(gs, np.flatnonzero(keep), "scale").unique_count
+            )
+        stats = summarize(payoffs)
+        rows.append(
+            [j, j == j_star, round(stats.mean, 1), stats.min, stats.max]
+        )
+    return rows, j_star
+
+
+SCALE_HEADERS = ["j (p=2^-j)", "largest-class j*", "payoff mean", "min", "max"]
+
+
+def test_e12_sampling_scale_ablation(benchmark, results_dir):
+    rows, j_star = benchmark.pedantic(scale_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E12_scale_ablation.txt",
+        render_table(
+            SCALE_HEADERS, rows, title="E12b / Lemma 4.2 sampling-scale sweep"
+        ),
+    )
+    means = {row[0]: row[2] for row in rows}
+    gs = core_graph(64)
+    _, members = largest_degree_class(gs)
+    # Lemma 4.2's promise: the chosen scale clears the e^{-3}·|N_j| floor.
+    assert means[j_star] >= np.exp(-3) * members.size
+    # And sampling too sparsely decays: the peak is not at the largest j.
+    best_j = max(means, key=means.get)
+    assert best_j < max(means)
+    assert means[best_j] > means[max(means)]

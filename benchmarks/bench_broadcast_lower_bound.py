@@ -1,0 +1,141 @@
+"""E7 — Section 5: the Ω(D·log(n/D)) broadcast-time lower bound.
+
+Two series:
+
+* **chain scaling** — Decay-protocol broadcast time on chains of core
+  graphs, against the ``D·log₂(n/D)`` yardstick: the fit must be linear
+  with high R² (rounds ∝ D·log(n/D)), reproducing the Kushilevitz–Mansour
+  shape the paper re-proves;
+* **Corollary 5.1** — per-round newly-informed N-vertices on the rooted
+  core graph never exceed ``2s``, for the genie scheduler (which dominates
+  every distributed protocol).
+"""
+
+import collections
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import fit_loglinear, render_table, summarize
+from repro.radio import (
+    DecayProtocol,
+    SpokesmanBroadcastProtocol,
+    measure_chain_broadcast,
+    rooted_core_graph,
+    run_broadcast,
+)
+
+LAYERS = [2, 4, 8, 16]
+S = 8
+REPS = 5
+
+
+def chain_rows():
+    rows = []
+    xs, ys = [], []
+    for layers in LAYERS:
+        rounds = []
+        for rep in range(REPS):
+            m = measure_chain_broadcast(
+                S,
+                layers,
+                DecayProtocol(),
+                rng=100 + rep,
+                chain_rng=200 + rep,
+            )
+            assert m.completed
+            rounds.append(m.rounds)
+        stats = summarize(rounds)
+        km = m.km_bound
+        xs.append(km)
+        ys.append(stats.mean)
+        rows.append(
+            [
+                layers,
+                m.n,
+                m.diameter_claim,
+                round(km, 1),
+                round(stats.mean, 1),
+                round(stats.min, 1),
+                round(stats.max, 1),
+                round(stats.mean / km, 3),
+            ]
+        )
+    fit = fit_loglinear(xs, ys)
+    return rows, fit
+
+
+HEADERS = [
+    "layers",
+    "n",
+    "D",
+    "D·log2(n/D)",
+    "rounds mean",
+    "min",
+    "max",
+    "rounds/bound",
+]
+
+
+def test_e7_chain_scaling(benchmark, results_dir):
+    (rows, fit) = benchmark.pedantic(chain_rows, rounds=1, iterations=1)
+    table = render_table(
+        HEADERS, rows, title="E7 / Section 5: Decay rounds vs D·log2(n/D)"
+    )
+    table += (
+        f"\nlinear fit: rounds ≈ {fit.slope:.3f}·bound + {fit.intercept:.1f}"
+        f"  (R² = {fit.r_squared:.3f}, through-origin slope "
+        f"{fit.slope_through_origin:.3f})"
+    )
+    emit(results_dir, "E7_broadcast_lower_bound.txt", table)
+    # Shape: rounds grow linearly in D·log(n/D) with positive slope.
+    assert fit.slope > 0
+    assert fit.r_squared > 0.9
+    # Monotone in D.
+    means = [row[4] for row in rows]
+    assert all(a < b for a, b in zip(means, means[1:]))
+
+
+def corollary51_rows():
+    rows = []
+    for s in (8, 16, 32):
+        g, root, n_ids = rooted_core_graph(s)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=5)
+        assert res.completed
+        arrivals = res.first_informed_round[n_ids]
+        per_round = collections.Counter(arrivals.tolist())
+        worst = max(per_round.values())
+        frac_rounds = int(np.log2(2 * s)) // 2
+        rows.append(
+            [s, res.rounds, worst, 2 * s, round(worst / (2 * s), 3), frac_rounds]
+        )
+    return rows
+
+
+C51_HEADERS = ["s", "rounds", "max new N/round", "cap 2s", "ratio", "i_max"]
+
+
+def test_e7_corollary51(benchmark, results_dir):
+    rows = benchmark.pedantic(corollary51_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E7_corollary51.txt",
+        render_table(C51_HEADERS, rows, title="E7 / Corollary 5.1: per-round cap"),
+    )
+    for row in rows:
+        assert row[2] <= row[3]
+
+
+def test_e7_decay_round_speed(benchmark):
+    from repro.graphs import broadcast_chain
+
+    chain = broadcast_chain(16, 8, rng=1)
+
+    def run():
+        from repro.radio import run_broadcast
+
+        return run_broadcast(
+            chain.graph, DecayProtocol(), source=chain.root, rng=2
+        ).rounds
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0

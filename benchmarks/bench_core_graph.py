@@ -1,0 +1,89 @@
+"""E5 — Lemma 4.4 (Figure 2): the core graph property table.
+
+Regenerates, for a sweep of ``s``, every quantity the lemma claims and the
+exact values measured on the constructed graph.  The wireless-vs-ordinary
+gap column is the paper's Theorem 1.2 separation appearing in the raw data.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.graphs import (
+    core_graph,
+    core_graph_max_unique_coverage,
+    core_graph_min_expansion,
+    core_graph_properties,
+)
+
+SIZES = [2, 4, 8, 16, 32, 64, 128, 256]
+
+
+def core_graph_rows():
+    rows = []
+    for s in SIZES:
+        g = core_graph(s)
+        props = core_graph_properties(s)
+        exp, _, _ = core_graph_min_expansion(s)
+        cap = core_graph_max_unique_coverage(s)
+        rows.append(
+            [
+                s,
+                g.n_right,
+                int(g.left_degrees[0]),
+                g.max_right_degree,
+                round(g.avg_right_degree, 3),
+                round(props["avg_right_degree_bound"], 3),
+                exp,
+                props["expansion_lower_bound"],
+                cap,
+                2 * s,
+                round(cap / g.n_right, 4),
+                round(2 / math.log2(2 * s), 4),
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "s",
+    "|N|",
+    "deg_S",
+    "max_deg_N",
+    "avg_deg_N",
+    "avg_bound",
+    "min_expansion",
+    "claim>=",
+    "max_unique",
+    "claim<=",
+    "unique_frac",
+    "frac_claim<=",
+]
+
+
+def test_e5_core_graph_properties(benchmark, results_dir):
+    rows = benchmark.pedantic(core_graph_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E5_core_graph.txt",
+        render_table(HEADERS, rows, title="E5 / Lemma 4.4: core graph"),
+    )
+    for row in rows:
+        s = row[0]
+        assert row[1] == s * int(math.log2(2 * s))  # claim (1)
+        assert row[2] == 2 * s - 1  # claim (2)
+        assert row[3] == s and row[4] <= row[5] + 1e-9  # claim (3)
+        assert row[6] >= row[7] - 1e-9  # claim (4)
+        assert row[8] <= row[9]  # claim (5)
+        assert row[10] <= row[11] + 1e-12
+
+
+def test_e5_construction_speed(benchmark):
+    g = benchmark(core_graph, 256)
+    assert g.n_left == 256
+
+
+def test_e5_wireless_dp_speed(benchmark):
+    cap = benchmark(core_graph_max_unique_coverage, 4096)
+    assert cap == 2 * 4096 - 1

@@ -1,0 +1,73 @@
+"""E11 — Observation 2.1 exactly: the β ≥ βw ≥ βu sandwich on small graphs,
+and how tightly the polynomial algorithms track the exact wireless optimum.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import render_table, summarize
+from repro.expansion import (
+    unique_expansion_exact,
+    vertex_expansion_exact,
+    wireless_expansion_exact,
+)
+from repro.graphs import erdos_renyi
+from repro.spokesman import wireless_lower_bound_of_set
+
+N = 10
+ALPHA = 0.5
+SEEDS = list(range(8))
+
+
+def sandwich_rows():
+    rows = []
+    for seed in SEEDS:
+        g = erdos_renyi(N, 0.35, rng=seed)
+        b, _ = vertex_expansion_exact(g, ALPHA)
+        bw, witness = wireless_expansion_exact(g, ALPHA)
+        bu, _ = unique_expansion_exact(g, ALPHA)
+        # How close does the portfolio get on the worst set?
+        if witness.size:
+            algo, _ = wireless_lower_bound_of_set(g, witness, rng=seed)
+        else:
+            algo = float("nan")
+        rows.append(
+            [
+                seed,
+                round(b, 3),
+                round(bw, 3),
+                round(bu, 3),
+                round(algo, 3),
+                round(algo / bw, 3) if bw > 0 else 1.0,
+            ]
+        )
+    return rows
+
+
+HEADERS = ["seed", "β", "βw", "βu", "algo βw(S*)", "algo/exact"]
+
+
+def test_e11_exact_sandwich(benchmark, results_dir):
+    rows = benchmark.pedantic(sandwich_rows, rounds=1, iterations=1)
+    ratios = [r[-1] for r in rows]
+    table = render_table(
+        HEADERS, rows, title="E11 / Observation 2.1: exact sandwich (n=10)"
+    )
+    stats = summarize(ratios)
+    table += f"\nportfolio/exact on worst sets: mean {stats.mean:.3f}, min {stats.min:.3f}"
+    emit(results_dir, "E11_exact_small.txt", table)
+    for row in rows:
+        b, bw, bu = row[1], row[2], row[3]
+        assert b + 1e-9 >= bw >= bu - 1e-9
+    # The algorithms recover at least half the exact optimum on these sets.
+    assert stats.min >= 0.5
+
+
+def test_e11_exact_wireless_speed(benchmark):
+    g = erdos_renyi(11, 0.35, rng=99)
+
+    def run():
+        bw, _ = wireless_expansion_exact(g, 0.5)
+        return bw
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) >= 0

@@ -1,0 +1,70 @@
+"""E4 — Lemma 3.3 (Figure 1): tightness of βu = 2β − Δ, and Remark 1.
+
+Sweeps ``(Δ, β)`` over the lemma's regime ``Δ/2 ≤ β ≤ Δ``, computing the
+exact unique expansion (must equal ``2β − Δ``, reaching 0 at ``β = Δ/2``)
+and the exact wireless optimum (must stay ≥ ``max{2β − Δ, Δ/2}``) — the
+separation that motivates the whole paper.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.expansion import (
+    bipartite_expansion_exact,
+    bipartite_unique_expansion_exact,
+    max_unique_coverage_exact,
+)
+from repro.graphs import gbad, gbad_wireless_lower_bound
+
+S = 6
+GRID = [(4, 2), (4, 3), (4, 4), (6, 3), (6, 4), (6, 5), (8, 4), (8, 6), (8, 8)]
+
+
+def gbad_rows():
+    rows = []
+    for delta, beta in GRID:
+        g = gbad(S, delta, beta)
+        b, _ = bipartite_expansion_exact(g)
+        bu, _ = bipartite_unique_expansion_exact(g)
+        best, _ = max_unique_coverage_exact(g)
+        bw = best / S
+        rows.append(
+            [
+                delta,
+                beta,
+                round(b, 3),
+                round(bu, 3),
+                2 * beta - delta,
+                round(bw, 3),
+                round(gbad_wireless_lower_bound(delta, beta), 3),
+            ]
+        )
+    return rows
+
+
+HEADERS = ["Δ", "β", "β exact", "βu exact", "2β-Δ", "βw exact", "max{2β-Δ,Δ/2}"]
+
+
+def test_e4_gbad(benchmark, results_dir):
+    rows = benchmark.pedantic(gbad_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E4_gbad_lemma33.txt",
+        render_table(HEADERS, rows, title="E4 / Lemma 3.3 + Remark 1: Gbad"),
+    )
+    for delta, beta, b, bu, claim, bw, remark in rows:
+        assert b == beta  # ordinary expansion is exactly β
+        assert bu == claim  # unique expansion exactly 2β − Δ
+        assert bw >= remark - 1e-9  # wireless survives (Remark 1)
+        assert bw >= bu  # Observation 2.1
+
+
+def test_e4_wireless_enumeration_speed(benchmark):
+    g = gbad(12, 6, 4)
+
+    def run():
+        best, _ = max_unique_coverage_exact(g)
+        return best
+
+    assert benchmark(run) > 0

@@ -1,0 +1,90 @@
+"""E6 — Lemmas 4.6/4.7/4.8: generalized core graphs over a parameter grid.
+
+For each target ``(Δ*, β*)`` the planner must return a graph meeting all
+three Lemma 4.6 assertions; for the explicit boosted/diluted constructions,
+the exact tree-DP optimum must respect the wireless caps.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.graphs import (
+    boosted_core,
+    diluted_core,
+    generalized_core,
+    generalized_core_max_unique_coverage,
+)
+
+TARGETS = [(32, 2.0), (64, 4.0), (64, 1.0), (128, 8.0), (128, 0.75), (256, 2.0)]
+
+
+def generalized_rows():
+    rows = []
+    for delta_star, beta_star in TARGETS:
+        gc = generalized_core(delta_star, beta_star)
+        exact = generalized_core_max_unique_coverage(gc)
+        rows.append(
+            [
+                delta_star,
+                beta_star,
+                gc.mode,
+                gc.s,
+                gc.multiplier,
+                gc.graph.n_left,
+                gc.graph.n_right,
+                round(gc.expansion, 3),
+                gc.max_degree,
+                exact,
+                gc.wireless_coverage_cap,
+                round(gc.lemma46_wireless_fraction_cap, 4),
+                round(exact / gc.graph.n_right, 4),
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "Δ*",
+    "β*",
+    "mode",
+    "s",
+    "k",
+    "|S*|",
+    "|N*|",
+    "β achieved",
+    "Δ achieved",
+    "max_unique",
+    "cap",
+    "frac_cap",
+    "frac",
+]
+
+
+def test_e6_generalized_core(benchmark, results_dir):
+    rows = benchmark.pedantic(generalized_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E6_generalized_core.txt",
+        render_table(HEADERS, rows, title="E6 / Lemma 4.6: generalized cores"),
+    )
+    for row in rows:
+        delta_star, beta_star = row[0], row[1]
+        n_left, beta_ach, delta_ach = row[5], row[7], row[8]
+        exact, cap, frac_cap, frac = row[9], row[10], row[11], row[12]
+        assert n_left <= delta_star / 2 + 1e-9  # Lemma 4.6(1)
+        assert beta_ach >= beta_star - 1e-9  # Lemma 4.6(2)
+        assert delta_ach <= delta_star + 1e-9
+        assert exact <= cap  # Lemmas 4.7(5)/4.8(5)
+        assert frac <= frac_cap + 1e-9  # Lemma 4.6(3)
+
+
+def test_e6_boosted_speed(benchmark):
+    gc = benchmark.pedantic(lambda: boosted_core(256, 4), rounds=1, iterations=1)
+    assert gc.graph.n_right == 256 * 9 * 4
+
+
+def test_e6_diluted_speed(benchmark):
+    gc = benchmark.pedantic(lambda: diluted_core(256, 4), rounds=1, iterations=1)
+    assert gc.graph.n_left == 1024

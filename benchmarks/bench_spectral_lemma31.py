@@ -1,0 +1,61 @@
+"""E3 — Lemma 3.1: spectral relation between unique and ordinary expansion.
+
+On random d-regular graphs, measure ``λ₂``, the exact ``βu`` and ``β``, and
+verify ``β ≥ (1 − 1/d)·βu + (d − λ)(1 − α)/d``.
+"""
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.expansion import lemma31_verify
+from repro.graphs import hypercube, random_regular
+
+
+def _cases():
+    yield "Q3", hypercube(3), 0.5
+    yield "Q4", hypercube(4), 0.5
+    yield "rr(12,3)", random_regular(12, 3, rng=31), 0.5
+    yield "rr(14,4)", random_regular(14, 4, rng=32), 0.5
+    yield "rr(16,5)", random_regular(16, 5, rng=33), 0.25
+    yield "rr(18,4)", random_regular(18, 4, rng=34), 0.3
+
+
+def lemma31_rows():
+    rows = []
+    for name, g, alpha in _cases():
+        report = lemma31_verify(g, alpha)
+        rows.append(
+            [
+                name,
+                g.n,
+                report.d,
+                round(report.lam, 4),
+                alpha,
+                round(report.beta_unique, 4),
+                round(report.claimed_lower_bound, 4),
+                round(report.beta_ordinary, 4),
+                report.holds,
+            ]
+        )
+    return rows
+
+
+HEADERS = ["graph", "n", "d", "λ2", "α", "βu", "claim<=", "β", "holds"]
+
+
+def test_e3_lemma31(benchmark, results_dir):
+    rows = benchmark.pedantic(lemma31_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E3_spectral_lemma31.txt",
+        render_table(HEADERS, rows, title="E3 / Lemma 3.1: spectral bound"),
+    )
+    assert all(row[-1] for row in rows)
+
+
+def test_e3_eigensolver_speed(benchmark):
+    from repro.expansion import second_eigenvalue
+
+    g = random_regular(400, 8, rng=35)
+    lam = benchmark(second_eigenvalue, g)
+    assert lam < 8

@@ -1,0 +1,90 @@
+"""E8 — Section 4.2.1: spokesman election algorithm shoot-out.
+
+On instances where the exact optimum is computable, every algorithm's
+payoff is reported as a fraction of optimal, alongside the
+Chlamtac–Weinstein reference line ``|N|/log₂|S|``.  The paper's claims to
+reproduce: (a) the guaranteed algorithms never miss their bounds, (b) the
+simple random sampler is competitive, (c) on core graphs the best
+algorithms hit the true optimum while the CW line is far below it.
+"""
+
+import math
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.graphs import core_graph, gbad, random_bipartite, random_bipartite_regular
+from repro.spokesman import spokesman_exact, spokesman_portfolio
+
+
+def _instances():
+    yield "core(8)", core_graph(8)
+    yield "core(16)", core_graph(16)
+    yield "gbad(8,6,4)", gbad(8, 6, 4)
+    yield "gbad(10,4,2)", gbad(10, 4, 2)
+    yield "rand(12,40,.25)", random_bipartite(12, 40, 0.25, rng=81)
+    yield "rand(16,24,.2)", random_bipartite(16, 24, 0.2, rng=82)
+    yield "regular(14,50,3)", random_bipartite_regular(14, 50, 3, rng=83)
+
+
+def spokesman_rows():
+    rows = []
+    algo_names = None
+    for name, gs in _instances():
+        opt = spokesman_exact(gs).unique_count
+        best, results = spokesman_portfolio(gs, rng=84)
+        if algo_names is None:
+            algo_names = sorted(results)
+        cw = (
+            gs.n_right / math.log2(gs.n_left) if gs.n_left >= 3 else float("nan")
+        )
+        row = [name, gs.n_right, opt, round(cw, 1)]
+        for algo in algo_names:
+            row.append(
+                round(results[algo].unique_count / opt, 3) if opt else 1.0
+            )
+        rows.append(row)
+    return rows, algo_names
+
+
+def test_e8_spokesman_comparison(benchmark, results_dir):
+    rows, algo_names = benchmark.pedantic(spokesman_rows, rounds=1, iterations=1)
+    headers = ["instance", "|N|", "OPT", "CW line"] + [
+        f"{a}/OPT" for a in algo_names
+    ]
+    emit(
+        results_dir,
+        "E8_spokesman.txt",
+        render_table(headers, rows, title="E8 / Section 4.2.1: fraction of optimum"),
+    )
+    for row in rows:
+        fractions = row[4:]
+        # (a) nothing exceeds the optimum;
+        assert all(f <= 1.0 + 1e-9 for f in fractions)
+        # (b) the portfolio's best is within 2x of optimal everywhere here.
+        assert max(fractions) >= 0.5
+    # (c) core graphs: best algorithms reach the exact optimum.
+    core_rows = [r for r in rows if r[0].startswith("core")]
+    for row in core_rows:
+        assert max(row[4:]) == 1.0
+
+
+def test_e8_partition_speed(benchmark):
+    from repro.spokesman import spokesman_partition
+
+    gs = core_graph(128)
+    res = benchmark.pedantic(
+        lambda: spokesman_partition(gs), rounds=1, iterations=1
+    )
+    assert res.unique_count > 0
+
+
+def test_e8_sampling_speed(benchmark):
+    from repro.spokesman import spokesman_sampling
+
+    gs = core_graph(256)
+    res = benchmark.pedantic(
+        lambda: spokesman_sampling(gs, rng=0), rounds=1, iterations=1
+    )
+    assert res.unique_count > 0

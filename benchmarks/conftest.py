@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*.py`` regenerates one experiment from DESIGN.md §4: it
+computes the reproduction table, archives it under ``benchmarks/results/``,
+asserts the paper's claimed shape, and times the core computation via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: str, name: str, text: str) -> None:
+    """Print a table and archive it for EXPERIMENTS.md."""
+    print("\n" + text)
+    with open(os.path.join(results_dir, name), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

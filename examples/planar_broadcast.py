@@ -1,0 +1,63 @@
+"""Low-arboricity graphs: where wireless expansion is free.
+
+The paper's corollary: since the Theorem 1.1 penalty is logarithmic in
+``min{Δ/β, Δ·β} ≤ arboricity``-ish, planar-like graphs lose only a
+*constant* — "radio broadcast in low arboricity graphs can be done much
+more efficiently than what was previously known!".  This example measures
+it: wireless/ordinary expansion ratios on grids and trees stay flat as the
+graphs grow, and spokesman-scheduled broadcast beats Decay.
+
+Run:  python examples/planar_broadcast.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.expansion import expansion_of_set
+from repro.graphs import arboricity, complete_binary_tree, degeneracy, grid_2d
+from repro.radio import DecayProtocol, SpokesmanBroadcastProtocol, run_broadcast
+from repro.spokesman import wireless_lower_bound_of_set
+
+
+def main() -> None:
+    gen = np.random.default_rng(7)
+    rows = []
+    for name, g in [
+        ("grid 6x6", grid_2d(6, 6)),
+        ("grid 12x12", grid_2d(12, 12)),
+        ("grid 20x20", grid_2d(20, 20)),
+        ("binary tree h=6", complete_binary_tree(6)),
+        ("binary tree h=9", complete_binary_tree(9)),
+    ]:
+        eta = arboricity(g) if g.n <= 60 else degeneracy(g)
+        ratios = []
+        for _ in range(6):
+            size = int(gen.integers(max(2, g.n // 10), g.n // 4))
+            subset = np.sort(gen.choice(g.n, size=size, replace=False))
+            beta = expansion_of_set(g, subset)
+            if beta == 0:
+                continue
+            bw, _ = wireless_lower_bound_of_set(g, subset, rng=gen)
+            ratios.append(bw / beta)
+        rows.append(
+            [name, g.n, eta, f"{min(ratios):.2f}", f"{np.mean(ratios):.2f}"]
+        )
+    print(
+        render_table(
+            ["graph", "n", "arboricity<=", "min βw/β", "mean βw/β"],
+            rows,
+            title="wireless/ordinary expansion on low-arboricity graphs",
+        )
+    )
+    print("\nratios stay ~constant as n grows: the log penalty is bounded")
+    print("by the arboricity, exactly as the corollary promises.\n")
+
+    g = grid_2d(16, 16)
+    for proto in (DecayProtocol(), SpokesmanBroadcastProtocol()):
+        res = run_broadcast(g, proto, source=0, rng=1)
+        print(f"broadcast on grid 16x16 with {proto.name:10s}: "
+              f"{res.rounds} rounds (diameter {g.diameter()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: the three expansion notions and why wireless wins.
+
+Walks the paper's opening story on the ``C⁺`` graph (a clique plus a weakly
+attached source): ordinary expansion is great, unique-neighbour expansion
+collapses after one broadcast round, wireless expansion survives — and the
+spokesman machinery finds the witness subset automatically.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    cplus_graph,
+    expansion_of_set,
+    unique_expansion_of_set,
+    wireless_expansion_of_set_exact,
+)
+from repro.graphs import cplus_informed_after_round_one
+from repro.radio import (
+    DecayProtocol,
+    FloodingProtocol,
+    SpokesmanBroadcastProtocol,
+    run_broadcast,
+)
+
+
+def main() -> None:
+    clique = 12
+    g = cplus_graph(clique)
+    print(f"C+ graph: clique of {clique} plus source s0; n = {g.n}")
+
+    # The informed set after round one: {s0, x, y}.
+    s = cplus_informed_after_round_one(clique)
+    print(f"\ninformed set after round 1: {np.flatnonzero(s).tolist()}")
+    print(f"  ordinary expansion β(S)  = {expansion_of_set(g, s):.3f}")
+    print(f"  unique expansion  βu(S) = {unique_expansion_of_set(g, s):.3f}"
+          "   <- everyone collides!")
+    bw, witness = wireless_expansion_of_set_exact(g, s)
+    print(f"  wireless expansion βw(S) = {bw:.3f}  via S' = {witness.tolist()}")
+
+    # Radio broadcast: flooding deadlocks, decay and the spokesman genie win.
+    print("\nbroadcast from s0:")
+    for proto in (FloodingProtocol(), DecayProtocol(), SpokesmanBroadcastProtocol()):
+        res = run_broadcast(g, proto, source=0, max_rounds=200, rng=0)
+        status = f"completed in {res.rounds} rounds" if res.completed else (
+            f"STALLED at {res.informed_per_round[-1]}/{g.n} informed"
+        )
+        print(f"  {proto.name:12s} {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Theorem 1.2 in action: planting a wireless-expansion trap in an expander.
+
+Takes a healthy random regular expander, plugs in the Section 4.3.3
+generalized core, and shows the planted set ``S*``: ordinary expansion
+``β/ε`` (excellent) but wireless expansion capped a full ``log`` factor
+below — no transmission schedule can work around it.
+
+Run:  python examples/worst_case_gallery.py
+"""
+
+import math
+
+from repro import random_regular, worst_case_expander
+from repro.analysis import render_table
+from repro.expansion import expansion_of_set
+from repro.spokesman import wireless_lower_bound_of_set
+
+
+def main() -> None:
+    # The regime needs ε² ≥ 2e·β/Δ, so a high-degree base: Δ = 128, β = 2
+    # admits any ε ≥ 0.30.
+    base = random_regular(512, 128, rng=1)
+    print(f"base expander: n={base.n}, Δ={base.max_degree} (assumed β = 2)\n")
+
+    rows = []
+    for eps in (0.30, 0.38, 0.45):
+        wc = worst_case_expander(base, beta=2.0, epsilon=eps, rng=2)
+        ordinary = expansion_of_set(wc.graph, wc.planted_set)
+        cap = wc.planted_wireless_expansion_cap
+        achieved, _ = wireless_lower_bound_of_set(wc.graph, wc.planted_set, rng=3)
+        core = wc.core
+        log_term = math.log2(
+            min(core.max_degree / core.expansion,
+                core.max_degree * core.expansion)
+        )
+        rows.append(
+            [
+                eps,
+                core.mode,
+                f"{core.s}x{core.multiplier}",
+                wc.planted_set.size,
+                f"{ordinary:.2f}",
+                f"{achieved:.2f}",
+                f"{cap:.2f}",
+                f"{ordinary / cap:.2f}",
+                f"{log_term:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "ε",
+                "core",
+                "s x k",
+                "|S*|",
+                "β(S*)",
+                "βw achieved",
+                "βw cap",
+                "gap",
+                "log-term",
+            ],
+            rows,
+            title="planted worst-case sets",
+        )
+    )
+    print("\nThe gap column tracks the log-term: ordinary expansion survives")
+    print("the plug (Claim 4.9) while wireless expansion drops by the")
+    print("Theorem 1.2 factor — no scheduler can beat the cap (Lemma 4.6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` as a fallback where ``pip install -e .`` cannot
+build editable wheels (e.g. offline boxes with old setuptools).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""``python -m repro`` — run single experiments from the command line."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

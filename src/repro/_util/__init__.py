@@ -1,0 +1,38 @@
+"""Internal utilities shared across the :mod:`repro` package.
+
+Nothing here is part of the public API; downstream users should import from
+:mod:`repro` or its documented subpackages instead.
+"""
+
+from repro._util.intmath import (
+    ceil_div,
+    ceil_log2,
+    ilog2,
+    is_power_of_two,
+    log2_real,
+    next_power_of_two,
+)
+from repro._util.popcount import POPCOUNT16, popcount_u32, popcount_u64
+from repro._util.rng import as_rng, spawn_seeds
+from repro._util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "POPCOUNT16",
+    "as_rng",
+    "ceil_div",
+    "ceil_log2",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "ilog2",
+    "is_power_of_two",
+    "log2_real",
+    "next_power_of_two",
+    "popcount_u32",
+    "popcount_u64",
+    "spawn_seeds",
+]

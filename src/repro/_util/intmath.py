@@ -1,0 +1,69 @@
+"""Small exact integer/log helpers used throughout the reproduction.
+
+The paper's bounds are stated with base-2 logarithms (``log`` in the paper
+always means ``log2``; e.g. the core graph of Lemma 4.4 has ``|N| = s log 2s``
+with ``s`` a power of two, so ``log 2s = log2(2s)`` is an integer there).
+These helpers keep integer quantities exact instead of round-tripping through
+floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ceil_div",
+    "ceil_log2",
+    "ilog2",
+    "is_power_of_two",
+    "log2_real",
+    "next_power_of_two",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return ``True`` iff ``x`` is a positive integer power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact ``log2(x)`` for a positive power of two.
+
+    Raises
+    ------
+    ValueError
+        If ``x`` is not a positive power of two.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"ilog2 requires a positive power of two, got {x!r}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Smallest ``k`` with ``2**k >= x`` for a positive integer ``x``."""
+    if x <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {x!r}")
+    return (x - 1).bit_length()
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` for a positive integer ``x``."""
+    return 1 << ceil_log2(x)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Exact ceiling division ``ceil(a / b)`` for integers, ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires positive divisor, got {b!r}")
+    return -(-a // b)
+
+
+def log2_real(x: float) -> float:
+    """``log2`` on positive reals; raises on non-positive input.
+
+    A thin, validated wrapper so that bound formulas fail loudly on invalid
+    parameter regimes instead of silently producing NaN.
+    """
+    if x <= 0:
+        raise ValueError(f"log2 requires positive input, got {x!r}")
+    return math.log2(x)

@@ -1,0 +1,45 @@
+"""Argument validation helpers with consistent error messages.
+
+The constructions in the paper have narrow validity regimes (e.g. Lemma 4.6
+requires ``2e/Δ* ≤ β* ≤ Δ*/2e``); validating eagerly with named parameters
+turns silent out-of-regime garbage into actionable errors.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_fraction", "check_positive", "check_positive_int"]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a positive real and return it as float."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive_low: bool = False,
+                   inclusive_high: bool = True) -> float:
+    """Validate that ``value`` lies in the (0, 1] interval (configurable).
+
+    Expansion parameters like ``alpha`` are fractions of ``|V|``; the default
+    interval ``(0, 1]`` matches the paper's usage (``alpha = 1`` means "all
+    sets", which is meaningful for bipartite one-sided expansion).
+    """
+    value = float(value)
+    low_ok = value >= 0 if inclusive_low else value > 0
+    high_ok = value <= 1 if inclusive_high else value < 1
+    if not (low_ok and high_ok):
+        lo = "[0" if inclusive_low else "(0"
+        hi = "1]" if inclusive_high else "1)"
+        raise ValueError(f"{name} must lie in {lo}, {hi}, got {value}")
+    return value

@@ -1,0 +1,22 @@
+"""Experiment harness: sweeps, statistics, and table rendering."""
+
+from repro.analysis.experiments import EXPERIMENTS, Experiment, validate_registry
+from repro.analysis.stats import FitResult, SampleSummary, fit_loglinear, summarize
+from repro.analysis.sweep import SweepPoint, run_sweep, sweep_grid
+from repro.analysis.tables import format_value, render_table, write_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "FitResult",
+    "SampleSummary",
+    "SweepPoint",
+    "fit_loglinear",
+    "format_value",
+    "render_table",
+    "run_sweep",
+    "summarize",
+    "sweep_grid",
+    "validate_registry",
+    "write_table",
+]

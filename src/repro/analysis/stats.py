@@ -1,0 +1,88 @@
+"""Summary statistics and scaling-law fits for the experiment sweeps.
+
+The paper's claims are asymptotic; the experiments verify *shapes*.  Two
+tools cover all of them:
+
+* :func:`summarize` — mean / std / min / max / normal-approximation CI of a
+  sample (for repeated randomized runs);
+* :func:`fit_loglinear` — least-squares fit of ``y ≈ a·x`` (through the
+  origin) and of ``y ≈ a·x + b``, with the R² of the linear model; used to
+  check e.g. "broadcast rounds grow linearly in ``D·log(n/D)``".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FitResult", "SampleSummary", "fit_loglinear", "summarize"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean/σ/min/max plus a ~95% normal CI of a 1-D sample."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        if self.n <= 1:
+            return (self.mean, self.mean)
+        half = 1.96 * self.std / np.sqrt(self.n)
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(values) -> SampleSummary:
+    """Summarize a non-empty 1-D sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SampleSummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares fits of ``y`` against ``x``."""
+
+    slope_through_origin: float
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def fit_loglinear(x, y) -> FitResult:
+    """Fit ``y ≈ a·x`` and ``y ≈ a·x + b``; report R² of the affine fit.
+
+    A high R² with positive slope certifies the claimed proportional
+    scaling; the through-origin slope is the empirical constant of the
+    ``Θ(·)`` statement.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need matching samples with at least two points")
+    denom = float((x * x).sum())
+    slope0 = float((x * y).sum() / denom) if denom else 0.0
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitResult(
+        slope_through_origin=slope0,
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r2,
+    )

@@ -1,0 +1,249 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Thin orchestration over the library — each subcommand prints one of the
+reproduction tables (the benchmark suite regenerates all of them at once;
+the CLI is for interactive exploration of single experiments).
+
+Commands
+--------
+``core``        Lemma 4.4 property sheet over a size sweep.
+``gbad``        Lemma 3.3 / Remark 1 table over a (Δ, β) grid.
+``spokesman``   Algorithm shoot-out on a chosen instance.
+``broadcast``   Section 5 chain scaling against D·log2(n/D).
+``hops``        Per-hop timing distribution (concentration check).
+``worstcase``   Corollary 4.11 planted bad set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_core(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.graphs import (
+        core_graph,
+        core_graph_max_unique_coverage,
+        core_graph_min_expansion,
+    )
+
+    rows = []
+    for s in args.sizes:
+        g = core_graph(s)
+        exp, _, _ = core_graph_min_expansion(s)
+        cap = core_graph_max_unique_coverage(s)
+        rows.append(
+            [s, g.n_right, int(g.left_degrees[0]), round(g.avg_right_degree, 2),
+             exp, cap, round(cap / g.n_right, 4)]
+        )
+    print(render_table(
+        ["s", "|N|", "deg_S", "avg_deg_N", "min_expansion", "max_unique", "fraction"],
+        rows, title="Lemma 4.4 core graph"))
+    return 0
+
+
+def _cmd_gbad(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.expansion import (
+        bipartite_unique_expansion_exact,
+        max_unique_coverage_exact,
+    )
+    from repro.graphs import gbad, gbad_wireless_lower_bound
+
+    rows = []
+    for delta in args.deltas:
+        for beta in range((delta + 1) // 2, delta + 1):
+            g = gbad(args.s, delta, beta)
+            bu, _ = bipartite_unique_expansion_exact(g)
+            best, _ = max_unique_coverage_exact(g)
+            rows.append(
+                [delta, beta, round(bu, 3), 2 * beta - delta,
+                 round(best / args.s, 3),
+                 round(gbad_wireless_lower_bound(delta, beta), 3)]
+            )
+    print(render_table(
+        ["Δ", "β", "βu exact", "2β-Δ", "βw exact", "remark bound"],
+        rows, title=f"Lemma 3.3 Gbad (s={args.s})"))
+    return 0
+
+
+def _cmd_spokesman(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.graphs import core_graph, gbad, random_bipartite
+    from repro.spokesman import spokesman_exact, spokesman_portfolio
+
+    if args.instance == "core":
+        gs = core_graph(args.s)
+    elif args.instance == "gbad":
+        gs = gbad(args.s, 6, 4)
+    else:
+        gs = random_bipartite(args.s, 3 * args.s, 0.25, rng=args.seed)
+    best, results = spokesman_portfolio(gs, rng=args.seed)
+    rows = [
+        [name, r.unique_count, round(r.unique_fraction, 3), r.subset.size]
+        for name, r in sorted(results.items())
+    ]
+    if gs.n_left <= 20:
+        opt = spokesman_exact(gs)
+        rows.append(["EXACT", opt.unique_count,
+                     round(opt.unique_fraction, 3), opt.subset.size])
+    print(render_table(
+        ["algorithm", "unique", "fraction", "|S'|"], rows,
+        title=f"spokesman election on {args.instance}({args.s})"))
+    return 0
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.analysis import fit_loglinear, render_table, summarize
+    from repro.radio import DecayProtocol, measure_chain_broadcast
+
+    rows, xs, ys = [], [], []
+    for layers in args.layers:
+        rounds = []
+        for rep in range(args.reps):
+            m = measure_chain_broadcast(
+                args.s, layers, DecayProtocol(),
+                rng=args.seed + rep, chain_rng=args.seed + 100 + rep)
+            rounds.append(m.rounds)
+        stats = summarize(rounds)
+        xs.append(m.km_bound)
+        ys.append(stats.mean)
+        rows.append([layers, m.n, m.diameter_claim, round(m.km_bound, 1),
+                     round(stats.mean, 1), stats.min, stats.max])
+    print(render_table(
+        ["layers", "n", "D", "D·log2(n/D)", "mean", "min", "max"], rows,
+        title="Section 5: Decay rounds on chained cores"))
+    if len(xs) >= 2:
+        fit = fit_loglinear(xs, ys)
+        print(f"fit: rounds ≈ {fit.slope:.2f}·bound {fit.intercept:+.1f}"
+              f" (R²={fit.r_squared:.3f})")
+    return 0
+
+
+def _cmd_hops(args: argparse.Namespace) -> int:
+    from repro.radio import DecayProtocol
+    from repro.radio.hop_analysis import hop_time_study
+
+    study = hop_time_study(
+        args.s, args.layers[0], DecayProtocol,
+        repetitions=args.reps, rng=args.seed)
+    print(f"hop study: s={study.s}, layers={study.num_layers}, "
+          f"reps={study.hop_times.shape[0]}")
+    print(f"  per-hop rounds: mean {study.hop_mean:.2f} ± {study.hop_std:.2f}"
+          f"  (log2(2s) = {math.log2(2 * args.s):.1f})")
+    print(f"  total relative spread: {study.total_relative_spread:.3f}")
+    print(f"  lag-1 hop autocorrelation: {study.hop_autocorrelation():+.3f}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.graphs import grid_2d, hypercube, random_regular
+    from repro.radio import DecayProtocol, run_broadcast, synthesize_broadcast_schedule
+
+    if args.graph == "hypercube":
+        g = hypercube(args.size)
+    elif args.graph == "grid":
+        g = grid_2d(args.size, args.size)
+    else:
+        g = random_regular(2**args.size, 6, rng=args.seed)
+    schedule = synthesize_broadcast_schedule(g, source=0)
+    ok, informed = schedule.verify(g)
+    decay = run_broadcast(g, DecayProtocol(), source=0, rng=args.seed)
+    print(f"graph: {args.graph}({args.size}) n={g.n}")
+    print(f"  schedule length {schedule.length} rounds "
+          f"(eccentricity {g.eccentricity(0)}), verified: {ok}")
+    print(f"  Decay (distributed, randomized): {decay.rounds} rounds")
+    return 0 if ok else 1
+
+
+def _cmd_worstcase(args: argparse.Namespace) -> int:
+    from repro.expansion import expansion_of_set
+    from repro.graphs import random_regular, worst_case_expander
+    from repro.spokesman import wireless_lower_bound_of_set
+
+    base = random_regular(args.n, args.delta, rng=args.seed)
+    wc = worst_case_expander(base, beta=args.beta, epsilon=args.eps,
+                             rng=args.seed + 1)
+    ordinary = expansion_of_set(wc.graph, wc.planted_set)
+    achieved, _ = wireless_lower_bound_of_set(
+        wc.graph, wc.planted_set, rng=args.seed + 2)
+    print(f"worst-case expander: n={wc.graph.n}, planted |S*|={wc.planted_set.size}")
+    print(f"  core: {wc.core.mode} s={wc.core.s} k={wc.core.multiplier}")
+    print(f"  β(S*)  = {ordinary:.3f}")
+    print(f"  βw(S*) achieved {achieved:.3f}, cap {wc.planted_wireless_expansion_cap:.3f}")
+    print(f"  gap β/βw ≥ {ordinary / wc.planted_wireless_expansion_cap:.2f}")
+    return 0
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(tok) for tok in text.split(",") if tok]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wireless Expanders (SPAA 2018) experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("core", help="Lemma 4.4 core-graph property sheet")
+    p.add_argument("--sizes", type=_int_list, default=[2, 4, 8, 16, 32, 64])
+    p.set_defaults(fn=_cmd_core)
+
+    p = sub.add_parser("gbad", help="Lemma 3.3 Gbad table")
+    p.add_argument("--s", type=int, default=6)
+    p.add_argument("--deltas", type=_int_list, default=[4, 6])
+    p.set_defaults(fn=_cmd_gbad)
+
+    p = sub.add_parser("spokesman", help="algorithm comparison")
+    p.add_argument("--instance", choices=["core", "gbad", "random"],
+                   default="core")
+    p.add_argument("--s", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_spokesman)
+
+    p = sub.add_parser("broadcast", help="Section 5 chain scaling")
+    p.add_argument("--s", type=int, default=8)
+    p.add_argument("--layers", type=_int_list, default=[2, 4, 8])
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_broadcast)
+
+    p = sub.add_parser("hops", help="per-hop concentration study")
+    p.add_argument("--s", type=int, default=8)
+    p.add_argument("--layers", type=_int_list, default=[6])
+    p.add_argument("--reps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_hops)
+
+    p = sub.add_parser("schedule", help="synthesize + verify a static schedule")
+    p.add_argument("--graph", choices=["hypercube", "grid", "regular"],
+                   default="hypercube")
+    p.add_argument("--size", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("worstcase", help="Corollary 4.11 planted bad set")
+    p.add_argument("--n", type=int, default=512)
+    p.add_argument("--delta", type=int, default=128)
+    p.add_argument("--beta", type=float, default=2.0)
+    p.add_argument("--eps", type=float, default=0.45)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_worstcase)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

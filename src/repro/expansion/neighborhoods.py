@@ -1,0 +1,110 @@
+"""Naive reference implementations of the Section 2.1 operators.
+
+These are deliberately written as transparent Python set algebra, one
+definition per function, mirroring the paper word for word.  They exist to
+cross-check the vectorized kernels in :class:`repro.graphs.graph.Graph` and
+:class:`repro.graphs.bipartite.BipartiteGraph` — every property test in the
+suite compares a fast kernel against one of these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "naive_bipartite_cover",
+    "naive_bipartite_unique_cover",
+    "naive_gamma",
+    "naive_gamma_minus",
+    "naive_gamma_one",
+    "naive_gamma_one_s_excluding",
+    "naive_gamma_s_excluding",
+]
+
+
+def naive_gamma(graph: Graph, subset: Iterable[int]) -> set[int]:
+    """``Γ(S) = ⋃_{v∈S} Γ(v)`` — may include vertices of ``S``."""
+    out: set[int] = set()
+    for v in subset:
+        out.update(int(u) for u in graph.neighbors(v))
+    return out
+
+
+def naive_gamma_minus(graph: Graph, subset: Iterable[int]) -> set[int]:
+    """``Γ⁻(S) = Γ(S) \\ S``."""
+    s = set(int(v) for v in subset)
+    return naive_gamma(graph, s) - s
+
+
+def naive_gamma_one(graph: Graph, subset: Iterable[int]) -> set[int]:
+    """``Γ¹(S)``: vertices outside ``S`` with exactly one neighbour in ``S``."""
+    s = set(int(v) for v in subset)
+    out = set()
+    for v in range(graph.n):
+        if v in s:
+            continue
+        if sum(1 for u in graph.neighbors(v) if int(u) in s) == 1:
+            out.add(v)
+    return out
+
+
+def naive_gamma_s_excluding(
+    graph: Graph, s_subset: Iterable[int], s_prime: Iterable[int]
+) -> set[int]:
+    """``Γ_S(S')``: vertices outside ``S`` with ≥ 1 neighbour in ``S'``."""
+    s = set(int(v) for v in s_subset)
+    sp = set(int(v) for v in s_prime)
+    if not sp <= s:
+        raise ValueError("S' must be a subset of S")
+    out = set()
+    for v in range(graph.n):
+        if v in s:
+            continue
+        if any(int(u) in sp for u in graph.neighbors(v)):
+            out.add(v)
+    return out
+
+
+def naive_gamma_one_s_excluding(
+    graph: Graph, s_subset: Iterable[int], s_prime: Iterable[int]
+) -> set[int]:
+    """``Γ¹_S(S')``: vertices outside ``S`` with exactly one neighbour in
+    ``S'`` — the wireless payoff set."""
+    s = set(int(v) for v in s_subset)
+    sp = set(int(v) for v in s_prime)
+    if not sp <= s:
+        raise ValueError("S' must be a subset of S")
+    out = set()
+    for v in range(graph.n):
+        if v in s:
+            continue
+        if sum(1 for u in graph.neighbors(v) if int(u) in sp) == 1:
+            out.add(v)
+    return out
+
+
+def naive_bipartite_cover(gs: BipartiteGraph, left_subset: Iterable[int]) -> set[int]:
+    """Right vertices with at least one neighbour in the left subset."""
+    sp = set(int(v) for v in left_subset)
+    out = set()
+    for v in range(gs.n_right):
+        if any(int(u) in sp for u in gs.neighbors_of_right(v)):
+            out.add(v)
+    return out
+
+
+def naive_bipartite_unique_cover(
+    gs: BipartiteGraph, left_subset: Iterable[int]
+) -> set[int]:
+    """Right vertices with exactly one neighbour in the left subset."""
+    sp = set(int(v) for v in left_subset)
+    out = set()
+    for v in range(gs.n_right):
+        if sum(1 for u in gs.neighbors_of_right(v) if int(u) in sp) == 1:
+            out.add(v)
+    return out

@@ -1,0 +1,140 @@
+"""Per-size expansion profiles: ``β(k)``, ``βu(k)`` (and ``βw(k)``).
+
+The single-number expansions collapse a whole curve: for each set size
+``k``, the worst-case ratios
+
+``β(k) = min_{|S| = k} |Γ⁻(S)|/k``,  ``βu(k) = min_{|S| = k} |Γ¹(S)|/k``,
+``βw(k) = min_{|S| = k} max_{S' ⊆ S} |Γ¹_S(S')|/k``
+
+trace how expansion degrades with set size — e.g. on ``C⁺`` the unique
+profile crashes to zero exactly at ``k = 3`` while the wireless profile
+stays up, and on ``Gbad`` the profiles reproduce the Remark 1 run
+calculus.  Ordinary/unique profiles fall out of the subset-lattice DP in
+one vectorized pass (``np.minimum.at`` keyed by popcount); the wireless
+profile additionally walks submasks (``3^n``), so it is gated to tiny
+graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.expansion.subsets import bipartite_subset_profile, graph_subset_profile
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "BipartiteProfile",
+    "ExpansionProfile",
+    "bipartite_left_profiles",
+    "expansion_profiles",
+    "wireless_profile",
+]
+
+
+@dataclass(frozen=True)
+class ExpansionProfile:
+    """Worst-case per-size expansion curves of a graph.
+
+    ``ordinary[k-1]`` and ``unique[k-1]`` are ``β(k)`` and ``βu(k)`` for
+    ``k = 1..n``; ``wireless`` is ``None`` unless requested.
+    """
+
+    n: int
+    ordinary: np.ndarray
+    unique: np.ndarray
+    wireless: np.ndarray | None = None
+
+    def size_range(self) -> np.ndarray:
+        """The set sizes ``1..n`` the curves are indexed by."""
+        return np.arange(1, self.n + 1)
+
+
+def _per_size_minimum(values: np.ndarray, sizes: np.ndarray, n: int) -> np.ndarray:
+    """For each k = 1..n, min of ``values`` over subsets of size k."""
+    out = np.full(n + 1, np.inf)
+    np.minimum.at(out, sizes, values)
+    return out[1:]
+
+
+def expansion_profiles(graph: Graph, max_bits: int = 18) -> ExpansionProfile:
+    """Exact ``β(k)`` and ``βu(k)`` curves via the subset-lattice DP."""
+    profile = graph_subset_profile(graph, max_bits=max_bits)
+    sizes = profile.sizes
+    nonempty = sizes >= 1
+    ratios_ord = np.full(sizes.shape[0], np.inf)
+    ratios_ord[nonempty] = (
+        profile.gamma_minus_counts[nonempty] / sizes[nonempty]
+    )
+    ratios_uni = np.full(sizes.shape[0], np.inf)
+    ratios_uni[nonempty] = profile.gamma_one_counts[nonempty] / sizes[nonempty]
+    return ExpansionProfile(
+        n=graph.n,
+        ordinary=_per_size_minimum(ratios_ord, sizes, graph.n),
+        unique=_per_size_minimum(ratios_uni, sizes, graph.n),
+    )
+
+
+def wireless_profile(graph: Graph, max_bits: int = 13) -> np.ndarray:
+    """Exact ``βw(k)`` curve (``Θ(3^n)``; tiny graphs only)."""
+    n = graph.n
+    if n > max_bits:
+        raise ValueError(f"wireless profile supports n <= {max_bits}, got {n}")
+    profile = graph_subset_profile(graph, max_bits=max_bits)
+    once = profile.once
+    sizes = profile.sizes
+    full = (1 << n) - 1
+    best = np.full(n + 1, np.inf)
+    for s_mask in range(1, 1 << n):
+        outside = full & ~s_mask
+        sub = s_mask
+        cover = 0
+        while True:
+            c = (int(once[sub]) & outside).bit_count()
+            if c > cover:
+                cover = c
+            if sub == 0:
+                break
+            sub = (sub - 1) & s_mask
+        k = int(sizes[s_mask])
+        ratio = cover / k
+        if ratio < best[k]:
+            best[k] = ratio
+    return best[1:]
+
+
+@dataclass(frozen=True)
+class BipartiteProfile:
+    """Per-size one-sided curves of a bipartite graph's left side.
+
+    ``coverage[k-1]`` = worst ``|Γ(S')|/k`` and ``unique[k-1]`` = worst
+    ``|Γ¹(S')|/k`` over ``|S'| = k``; ``best_unique[k-1]`` = *best*
+    ``|Γ¹(S')|`` over ``|S'| = k`` (the spokesman frontier by budget).
+    """
+
+    n_left: int
+    coverage: np.ndarray
+    unique: np.ndarray
+    best_unique: np.ndarray
+
+
+def bipartite_left_profiles(gs: BipartiteGraph) -> BipartiteProfile:
+    """Exact per-size curves for a bipartite instance (``n_left ≤ 22``)."""
+    profile = bipartite_subset_profile(gs)
+    sizes = profile.sizes
+    n = gs.n_left
+    nonempty = sizes >= 1
+    cov = np.full(sizes.shape[0], np.inf)
+    cov[nonempty] = profile.cover_counts[nonempty] / sizes[nonempty]
+    uni = np.full(sizes.shape[0], np.inf)
+    uni[nonempty] = profile.unique_counts[nonempty] / sizes[nonempty]
+    best = np.zeros(n + 1, dtype=np.int64)
+    np.maximum.at(best, sizes, profile.unique_counts)
+    return BipartiteProfile(
+        n_left=n,
+        coverage=_per_size_minimum(cov, sizes, n),
+        unique=_per_size_minimum(uni, sizes, n),
+        best_unique=best[1:],
+    )

@@ -1,0 +1,174 @@
+"""Wireless expansion — the paper's new quantity, computed exactly.
+
+``G`` is an ``(αw, βw)``-wireless expander if every ``S`` with
+``|S| ≤ αw·n`` contains some ``S' ⊆ S`` with ``|Γ¹_S(S')| ≥ βw·|S|``.  Thus
+
+``βw(G) = min_S  max_{S' ⊆ S}  |Γ¹_S(S')| / |S|``
+
+— a min-max over a doubly-exponential family.  This module computes it
+exactly where feasible:
+
+* per-set: ``max_{S'}`` by the all-subsets bipartite profile (``|S| ≤ ~22``);
+* graph-level: the full min-max by combining the subset-lattice profile with
+  sub-subset enumeration (``n ≤ ~14``; the 3^n pairs are walked with the
+  standard submask trick).
+
+Algorithmic *lower bounds* for large instances come from the spokesman
+algorithms (:mod:`repro.spokesman`), which are guaranteed approximations by
+the paper's positive results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_fraction
+from repro.expansion.subsets import bipartite_subset_profile, graph_subset_profile
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "max_unique_coverage_exact",
+    "wireless_expansion_exact",
+    "wireless_expansion_of_set_exact",
+    "wireless_expansion_sampled",
+]
+
+
+def max_unique_coverage_exact(
+    gs: BipartiteGraph,
+) -> tuple[int, np.ndarray]:
+    """Exact ``max_{S' ⊆ S} |Γ¹_S(S')|`` on a bipartite ``G_S``, with witness.
+
+    This is the (NP-hard in general) *spokesman election* optimum of
+    Section 4.2.1, solved by brute enumeration — the yardstick the
+    polynomial-time algorithms are measured against.
+    """
+    profile = bipartite_subset_profile(gs)
+    best = int(np.argmax(profile.unique_counts))
+    witness = np.flatnonzero(
+        (np.uint32(best) >> np.arange(gs.n_left, dtype=np.uint32)) & np.uint32(1)
+    )
+    return int(profile.unique_counts[best]), witness
+
+
+def wireless_expansion_of_set_exact(
+    graph: Graph, subset
+) -> tuple[float, np.ndarray]:
+    """Exact wireless expansion ``max_{S' ⊆ S} |Γ¹_S(S')| / |S|`` of one set.
+
+    Returns the ratio and the optimal ``S'`` (as original vertex ids).
+    """
+    mask = graph._as_mask(subset)
+    size = int(mask.sum())
+    if size == 0:
+        raise ValueError("wireless expansion of the empty set is undefined")
+    gs, left_vertices, _ = graph.boundary_bipartite(mask)
+    best, witness_local = max_unique_coverage_exact(gs)
+    return best / size, left_vertices[witness_local]
+
+
+def wireless_expansion_sampled(
+    graph: Graph,
+    alpha: float = 0.5,
+    samples: int = 100,
+    rng=None,
+    include_balls: bool = True,
+    max_set_bits: int = 20,
+) -> tuple[float, np.ndarray]:
+    """Adversarial *upper bound* on ``βw(G)`` by candidate-set search.
+
+    For each candidate ``S`` (random subsets of every admissible size, plus
+    BFS balls — the canonical low-expansion sets) the *exact* per-set
+    wireless expansion is computed, and the minimum over candidates is
+    returned; since ``βw(G)`` is the minimum over **all** sets, every
+    candidate's value upper-bounds it.  Candidates wider than
+    ``max_set_bits`` are skipped (their exact value is unavailable and a
+    lower bound would not be a valid upper bound for ``βw``).
+    """
+    from repro._util import as_rng
+    from repro._util.validation import check_fraction
+
+    check_fraction(alpha, "alpha")
+    gen = as_rng(rng)
+    limit = int(np.floor(alpha * graph.n))
+    if limit < 1:
+        raise ValueError(f"alpha={alpha} admits no non-empty subsets")
+    size_cap = min(limit, max_set_bits)
+
+    best = np.inf
+    best_set = np.array([0], dtype=np.int64)
+
+    def consider(indices: np.ndarray) -> None:
+        nonlocal best, best_set
+        if not 1 <= indices.size <= size_cap:
+            return
+        value, _ = wireless_expansion_of_set_exact(graph, indices)
+        if value < best:
+            best = value
+            best_set = indices
+
+    for _ in range(samples):
+        size = int(gen.integers(1, size_cap + 1))
+        consider(gen.choice(graph.n, size=size, replace=False))
+    if include_balls:
+        for v in range(graph.n):
+            dist = graph.bfs_layers(v)
+            reach = dist[dist >= 0]
+            for radius in range(int(reach.max()) + 1):
+                ball = np.flatnonzero((dist >= 0) & (dist <= radius))
+                if ball.size > size_cap:
+                    break
+                consider(ball)
+    return float(best), best_set
+
+
+def wireless_expansion_exact(
+    graph: Graph, alpha: float = 0.5, max_bits: int = 14
+) -> tuple[float, np.ndarray]:
+    """Exact ``βw(G)`` (min over ``S``, max over ``S' ⊆ S``) with the
+    minimizing ``S`` as witness.
+
+    Cost is ``Θ(3^n)`` submask pairs; keep ``n ≤ max_bits`` (default 14).
+    """
+    check_fraction(alpha, "alpha")
+    n = graph.n
+    if n > max_bits:
+        raise ValueError(
+            f"exact wireless expansion supports n <= {max_bits}, got {n}"
+        )
+    profile = graph_subset_profile(graph, max_bits=max_bits)
+    limit = int(np.floor(alpha * n))
+    if limit < 1:
+        raise ValueError(f"alpha={alpha} admits no non-empty subsets")
+    once = profile.once
+    sizes = profile.sizes
+    full = (1 << n) - 1
+
+    best_ratio = np.inf
+    best_set = 0
+    for s_mask in range(1, 1 << n):
+        size = int(sizes[s_mask])
+        if size > limit:
+            continue
+        outside = full & ~s_mask
+        # Walk all submasks of s_mask (including s_mask itself and 0; the
+        # empty S' contributes 0 and never helps).
+        sub = s_mask
+        best_cover = 0
+        while True:
+            covered_once = int(once[sub]) & outside
+            count = covered_once.bit_count()
+            if count > best_cover:
+                best_cover = count
+            if sub == 0:
+                break
+            sub = (sub - 1) & s_mask
+        ratio = best_cover / size
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_set = s_mask
+    witness = np.flatnonzero(
+        (np.uint64(best_set) >> np.arange(n, dtype=np.uint64)) & np.uint64(1)
+    )
+    return float(best_ratio), witness

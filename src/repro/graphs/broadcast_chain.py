@@ -1,0 +1,147 @@
+"""The Section 5 lower-bound network: a chain of core graphs.
+
+To show broadcast takes ``Ω(D·log(n/D))`` rounds, the paper chains ``D/2``
+copies ``G¹_S, …, G^{D/2}_S`` of the Lemma 4.4 core graph.  The root ``rt``
+is wired to all of ``S¹``; inside copy ``i`` a uniformly random right vertex
+``rt_i ∈ N^i`` is designated the *portal* and wired to all of ``S^{i+1}``.
+The message must pass through every portal in order (Observation 5.2), and by
+Corollary 5.1 each hop costs ``Ω(log 2s) = Ω(log(n/D))`` rounds in
+expectation — because no transmission schedule can uniquely cover more than a
+``2/log 2s`` fraction of ``N^i`` per round.
+
+This module builds the chain as a :class:`repro.graphs.graph.Graph` plus a
+layout object that exposes each layer's vertex ranges and portals, which the
+radio experiments (:mod:`repro.radio.lower_bound`) use to measure per-hop
+round counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.graphs.core_graph import core_graph, core_graph_layout
+from repro.graphs.graph import Graph
+
+__all__ = ["BroadcastChain", "broadcast_chain"]
+
+
+@dataclass(frozen=True)
+class BroadcastChain:
+    """A chained-core-graph radio network with layer bookkeeping.
+
+    Vertex layout: vertex ``0`` is the broadcast source ``rt``; copy ``i``
+    (``0``-based) occupies a contiguous id block, ``S``-side first, then
+    ``N``-side.
+
+    Attributes
+    ----------
+    graph:
+        The full chained graph.
+    s:
+        Core-graph parameter of every copy.
+    num_layers:
+        Number of chained copies (``D/2`` in the paper's notation).
+    s_ranges, n_ranges:
+        Per-layer vertex-id ranges of the ``S``- and ``N``-sides.
+    portals:
+        ``portals[i]`` is the id of ``rt_i``, the random ``N^i`` vertex wired
+        to layer ``i+1`` (the last portal is still sampled but dangling, as
+        in the paper).
+    """
+
+    graph: Graph
+    s: int
+    num_layers: int
+    s_ranges: tuple[range, ...]
+    n_ranges: tuple[range, ...]
+    portals: np.ndarray
+
+    @property
+    def root(self) -> int:
+        """The broadcast source ``rt`` (always vertex 0)."""
+        return 0
+
+    @property
+    def n_vertices(self) -> int:
+        """Total number of vertices ``ñ``."""
+        return self.graph.n
+
+    @property
+    def diameter_claim(self) -> int:
+        """The paper's diameter accounting: ``D + 2`` for ``D/2`` layers."""
+        return 2 * self.num_layers + 2
+
+    def layer_of(self, vertex: int) -> int:
+        """Layer index of ``vertex`` (``-1`` for the root)."""
+        if vertex == 0:
+            return -1
+        per_layer = self.s_ranges[0].stop - self.s_ranges[0].start + (
+            self.n_ranges[0].stop - self.n_ranges[0].start
+        )
+        return (vertex - 1) // per_layer
+
+
+def broadcast_chain(s: int, num_layers: int, rng=None) -> BroadcastChain:
+    """Build the Section 5 chain with ``num_layers`` core-graph copies.
+
+    Parameters
+    ----------
+    s:
+        Core-graph size parameter (power of two); each copy has
+        ``s·log 4s`` vertices, so ``n ≈ num_layers · s·log 4s``.
+    num_layers:
+        ``D/2`` copies; the resulting diameter is ``2·num_layers + 2``.
+    rng:
+        Seeds the uniform portal choices ``rt_i ~ N^i``.
+    """
+    check_positive_int(num_layers, "num_layers")
+    layout = core_graph_layout(s)
+    base = core_graph(s)
+    base_edges = base.edges()
+    gen = as_rng(rng)
+
+    per_layer = s + layout.n_right
+    edges: list[np.ndarray] = []
+    s_ranges: list[range] = []
+    n_ranges: list[range] = []
+    portals = np.empty(num_layers, dtype=np.int64)
+
+    for layer in range(num_layers):
+        s_start = 1 + layer * per_layer
+        n_start = s_start + s
+        s_ranges.append(range(s_start, s_start + s))
+        n_ranges.append(range(n_start, n_start + layout.n_right))
+        # Internal core-graph edges of this copy.
+        edges.append(
+            np.column_stack(
+                [base_edges[:, 0] + s_start, base_edges[:, 1] + n_start]
+            )
+        )
+        portals[layer] = n_start + int(gen.integers(layout.n_right))
+
+    # Root to all of S^1.
+    s0 = np.arange(s_ranges[0].start, s_ranges[0].stop, dtype=np.int64)
+    edges.append(np.column_stack([np.zeros(s, dtype=np.int64), s0]))
+    # Portal i to all of S^{i+2} (1-based: rt_i -> S^{i+1}).
+    for layer in range(num_layers - 1):
+        nxt = np.arange(
+            s_ranges[layer + 1].start, s_ranges[layer + 1].stop, dtype=np.int64
+        )
+        edges.append(
+            np.column_stack(
+                [np.full(s, portals[layer], dtype=np.int64), nxt]
+            )
+        )
+
+    graph = Graph(1 + num_layers * per_layer, np.concatenate(edges))
+    return BroadcastChain(
+        graph=graph,
+        s=s,
+        num_layers=num_layers,
+        s_ranges=tuple(s_ranges),
+        n_ranges=tuple(n_ranges),
+        portals=portals,
+    )

@@ -1,0 +1,53 @@
+"""The ``C⁺`` motivating example from Section 1.1.
+
+``C⁺`` is a complete graph ``C`` on ``n`` vertices plus one extra source
+vertex ``s₀`` connected to exactly two clique vertices ``x`` and ``y``.  It
+is a good ordinary expander but a terrible *unique* expander: after the
+first broadcast round the informed set ``S = {s₀, x, y}`` has no unique
+neighbours at all (every clique vertex hears both ``x`` and ``y``), yet it is
+a fine *wireless* expander because the sub-selection ``S' = {x}`` uniquely
+covers the whole remaining clique.  This asymmetry is the seed observation of
+the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.graphs.graph import Graph
+
+__all__ = ["SOURCE", "cplus_graph", "cplus_informed_after_round_one"]
+
+#: Vertex id of the source ``s₀`` in :func:`cplus_graph`.
+SOURCE = 0
+
+
+def cplus_graph(clique_size: int) -> Graph:
+    """Build ``C⁺``: vertex 0 is ``s₀``; vertices ``1..clique_size`` form the
+    clique; ``s₀`` is adjacent to clique vertices ``x = 1`` and ``y = 2``.
+
+    Parameters
+    ----------
+    clique_size:
+        Number of clique vertices; must be at least 3 so that the clique has
+        vertices beyond ``{x, y}``.
+    """
+    check_positive_int(clique_size, "clique_size")
+    if clique_size < 3:
+        raise ValueError("clique_size must be >= 3")
+    idx = np.arange(1, clique_size + 1)
+    u, v = np.meshgrid(idx, idx, indexing="ij")
+    mask = u < v
+    clique_edges = np.column_stack([u[mask], v[mask]])
+    source_edges = np.array([[SOURCE, 1], [SOURCE, 2]], dtype=np.int64)
+    return Graph(clique_size + 1, np.concatenate([source_edges, clique_edges]))
+
+
+def cplus_informed_after_round_one(clique_size: int) -> np.ndarray:
+    """The informed set ``S = {s₀, x, y}`` after the source's first
+    transmission — the set on which unique expansion collapses to zero."""
+    graph = cplus_graph(clique_size)
+    mask = np.zeros(graph.n, dtype=bool)
+    mask[[SOURCE, 1, 2]] = True
+    return mask

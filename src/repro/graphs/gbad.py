@@ -1,0 +1,109 @@
+"""The bad unique-neighbour expander ``Gbad`` of Lemma 3.3 (Figure 1).
+
+``Gbad = (S, N, E)`` has ``|S| = s`` left vertices arranged on an implicit
+cycle.  Every ``v_i`` has exactly ``Δ`` neighbours; consecutive vertices
+``v_i, v_{i+1}`` share exactly ``Δ − β`` of them (the "last" ``Δ − β``
+neighbours of ``v_i`` are the "first" ``Δ − β`` neighbours of ``v_{i+1}``).
+
+Consequences proved in the paper and verified by the test-suite:
+
+* ordinary (one-sided) expansion is exactly ``β``: ``|N| = β·s`` and every
+  ``S' ⊆ S`` has ``|Γ(S')| ≥ β·|S'|``;
+* unique-neighbour expansion of the full set ``S`` is exactly ``2β − Δ``
+  (each ``v_i`` uniquely covers only its private block), which shows the
+  Lemma 3.2 lower bound ``βu ≥ 2β − Δ`` is tight — and drops to **zero** at
+  ``β = Δ/2``;
+* the *wireless* expansion is at least ``max{2β − Δ, Δ/2}`` (Remark 1):
+  selecting every second vertex of a run leaves ``Δ``-degree coverage with no
+  collisions, so wireless expansion survives exactly where unique expansion
+  dies.
+
+Structure: each ``v_i`` owns a *shared block* ``W_i`` (``|W_i| = Δ − β``,
+common with ``v_{i+1}``) and a *private block* ``P_i`` (``|P_i| = 2β − Δ``),
+so ``Γ(v_i) = W_{i−1} ∪ P_i ∪ W_i`` and ``|N| = s·β``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = [
+    "gbad",
+    "gbad_alternating_subset",
+    "gbad_private_block",
+    "gbad_shared_block",
+    "gbad_unique_expansion",
+    "gbad_wireless_lower_bound",
+]
+
+
+def _validate(s: int, delta: int, beta: int) -> None:
+    check_positive_int(s, "s")
+    check_positive_int(delta, "delta")
+    check_positive_int(beta, "beta")
+    if s < 3:
+        raise ValueError("gbad needs s >= 3 for the cyclic overlap structure")
+    if not (delta / 2 <= beta <= delta):
+        raise ValueError(
+            f"Lemma 3.3 requires Δ/2 <= β <= Δ, got Δ={delta}, β={beta}"
+        )
+
+
+def gbad(s: int, delta: int, beta: int) -> BipartiteGraph:
+    """Construct ``Gbad(s, Δ, β)`` as a :class:`BipartiteGraph`.
+
+    Right-side layout: vertex ids ``[i·β, i·β + (Δ−β))`` form the shared
+    block ``W_i`` and ids ``[i·β + (Δ−β), (i+1)·β)`` form the private block
+    ``P_i``, for ``i = 0..s−1``.
+    """
+    _validate(s, delta, beta)
+    edges: list[tuple[int, int]] = []
+    for i in range(s):
+        w_prev = gbad_shared_block(s, delta, beta, (i - 1) % s)
+        p_own = gbad_private_block(s, delta, beta, i)
+        w_own = gbad_shared_block(s, delta, beta, i)
+        for v in (*w_prev, *p_own, *w_own):
+            edges.append((i, v))
+    return BipartiteGraph(s, s * beta, edges)
+
+
+def gbad_shared_block(s: int, delta: int, beta: int, i: int) -> range:
+    """Right-side ids of ``W_i``, the block shared by ``v_i`` and ``v_{i+1}``."""
+    _validate(s, delta, beta)
+    if not 0 <= i < s:
+        raise ValueError(f"block index must lie in [0, {s}), got {i}")
+    return range(i * beta, i * beta + (delta - beta))
+
+
+def gbad_private_block(s: int, delta: int, beta: int, i: int) -> range:
+    """Right-side ids of ``P_i``, the block uniquely covered by ``v_i``."""
+    _validate(s, delta, beta)
+    if not 0 <= i < s:
+        raise ValueError(f"block index must lie in [0, {s}), got {i}")
+    return range(i * beta + (delta - beta), (i + 1) * beta)
+
+
+def gbad_unique_expansion(delta: int, beta: int) -> int:
+    """The exact unique-neighbour expansion ``βu = 2β − Δ`` of ``Gbad``
+    (Lemma 3.3): only private blocks are uniquely covered by ``S``."""
+    return 2 * beta - delta
+
+
+def gbad_wireless_lower_bound(delta: int, beta: int) -> float:
+    """Remark 1's lower bound ``max{2β − Δ, Δ/2}`` on the wireless expansion
+    of ``Gbad`` — strictly positive even when the unique expansion is zero."""
+    return max(2 * beta - delta, delta / 2)
+
+
+def gbad_alternating_subset(s: int) -> np.ndarray:
+    """The "every second vertex" sub-selection from Remark 1.
+
+    For even ``s`` this selects ``{v_0, v_2, …}``; no two selected vertices
+    are consecutive on the cycle, so no shared block collides and each
+    selected vertex uniquely covers all ``Δ`` of its neighbours.
+    """
+    check_positive_int(s, "s")
+    return np.arange(0, s, 2, dtype=np.int64)

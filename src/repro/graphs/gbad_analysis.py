@@ -1,0 +1,71 @@
+"""The Remark 1 run-length calculus for ``Gbad`` (after Lemma 3.3).
+
+For a run ``S_i`` of ``l`` consecutive cycle vertices the remark computes
+two candidate sub-selections:
+
+* take the whole run: ``f(l) = ((2 − l)·Δ + 2(l − 1)·β) / l`` uniquely
+  covered per selected vertex (shared blocks between consecutive selected
+  vertices collide);
+* take every second vertex: ``g(l) = Δ/2`` per *run* vertex for even ``l``
+  (``(l + 1)·Δ/(2l)`` for odd ``l``) — no collisions at all.
+
+Both decrease in ``l``, so
+``βw(Gbad) ≥ max{lim f, lim g} = max{2β − Δ, Δ/2}``.  This module exposes
+``f``, ``g`` and the induced prediction so the experiments can verify the
+remark's arithmetic against exact enumeration, run length by run length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive_int
+
+__all__ = [
+    "alternating_run_payoff",
+    "full_run_payoff",
+    "gbad_run_subset",
+    "predicted_run_wireless",
+]
+
+
+def full_run_payoff(length: int, delta: int, beta: int) -> float:
+    """``f(l)``: per-vertex unique coverage when a whole run of ``l < s``
+    consecutive vertices transmits.
+
+    The run covers ``l·Δ`` edge-endpoints; each of the ``l − 1`` internal
+    shared blocks (size ``Δ − β``) is covered twice and contributes nothing.
+    """
+    check_positive_int(length, "length")
+    return ((2 - length) * delta + 2 * (length - 1) * beta) / length
+
+
+def alternating_run_payoff(length: int, delta: int) -> float:
+    """``g(l)``: per-vertex unique coverage when every second vertex of a
+    run of ``l`` transmits (no two selected are consecutive ⇒ no
+    collisions)."""
+    check_positive_int(length, "length")
+    if length % 2 == 0:
+        return delta / 2
+    return (length + 1) * delta / (2 * length)
+
+
+def predicted_run_wireless(length: int, delta: int, beta: int) -> float:
+    """The remark's per-run prediction ``max{f(l), g(l)}``."""
+    return max(
+        full_run_payoff(length, delta, beta),
+        alternating_run_payoff(length, delta),
+    )
+
+
+def gbad_run_subset(start: int, length: int, s: int, step: int = 1) -> np.ndarray:
+    """Left-vertex ids of a run on the ``Gbad`` cycle.
+
+    ``step = 1`` yields the whole run (the ``f`` selection); ``step = 2``
+    every second vertex (the ``g`` selection).  Indices wrap modulo ``s``.
+    """
+    check_positive_int(length, "length")
+    check_positive_int(step, "step")
+    if length > s:
+        raise ValueError(f"run length {length} exceeds cycle size {s}")
+    return (start + np.arange(0, length, step, dtype=np.int64)) % s

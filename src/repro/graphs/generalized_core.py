@@ -1,0 +1,228 @@
+"""Generalized core graphs with arbitrary expansion (Lemmas 4.6, 4.7, 4.8).
+
+The Lemma 4.4 core graph has expansion exactly ``log 2s``.  Section 4.3.2
+stretches it to any target expansion ``β*`` while keeping the wireless
+expansion capped at a ``1/log`` fraction:
+
+* **Boosted core** (Lemma 4.7, ``β > log 2s``): make ``k = β / log 2s``
+  copies of every right vertex.  Expansion rises to ``k·log 2s``; the
+  wireless coverage cap rises to ``2s·k`` — still a ``2/log 2s`` fraction of
+  the (bigger) right side.
+* **Diluted core** (Lemma 4.8, ``β ≤ log 2s``): make ``k = log 2s / β``
+  copies of every *left* vertex.  Expansion drops to ``log 2s / k``; the
+  wireless coverage cap stays ``2s`` — again a ``2/log 2s`` fraction.
+* **Lemma 4.6** packages both: for any ``Δ*`` and ``β*`` with
+  ``2e/Δ* ≤ β* ≤ Δ*/(2e)`` there is a core-like graph with max degree
+  ``≤ Δ*``, expansion ``≥ β*`` and wireless expansion
+  ``≤ β*·(4 / log min{Δ*/β*, Δ*·β*})``.
+
+Because copies have identical adjacency, the exact tree DP of
+:mod:`repro.graphs.core_graph` transfers: the true max unique coverage of a
+boosted core is ``k ×`` the core value, and of a diluted core equals the core
+value (selecting two copies of the same left vertex only creates collisions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive_int
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.core_graph import (
+    core_graph,
+    core_graph_layout,
+    core_graph_max_unique_coverage,
+)
+
+__all__ = [
+    "GeneralizedCore",
+    "boosted_core",
+    "diluted_core",
+    "generalized_core",
+    "generalized_core_max_unique_coverage",
+    "lemma46_regime_ok",
+]
+
+
+@dataclass(frozen=True)
+class GeneralizedCore:
+    """A generalized core graph together with its certified parameters.
+
+    Attributes
+    ----------
+    graph:
+        The bipartite graph ``G*_S = (S*, N*, E*)``.
+    s:
+        The underlying core-graph parameter (power of two).
+    multiplier:
+        The copy count ``k`` (``k = 1`` recovers the plain core graph).
+    mode:
+        ``"boosted"`` (Lemma 4.7), ``"diluted"`` (Lemma 4.8) or ``"core"``.
+    expansion:
+        The certified ordinary one-sided expansion ``β*``.
+    max_degree:
+        The maximum degree ``Δ*`` over both sides.
+    wireless_coverage_cap:
+        Lemma 4.7(5)/4.8(5) upper bound on ``max_{S'} |Γ¹_{S*}(S')|``.
+    """
+
+    graph: BipartiteGraph
+    s: int
+    multiplier: int
+    mode: str
+    expansion: float
+    max_degree: int
+    wireless_coverage_cap: int
+
+    @property
+    def wireless_expansion_cap(self) -> float:
+        """Upper bound on the wireless expansion ``βw``:
+        ``wireless_coverage_cap / |S*|``."""
+        return self.wireless_coverage_cap / self.graph.n_left
+
+    @property
+    def log_min_ratio(self) -> float:
+        """``log2(min{Δ*/β*, Δ*·β*})`` — the denominator of Lemma 4.6(3)."""
+        value = min(self.max_degree / self.expansion,
+                    self.max_degree * self.expansion)
+        return math.log2(value)
+
+    @property
+    def lemma46_wireless_fraction_cap(self) -> float:
+        """Lemma 4.6(3)'s cap ``4 / log min{Δ*/β*, Δ*·β*}`` on the uniquely
+        coverable *fraction* of ``N*``."""
+        return 4.0 / self.log_min_ratio
+
+
+def boosted_core(s: int, multiplier: int) -> GeneralizedCore:
+    """Lemma 4.7 graph ``Ĝ_S``: ``multiplier`` copies of every right vertex.
+
+    Achieves expansion ``β = multiplier · log 2s`` with left degree
+    ``(2s − 1) · multiplier``; wireless coverage stays ``≤ 2s·multiplier``.
+    """
+    check_positive_int(multiplier, "multiplier")
+    layout = core_graph_layout(s)
+    base = core_graph(s)
+    k = multiplier
+    base_edges = base.edges()
+    # Copy c of right vertex v gets id v*k + c.
+    lefts = np.repeat(base_edges[:, 0], k)
+    rights = (base_edges[:, 1][:, None] * k + np.arange(k)[None, :]).ravel()
+    graph = BipartiteGraph(s, base.n_right * k, np.column_stack([lefts, rights]))
+    log2s = layout.levels
+    return GeneralizedCore(
+        graph=graph,
+        s=s,
+        multiplier=k,
+        mode="boosted" if k > 1 else "core",
+        expansion=float(k * log2s),
+        max_degree=max((2 * s - 1) * k, s),
+        wireless_coverage_cap=2 * s * k,
+    )
+
+
+def diluted_core(s: int, multiplier: int) -> GeneralizedCore:
+    """Lemma 4.8 graph ``Ǧ_S``: ``multiplier`` copies of every left vertex.
+
+    Achieves expansion ``β = log 2s / multiplier`` with right degrees scaled
+    by ``multiplier``; wireless coverage stays ``≤ 2s``.
+    """
+    check_positive_int(multiplier, "multiplier")
+    layout = core_graph_layout(s)
+    base = core_graph(s)
+    k = multiplier
+    base_edges = base.edges()
+    # Copy c of left vertex u gets id u*k + c.
+    lefts = (base_edges[:, 0][:, None] * k + np.arange(k)[None, :]).ravel()
+    rights = np.repeat(base_edges[:, 1], k)
+    graph = BipartiteGraph(s * k, base.n_right, np.column_stack([lefts, rights]))
+    log2s = layout.levels
+    return GeneralizedCore(
+        graph=graph,
+        s=s,
+        multiplier=k,
+        mode="diluted" if k > 1 else "core",
+        expansion=log2s / k,
+        max_degree=max(2 * s - 1, s * k),
+        wireless_coverage_cap=2 * s,
+    )
+
+
+def generalized_core_max_unique_coverage(gc: GeneralizedCore) -> int:
+    """Exact ``max_{S'} |Γ¹_{S*}(S')|`` for a generalized core.
+
+    Copies of a right vertex share their uniquely-covered status, so the
+    boosted optimum is ``multiplier ×`` the core optimum; selecting two
+    copies of a left vertex only collides, so the diluted optimum equals the
+    core optimum.
+    """
+    core_best = int(core_graph_max_unique_coverage(gc.s))
+    if gc.mode == "boosted":
+        return core_best * gc.multiplier
+    return core_best
+
+
+def lemma46_regime_ok(delta_star: float, beta_star: float) -> bool:
+    """Check Lemma 4.6's parameter regime ``2e/Δ* ≤ β* ≤ Δ*/(2e)``."""
+    return (2 * math.e / delta_star) <= beta_star <= delta_star / (2 * math.e)
+
+
+def generalized_core(delta_star: float, beta_star: float) -> GeneralizedCore:
+    """Lemma 4.6: a core-like graph for target ``(Δ*, β*)``.
+
+    Follows the proof's case split.  Writing ``Δ* = 2s·(β*/log 2s)`` when
+    ``β* > log 2s`` (boosted) and ``Δ* = 2s·(log 2s/β*)`` otherwise
+    (diluted), we search powers of two ``s`` and integer multipliers ``k``
+    for the instance whose achieved max degree is closest to ``Δ*`` without
+    exceeding it, with achieved expansion ``≥ β*``.  The returned object's
+    *achieved* parameters certify the lemma's three assertions:
+    ``|S*| ≤ Δ*/2``, ``|N*| = β·|S*|``, expansion ``≥ β*``, and wireless
+    coverage ``≤ (4/log min{Δ/β, Δ·β})·|N*|``.
+
+    Raises
+    ------
+    ValueError
+        If ``(Δ*, β*)`` violates the lemma's regime or no integral instance
+        fits (the regime guarantees one for all-powers-of-two parameters;
+        ragged targets may be unachievable exactly, in which case we pick the
+        closest instance that does not exceed ``Δ*``).
+    """
+    if not lemma46_regime_ok(delta_star, beta_star):
+        raise ValueError(
+            f"Lemma 4.6 requires 2e/Δ* <= β* <= Δ*/(2e); "
+            f"got Δ*={delta_star}, β*={beta_star}"
+        )
+    best: GeneralizedCore | None = None
+    best_gap = math.inf
+    max_log = max(2, int(math.log2(max(delta_star, 4))) + 2)
+    for log_s in range(0, max_log + 1):
+        s = 1 << log_s
+        log2s = log_s + 1  # log2(2s)
+        if beta_star > log2s:
+            # Boosted: need k >= ceil(β*/log 2s) for expansion >= β*.
+            k = math.ceil(beta_star / log2s - 1e-12)
+            candidate = boosted_core(s, k)
+        else:
+            # Diluted: need k <= log 2s / β* for expansion >= β*.
+            k = math.floor(log2s / beta_star + 1e-12)
+            if k < 1:
+                continue
+            candidate = diluted_core(s, k)
+        if candidate.expansion < beta_star - 1e-9:
+            continue
+        # The lemma's Δ* accounting is 2·s·k (both modes), which dominates
+        # the achieved max degree and guarantees |S*| ≤ Δ*/2.
+        budget = 2 * s * candidate.multiplier
+        if budget > delta_star + 1e-9:
+            continue
+        gap = delta_star - budget
+        if gap < best_gap:
+            best, best_gap = candidate, gap
+    if best is None:
+        raise ValueError(
+            f"no integral generalized core fits Δ*={delta_star}, β*={beta_star}"
+        )
+    return best

@@ -1,0 +1,305 @@
+"""General undirected graph wrapper with the paper's neighbourhood operators.
+
+A thin, immutable adjacency-CSR wrapper (``scipy.sparse``) exposing exactly
+the operators Section 2.1 defines — ``Γ(S)``, ``Γ⁻(S)``, ``Γ¹(S)``,
+``Γ_S(S')``, ``Γ¹_S(S')`` — plus extraction of the boundary bipartite graph
+``G_S = (S, Γ⁻(S))`` that Section 4.1 reduces every expansion question to.
+
+All neighbourhood operators are one sparse mat-vec plus vectorized masking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Simple undirected graph on vertices ``0..n-1`` (no self-loops).
+
+    Immutable; constructed from an edge list, a networkx graph, or a
+    symmetric sparse adjacency matrix.
+    """
+
+    __slots__ = ("n", "_adj", "_degrees")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] | np.ndarray) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = int(n)
+        edge_array = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges),
+            dtype=np.int64,
+        )
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise ValueError("edges must be an iterable of (u, v) pairs")
+        if edge_array.size:
+            if edge_array.min() < 0 or edge_array.max() >= self.n:
+                raise ValueError("vertex index out of range")
+            if (edge_array[:, 0] == edge_array[:, 1]).any():
+                raise ValueError("self-loops are not allowed")
+        u = np.minimum(edge_array[:, 0], edge_array[:, 1])
+        v = np.maximum(edge_array[:, 0], edge_array[:, 1])
+        canon = np.unique(np.column_stack([u, v]), axis=0)
+        if canon.shape[0] != edge_array.shape[0]:
+            raise ValueError("duplicate edges are not allowed")
+        rows = np.concatenate([canon[:, 0], canon[:, 1]])
+        cols = np.concatenate([canon[:, 1], canon[:, 0]])
+        self._adj = sp.csr_matrix(
+            (np.ones(rows.shape[0], dtype=np.int32), (rows, cols)),
+            shape=(self.n, self.n),
+        )
+        self._degrees = np.asarray(self._adj.sum(axis=1)).ravel().astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Constructors / converters
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a networkx graph; nodes are relabelled ``0..n-1`` in
+        sorted-by-insertion (``list(g.nodes)``) order."""
+        nodes = list(g.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[a], index[b]) for a, b in g.edges() if a != b]
+        return cls(len(nodes), edges)
+
+    @classmethod
+    def from_adjacency(cls, matrix: np.ndarray | sp.spmatrix) -> "Graph":
+        """Build from a symmetric 0/1 adjacency matrix."""
+        coo = sp.coo_matrix(matrix)
+        if coo.shape[0] != coo.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        mask = (coo.data != 0) & (coo.row < coo.col)
+        edges = np.column_stack([coo.row[mask], coo.col[mask]])
+        return cls(coo.shape[0], edges)
+
+    def to_networkx(self):
+        """Convert to :class:`networkx.Graph` on integer nodes ``0..n-1``."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from((int(a), int(b)) for a, b in self.edges())
+        return g
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """The ``n × n`` symmetric 0/1 adjacency matrix (CSR, int32)."""
+        return self._adj
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return int(self._adj.nnz // 2)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree vector ``deg(v)``."""
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """``Δ(G)`` (0 for the empty graph)."""
+        return int(self._degrees.max()) if self.n else 0
+
+    @property
+    def avg_degree(self) -> float:
+        """Average degree ``2|E|/n``."""
+        return 2 * self.n_edges / self.n if self.n else 0.0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbours of ``v``."""
+        lo, hi = self._adj.indptr[v], self._adj.indptr[v + 1]
+        return self._adj.indices[lo:hi].astype(np.int64)
+
+    def edges(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v``."""
+        coo = self._adj.tocoo()
+        mask = coo.row < coo.col
+        return np.column_stack([coo.row[mask], coo.col[mask]]).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        return bool(self._adj[u, v] != 0)
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+    def _as_mask(self, subset: np.ndarray | Sequence[int]) -> np.ndarray:
+        subset = np.asarray(subset)
+        if subset.dtype == bool:
+            if subset.shape != (self.n,):
+                raise ValueError(f"mask length {subset.shape} != n {self.n}")
+            return subset
+        mask = np.zeros(self.n, dtype=bool)
+        if subset.size:
+            if subset.min() < 0 or subset.max() >= self.n:
+                raise ValueError("vertex index out of range")
+            mask[subset] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Paper neighbourhood operators (Section 2.1)
+    # ------------------------------------------------------------------
+    def neighbor_counts(self, subset: np.ndarray | Sequence[int]) -> np.ndarray:
+        """For each vertex ``v``, ``|Γ(v) ∩ S|`` (the radio collision count)."""
+        mask = self._as_mask(subset)
+        return self._adj @ mask.astype(np.int32)
+
+    def gamma(self, subset: np.ndarray | Sequence[int]) -> np.ndarray:
+        """``Γ(S)``: mask of vertices with at least one neighbour in ``S``
+        (may intersect ``S`` itself, as in the paper)."""
+        return self.neighbor_counts(subset) >= 1
+
+    def gamma_minus(self, subset: np.ndarray | Sequence[int]) -> np.ndarray:
+        """``Γ⁻(S) = Γ(S) \\ S``: the external neighbourhood."""
+        mask = self._as_mask(subset)
+        return self.gamma(mask) & ~mask
+
+    def gamma_one(self, subset: np.ndarray | Sequence[int]) -> np.ndarray:
+        """``Γ¹(S)``: vertices outside ``S`` with exactly one neighbour in ``S``."""
+        mask = self._as_mask(subset)
+        return (self.neighbor_counts(mask) == 1) & ~mask
+
+    def gamma_s_excluding(
+        self,
+        s_subset: np.ndarray | Sequence[int],
+        s_prime: np.ndarray | Sequence[int],
+    ) -> np.ndarray:
+        """``Γ_S(S')``: vertices outside ``S`` with ≥ 1 neighbour in ``S'``.
+
+        ``s_prime`` must be contained in ``s_subset``.
+        """
+        s_mask = self._as_mask(s_subset)
+        sp_mask = self._as_mask(s_prime)
+        if (sp_mask & ~s_mask).any():
+            raise ValueError("S' must be a subset of S")
+        return self.gamma(sp_mask) & ~s_mask
+
+    def gamma_one_s_excluding(
+        self,
+        s_subset: np.ndarray | Sequence[int],
+        s_prime: np.ndarray | Sequence[int],
+    ) -> np.ndarray:
+        """``Γ¹_S(S')``: vertices outside ``S`` with exactly one neighbour in
+        ``S'`` — the wireless-expansion payoff set."""
+        s_mask = self._as_mask(s_subset)
+        sp_mask = self._as_mask(s_prime)
+        if (sp_mask & ~s_mask).any():
+            raise ValueError("S' must be a subset of S")
+        return (self.neighbor_counts(sp_mask) == 1) & ~s_mask
+
+    # ------------------------------------------------------------------
+    # Section 4.1 reduction
+    # ------------------------------------------------------------------
+    def boundary_bipartite(
+        self, subset: np.ndarray | Sequence[int]
+    ) -> tuple[BipartiteGraph, np.ndarray, np.ndarray]:
+        """Extract ``G_S = (S, Γ⁻(S), E_S)`` as a :class:`BipartiteGraph`.
+
+        Returns ``(gs, left_vertices, right_vertices)`` where
+        ``left_vertices[i]`` / ``right_vertices[j]`` give the original vertex
+        ids of the bipartite sides (both in increasing order).  Edges internal
+        to ``S`` or to ``N`` are dropped, which per Section 4.1 "has no effect
+        whatsoever on the expansion bounds".
+        """
+        s_mask = self._as_mask(subset)
+        n_mask = self.gamma_minus(s_mask)
+        left_vertices = np.flatnonzero(s_mask)
+        right_vertices = np.flatnonzero(n_mask)
+        lmap = np.full(self.n, -1, dtype=np.int64)
+        lmap[left_vertices] = np.arange(left_vertices.size)
+        rmap = np.full(self.n, -1, dtype=np.int64)
+        rmap[right_vertices] = np.arange(right_vertices.size)
+        all_edges = self.edges()
+        # Keep edges with one endpoint in S and the other in N (either order).
+        u, v = all_edges[:, 0], all_edges[:, 1]
+        fwd = s_mask[u] & n_mask[v]
+        bwd = s_mask[v] & n_mask[u]
+        pairs = np.concatenate(
+            [
+                np.column_stack([lmap[u[fwd]], rmap[v[fwd]]]),
+                np.column_stack([lmap[v[bwd]], rmap[u[bwd]]]),
+            ]
+        )
+        gs = BipartiteGraph(left_vertices.size, right_vertices.size, pairs)
+        return gs, left_vertices, right_vertices
+
+    # ------------------------------------------------------------------
+    # Connectivity / distance
+    # ------------------------------------------------------------------
+    def bfs_layers(self, source: int) -> np.ndarray:
+        """BFS distance from ``source`` (``-1`` for unreachable), vectorized
+        frontier expansion."""
+        dist = np.full(self.n, -1, dtype=np.int64)
+        frontier = np.zeros(self.n, dtype=bool)
+        frontier[source] = True
+        dist[source] = 0
+        level = 0
+        visited = frontier.copy()
+        while frontier.any():
+            level += 1
+            nxt = (self._adj @ frontier.astype(np.int32)) >= 1
+            nxt &= ~visited
+            dist[nxt] = level
+            visited |= nxt
+            frontier = nxt
+        return dist
+
+    def is_connected(self) -> bool:
+        """True iff the graph is connected (the empty graph counts as connected)."""
+        if self.n == 0:
+            return True
+        return bool((self.bfs_layers(0) >= 0).all())
+
+    def diameter(self) -> int:
+        """Exact diameter via all-sources BFS.
+
+        Raises
+        ------
+        ValueError
+            If the graph is disconnected or empty.
+        """
+        if self.n == 0:
+            raise ValueError("diameter of an empty graph is undefined")
+        best = 0
+        for source in range(self.n):
+            dist = self.bfs_layers(source)
+            if (dist < 0).any():
+                raise ValueError("diameter of a disconnected graph is undefined")
+            best = max(best, int(dist.max()))
+        return best
+
+    def eccentricity(self, source: int) -> int:
+        """Maximum BFS distance from ``source`` (graph must be connected)."""
+        dist = self.bfs_layers(source)
+        if (dist < 0).any():
+            raise ValueError("eccentricity undefined on disconnected graphs")
+        return int(dist.max())
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and np.array_equal(
+            self.edges(), other.edges()
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash((self.n, self.n_edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, n_edges={self.n_edges})"

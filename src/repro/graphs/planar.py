@@ -1,0 +1,71 @@
+"""Low-arboricity workloads: grids, trees and triangulations.
+
+The paper's headline corollary for this family: since
+``arboricity ≥ min{Δ/β, Δ·β}``, any low-arboricity graph (planar graphs have
+arboricity ≤ 3, trees have 1) has wireless expansion within a *constant*
+factor of its ordinary expansion — so radio broadcast there is much cheaper
+than the general ``log`` penalty.  These generators feed experiment E10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "complete_binary_tree",
+    "grid_2d",
+    "random_recursive_tree",
+    "triangular_grid",
+]
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid graph (arboricity ≤ 2)."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    vid = (rr * cols + cc).ravel()
+    rr, cc = rr.ravel(), cc.ravel()
+    edges = []
+    right = cc + 1 < cols
+    edges.append(np.column_stack([vid[right], vid[right] + 1]))
+    down = rr + 1 < rows
+    edges.append(np.column_stack([vid[down], vid[down] + cols]))
+    return Graph(rows * cols, np.concatenate(edges))
+
+
+def triangular_grid(rows: int, cols: int) -> Graph:
+    """Grid plus one diagonal per cell — a planar triangulation-style graph
+    (arboricity ≤ 3)."""
+    base = grid_2d(rows, cols)
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    vid = (rr * cols + cc).ravel()
+    rr, cc = rr.ravel(), cc.ravel()
+    diag = (rr + 1 < rows) & (cc + 1 < cols)
+    extra = np.column_stack([vid[diag], vid[diag] + cols + 1])
+    return Graph(rows * cols, np.concatenate([base.edges(), extra]))
+
+
+def complete_binary_tree(height: int) -> Graph:
+    """Perfect binary tree of the given height (``2^{h+1} − 1`` vertices,
+    arboricity 1)."""
+    check_positive_int(height + 1, "height + 1")
+    n = (1 << (height + 1)) - 1
+    children = np.arange(1, n)
+    parents = (children - 1) // 2
+    return Graph(n, np.column_stack([parents, children]))
+
+
+def random_recursive_tree(n: int, rng=None) -> Graph:
+    """Random recursive tree: vertex ``i`` attaches to a uniform earlier
+    vertex.  Arboricity 1; used as the degenerate-workload extreme."""
+    check_positive_int(n, "n")
+    if n < 2:
+        raise ValueError("random_recursive_tree needs n >= 2")
+    gen = as_rng(rng)
+    children = np.arange(1, n)
+    parents = np.array([int(gen.integers(i)) for i in range(1, n)])
+    return Graph(n, np.column_stack([parents, children]))

@@ -1,0 +1,93 @@
+"""The Lemma 3.3 remark-(2) "tweak": capping a graph's unique expansion.
+
+Remark (2) after Lemma 3.3: plug the bad bipartite graph ``Gbad`` on top of
+an ordinary ``(α, β)``-expander (identifying ``Gbad``'s right side with
+existing vertices, adding its left side as fresh vertices).  The composite
+stays an ordinary expander with comparable parameters, but its
+unique-neighbour expansion is capped at ``2β − Δ'`` for the new maximum
+degree ``Δ'`` — e.g. ``2β − Δ'/2`` when degrees double.  This is the
+unique-expansion analogue of the Section 4.3.3 wireless worst case, and the
+paper omits its "rather simple" details; we implement them here so the
+Section 3 tightness results also hold for non-bipartite ambient graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_positive_int
+from repro.graphs.gbad import gbad
+from repro.graphs.graph import Graph
+
+__all__ = ["UniqueTweaked", "unique_tweaked_expander"]
+
+
+@dataclass(frozen=True)
+class UniqueTweaked:
+    """An expander with a planted bad-unique-expansion set.
+
+    Attributes
+    ----------
+    graph:
+        The composite graph; base vertices keep their ids, ``Gbad``'s left
+        side occupies ids ``n .. n + s − 1``.
+    planted_set:
+        The ``S`` of ``Gbad`` inside the composite — the set whose unique
+        expansion is exactly ``2β_bad − Δ_bad``.
+    right_vertices:
+        Base-graph vertices playing ``Gbad``'s ``N`` role.
+    delta_bad, beta_bad:
+        The ``Gbad`` parameters.
+    """
+
+    graph: Graph
+    planted_set: np.ndarray
+    right_vertices: np.ndarray
+    delta_bad: int
+    beta_bad: int
+
+    @property
+    def planted_unique_cap(self) -> int:
+        """Per-vertex unique coverage of the planted set: exactly
+        ``2β − Δ`` vertices per planted vertex (Lemma 3.3)."""
+        return 2 * self.beta_bad - self.delta_bad
+
+
+def unique_tweaked_expander(
+    base: Graph, s: int, delta_bad: int, beta_bad: int, rng=None
+) -> UniqueTweaked:
+    """Plug ``Gbad(s, Δ, β)`` onto ``base``.
+
+    The planted set's unique expansion in the composite is *at most*
+    ``2β − Δ`` (its edges all live in the ``Gbad`` layer; base-internal
+    edges between the chosen right vertices cannot add unique neighbours of
+    the planted set, whose only neighbours are the right vertices).
+
+    Raises
+    ------
+    ValueError
+        If ``base`` has fewer than ``s·β`` vertices to host ``N``.
+    """
+    check_positive_int(s, "s")
+    bad = gbad(s, delta_bad, beta_bad)
+    if bad.n_right > base.n:
+        raise ValueError(
+            f"Gbad needs {bad.n_right} right vertices but base has {base.n}"
+        )
+    gen = as_rng(rng)
+    rights = np.sort(gen.choice(base.n, size=bad.n_right, replace=False))
+    planted = np.arange(base.n, base.n + s, dtype=np.int64)
+    bad_edges = bad.edges()
+    plugged = np.column_stack(
+        [planted[bad_edges[:, 0]], rights[bad_edges[:, 1]]]
+    )
+    graph = Graph(base.n + s, np.concatenate([base.edges(), plugged]))
+    return UniqueTweaked(
+        graph=graph,
+        planted_set=planted,
+        right_vertices=rights,
+        delta_bad=delta_bad,
+        beta_bad=beta_bad,
+    )

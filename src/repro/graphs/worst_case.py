@@ -1,0 +1,190 @@
+"""Worst-case wireless expanders (Section 4.3.3, Claims 4.9/4.10, Cor 4.11).
+
+Take any ordinary ``(α, β)``-expander ``G`` on ``n`` vertices with maximum
+degree ``Δ`` and a blow-up parameter ``0 < ε < 1/2`` with
+``Δ·β ≥ 1/(1 − 2ε)``.  Build the generalized core ``G*_S = (S*, N*, E*)``
+with ``Δ* = ε·Δ`` and ``β* = β/ε``, add the fresh vertices ``S*`` to ``G``
+and identify ``N*`` with arbitrary existing vertices of ``G``.  The result
+``G̃``:
+
+* stays an ordinary expander: ``β̃ = (1−ε)·β``, ``α̃ = (1−ε)·α``
+  (Claim 4.9), with ``Δ̃ ≤ (1+ε)·Δ`` and ``ñ ≤ (1+ε)·n``;
+* has *wireless* expansion
+  ``β̃w = O(β̃ / (ε³ · log min{Δ̃/β̃, Δ̃·β̃}))`` (Claim 4.10), witnessed by
+  the planted set ``S*`` itself — all of whose edges live in the core graph.
+
+Together with Theorem 1.1 this pins the ordinary-vs-wireless gap to exactly
+``Θ(log min{Δ/β, Δ·β})`` (Theorem 1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_fraction
+from repro.graphs.generalized_core import (
+    GeneralizedCore,
+    generalized_core,
+    generalized_core_max_unique_coverage,
+)
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "WorstCaseExpander",
+    "corollary_4_11_parameters",
+    "worst_case_expander",
+]
+
+
+@dataclass(frozen=True)
+class WorstCaseExpander:
+    """The plugged graph ``G̃`` with bookkeeping for the planted bad set.
+
+    Attributes
+    ----------
+    graph:
+        ``G̃ = (V ∪ S*, E ∪ E*)``; original vertices keep their ids, the
+        core's left side ``S*`` occupies ids ``n .. n + |S*| - 1``.
+    planted_set:
+        Vertex ids of ``S*`` in ``G̃`` — the set witnessing poor wireless
+        expansion.
+    core_right_vertices:
+        Vertex ids (in ``G̃`` = in ``G``) that play the role of ``N*``.
+    core:
+        The :class:`GeneralizedCore` that was plugged in.
+    epsilon:
+        The blow-up parameter ``ε``.
+    base_n, base_max_degree, base_beta:
+        Parameters of the original expander ``G``.
+    """
+
+    graph: Graph
+    planted_set: np.ndarray
+    core_right_vertices: np.ndarray
+    core: GeneralizedCore
+    epsilon: float
+    base_n: int
+    base_max_degree: int
+    base_beta: float
+
+    @property
+    def planted_wireless_coverage_cap(self) -> int:
+        """Exact cap on ``max_{S' ⊆ S*} |Γ¹_{S*}(S')|`` inside ``G̃``.
+
+        All edges incident to ``S*`` belong to the core graph, so the core's
+        exact optimum (tree DP) is an upper bound on the planted set's unique
+        coverage in ``G̃`` (vertices of ``N*`` may additionally be adjacent
+        to each other in ``G``, but never to ``S*``; ``Γ¹`` only counts
+        neighbours *in* ``S'``, so the cap is in fact exact).
+        """
+        return generalized_core_max_unique_coverage(self.core)
+
+    @property
+    def planted_wireless_expansion_cap(self) -> float:
+        """Upper bound on the wireless expansion contributed by ``S*``:
+        ``planted_wireless_coverage_cap / |S*|``."""
+        return self.planted_wireless_coverage_cap / self.planted_set.size
+
+
+def corollary_4_11_parameters(
+    n: int, delta: float, beta: float, alpha: float, epsilon: float
+) -> dict[str, float]:
+    """The parameter sheet promised by Corollary 4.11.
+
+    Returns the claimed bounds for ``ñ, Δ̃, β̃, α̃`` and the wireless
+    expansion cap ``O(β̃/(ε³·log min{Δ̃/β̃, Δ̃·β̃}))`` (constant 24, as in
+    the proof of Claim 4.10).
+    """
+    check_fraction(epsilon, "epsilon", inclusive_high=False)
+    if epsilon >= 0.5:
+        raise ValueError(f"epsilon must be < 1/2, got {epsilon}")
+    if delta * beta < 1.0 / (1 - 2 * epsilon):
+        raise ValueError(
+            f"Corollary 4.11 requires Δ·β >= 1/(1−2ε); "
+            f"got Δ·β={delta * beta}, 1/(1−2ε)={1/(1 - 2 * epsilon)}"
+        )
+    delta_tilde = (1 + epsilon) * delta
+    beta_tilde = (1 - epsilon) * beta
+    alpha_tilde = (1 - epsilon) * alpha
+    n_tilde = (1 + epsilon) * n
+    log_term = math.log2(
+        min(delta_tilde / beta_tilde, delta_tilde * beta_tilde)
+    )
+    return {
+        "n_tilde_max": n_tilde,
+        "delta_tilde_max": delta_tilde,
+        "beta_tilde": beta_tilde,
+        "alpha_tilde": alpha_tilde,
+        "log_min_ratio": log_term,
+        "wireless_cap": 24 * beta_tilde / (epsilon**3 * log_term),
+    }
+
+
+def worst_case_expander(
+    base: Graph,
+    beta: float,
+    epsilon: float,
+    rng=None,
+) -> WorstCaseExpander:
+    """Plug a generalized core onto ``base`` to kill its wireless expansion.
+
+    Parameters
+    ----------
+    base:
+        An ordinary expander ``G`` (e.g. a random regular graph or a
+        Margulis expander); its maximum degree ``Δ`` is read off the graph.
+    beta:
+        The (known or assumed) ordinary expansion ``β`` of ``base``.
+    epsilon:
+        Blow-up parameter ``0 < ε < 1/2``; must satisfy
+        ``Δ·β ≥ 1/(1 − 2ε)`` and leave ``(Δ* = εΔ, β* = β/ε)`` inside
+        Lemma 4.6's regime.
+    rng:
+        Seeds the arbitrary choice of ``N* ⊆ V(G)``.
+
+    Raises
+    ------
+    ValueError
+        If the core would need more right vertices than ``base`` has, or the
+        parameters fall outside the lemma regimes.
+    """
+    check_fraction(epsilon, "epsilon", inclusive_high=False)
+    if epsilon >= 0.5:
+        raise ValueError(f"epsilon must be < 1/2, got {epsilon}")
+    delta = base.max_degree
+    if delta * beta < 1.0 / (1 - 2 * epsilon):
+        raise ValueError(
+            "Section 4.3.3 requires Δ·β >= 1/(1−2ε); "
+            f"got Δ·β={delta * beta}"
+        )
+    core = generalized_core(epsilon * delta, beta / epsilon)
+    if core.graph.n_right > base.n:
+        raise ValueError(
+            f"core needs |N*|={core.graph.n_right} right vertices but the "
+            f"base graph only has n={base.n}; use a larger base or smaller ε"
+        )
+    gen = as_rng(rng)
+    n_star = gen.choice(base.n, size=core.graph.n_right, replace=False)
+    n_star = np.sort(n_star)
+
+    n = base.n
+    s_star = np.arange(n, n + core.graph.n_left, dtype=np.int64)
+    core_edges = core.graph.edges()
+    plugged = np.column_stack(
+        [s_star[core_edges[:, 0]], n_star[core_edges[:, 1]]]
+    )
+    all_edges = np.concatenate([base.edges(), plugged])
+    graph = Graph(n + core.graph.n_left, all_edges)
+    return WorstCaseExpander(
+        graph=graph,
+        planted_set=s_star,
+        core_right_vertices=n_star,
+        core=core,
+        epsilon=epsilon,
+        base_n=n,
+        base_max_degree=delta,
+        base_beta=beta,
+    )

@@ -1,0 +1,56 @@
+"""Radio network simulator (Section 1.1 model) and broadcast protocols.
+
+Collision semantics, the Decay protocol, flooding/round-robin baselines, the
+centralized spokesman-aided scheduler, and the Section 5 lower-bound
+experiment drivers.
+"""
+
+from repro.radio.aloha import AlohaProtocol
+from repro.radio.broadcast import BroadcastResult, run_broadcast
+from repro.radio.hop_analysis import HopTimeStudy, hop_time_study
+from repro.radio.lower_bound import (
+    ChainMeasurement,
+    measure_chain_broadcast,
+    portal_times,
+    rooted_core_graph,
+)
+from repro.radio.network import RadioNetwork
+from repro.radio.protocols import (
+    BroadcastProtocol,
+    DecayProtocol,
+    FloodingProtocol,
+    RoundRobinProtocol,
+)
+from repro.radio.schedule import (
+    BroadcastSchedule,
+    StaticScheduleProtocol,
+    synthesize_broadcast_schedule,
+    synthesize_layer_schedule,
+)
+from repro.radio.spokesman_broadcast import SpokesmanBroadcastProtocol
+from repro.radio.trace import DetailedTrace, RoundRecord, run_broadcast_traced
+
+__all__ = [
+    "AlohaProtocol",
+    "BroadcastProtocol",
+    "BroadcastSchedule",
+    "BroadcastResult",
+    "ChainMeasurement",
+    "DecayProtocol",
+    "FloodingProtocol",
+    "RadioNetwork",
+    "RoundRobinProtocol",
+    "SpokesmanBroadcastProtocol",
+    "StaticScheduleProtocol",
+    "measure_chain_broadcast",
+    "portal_times",
+    "rooted_core_graph",
+    "run_broadcast",
+    "synthesize_broadcast_schedule",
+    "synthesize_layer_schedule",
+    "DetailedTrace",
+    "RoundRecord",
+    "run_broadcast_traced",
+    "HopTimeStudy",
+    "hop_time_study",
+]

@@ -1,0 +1,34 @@
+"""Fixed-probability (slotted-ALOHA-style) broadcast protocol.
+
+Every informed processor transmits independently with a fixed probability
+``p`` each round.  This is the degenerate single-scale special case of
+Decay: it works when the frontier's neighbourhood degrees all sit near
+``1/p`` and collapses when they don't — which is exactly what the Lemma 4.2
+scale analysis predicts, making ALOHA the natural ablation baseline for the
+Decay/sampling machinery (experiment E12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radio.network import RadioNetwork
+from repro.radio.protocols import BroadcastProtocol
+
+__all__ = ["AlohaProtocol"]
+
+
+class AlohaProtocol(BroadcastProtocol):
+    """Transmit with fixed probability ``p`` while informed."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0 < p <= 1:
+            raise ValueError(f"p must lie in (0, 1], got {p}")
+        self.p = p
+        self.name = f"aloha[p={p:g}]"
+
+    def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        draw = self._rng.random(network.n) < self.p
+        return draw & informed

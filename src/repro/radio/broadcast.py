@@ -1,0 +1,102 @@
+"""Broadcast runner: drives a protocol over a radio network and records
+everything the experiments need (completion round, per-round progress,
+first-informed times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.graphs.graph import Graph
+from repro.radio.network import RadioNetwork
+from repro.radio.protocols import BroadcastProtocol
+
+__all__ = ["BroadcastResult", "run_broadcast"]
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Trace of one broadcast execution.
+
+    Attributes
+    ----------
+    rounds:
+        Rounds executed (= rounds to full coverage when ``completed``).
+    completed:
+        Whether every processor was informed before the round cap.
+    informed_per_round:
+        ``informed_per_round[r]`` = informed count *after* round ``r``
+        (index 0 is the state after the first round; the initial state has
+        exactly the source informed).
+    first_informed_round:
+        Per-vertex round at which the vertex first became informed
+        (``0`` for the source, ``-1`` if never).
+    transmissions:
+        Total number of (node, round) transmissions — the energy cost.
+    """
+
+    rounds: int
+    completed: bool
+    informed_per_round: np.ndarray
+    first_informed_round: np.ndarray
+    transmissions: int
+
+    def rounds_to_fraction(self, fraction: float, total: int | None = None) -> int:
+        """First round index (1-based) at which the informed count reaches
+        ``fraction`` of ``total`` (default: all vertices); ``-1`` if never."""
+        target = fraction * (
+            total if total is not None else self.first_informed_round.size
+        )
+        reached = np.flatnonzero(self.informed_per_round >= target)
+        return int(reached[0]) + 1 if reached.size else -1
+
+
+def run_broadcast(
+    graph: Graph,
+    protocol: BroadcastProtocol,
+    source: int = 0,
+    max_rounds: int | None = None,
+    rng=None,
+) -> BroadcastResult:
+    """Run ``protocol`` on ``graph`` from ``source`` until full coverage or
+    ``max_rounds`` (default ``50·n·log₂n``-ish safety cap).
+
+    The runner enforces the radio model: only informed processors may
+    transmit, and reception requires exactly one transmitting neighbour.
+    """
+    if not 0 <= source < graph.n:
+        raise ValueError(f"source {source} out of range")
+    network = RadioNetwork(graph)
+    gen = as_rng(rng)
+    protocol.reset(network, source, gen)
+    if max_rounds is None:
+        max_rounds = max(1000, 50 * graph.n * max(1, int(np.log2(max(2, graph.n)))))
+
+    informed = np.zeros(graph.n, dtype=bool)
+    informed[source] = True
+    first_round = np.full(graph.n, -1, dtype=np.int64)
+    first_round[source] = 0
+    informed_counts: list[int] = []
+    transmissions = 0
+
+    rounds = 0
+    while rounds < max_rounds and not informed.all():
+        mask = protocol.transmitters(rounds, informed, network) & informed
+        transmissions += int(mask.sum())
+        received = network.step(mask)
+        fresh = received & ~informed
+        rounds += 1
+        informed |= fresh
+        first_round[fresh] = rounds
+        informed_counts.append(int(informed.sum()))
+
+    return BroadcastResult(
+        rounds=rounds,
+        completed=bool(informed.all()),
+        informed_per_round=np.array(informed_counts, dtype=np.int64),
+        first_informed_round=first_round,
+        transmissions=transmissions,
+    )

@@ -1,0 +1,111 @@
+"""Per-hop timing statistics for the Section 5 concentration argument.
+
+The proof of the ``Ω(D·log(n/D))`` bound treats the portal-to-portal times
+``R_1, …, R_{D/2}`` as i.i.d. random variables, each ``Ω(log(n/D))`` with
+constant probability, and applies a Chernoff bound to get the
+high-probability statement.  This module measures the empirical ``R_i``
+distribution over repeated runs so the experiments can check both
+ingredients: the per-hop location (mean ≈ ``Θ(log 2s)``) and the
+concentration of the sum (relative spread shrinking with the number of
+hops, as independence predicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, spawn_seeds
+from repro.radio.lower_bound import measure_chain_broadcast
+from repro.radio.protocols import BroadcastProtocol
+
+__all__ = ["HopTimeStudy", "hop_time_study"]
+
+
+@dataclass(frozen=True)
+class HopTimeStudy:
+    """Empirical hop-time distribution over repeated chain broadcasts.
+
+    Attributes
+    ----------
+    s, num_layers:
+        Chain parameters.
+    hop_times:
+        ``(repetitions, num_layers)`` array of per-hop round counts
+        ``R_i`` (time between consecutive portal arrivals).
+    totals:
+        Per-repetition total rounds to the last portal (``Σ_i R_i``).
+    """
+
+    s: int
+    num_layers: int
+    hop_times: np.ndarray
+    totals: np.ndarray
+
+    @property
+    def hop_mean(self) -> float:
+        """Mean hop cost — the proof's ``Ω(log(n/D))`` location."""
+        return float(self.hop_times.mean())
+
+    @property
+    def hop_std(self) -> float:
+        """Across-hops-and-runs standard deviation."""
+        return float(self.hop_times.std(ddof=1))
+
+    @property
+    def total_relative_spread(self) -> float:
+        """``std/mean`` of the total — shrinks as hops accumulate if the
+        ``R_i`` concentrate (the Chernoff mechanism)."""
+        return float(self.totals.std(ddof=1) / self.totals.mean())
+
+    def hop_autocorrelation(self) -> float:
+        """Lag-1 correlation between consecutive hops within a run.
+
+        Near zero if the ``R_i`` behave independently, as the proof
+        assumes (portals are fresh uniform choices per layer).
+        """
+        a = self.hop_times[:, :-1].ravel()
+        b = self.hop_times[:, 1:].ravel()
+        if a.size < 2 or a.std() == 0 or b.std() == 0:
+            return 0.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+
+def hop_time_study(
+    s: int,
+    num_layers: int,
+    protocol_factory,
+    repetitions: int = 10,
+    rng=None,
+) -> HopTimeStudy:
+    """Run ``repetitions`` chain broadcasts and collect hop times.
+
+    ``protocol_factory`` builds a fresh protocol per run (protocols hold
+    per-run state).  Each repetition uses an independent chain (fresh
+    portal choices) and an independent protocol stream, matching the
+    proof's probability space.
+    """
+    if repetitions < 2:
+        raise ValueError("need at least 2 repetitions for spread statistics")
+    seeds = spawn_seeds(as_rng(rng), 2 * repetitions)
+    hops = np.zeros((repetitions, num_layers), dtype=np.int64)
+    totals = np.zeros(repetitions, dtype=np.int64)
+    for rep in range(repetitions):
+        protocol: BroadcastProtocol = protocol_factory()
+        m = measure_chain_broadcast(
+            s,
+            num_layers,
+            protocol,
+            rng=seeds[2 * rep],
+            chain_rng=seeds[2 * rep + 1],
+        )
+        if not m.completed:
+            raise RuntimeError(
+                f"broadcast did not complete (rep {rep}); raise max_rounds"
+            )
+        hops[rep] = m.per_hop_rounds
+        totals[rep] = int(m.portal_rounds[-1])
+    return HopTimeStudy(
+        s=s, num_layers=num_layers, hop_times=hops, totals=totals
+    )

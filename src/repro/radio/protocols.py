@@ -1,0 +1,115 @@
+"""Broadcast protocol interface and the classic baselines.
+
+A protocol decides, per round, which *informed* processors transmit.  Two
+knowledge models appear in the experiments:
+
+* **distributed** protocols (:class:`FloodingProtocol`,
+  :class:`RoundRobinProtocol`, :class:`DecayProtocol`) use only a node's own
+  informed state, its id, the round number and global constants (``n``) —
+  the model under which the Section 5 lower bound holds;
+* **centralized** protocols (:class:`~repro.radio.spokesman_broadcast.SpokesmanBroadcastProtocol`)
+  are scheduling genies with full topology knowledge — they *upper-bound*
+  what any distributed protocol could do, which is exactly the role the
+  wireless-expansion positive results play.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro._util import as_rng, ceil_log2
+from repro.radio.network import RadioNetwork
+
+__all__ = [
+    "BroadcastProtocol",
+    "DecayProtocol",
+    "FloodingProtocol",
+    "RoundRobinProtocol",
+]
+
+
+class BroadcastProtocol(ABC):
+    """Transmission-scheduling policy for single-message broadcast."""
+
+    #: Human-readable protocol name (used in experiment tables).
+    name: str = "abstract"
+
+    def reset(self, network: RadioNetwork, source: int, rng) -> None:
+        """Prepare per-run state.  Default: store the rng."""
+        self._rng = as_rng(rng)
+
+    @abstractmethod
+    def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        """Bool mask of processors transmitting in this round.
+
+        The runner intersects the result with ``informed`` — a protocol can
+        never transmit a message a node does not hold.
+        """
+
+
+class FloodingProtocol(BroadcastProtocol):
+    """Everyone who knows the message shouts every round.
+
+    On the ``C⁺`` example this deadlocks after round one (all collisions) —
+    the paper's opening observation.
+    """
+
+    name = "flooding"
+
+    def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        return informed.copy()
+
+
+class RoundRobinProtocol(BroadcastProtocol):
+    """Processor ``v`` transmits iff ``v ≡ round (mod n)``.
+
+    Collision-free and deterministic, hence it always completes, but needs
+    ``Θ(n)`` rounds per hop — the slow-but-safe baseline.
+    """
+
+    name = "round-robin"
+
+    def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        mask = np.zeros(network.n, dtype=bool)
+        mask[round_index % network.n] = True
+        return mask & informed
+
+
+class DecayProtocol(BroadcastProtocol):
+    """The Bar-Yehuda–Goldreich–Itai Decay protocol [5].
+
+    Time is divided into phases of ``k = ⌈log₂ n⌉ + 1`` rounds; in round
+    ``i`` of each phase (``i = 0..k−1``) every informed processor transmits
+    independently with probability ``2^{-i}``.  Whatever the local collision
+    picture, a node with an informed neighbour receives within ``O(log n)``
+    phases w.h.p. — the classical mechanism the paper's Lemma 4.2 sampling
+    argument mirrors.
+    """
+
+    name = "decay"
+
+    def __init__(self, phase_length: int | None = None) -> None:
+        self.phase_length = phase_length
+
+    def reset(self, network: RadioNetwork, source: int, rng) -> None:
+        super().reset(network, source, rng)
+        self._k = (
+            self.phase_length
+            if self.phase_length is not None
+            else ceil_log2(max(2, network.n)) + 1
+        )
+
+    def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        i = round_index % self._k
+        draw = self._rng.random(network.n) < 2.0 ** (-i)
+        return draw & informed

@@ -1,0 +1,88 @@
+"""Common result type and evaluation helper for spokesman algorithms.
+
+The *spokesman election* problem (Chlamtac–Weinstein, Section 4.2.1): given
+a bipartite graph ``G_S = (S, N, E)``, compute ``S' ⊆ S`` maximizing the
+unique neighbourhood ``|Γ¹_S(S')|``.  It is NP-hard; the paper's positive
+results are polynomial-time approximations with guarantees in terms of
+``γ = |N|`` and the degree structure.
+
+Every algorithm in this package returns a :class:`SpokesmanResult`, whose
+``unique_count`` is always re-measured from scratch on the input graph (so a
+buggy algorithm can at worst under-perform, never over-report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["SpokesmanResult", "evaluate_subset", "nonisolated_right_count"]
+
+
+@dataclass(frozen=True)
+class SpokesmanResult:
+    """Outcome of one spokesman-election algorithm on one bipartite graph.
+
+    Attributes
+    ----------
+    subset:
+        The chosen ``S'`` as sorted left-vertex ids.
+    unique_count:
+        ``|Γ¹_S(S')|``, measured on the input graph.
+    n_left, n_right:
+        Sizes of the input sides (for computing fractions).
+    algorithm:
+        Human-readable name of the algorithm that produced this result.
+    """
+
+    subset: np.ndarray
+    unique_count: int
+    n_left: int
+    n_right: int
+    algorithm: str
+
+    @property
+    def unique_fraction(self) -> float:
+        """``|Γ¹_S(S')| / |N|`` — the fraction-of-γ yardstick used by all of
+        the paper's guarantees."""
+        if self.n_right == 0:
+            return 0.0
+        return self.unique_count / self.n_right
+
+    @property
+    def wireless_ratio(self) -> float:
+        """``|Γ¹_S(S')| / |S|`` — the wireless-expansion contribution."""
+        if self.n_left == 0:
+            return 0.0
+        return self.unique_count / self.n_left
+
+    def __repr__(self) -> str:
+        return (
+            f"SpokesmanResult({self.algorithm!r}, unique={self.unique_count}"
+            f"/{self.n_right}, |S'|={self.subset.size}/{self.n_left})"
+        )
+
+
+def evaluate_subset(
+    gs: BipartiteGraph, subset, algorithm: str
+) -> SpokesmanResult:
+    """Package a candidate ``S'`` into a result, re-measuring its payoff."""
+    subset = np.asarray(subset, dtype=np.int64)
+    subset = np.unique(subset)
+    count = gs.unique_cover_count(subset) if subset.size else 0
+    return SpokesmanResult(
+        subset=subset,
+        unique_count=count,
+        n_left=gs.n_left,
+        n_right=gs.n_right,
+        algorithm=algorithm,
+    )
+
+
+def nonisolated_right_count(gs: BipartiteGraph) -> int:
+    """Number of right vertices with degree ≥ 1 — the effective ``γ`` for
+    the paper's guarantees (which assume no isolated vertices)."""
+    return int((gs.right_degrees >= 1).sum())

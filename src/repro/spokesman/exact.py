@@ -1,0 +1,23 @@
+"""Exact spokesman election by enumeration (the NP-hard optimum).
+
+Delegates to the vectorized all-subsets profile; feasible to
+``|S| ≈ 22``.  This is the yardstick for experiment E8: on small instances
+every polynomial-time algorithm's payoff is compared against the true
+optimum, and the paper's guarantees are checked against it too (no
+guarantee may exceed the optimum).
+"""
+
+from __future__ import annotations
+
+from repro.expansion.wireless import max_unique_coverage_exact
+from repro.graphs.bipartite import BipartiteGraph
+from repro.spokesman.base import SpokesmanResult, evaluate_subset
+
+__all__ = ["spokesman_exact"]
+
+
+def spokesman_exact(gs: BipartiteGraph) -> SpokesmanResult:
+    """Brute-force optimal ``S'``.  Raises on left sides wider than the
+    enumeration cap (22 bits)."""
+    _best, witness = max_unique_coverage_exact(gs)
+    return evaluate_subset(gs, witness, "exact")

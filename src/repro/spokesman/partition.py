@@ -1,0 +1,164 @@
+"""Procedure Partition (Appendix A.1.2) and the Lemma A.3 algorithm.
+
+Procedure Partition splits ``N`` into ``(N_uni, N_many, N_tmp)`` and ``S``
+into ``(S_uni, S_tmp)`` subject to the partition conditions:
+
+* (P1) every ``N_uni`` vertex has a unique neighbour in ``S_uni``;
+* (P2) every ``N_tmp`` vertex has ≥ 1 neighbour in ``S_tmp`` and none in
+  ``S_uni``;
+* (P3) ``|N_uni| ≥ |N_many|``;
+* (P4) at termination, ``N_tmp = ∅`` or ``|E_tmp| ≤ 2·|E_uni|`` where
+  ``E_uni``/``E_tmp`` are the edges from ``S_tmp`` to ``N_uni``/``N_tmp``.
+
+The greedy rule: repeatedly move the ``S_tmp`` vertex maximizing
+``gain(v) = |N_tmp(v)| − 2·|N_uni(v)|`` into ``S_uni`` (its ``N_uni``
+neighbours fall to ``N_many``, its ``N_tmp`` neighbours rise to ``N_uni``),
+stopping when every gain is ``≤ 0``.
+
+Lemma A.3 then runs the procedure on the sub-population ``N^{2δ}`` of right
+vertices with degree ``≤ 2δ`` (at least half of ``N``) and extracts
+``S' = S_uni`` with ``|Γ¹_S(S')| ≥ γ/(8δ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.spokesman.base import SpokesmanResult, evaluate_subset
+
+__all__ = [
+    "PartitionState",
+    "procedure_partition",
+    "spokesman_partition",
+]
+
+#: Right-vertex labels used by :class:`PartitionState`.
+TMP, UNI, MANY, EXCLUDED = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class PartitionState:
+    """Result of one Procedure Partition run.
+
+    ``labels[v]`` is one of ``TMP/UNI/MANY`` for right vertices the run
+    managed, or ``EXCLUDED`` for vertices outside the requested
+    sub-population (isolated vertices are always excluded).
+    """
+
+    s_uni: np.ndarray  # bool mask over left vertices
+    s_tmp: np.ndarray  # bool mask over left vertices
+    labels: np.ndarray  # int labels over right vertices
+    steps: int
+
+    @property
+    def n_uni(self) -> np.ndarray:
+        """Right ids labelled ``N_uni``."""
+        return np.flatnonzero(self.labels == UNI)
+
+    @property
+    def n_many(self) -> np.ndarray:
+        """Right ids labelled ``N_many``."""
+        return np.flatnonzero(self.labels == MANY)
+
+    @property
+    def n_tmp(self) -> np.ndarray:
+        """Right ids labelled ``N_tmp``."""
+        return np.flatnonzero(self.labels == TMP)
+
+    def check_invariants(self, gs: BipartiteGraph) -> list[str]:
+        """Return human-readable violations of (P1)–(P4); empty if clean."""
+        problems: list[str] = []
+        s_uni_idx = np.flatnonzero(self.s_uni)
+        uni_counts = gs.cover_counts(s_uni_idx)
+        tmp_counts = gs.cover_counts(np.flatnonzero(self.s_tmp))
+        for v in self.n_uni:
+            if uni_counts[v] != 1:
+                problems.append(f"(P1) N_uni vertex {v} has {uni_counts[v]} "
+                                "S_uni neighbours")
+        for v in self.n_tmp:
+            if tmp_counts[v] < 1:
+                problems.append(f"(P2) N_tmp vertex {v} has no S_tmp neighbour")
+            if uni_counts[v] != 0:
+                problems.append(f"(P2) N_tmp vertex {v} touches S_uni")
+        if self.n_uni.size < self.n_many.size:
+            problems.append(
+                f"(P3) |N_uni|={self.n_uni.size} < |N_many|={self.n_many.size}"
+            )
+        if self.n_tmp.size:
+            e_uni = int(gs.left_cover_counts(self.n_uni)[self.s_tmp].sum())
+            e_tmp = int(gs.left_cover_counts(self.n_tmp)[self.s_tmp].sum())
+            if e_tmp > 2 * e_uni:
+                problems.append(f"(P4) |E_tmp|={e_tmp} > 2|E_uni|={2 * e_uni}")
+        if (self.s_uni & self.s_tmp).any():
+            problems.append("(I) S_uni and S_tmp overlap")
+        return problems
+
+
+def procedure_partition(
+    gs: BipartiteGraph, right_subset=None
+) -> PartitionState:
+    """Run Procedure Partition on ``gs`` (optionally on a right sub-population).
+
+    Parameters
+    ----------
+    right_subset:
+        Bool mask or index list selecting the right vertices to manage
+        (default: all non-isolated).  Vertices outside it are ``EXCLUDED``
+        and never influence gains.
+    """
+    if right_subset is None:
+        managed = gs.right_degrees >= 1
+    else:
+        managed = gs._as_right_mask(np.asarray(right_subset))
+        managed = managed & (gs.right_degrees >= 1)
+
+    labels = np.full(gs.n_right, EXCLUDED, dtype=np.int8)
+    labels[managed] = TMP
+    in_stmp = np.ones(gs.n_left, dtype=bool)
+    in_suni = np.zeros(gs.n_left, dtype=bool)
+
+    # Per-left-vertex counts of TMP / UNI neighbours, updated incrementally.
+    tmp_count = gs.left_cover_counts(managed).astype(np.int64)
+    uni_count = np.zeros(gs.n_left, dtype=np.int64)
+
+    steps = 0
+    while in_stmp.any():
+        gains = tmp_count - 2 * uni_count
+        gains[~in_stmp] = np.iinfo(np.int64).min
+        v = int(np.argmax(gains))
+        if gains[v] <= 0:
+            break
+        steps += 1
+        in_stmp[v] = False
+        in_suni[v] = True
+        for r in gs.neighbors_of_left(v):
+            r = int(r)
+            if labels[r] == UNI:
+                labels[r] = MANY
+                uni_count[gs.neighbors_of_right(r)] -= 1
+            elif labels[r] == TMP:
+                labels[r] = UNI
+                tmp_count[gs.neighbors_of_right(r)] -= 1
+                uni_count[gs.neighbors_of_right(r)] += 1
+
+    return PartitionState(
+        s_uni=in_suni, s_tmp=in_stmp, labels=labels, steps=steps
+    )
+
+
+def spokesman_partition(gs: BipartiteGraph) -> SpokesmanResult:
+    """Lemma A.3's algorithm: Procedure Partition on ``N^{2δ}``.
+
+    Guarantee: ``unique_count ≥ γ/(8δ)`` where ``δ`` is the average degree
+    of the non-isolated right vertices and ``γ`` their number.
+    """
+    deg = gs.right_degrees
+    nonisolated = deg >= 1
+    if not nonisolated.any():
+        return evaluate_subset(gs, [], "partition")
+    delta = float(deg[nonisolated].mean())
+    state = procedure_partition(gs, nonisolated & (deg <= 2 * delta))
+    return evaluate_subset(gs, np.flatnonzero(state.s_uni), "partition")

@@ -1,0 +1,99 @@
+"""Portfolio spokesman solver — Corollary A.16's "run everything" bound.
+
+Running every algorithm and keeping the best inherits the *maximum* of the
+individual guarantees, which is exactly the paper's ``γ·MG(δ)`` bound
+(Corollary A.16 / Observation A.17): the portfolio payoff is at least
+
+``γ · max{ min{1/(9log δ), 1/20}, 1/(9log 2δ), (1−1/t)·0.20087/log(tδ) }``.
+
+The portfolio is also how large-graph wireless expansion is *lower-bounded*
+throughout the experiments (any algorithm's payoff on ``G_S`` certifies
+``βw(S) ≥ payoff/|S|``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.graph import Graph
+from repro.spokesman.base import SpokesmanResult
+from repro.spokesman.degree_classes import spokesman_degree_classes
+from repro.spokesman.greedy_add import spokesman_greedy_add
+from repro.spokesman.naive_greedy import spokesman_naive_greedy
+from repro.spokesman.partition import spokesman_partition
+from repro.spokesman.recursive import spokesman_recursive
+from repro.spokesman.sampling import spokesman_sampling, spokesman_sampling_all_scales
+from repro.spokesman.threshold_partition import spokesman_threshold_sweep
+
+__all__ = [
+    "DETERMINISTIC_ALGORITHMS",
+    "RANDOMIZED_ALGORITHMS",
+    "spokesman_portfolio",
+    "wireless_lower_bound_of_set",
+]
+
+#: Name → callable(gs) for the deterministic algorithms.
+DETERMINISTIC_ALGORITHMS = {
+    "naive-greedy": spokesman_naive_greedy,
+    "partition": spokesman_partition,
+    "threshold-sweep": spokesman_threshold_sweep,
+    "degree-classes": spokesman_degree_classes,
+    "recursive": spokesman_recursive,
+    "greedy-add": spokesman_greedy_add,
+}
+
+#: Name → callable(gs, rng) for the randomized algorithms.
+RANDOMIZED_ALGORITHMS = {
+    "sampling": spokesman_sampling,
+    "sampling-all-scales": spokesman_sampling_all_scales,
+}
+
+
+def spokesman_portfolio(
+    gs: BipartiteGraph,
+    rng=None,
+    include: list[str] | None = None,
+) -> tuple[SpokesmanResult, dict[str, SpokesmanResult]]:
+    """Run the selected algorithms (default: all) and return
+    ``(best, per_algorithm_results)``.
+
+    Guarantee: ``best.unique_count ≥ γ·MG(δ)`` (Corollary A.16) whenever the
+    portfolio includes the partition-family algorithms.
+    """
+    results: dict[str, SpokesmanResult] = {}
+    for name, fn in DETERMINISTIC_ALGORITHMS.items():
+        if include is None or name in include:
+            results[name] = fn(gs)
+    for name, fn in RANDOMIZED_ALGORITHMS.items():
+        if include is None or name in include:
+            results[name] = fn(gs, rng)
+    if not results:
+        raise ValueError(f"no known algorithm selected from {include!r}")
+    best = max(results.values(), key=lambda r: r.unique_count)
+    return best, results
+
+
+def wireless_lower_bound_of_set(
+    graph: Graph, subset, rng=None, include: list[str] | None = None
+) -> tuple[float, SpokesmanResult]:
+    """Certified lower bound on the wireless expansion of one set ``S``.
+
+    Extracts the boundary bipartite graph ``G_S`` (Section 4.1), runs the
+    portfolio, and returns ``(payoff/|S|, best_result)`` with the witness
+    ``S'`` translated back to original vertex ids.
+    """
+    mask = graph._as_mask(subset)
+    size = int(mask.sum())
+    if size == 0:
+        raise ValueError("wireless expansion of the empty set is undefined")
+    gs, left_vertices, _ = graph.boundary_bipartite(mask)
+    best, _results = spokesman_portfolio(gs, rng=rng, include=include)
+    translated = SpokesmanResult(
+        subset=left_vertices[best.subset],
+        unique_count=best.unique_count,
+        n_left=best.n_left,
+        n_right=best.n_right,
+        algorithm=best.algorithm,
+    )
+    return best.unique_count / size, translated

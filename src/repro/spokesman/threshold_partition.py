@@ -1,0 +1,75 @@
+"""Threshold-parameterized Partition (Corollary A.8 / Lemma A.11).
+
+Lemma A.3 runs Procedure Partition on the right vertices of degree
+``≤ 2δ``.  Appendix A.2 generalizes the threshold: for any ``t > 1`` run on
+``N^{tδ} = {v : deg(v) ≤ t·δ}`` (which holds ``≥ (1 − 1/t)·γ`` vertices by
+Markov).  Under Lemma A.11's density condition the payoff becomes
+``(1 − 1/t)·γ / (2(1+c))`` for the matching ``c``; unconditionally the
+Lemma A.3-style edge accounting gives ``|N_uni| ≥ |N^{tδ}| / (2·t·δ)``
+(the ``t = 2`` case is exactly ``γ/(8δ)``) — a trade-off between the
+population kept (large ``t``) and per-vertex degree slack (small ``t``).
+
+:func:`spokesman_threshold_partition` runs one threshold;
+:func:`spokesman_threshold_sweep` tries a geometric ladder of thresholds
+and keeps the best (still polynomial, dominates Lemma A.3's fixed choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.spokesman.base import SpokesmanResult, evaluate_subset
+from repro.spokesman.partition import procedure_partition
+
+__all__ = [
+    "spokesman_threshold_partition",
+    "spokesman_threshold_sweep",
+    "threshold_population",
+]
+
+
+def threshold_population(gs: BipartiteGraph, t: float) -> np.ndarray:
+    """Bool mask of ``N^{tδ}``: non-isolated right vertices with degree at
+    most ``t·δ`` (``δ`` = average degree of non-isolated right vertices).
+
+    By Markov's inequality this keeps at least a ``(1 − 1/t)`` fraction.
+    """
+    if t <= 1:
+        raise ValueError(f"threshold t must exceed 1, got {t}")
+    deg = gs.right_degrees
+    nonisolated = deg >= 1
+    if not nonisolated.any():
+        return np.zeros(gs.n_right, dtype=bool)
+    delta = float(deg[nonisolated].mean())
+    return nonisolated & (deg <= t * delta)
+
+
+def spokesman_threshold_partition(
+    gs: BipartiteGraph, t: float = 2.0
+) -> SpokesmanResult:
+    """Procedure Partition on ``N^{tδ}`` (Lemma A.3 is the ``t = 2`` case).
+
+    Guarantee: with ``m = |N^{tδ}| ≥ (1 − 1/t)·γ``, the partition
+    accounting yields ``unique_count ≥ m / (2·t·δ)``.
+    """
+    population = threshold_population(gs, t)
+    if not population.any():
+        return evaluate_subset(gs, [], f"partition[t={t:g}]")
+    state = procedure_partition(gs, population)
+    return evaluate_subset(
+        gs, np.flatnonzero(state.s_uni), f"partition[t={t:g}]"
+    )
+
+
+def spokesman_threshold_sweep(
+    gs: BipartiteGraph, thresholds: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 8.0)
+) -> SpokesmanResult:
+    """Best threshold from a geometric ladder — dominates any fixed ``t``."""
+    best: SpokesmanResult | None = None
+    for t in thresholds:
+        cand = spokesman_threshold_partition(gs, t)
+        if best is None or cand.unique_count > best.unique_count:
+            best = cand
+    assert best is not None
+    return best

@@ -1,0 +1,89 @@
+"""Unit tests for repro._util.intmath."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util.intmath import (
+    ceil_div,
+    ceil_log2,
+    ilog2,
+    is_power_of_two,
+    log2_real,
+    next_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for x in (0, -1, -4, 3, 5, 6, 7, 9, 12, 1023):
+            assert not is_power_of_two(x)
+
+
+class TestIlog2:
+    def test_exact_values(self):
+        for k in range(20):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestCeilLog2:
+    def test_small_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(4) == 2
+        assert ceil_log2(5) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_defining_property(self, x):
+        k = ceil_log2(x)
+        assert 2**k >= x
+        assert k == 0 or 2 ** (k - 1) < x
+
+
+class TestNextPowerOfTwo:
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_is_power_and_minimal(self, x):
+        p = next_power_of_two(x)
+        assert is_power_of_two(p)
+        assert p >= x
+        assert p // 2 < x
+
+
+class TestCeilDiv:
+    @given(
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_matches_math(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+
+
+class TestLog2Real:
+    def test_matches_math(self):
+        assert log2_real(8.0) == 3.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_real(0.0)
+        with pytest.raises(ValueError):
+            log2_real(-1.0)

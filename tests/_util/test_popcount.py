@@ -1,0 +1,40 @@
+"""Unit tests for the vectorized popcount tables."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util.popcount import POPCOUNT16, popcount_u32, popcount_u64
+
+
+class TestTable:
+    def test_size_and_extremes(self):
+        assert POPCOUNT16.shape == (1 << 16,)
+        assert POPCOUNT16[0] == 0
+        assert POPCOUNT16[0xFFFF] == 16
+
+    def test_spot_values(self):
+        assert POPCOUNT16[0b1011] == 3
+        assert POPCOUNT16[1 << 15] == 1
+
+
+class TestPopcountU32:
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), max_size=50))
+    def test_matches_python_bit_count(self, values):
+        arr = np.array(values, dtype=np.uint32)
+        expected = np.array([v.bit_count() for v in values], dtype=np.uint8)
+        assert (popcount_u32(arr) == expected).all()
+
+    def test_empty(self):
+        assert popcount_u32(np.array([], dtype=np.uint32)).shape == (0,)
+
+
+class TestPopcountU64:
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=50))
+    def test_matches_python_bit_count(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = np.array([v.bit_count() for v in values], dtype=np.uint16)
+        assert (popcount_u64(arr).astype(np.uint16) == expected).all()
+
+    def test_all_ones(self):
+        assert popcount_u64(np.array([2**64 - 1], dtype=np.uint64))[0] == 64

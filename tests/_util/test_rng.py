@@ -1,0 +1,48 @@
+"""Unit tests for the seeding helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import as_rng, spawn_seeds
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=5)
+        b = as_rng(42).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        gen = as_rng(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_distinct(self):
+        a = spawn_seeds(123, 10)
+        b = spawn_seeds(123, 10)
+        assert a == b
+        assert len(set(a)) == 10
+
+    def test_count_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_independent_of_consumption_order(self):
+        seeds = spawn_seeds(9, 4)
+        streams = [np.random.default_rng(s).random() for s in seeds]
+        assert len(set(streams)) == 4

@@ -1,0 +1,59 @@
+"""Unit tests for argument validation helpers."""
+
+import pytest
+
+from repro._util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="depth"):
+            check_positive_int(-2, "depth")
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+
+class TestCheckFraction:
+    def test_default_interval(self):
+        assert check_fraction(1.0, "alpha") == 1.0
+        assert check_fraction(0.25, "alpha") == 0.25
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "alpha")
+
+    def test_inclusive_low(self):
+        assert check_fraction(0.0, "alpha", inclusive_low=True) == 0.0
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "alpha", inclusive_high=False)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.01, "alpha")

@@ -1,0 +1,58 @@
+"""Summary statistics and scaling fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_loglinear, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.min == 1.0 and s.max == 3.0
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.ci95 == (5.0, 5.0)
+
+    def test_ci_contains_mean(self):
+        s = summarize(np.arange(50, dtype=float))
+        lo, hi = s.ci95
+        assert lo < s.mean < hi
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFitLogLinear:
+    def test_perfect_line(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = fit_loglinear(x, 3 * x)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.slope_through_origin == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_affine_line(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = fit_loglinear(x, 2 * x + 5)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noise_lowers_r2(self):
+        gen = np.random.default_rng(0)
+        x = np.linspace(1, 10, 40)
+        y = 2 * x + gen.normal(0, 5.0, size=40)
+        fit = fit_loglinear(x, y)
+        assert 0.0 < fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_loglinear([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_loglinear([1.0, 2.0], [1.0])

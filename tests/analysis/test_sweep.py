@@ -1,0 +1,50 @@
+"""Deterministic sweep harness."""
+
+import pytest
+
+from repro.analysis import run_sweep, sweep_grid
+
+
+class TestSweepGrid:
+    def test_cartesian_product(self):
+        grid = list(sweep_grid({"a": [1, 2], "b": ["x", "y", "z"]}))
+        assert len(grid) == 6
+        assert {"a": 1, "b": "x"} in grid
+
+    def test_order_is_stable(self):
+        a = list(sweep_grid({"b": [1, 2], "a": [3]}))
+        b = list(sweep_grid({"a": [3], "b": [1, 2]}))
+        assert a == b
+
+
+class TestRunSweep:
+    def test_calls_with_seed(self):
+        seen = []
+
+        def fn(a, seed):
+            seen.append((a, seed))
+            return a * 10
+
+        points = run_sweep({"a": [1, 2]}, fn, rng=0)
+        assert [p.result for p in points] == [10, 20]
+        assert all(isinstance(s, int) for _, s in seen)
+
+    def test_reproducible(self):
+        def fn(a, seed):
+            return seed
+
+        p1 = run_sweep({"a": [1, 2, 3]}, fn, rng=7)
+        p2 = run_sweep({"a": [1, 2, 3]}, fn, rng=7)
+        assert [p.result for p in p1] == [p.result for p in p2]
+
+    def test_repetitions(self):
+        def fn(a, seed):
+            return seed
+
+        points = run_sweep({"a": [1]}, fn, rng=1, repetitions=5)
+        assert len(points) == 5
+        assert len({p.seed for p in points}) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep({"a": [1]}, lambda a, seed: 0, repetitions=0)

@@ -1,0 +1,48 @@
+"""Table rendering."""
+
+import os
+
+import pytest
+
+from repro.analysis import format_value, render_table, write_table
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(1234567.0) == "1.235e+06"
+        assert format_value(0.0) == "0"
+        assert format_value(float("nan")) == "nan"
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_other(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.startswith("== T ==")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestWriteTable:
+    def test_writes_and_returns(self, tmp_path):
+        path = str(tmp_path / "sub" / "table.txt")
+        text = write_table(path, ["a"], [[1], [2]], title="X")
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.read().strip() == text.strip()

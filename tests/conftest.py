@@ -1,0 +1,78 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    BipartiteGraph,
+    Graph,
+    core_graph,
+    cplus_graph,
+    erdos_renyi,
+    gbad,
+    hypercube,
+    random_bipartite,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def tiny_bipartite() -> BipartiteGraph:
+    """A fixed 4x5 bipartite graph used across kernel tests.
+
+    Left 0: {0,1}; left 1: {1,2}; left 2: {2,3,4}; left 3: {4}.
+    """
+    return BipartiteGraph(
+        4, 5, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (2, 4), (3, 4)]
+    )
+
+
+@pytest.fixture
+def triangle_with_tail() -> Graph:
+    """Triangle 0-1-2 plus a tail 2-3; small but not vertex-transitive."""
+    return Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+@pytest.fixture
+def q3() -> Graph:
+    """The 3-dimensional hypercube (8 vertices, 3-regular)."""
+    return hypercube(3)
+
+
+@pytest.fixture
+def core8() -> BipartiteGraph:
+    """Core graph with s = 8."""
+    return core_graph(8)
+
+
+@pytest.fixture
+def gbad_643() -> BipartiteGraph:
+    """Gbad with s=6, Δ=4, β=3 (βu = 2)."""
+    return gbad(6, 4, 3)
+
+
+@pytest.fixture
+def cplus6() -> Graph:
+    """C⁺ with a 6-clique."""
+    return cplus_graph(6)
+
+
+def random_graph_cases(seed: int, count: int, n: int = 9, p: float = 0.35):
+    """Deterministic list of small random graphs for loops inside tests."""
+    gen = np.random.default_rng(seed)
+    return [erdos_renyi(n, p, rng=gen) for _ in range(count)]
+
+
+def random_bipartite_cases(
+    seed: int, count: int, n_left: int = 7, n_right: int = 11, p: float = 0.3
+):
+    """Deterministic list of small random bipartite graphs."""
+    gen = np.random.default_rng(seed)
+    return [random_bipartite(n_left, n_right, p, rng=gen) for _ in range(count)]

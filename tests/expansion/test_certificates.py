@@ -1,0 +1,60 @@
+"""Certified wireless-expansion intervals."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    WirelessCertificate,
+    wireless_certificate,
+    wireless_expansion_of_set_exact,
+)
+from repro.graphs import cycle_graph, hypercube, random_regular
+
+
+class TestExactPath:
+    def test_small_set_is_exact(self):
+        g = cycle_graph(12)
+        cert = wireless_certificate(g, [0, 1, 2, 3], rng=0)
+        assert cert.exact
+        assert cert.lower == cert.upper
+        exact, _ = wireless_expansion_of_set_exact(g, [0, 1, 2, 3])
+        assert cert.lower == pytest.approx(exact)
+        assert cert.gap == 1.0
+
+    def test_witness_achieves_lower(self):
+        g = hypercube(4)
+        subset = np.arange(5)
+        cert = wireless_certificate(g, subset, rng=1)
+        payoff = int(g.gamma_one_s_excluding(subset, cert.witness).sum())
+        assert payoff / 5 == pytest.approx(cert.lower)
+
+
+class TestPortfolioPath:
+    def test_large_set_interval(self):
+        g = random_regular(128, 6, rng=2)
+        gen = np.random.default_rng(3)
+        subset = np.sort(gen.choice(128, size=40, replace=False))
+        cert = wireless_certificate(g, subset, rng=4, exact_bits=20)
+        assert not cert.exact
+        assert cert.lower <= cert.upper + 1e-9
+        assert cert.lower > 0
+        assert "portfolio" in cert.lower_method
+        assert cert.upper_method == "ordinary-expansion"
+
+    def test_gap_definition(self):
+        cert = WirelessCertificate(
+            set_size=4, lower=1.0, upper=2.0, lower_method="x",
+            upper_method="y", exact=False, witness=np.array([0]),
+        )
+        assert cert.gap == 2.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            WirelessCertificate(
+                set_size=4, lower=3.0, upper=2.0, lower_method="x",
+                upper_method="y", exact=False, witness=np.array([0]),
+            )
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            wireless_certificate(cycle_graph(5), [], rng=0)

@@ -1,0 +1,94 @@
+"""Edge conductance and Cheeger bounds."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    cheeger_bounds,
+    edge_conductance_exact,
+    edge_conductance_of_set,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    hypercube,
+    random_regular,
+    star_graph,
+)
+
+
+class TestPerSet:
+    def test_fixed_values(self):
+        g = cycle_graph(8)
+        assert edge_conductance_of_set(g, [0, 1, 2]) == pytest.approx(2 / 3)
+        assert edge_conductance_of_set(g, [0]) == 2.0
+
+    def test_size_validation(self):
+        g = cycle_graph(8)
+        with pytest.raises(ValueError):
+            edge_conductance_of_set(g, [])
+        with pytest.raises(ValueError):
+            edge_conductance_of_set(g, [0, 1, 2, 3, 4])  # > n/2
+
+
+class TestExact:
+    def test_cycle(self):
+        h, witness = edge_conductance_exact(cycle_graph(10))
+        assert h == pytest.approx(2 / 5)  # arc of half the cycle
+        assert witness.size == 5
+
+    def test_complete_graph(self):
+        # K_6: |e(S, S̄)| = |S|(6 − |S|); minimized ratio at |S| = 3 -> 3.
+        h, _ = edge_conductance_exact(complete_graph(6))
+        assert h == pytest.approx(3.0)
+
+    def test_hypercube(self):
+        # Q_d: dimension cut gives h = 1 (known extremal).
+        h, _ = edge_conductance_exact(hypercube(3))
+        assert h == pytest.approx(1.0)
+
+    def test_matches_brute_force(self):
+        g = erdos_renyi(9, 0.4, rng=17)
+        h, _ = edge_conductance_exact(g)
+        brute = min(
+            edge_conductance_of_set(g, list(sub))
+            for k in range(1, 5)
+            for sub in itertools.combinations(range(9), k)
+        )
+        assert h == pytest.approx(brute)
+
+    def test_witness_achieves(self):
+        g = erdos_renyi(8, 0.5, rng=18)
+        h, witness = edge_conductance_exact(g)
+        assert edge_conductance_of_set(g, witness) == pytest.approx(h)
+
+    def test_tiny_validation(self):
+        from repro.graphs import Graph
+
+        with pytest.raises(ValueError):
+            edge_conductance_exact(Graph(1, []))
+
+
+class TestCheeger:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: hypercube(3),
+            lambda: hypercube(4),
+            lambda: complete_graph(8),
+            lambda: cycle_graph(12),
+            lambda: random_regular(14, 4, rng=19),
+        ],
+    )
+    def test_sandwich_holds(self, maker):
+        g = maker()
+        lower, upper = cheeger_bounds(g)
+        h, _ = edge_conductance_exact(g)
+        assert lower - 1e-9 <= h <= upper + 1e-9
+
+    def test_requires_regular(self):
+        with pytest.raises(ValueError):
+            cheeger_bounds(star_graph(5))

@@ -1,0 +1,88 @@
+"""Lemma A.18 / Corollaries A.4, A.14: the δ̄ machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    vertex_expansion_exact,
+    wireless_expansion_exact,
+)
+from repro.expansion.delta_bar import (
+    boundary_average_degree,
+    delta_bar_exact,
+    delta_bar_sampled,
+    lemma_a18_floor,
+)
+from repro.graphs import cycle_graph, erdos_renyi, hypercube
+
+
+class TestBoundaryAverageDegree:
+    def test_fixed_values(self, triangle_with_tail):
+        # S = {0}: N = {1, 2}, each with one edge back.
+        assert boundary_average_degree(triangle_with_tail, [0]) == 1.0
+        # S = {0, 1}: N = {2} with two edges back.
+        assert boundary_average_degree(triangle_with_tail, [0, 1]) == 2.0
+
+    def test_empty_raises(self, triangle_with_tail):
+        with pytest.raises(ValueError):
+            boundary_average_degree(triangle_with_tail, [])
+
+    def test_no_boundary_raises(self, triangle_with_tail):
+        with pytest.raises(ValueError):
+            boundary_average_degree(triangle_with_tail, [0, 1, 2, 3])
+
+
+class TestDeltaBar:
+    def test_exact_dominates_every_set(self):
+        g = erdos_renyi(8, 0.4, rng=31)
+        bar, witness = delta_bar_exact(g, 0.5)
+        assert boundary_average_degree(g, witness) == pytest.approx(bar)
+        gen = np.random.default_rng(0)
+        for _ in range(20):
+            size = int(gen.integers(1, 5))
+            subset = gen.choice(8, size=size, replace=False)
+            try:
+                val = boundary_average_degree(g, subset)
+            except ValueError:
+                continue
+            assert val <= bar + 1e-9
+
+    def test_sampled_lower_bounds_exact(self):
+        g = erdos_renyi(9, 0.35, rng=32)
+        bar, _ = delta_bar_exact(g, 0.5)
+        sampled, _ = delta_bar_sampled(g, 0.5, samples=100, rng=33)
+        assert sampled <= bar + 1e-9
+
+    def test_cycle_delta_bar(self):
+        # On a cycle every boundary vertex has exactly one edge back for
+        # arcs, two for "sandwiched" neighbours; δ̄ = 2 via S = {0, 2}.
+        bar, _ = delta_bar_exact(cycle_graph(8), 0.5)
+        assert bar == pytest.approx(2.0)
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            delta_bar_exact(cycle_graph(18), 0.5, max_bits=16)
+
+
+class TestLemmaA18:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_floor_holds_exactly(self, seed):
+        """βw ≥ β·MG(δ̄) — all three quantities exact on small graphs."""
+        g = erdos_renyi(9, 0.4, rng=seed)
+        try:
+            bar, _ = delta_bar_exact(g, 0.5)
+        except ValueError:
+            return
+        beta, _ = vertex_expansion_exact(g, 0.5)
+        bw, _ = wireless_expansion_exact(g, 0.5)
+        assert bw >= lemma_a18_floor(beta, bar) - 1e-9
+
+    def test_corollary_a14_form(self):
+        """βw ≥ β/(9·log₂ 2δ̄) also holds (the weaker explicit corollary)."""
+        g = hypercube(3)
+        bar, _ = delta_bar_exact(g, 0.5)
+        beta, _ = vertex_expansion_exact(g, 0.5)
+        bw, _ = wireless_expansion_exact(g, 0.5)
+        assert bw >= beta / (9 * math.log2(2 * bar)) - 1e-9

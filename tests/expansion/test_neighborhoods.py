@@ -1,0 +1,56 @@
+"""The naive reference operators themselves (fixed-value sanity)."""
+
+import pytest
+
+from repro.expansion import (
+    naive_bipartite_cover,
+    naive_bipartite_unique_cover,
+    naive_gamma,
+    naive_gamma_minus,
+    naive_gamma_one,
+    naive_gamma_one_s_excluding,
+    naive_gamma_s_excluding,
+)
+
+
+class TestGraphOperators:
+    def test_gamma(self, triangle_with_tail):
+        assert naive_gamma(triangle_with_tail, [2]) == {0, 1, 3}
+        assert naive_gamma(triangle_with_tail, [0, 1]) == {0, 1, 2}
+
+    def test_gamma_minus(self, triangle_with_tail):
+        assert naive_gamma_minus(triangle_with_tail, [0, 1]) == {2}
+        assert naive_gamma_minus(triangle_with_tail, []) == set()
+
+    def test_gamma_one(self, triangle_with_tail):
+        assert naive_gamma_one(triangle_with_tail, [0, 1]) == set()
+        assert naive_gamma_one(triangle_with_tail, [0]) == {1, 2}
+
+    def test_gamma_s_excluding(self, triangle_with_tail):
+        assert naive_gamma_s_excluding(triangle_with_tail, [0, 1], [1]) == {2}
+
+    def test_gamma_one_s_excluding(self, triangle_with_tail):
+        # Vertex 2 has both 0 and 3 in S' -> collision, empty payoff.
+        assert naive_gamma_one_s_excluding(
+            triangle_with_tail, [0, 1, 3], [0, 3]
+        ) == set()
+        # Shrinking S' to {0} makes 2 uniquely covered.
+        assert naive_gamma_one_s_excluding(
+            triangle_with_tail, [0, 1], [0]
+        ) == {2}
+
+    def test_subset_violation_raises(self, triangle_with_tail):
+        with pytest.raises(ValueError):
+            naive_gamma_s_excluding(triangle_with_tail, [0], [1])
+        with pytest.raises(ValueError):
+            naive_gamma_one_s_excluding(triangle_with_tail, [0], [1])
+
+
+class TestBipartiteOperators:
+    def test_cover(self, tiny_bipartite):
+        assert naive_bipartite_cover(tiny_bipartite, [0]) == {0, 1}
+        assert naive_bipartite_cover(tiny_bipartite, []) == set()
+
+    def test_unique_cover(self, tiny_bipartite):
+        assert naive_bipartite_unique_cover(tiny_bipartite, [0, 1]) == {0, 2}
+        assert naive_bipartite_unique_cover(tiny_bipartite, [2, 3]) == {2, 3}

@@ -1,0 +1,113 @@
+"""Per-size expansion profiles."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    bipartite_left_profiles,
+    expansion_profiles,
+    unique_expansion_of_set,
+    expansion_of_set,
+    wireless_expansion_of_set_exact,
+    wireless_profile,
+)
+from repro.graphs import (
+    core_graph,
+    cplus_graph,
+    cycle_graph,
+    erdos_renyi,
+    gbad,
+)
+
+
+class TestGraphProfiles:
+    def test_matches_brute_force(self):
+        g = erdos_renyi(8, 0.4, rng=23)
+        prof = expansion_profiles(g)
+        for k in (1, 2, 3, 4):
+            brute_ord = min(
+                expansion_of_set(g, list(sub))
+                for sub in itertools.combinations(range(8), k)
+            )
+            brute_uni = min(
+                unique_expansion_of_set(g, list(sub))
+                for sub in itertools.combinations(range(8), k)
+            )
+            assert prof.ordinary[k - 1] == pytest.approx(brute_ord)
+            assert prof.unique[k - 1] == pytest.approx(brute_uni)
+
+    def test_cplus_unique_crashes_at_three(self):
+        g = cplus_graph(6)
+        prof = expansion_profiles(g)
+        assert prof.unique[0] > 0  # singletons are fine
+        assert prof.unique[2] == 0.0  # k = 3: {s0, x, y}
+
+    def test_cycle_profile_values(self):
+        prof = expansion_profiles(cycle_graph(8))
+        # Arcs are worst: β(k) = 2/k for k <= 6... until alternation wins.
+        assert prof.ordinary[0] == 2.0
+        assert prof.ordinary[3] == pytest.approx(0.5)
+
+    def test_unique_never_exceeds_ordinary(self):
+        g = erdos_renyi(9, 0.35, rng=24)
+        prof = expansion_profiles(g)
+        assert (prof.unique <= prof.ordinary + 1e-12).all()
+
+    def test_size_range(self):
+        prof = expansion_profiles(cycle_graph(5))
+        assert prof.size_range().tolist() == [1, 2, 3, 4, 5]
+
+
+class TestWirelessProfile:
+    def test_sandwiched_between_curves(self):
+        g = erdos_renyi(8, 0.4, rng=25)
+        prof = expansion_profiles(g)
+        bw = wireless_profile(g)
+        assert (prof.unique - 1e-12 <= bw).all()
+        assert (bw <= prof.ordinary + 1e-12).all()
+
+    def test_matches_per_set_minimum(self):
+        g = erdos_renyi(7, 0.45, rng=26)
+        bw = wireless_profile(g)
+        for k in (1, 2, 3):
+            brute = min(
+                wireless_expansion_of_set_exact(g, list(sub))[0]
+                for sub in itertools.combinations(range(7), k)
+            )
+            assert bw[k - 1] == pytest.approx(brute)
+
+    def test_cplus_wireless_survives_at_three(self):
+        g = cplus_graph(6)
+        bw = wireless_profile(g)
+        assert bw[2] > 0  # wireless stays positive where unique dies
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            wireless_profile(cycle_graph(14), max_bits=13)
+
+
+class TestBipartiteProfiles:
+    def test_core_graph_curves(self):
+        gs = core_graph(8)
+        prof = bipartite_left_profiles(gs)
+        # Lemma 4.4(4): coverage ratio >= log 2s at every size.
+        assert (prof.coverage >= np.log2(16) - 1e-9).all()
+        # Lemma 4.4(5): best unique coverage <= 2s at every size.
+        assert (prof.best_unique <= 16).all()
+        # Singletons uniquely cover their whole 2s−1 neighbourhood.
+        assert prof.best_unique[0] == 15
+
+    def test_gbad_full_size_unique(self):
+        s, delta, beta = 6, 4, 3
+        gs = gbad(s, delta, beta)
+        prof = bipartite_left_profiles(gs)
+        # At k = s the worst (= only) set has ratio exactly 2β − Δ.
+        assert prof.unique[s - 1] == pytest.approx(2 * beta - delta)
+
+    def test_consistency_with_tiny(self, tiny_bipartite):
+        prof = bipartite_left_profiles(tiny_bipartite)
+        assert prof.coverage.shape == (4,)
+        # k = 1: worst singleton covers 1 vertex (left 3).
+        assert prof.coverage[0] == 1.0

@@ -1,0 +1,95 @@
+"""Spectral toolbox and Lemma 3.1."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    adjacency_spectrum,
+    alon_spencer_cut_lower_bound,
+    cut_edges,
+    lemma31_verify,
+    regular_degree,
+    second_eigenvalue,
+    spectral_gap,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    hypercube,
+    random_regular,
+    star_graph,
+)
+
+
+class TestSpectrum:
+    def test_complete_graph_spectrum(self):
+        spec = adjacency_spectrum(complete_graph(5))
+        assert spec[0] == pytest.approx(4.0)
+        assert spec[1:] == pytest.approx(-np.ones(4))
+
+    def test_cycle_second_eigenvalue(self):
+        lam = second_eigenvalue(cycle_graph(6))
+        assert lam == pytest.approx(2 * np.cos(2 * np.pi / 6))
+
+    def test_hypercube_spectrum(self):
+        # Q_d eigenvalues are d − 2k with multiplicity C(d, k).
+        spec = adjacency_spectrum(hypercube(3))
+        assert sorted(np.round(spec).astype(int).tolist()) == sorted(
+            [3, 1, 1, 1, -1, -1, -1, -3]
+        )
+
+    def test_descending_order(self):
+        spec = adjacency_spectrum(random_regular(20, 3, rng=0))
+        assert (np.diff(spec) <= 1e-9).all()
+
+
+class TestRegularity:
+    def test_regular_degree(self, q3):
+        assert regular_degree(q3) == 3
+
+    def test_non_regular_raises(self):
+        with pytest.raises(ValueError, match="not regular"):
+            regular_degree(star_graph(5))
+
+    def test_spectral_gap_positive_for_connected(self):
+        assert spectral_gap(hypercube(3)) == pytest.approx(2.0)
+        assert spectral_gap(complete_graph(6)) == pytest.approx(6.0)
+
+
+class TestMixing:
+    def test_cut_edges(self, q3):
+        assert cut_edges(q3, [0, 1, 2, 3]) == 4
+
+    def test_alon_spencer_bound_holds(self):
+        # Check e(A, B) ≥ (d − λ)|A||B|/n over many bipartitions.
+        g = random_regular(24, 4, rng=7)
+        d = regular_degree(g)
+        lam = second_eigenvalue(g)
+        gen = np.random.default_rng(0)
+        for _ in range(25):
+            size = int(gen.integers(1, 23))
+            subset = gen.choice(24, size=size, replace=False)
+            lower = alon_spencer_cut_lower_bound(d, lam, size, 24 - size, 24)
+            assert cut_edges(g, subset) >= lower - 1e-9
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            alon_spencer_cut_lower_bound(3, 1.0, 2, 3, 6)
+
+
+class TestLemma31:
+    @pytest.mark.parametrize("maker,alpha", [
+        (lambda: hypercube(3), 0.5),
+        (lambda: complete_graph(8), 0.25),
+        (lambda: random_regular(12, 3, rng=5), 0.5),
+        (lambda: random_regular(10, 4, rng=6), 0.3),
+    ])
+    def test_holds_exactly(self, maker, alpha):
+        report = lemma31_verify(maker(), alpha)
+        assert report.holds, report
+
+    def test_report_fields(self, q3):
+        report = lemma31_verify(q3, 0.5)
+        assert report.d == 3
+        assert report.beta_ordinary >= report.beta_unique
+        assert report.claimed_lower_bound <= report.beta_ordinary + 1e-9

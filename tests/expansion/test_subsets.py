@@ -1,0 +1,81 @@
+"""The all-subsets enumeration kernels vs naive references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expansion import (
+    bipartite_subset_profile,
+    graph_subset_profile,
+    naive_bipartite_cover,
+    naive_bipartite_unique_cover,
+    naive_gamma_minus,
+    naive_gamma_one,
+)
+from repro.graphs import BipartiteGraph, Graph, random_bipartite, erdos_renyi
+
+
+class TestBipartiteProfile:
+    def test_fixed_graph(self, tiny_bipartite):
+        prof = bipartite_subset_profile(tiny_bipartite)
+        assert prof.cover_counts.shape == (16,)
+        assert prof.cover_counts[0] == 0 and prof.unique_counts[0] == 0
+        # Full subset {0,1,2,3}.
+        full = 0b1111
+        assert prof.cover_counts[full] == 5
+        assert prof.sizes[full] == 4
+
+    def test_isolated_right_vertices_never_covered(self):
+        g = BipartiteGraph(2, 3, [(0, 0), (1, 0)])
+        prof = bipartite_subset_profile(g)
+        assert prof.cover_counts[0b11] == 1
+        assert prof.unique_counts[0b11] == 0
+        assert prof.unique_counts[0b01] == 1
+
+    def test_rejects_wide_left(self):
+        g = BipartiteGraph(23, 1, [(i, 0) for i in range(23)])
+        with pytest.raises(ValueError, match="<= 22"):
+            bipartite_subset_profile(g)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_cross_check(self, seed):
+        gen = np.random.default_rng(seed)
+        gs = random_bipartite(6, 9, 0.35, rng=gen)
+        prof = bipartite_subset_profile(gs)
+        x = int(gen.integers(0, 1 << 6))
+        sub = [i for i in range(6) if (x >> i) & 1]
+        assert prof.cover_counts[x] == len(naive_bipartite_cover(gs, sub))
+        assert prof.unique_counts[x] == len(naive_bipartite_unique_cover(gs, sub))
+
+
+class TestGraphProfile:
+    def test_fixed_graph(self, triangle_with_tail):
+        prof = graph_subset_profile(triangle_with_tail)
+        x = 0b0011  # {0, 1}
+        assert prof.gamma_minus_counts[x] == 1
+        assert prof.gamma_one_counts[x] == 0
+        assert prof.sizes[x] == 2
+
+    def test_once_many_masks(self, triangle_with_tail):
+        prof = graph_subset_profile(triangle_with_tail)
+        x = 0b0100  # {2}: neighbours 0,1,3 each covered once
+        assert int(prof.once[x]) == 0b1011
+        assert int(prof.many[x]) == 0
+
+    def test_rejects_large(self):
+        g = Graph(21, [(i, i + 1) for i in range(20)])
+        with pytest.raises(ValueError):
+            graph_subset_profile(g, max_bits=20)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_cross_check(self, seed):
+        gen = np.random.default_rng(seed)
+        g = erdos_renyi(8, 0.3, rng=gen)
+        prof = graph_subset_profile(g)
+        x = int(gen.integers(0, 1 << 8))
+        sub = [i for i in range(8) if (x >> i) & 1]
+        assert prof.gamma_minus_counts[x] == len(naive_gamma_minus(g, sub))
+        assert prof.gamma_one_counts[x] == len(naive_gamma_one(g, sub))

@@ -1,0 +1,91 @@
+"""Unique-neighbour expansion analyzers and Section 3 relations."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    bipartite_unique_expansion_exact,
+    lemma32_unique_lower_bound,
+    unique_expansion_exact,
+    unique_expansion_of_set,
+    vertex_expansion_exact,
+)
+from repro.graphs import complete_graph, cycle_graph, erdos_renyi, gbad, hypercube
+
+
+class TestUniqueExpansionOfSet:
+    def test_fixed_values(self, triangle_with_tail):
+        assert unique_expansion_of_set(triangle_with_tail, [0]) == 2.0
+        assert unique_expansion_of_set(triangle_with_tail, [0, 1]) == 0.0
+
+    def test_empty_raises(self, triangle_with_tail):
+        with pytest.raises(ValueError):
+            unique_expansion_of_set(triangle_with_tail, [])
+
+
+class TestUniqueExpansionExact:
+    def test_cycle(self):
+        # The alternating set {0,2,4,6,8} on C10 gives every outside vertex
+        # two S-neighbours, so βu = 0 — while arcs would give 2/|S|.
+        beta_u, witness = unique_expansion_exact(cycle_graph(10), 0.5)
+        assert beta_u == 0.0
+        assert witness.size == 5
+
+    def test_matches_brute_force(self):
+        g = erdos_renyi(9, 0.4, rng=8)
+        bu, _ = unique_expansion_exact(g, 0.5)
+        brute = min(
+            unique_expansion_of_set(g, list(sub))
+            for k in range(1, 5)
+            for sub in itertools.combinations(range(9), k)
+        )
+        assert bu == pytest.approx(brute)
+
+    def test_never_exceeds_ordinary(self):
+        for seed in range(5):
+            g = erdos_renyi(8, 0.4, rng=seed)
+            b, _ = vertex_expansion_exact(g, 0.5)
+            bu, _ = unique_expansion_exact(g, 0.5)
+            assert bu <= b + 1e-12
+
+
+class TestLemma32:
+    def test_bound_formula(self):
+        assert lemma32_unique_lower_bound(3.0, 4) == 2.0
+        assert lemma32_unique_lower_bound(2.0, 4) == 0.0
+
+    @pytest.mark.parametrize("n", [6, 8])
+    def test_holds_exactly_on_small_graphs(self, n):
+        # βu ≥ 2β − Δ for every graph (Lemma 3.2), exact check.
+        for seed in range(4):
+            g = erdos_renyi(n, 0.5, rng=seed)
+            if g.max_degree == 0:
+                continue
+            b, _ = vertex_expansion_exact(g, 0.5)
+            bu, _ = unique_expansion_exact(g, 0.5)
+            assert bu >= 2 * b - g.max_degree - 1e-9
+
+    def test_complete_graph_tightness(self):
+        # K_n with α = 1/n (singletons): β = βu = n−1 = Δ; bound 2β−Δ = β.
+        g = complete_graph(6)
+        b, _ = vertex_expansion_exact(g, 1 / 6)
+        bu, _ = unique_expansion_exact(g, 1 / 6)
+        assert bu == pytest.approx(2 * b - g.max_degree)
+
+
+class TestBipartiteUniqueExact:
+    def test_gbad_attains_lemma33(self):
+        g = gbad(5, 4, 3)
+        bu, _ = bipartite_unique_expansion_exact(g)
+        assert bu == pytest.approx(2.0)
+
+    def test_hypercube_boundary(self):
+        # Sanity: every subset of Q3's boundary bipartite graph has unique
+        # expansion ≥ 0 and the minimum is attained by the full set or less.
+        g = hypercube(3)
+        gs, _, _ = g.boundary_bipartite(np.array([0, 3, 5, 6]))
+        bu, witness = bipartite_unique_expansion_exact(gs)
+        assert bu >= 0.0
+        assert witness.size >= 1

@@ -1,0 +1,100 @@
+"""Ordinary vertex expansion analyzers."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    bipartite_expansion_exact,
+    expansion_of_set,
+    vertex_expansion_exact,
+    vertex_expansion_sampled,
+)
+from repro.graphs import (
+    complete_graph,
+    core_graph,
+    cycle_graph,
+    erdos_renyi,
+    hypercube,
+)
+
+
+class TestExpansionOfSet:
+    def test_fixed_values(self, triangle_with_tail):
+        assert expansion_of_set(triangle_with_tail, [0]) == 2.0
+        assert expansion_of_set(triangle_with_tail, [0, 1]) == 0.5
+        assert expansion_of_set(triangle_with_tail, [3]) == 1.0
+
+    def test_empty_raises(self, triangle_with_tail):
+        with pytest.raises(ValueError):
+            expansion_of_set(triangle_with_tail, [])
+
+
+class TestVertexExpansionExact:
+    def test_complete_graph(self):
+        # K_6, α = 0.5: any S with |S| ≤ 3 sees all other 6−|S| vertices.
+        beta, witness = vertex_expansion_exact(complete_graph(6), 0.5)
+        assert beta == pytest.approx(1.0)  # |S| = 3 -> 3/3
+        assert witness.size == 3
+
+    def test_cycle(self):
+        beta, witness = vertex_expansion_exact(cycle_graph(10), 0.5)
+        # Worst set: arc of 5 consecutive vertices -> 2/5.
+        assert beta == pytest.approx(0.4)
+
+    def test_matches_brute_force(self):
+        g = erdos_renyi(9, 0.35, rng=5)
+        beta, _ = vertex_expansion_exact(g, 0.5)
+        limit = 4
+        brute = min(
+            expansion_of_set(g, list(sub))
+            for k in range(1, limit + 1)
+            for sub in itertools.combinations(range(9), k)
+        )
+        assert beta == pytest.approx(brute)
+
+    def test_witness_achieves(self):
+        g = hypercube(3)
+        beta, witness = vertex_expansion_exact(g, 0.5)
+        assert expansion_of_set(g, witness) == pytest.approx(beta)
+
+    def test_alpha_too_small(self):
+        with pytest.raises(ValueError):
+            vertex_expansion_exact(cycle_graph(5), 0.1)
+
+
+class TestVertexExpansionSampled:
+    def test_upper_bounds_exact(self):
+        g = hypercube(4)
+        exact, _ = vertex_expansion_exact(g, 0.5)
+        sampled, _ = vertex_expansion_sampled(g, 0.5, samples=100, rng=1)
+        assert sampled >= exact - 1e-9
+
+    def test_balls_find_cycle_minimum(self):
+        # BFS balls are arcs on a cycle; on C14 with α = 0.5 the radius-3
+        # ball (7 vertices, 2 external neighbours) is the exact optimum.
+        g = cycle_graph(14)
+        sampled, witness = vertex_expansion_sampled(g, 0.5, samples=0, rng=1)
+        assert sampled == pytest.approx(2 / 7)
+
+    def test_witness_consistency(self):
+        g = cycle_graph(9)
+        value, witness = vertex_expansion_sampled(g, 0.5, samples=50, rng=2)
+        assert expansion_of_set(g, witness) == pytest.approx(value)
+
+
+class TestBipartiteExpansionExact:
+    def test_core_graph_expansion(self):
+        # Lemma 4.4(4): β = log 2s exactly.
+        for s in (2, 4, 8):
+            beta, witness = bipartite_expansion_exact(core_graph(s))
+            assert beta == pytest.approx(np.log2(2 * s))
+            assert witness.size == s
+
+    def test_respects_alpha(self, tiny_bipartite):
+        full, _ = bipartite_expansion_exact(tiny_bipartite, 1.0)
+        singles, _ = bipartite_expansion_exact(tiny_bipartite, 0.25)
+        # Restricting to singletons can only raise the minimum ratio.
+        assert singles >= full
+        assert singles == 1.0  # min left degree is 1

@@ -1,0 +1,101 @@
+"""Wireless expansion analyzers (the paper's central quantity)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    max_unique_coverage_exact,
+    unique_expansion_exact,
+    vertex_expansion_exact,
+    wireless_expansion_exact,
+    wireless_expansion_of_set_exact,
+)
+from repro.graphs import (
+    complete_graph,
+    core_graph,
+    core_graph_max_unique_coverage,
+    cycle_graph,
+    erdos_renyi,
+    gbad,
+)
+
+
+class TestMaxUniqueCoverageExact:
+    def test_fixed_graph(self, tiny_bipartite):
+        best, witness = max_unique_coverage_exact(tiny_bipartite)
+        assert best == tiny_bipartite.unique_cover_count(witness)
+        # Brute-force confirmation.
+        brute = max(
+            tiny_bipartite.unique_cover_count(np.array(sub))
+            for k in range(5)
+            for sub in itertools.combinations(range(4), k)
+        )
+        assert best == brute
+
+    def test_core_graphs_match_dp(self):
+        for s in (2, 4, 8, 16):
+            best, _ = max_unique_coverage_exact(core_graph(s))
+            assert best == core_graph_max_unique_coverage(s)
+
+    def test_gbad_alternation(self):
+        g = gbad(6, 4, 2)  # βu = 0 but wireless stays Δ/2
+        best, witness = max_unique_coverage_exact(g)
+        assert best >= 6 * 2  # ≥ (Δ/2)·s
+        assert g.unique_cover_count(witness) == best
+
+
+class TestWirelessOfSet:
+    def test_cycle_arc(self):
+        g = cycle_graph(10)
+        # S = arc of 4; best S' is the two endpoints -> 2 unique outside.
+        ratio, witness = wireless_expansion_of_set_exact(g, [0, 1, 2, 3])
+        assert ratio == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            wireless_expansion_of_set_exact(cycle_graph(5), [])
+
+    def test_witness_in_original_ids(self):
+        g = cycle_graph(10)
+        _, witness = wireless_expansion_of_set_exact(g, [4, 5, 6])
+        assert set(witness.tolist()) <= {4, 5, 6}
+
+
+class TestWirelessExpansionExact:
+    def test_observation_21_sandwich(self):
+        # β ≥ βw ≥ βu at equal α, exact (Observation 2.1).
+        for seed in range(6):
+            g = erdos_renyi(9, 0.4, rng=seed)
+            b, _ = vertex_expansion_exact(g, 0.5)
+            bw, _ = wireless_expansion_exact(g, 0.5)
+            bu, _ = unique_expansion_exact(g, 0.5)
+            assert b + 1e-12 >= bw >= bu - 1e-12
+
+    def test_complete_graph(self):
+        # K_6, |S| ≤ 3: selecting one vertex uniquely covers all outside.
+        bw, _ = wireless_expansion_exact(complete_graph(6), 0.5)
+        assert bw == pytest.approx(1.0)  # worst S has size 3 -> 3/3
+
+    def test_matches_per_set_computation(self):
+        g = erdos_renyi(8, 0.35, rng=13)
+        bw, witness = wireless_expansion_exact(g, 0.5)
+        per_set, _ = wireless_expansion_of_set_exact(g, witness)
+        assert per_set == pytest.approx(bw)
+
+    def test_brute_force_tiny(self):
+        g = erdos_renyi(7, 0.4, rng=3)
+        bw, _ = wireless_expansion_exact(g, 0.5)
+        limit = 3
+        brute = min(
+            wireless_expansion_of_set_exact(g, list(sub))[0]
+            for k in range(1, limit + 1)
+            for sub in itertools.combinations(range(7), k)
+        )
+        assert bw == pytest.approx(brute)
+
+    def test_size_cap(self):
+        g = cycle_graph(16)
+        with pytest.raises(ValueError):
+            wireless_expansion_exact(g, 0.5, max_bits=14)

@@ -1,0 +1,46 @@
+"""Sampled (adversarial) wireless-expansion estimator."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    wireless_expansion_exact,
+    wireless_expansion_of_set_exact,
+    wireless_expansion_sampled,
+)
+from repro.graphs import cycle_graph, erdos_renyi, hypercube
+
+
+class TestWirelessSampled:
+    def test_upper_bounds_exact(self):
+        for seed in range(4):
+            g = erdos_renyi(9, 0.4, rng=seed)
+            exact, _ = wireless_expansion_exact(g, 0.5)
+            sampled, _ = wireless_expansion_sampled(g, 0.5, samples=60, rng=seed)
+            assert sampled >= exact - 1e-9
+
+    def test_witness_consistency(self):
+        g = hypercube(4)
+        value, witness = wireless_expansion_sampled(g, 0.5, samples=40, rng=1)
+        per_set, _ = wireless_expansion_of_set_exact(g, witness)
+        assert per_set == pytest.approx(value)
+
+    def test_balls_on_cycle(self):
+        # Arcs are the minimizing sets on a cycle; BFS balls find them.
+        g = cycle_graph(14)
+        value, witness = wireless_expansion_sampled(
+            g, 0.5, samples=0, rng=2, include_balls=True
+        )
+        # Arc of 7: best S' = two endpoints -> 2/7.
+        assert value == pytest.approx(2 / 7)
+
+    def test_respects_size_cap(self):
+        g = cycle_graph(30)
+        value, witness = wireless_expansion_sampled(
+            g, 0.5, samples=20, rng=3, max_set_bits=6
+        )
+        assert witness.size <= 6
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            wireless_expansion_sampled(cycle_graph(8), 0.01, rng=0)

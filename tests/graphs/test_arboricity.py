@@ -1,0 +1,133 @@
+"""Arboricity / degeneracy / densest subgraph machinery."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    arboricity,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    degeneracy,
+    degeneracy_ordering,
+    densest_subgraph,
+    expander_arboricity_lower_bound,
+    grid_2d,
+    nash_williams_density,
+    triangular_grid,
+)
+
+
+class TestDegeneracy:
+    def test_tree_is_one(self):
+        assert degeneracy(complete_binary_tree(3)) == 1
+
+    def test_cycle_is_two(self):
+        assert degeneracy(cycle_graph(8)) == 2
+
+    def test_complete(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_empty(self):
+        assert degeneracy(Graph(0, [])) == 0
+        assert degeneracy(Graph(4, [])) == 0
+
+    def test_ordering_is_permutation(self):
+        g = grid_2d(3, 3)
+        order = degeneracy_ordering(g)
+        assert sorted(order.tolist()) == list(range(9))
+
+    def test_sandwiches_arboricity(self):
+        for g in (grid_2d(4, 4), complete_graph(7), triangular_grid(3, 4)):
+            arb = arboricity(g)
+            degen = degeneracy(g)
+            assert arb <= degen <= 2 * arb - 1 if arb > 0 else degen == 0
+
+
+class TestDensestSubgraph:
+    def test_complete_graph(self):
+        dens, witness = densest_subgraph(complete_graph(5))
+        assert dens == Fraction(2, 1)
+        assert witness.size == 5
+
+    def test_tree(self):
+        dens, _ = densest_subgraph(complete_binary_tree(2))
+        # Best is the whole tree: 6 edges / 7 vertices.
+        assert dens == Fraction(6, 7)
+
+    def test_planted_clique(self):
+        # Path of 10 with a K4 glued on: densest subgraph is the K4.
+        edges = [(i, i + 1) for i in range(9)]
+        edges += [(10, 11), (10, 12), (10, 13), (11, 12), (11, 13), (12, 13)]
+        edges += [(9, 10)]
+        g = Graph(14, edges)
+        dens, witness = densest_subgraph(g)
+        assert dens == Fraction(6, 4)
+        assert set(witness.tolist()) >= {10, 11, 12, 13}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            densest_subgraph(Graph(0, []))
+
+
+class TestNashWilliams:
+    def test_matches_enumeration_on_grid(self):
+        g = grid_2d(3, 3)
+        exact, _ = nash_williams_density(g, exact_small_limit=14)
+        flow, _ = nash_williams_density(g, exact_small_limit=2)
+        assert exact == flow
+
+    def test_matches_enumeration_on_clique_plus_path(self):
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+        g = Graph(6, edges)
+        exact, _ = nash_williams_density(g, exact_small_limit=14)
+        flow, _ = nash_williams_density(g, exact_small_limit=2)
+        assert exact == flow == Fraction(6, 3)
+
+    def test_edgeless(self):
+        dens, _ = nash_williams_density(Graph(3, []))
+        assert dens == 0
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            nash_williams_density(Graph(1, []))
+
+
+class TestArboricity:
+    def test_tree(self):
+        assert arboricity(complete_binary_tree(3)) == 1
+
+    def test_cycle(self):
+        # Cycle: max density 8/7 -> arboricity 2 (a cycle is not a forest).
+        assert arboricity(cycle_graph(8)) == 2
+
+    def test_complete(self):
+        # K_n: n(n-1)/2 / (n-1) = n/2 -> ceil.
+        assert arboricity(complete_graph(5)) == 3
+        assert arboricity(complete_graph(6)) == 3
+
+    def test_grid_is_two(self):
+        assert arboricity(grid_2d(4, 4)) == 2
+
+    def test_triangular_grid_at_most_three(self):
+        assert arboricity(triangular_grid(3, 3)) <= 3
+
+    def test_edgeless_zero(self):
+        assert arboricity(Graph(5, [])) == 0
+
+    def test_parametric_path_matches_enumeration(self):
+        g = grid_2d(4, 5)  # n=20 > default small limit -> flow path
+        assert arboricity(g) == 2
+
+
+class TestExpanderBound:
+    def test_formula(self):
+        assert expander_arboricity_lower_bound(16, 2.0) == 8.0
+        assert expander_arboricity_lower_bound(16, 0.25) == 4.0
+
+    def test_min_switches_at_beta_one(self):
+        # For β < 1 the binding term is Δ·β, for β > 1 it is Δ/β.
+        assert expander_arboricity_lower_bound(10, 0.5) == 5.0
+        assert expander_arboricity_lower_bound(10, 2.0) == 5.0

@@ -1,0 +1,43 @@
+"""Batched coverage kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import BipartiteGraph, random_bipartite
+
+
+class TestBatchKernels:
+    def test_matches_single_subset_kernel(self, tiny_bipartite):
+        gen = np.random.default_rng(0)
+        batch = gen.random((20, 4)) < 0.5
+        counts = tiny_bipartite.cover_counts_batch(batch)
+        uniques = tiny_bipartite.unique_cover_counts_batch(batch)
+        for i in range(20):
+            row = batch[i]
+            assert (counts[i] == tiny_bipartite.cover_counts(row)).all()
+            assert uniques[i] == tiny_bipartite.unique_cover_count(row)
+
+    def test_empty_batch(self, tiny_bipartite):
+        batch = np.zeros((0, 4), dtype=bool)
+        assert tiny_bipartite.cover_counts_batch(batch).shape == (0, 5)
+        assert tiny_bipartite.unique_cover_counts_batch(batch).shape == (0,)
+
+    def test_shape_validation(self, tiny_bipartite):
+        with pytest.raises(ValueError):
+            tiny_bipartite.cover_counts_batch(np.zeros((3, 5), dtype=bool))
+        with pytest.raises(ValueError):
+            tiny_bipartite.cover_counts_batch(np.zeros((3, 4), dtype=np.int32))
+        with pytest.raises(ValueError):
+            tiny_bipartite.cover_counts_batch(np.zeros(4, dtype=bool))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_cross_check(self, seed):
+        gen = np.random.default_rng(seed)
+        gs = random_bipartite(7, 11, 0.3, rng=gen)
+        batch = gen.random((8, 7)) < 0.4
+        uniques = gs.unique_cover_counts_batch(batch)
+        for i in range(8):
+            assert uniques[i] == gs.unique_cover_count(batch[i])

@@ -1,0 +1,74 @@
+"""Section 5 chained-core-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import broadcast_chain, core_graph_layout
+
+
+class TestBroadcastChain:
+    def test_sizes(self):
+        ch = broadcast_chain(8, 4, rng=0)
+        per_layer = 8 + core_graph_layout(8).n_right
+        assert ch.graph.n == 1 + 4 * per_layer
+        assert ch.n_vertices == ch.graph.n
+        assert ch.num_layers == 4
+
+    def test_root_wired_to_first_s(self):
+        ch = broadcast_chain(4, 3, rng=1)
+        nbrs = set(ch.graph.neighbors(ch.root).tolist())
+        assert nbrs == set(ch.s_ranges[0])
+
+    def test_portals_live_in_their_n_layer(self):
+        ch = broadcast_chain(8, 5, rng=2)
+        for i, portal in enumerate(ch.portals):
+            assert portal in ch.n_ranges[i]
+
+    def test_portals_wired_to_next_s(self):
+        ch = broadcast_chain(4, 3, rng=3)
+        for i in range(ch.num_layers - 1):
+            nbrs = set(ch.graph.neighbors(int(ch.portals[i])).tolist())
+            assert set(ch.s_ranges[i + 1]) <= nbrs
+
+    def test_last_portal_dangles(self):
+        ch = broadcast_chain(4, 3, rng=4)
+        last = int(ch.portals[-1])
+        nbrs = set(ch.graph.neighbors(last).tolist())
+        # Only core-graph neighbours (within its own S layer).
+        assert nbrs <= set(ch.s_ranges[-1])
+
+    def test_diameter_matches_claim(self):
+        for layers in (1, 2, 4):
+            ch = broadcast_chain(4, layers, rng=5)
+            assert ch.graph.diameter() == ch.diameter_claim == 2 * layers + 2
+
+    def test_connected(self):
+        ch = broadcast_chain(8, 3, rng=6)
+        assert ch.graph.is_connected()
+
+    def test_layer_of(self):
+        ch = broadcast_chain(4, 3, rng=7)
+        assert ch.layer_of(ch.root) == -1
+        assert ch.layer_of(ch.s_ranges[0].start) == 0
+        assert ch.layer_of(ch.n_ranges[1].start) == 1
+        assert ch.layer_of(ch.s_ranges[2].stop - 1) == 2
+
+    def test_deterministic_given_seed(self):
+        a = broadcast_chain(8, 3, rng=42)
+        b = broadcast_chain(8, 3, rng=42)
+        assert a.graph == b.graph
+        assert (a.portals == b.portals).all()
+
+    def test_portal_randomness(self):
+        # Different seeds should (generically) pick different portals.
+        portals = {
+            tuple(broadcast_chain(16, 3, rng=seed).portals.tolist())
+            for seed in range(6)
+        }
+        assert len(portals) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            broadcast_chain(6, 2, rng=0)  # s not a power of two
+        with pytest.raises(ValueError):
+            broadcast_chain(8, 0, rng=0)

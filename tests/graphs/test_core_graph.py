@@ -1,0 +1,178 @@
+"""Lemma 4.4 core graph: construction, layout and exact DP verifiers.
+
+Every one of the lemma's five claims is checked, by brute force where
+feasible and via the closed forms everywhere.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expansion import max_unique_coverage_exact
+from repro.graphs import (
+    core_graph,
+    core_graph_layout,
+    core_graph_max_unique_coverage,
+    core_graph_min_expansion,
+    core_graph_properties,
+)
+
+POWERS = [1, 2, 4, 8, 16, 32]
+
+
+class TestLayout:
+    def test_levels_and_sizes(self):
+        layout = core_graph_layout(8)
+        assert layout.levels == 4  # log2(16)
+        assert layout.n_right == 8 * 4
+        assert [layout.block_size(i) for i in range(4)] == [8, 4, 2, 1]
+
+    def test_blocks_partition_right_side(self):
+        layout = core_graph_layout(8)
+        seen = set()
+        for level in range(layout.levels):
+            for t in range(1 << level):
+                block = layout.block(level, t)
+                assert not (set(block) & seen)
+                seen.update(block)
+        assert seen == set(range(layout.n_right))
+
+    def test_ancestor(self):
+        layout = core_graph_layout(8)
+        assert layout.ancestor(5, 0) == 0
+        assert layout.ancestor(5, 3) == 5
+        assert layout.ancestor(5, 1) == 1  # 5 = 0b101 -> top bit 1
+        assert layout.ancestor(5, 2) == 2
+
+    def test_level_of_right(self):
+        layout = core_graph_layout(4)
+        assert layout.level_of_right(0) == 0
+        assert layout.level_of_right(4) == 1
+        assert layout.level_of_right(11) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            core_graph_layout(6)
+        layout = core_graph_layout(4)
+        with pytest.raises(ValueError):
+            layout.block(5, 0)
+        with pytest.raises(ValueError):
+            layout.block(1, 2)
+        with pytest.raises(ValueError):
+            layout.ancestor(4, 0)
+        with pytest.raises(ValueError):
+            layout.level_of_right(100)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("s", POWERS)
+    def test_lemma44_claim1_sizes(self, s):
+        g = core_graph(s)
+        props = core_graph_properties(s)
+        assert g.n_left == s
+        assert g.n_right == props["n_right"] == s * (s.bit_length())
+
+    @pytest.mark.parametrize("s", POWERS)
+    def test_lemma44_claim2_left_degree(self, s):
+        g = core_graph(s)
+        assert (g.left_degrees == 2 * s - 1).all()
+
+    @pytest.mark.parametrize("s", POWERS)
+    def test_lemma44_claim3_right_degrees(self, s):
+        g = core_graph(s)
+        assert g.max_right_degree == s
+        assert g.avg_right_degree <= 2 * s / np.log2(2 * s) + 1e-9
+        # Right degrees are exactly s/2^level.
+        layout = core_graph_layout(s)
+        for level in range(layout.levels):
+            block = layout.block(level, 0)
+            assert (g.right_degrees[list(block)] == s >> level).all()
+
+    def test_adjacency_is_ancestor_relation(self):
+        # Observation 4.5: z ~ v iff v's block owner is an ancestor of z.
+        s = 8
+        g = core_graph(s)
+        layout = core_graph_layout(s)
+        for leaf in range(s):
+            expected = set()
+            for level in range(layout.levels):
+                expected.update(layout.block(level, layout.ancestor(leaf, level)))
+            assert set(g.neighbors_of_left(leaf).tolist()) == expected
+
+
+class TestExpansionDP:
+    @pytest.mark.parametrize("s", [1, 2, 4, 8])
+    def test_min_expansion_matches_brute_force(self, s):
+        g = core_graph(s)
+        best = min(
+            g.cover_count(np.array(sub)) / len(sub)
+            for k in range(1, s + 1)
+            for sub in itertools.combinations(range(s), k)
+        )
+        exp, _k, _cov = core_graph_min_expansion(s)
+        assert exp == pytest.approx(best)
+
+    @pytest.mark.parametrize("s", POWERS)
+    def test_lemma44_claim4_expansion_at_least_log2s(self, s):
+        exp, _, _ = core_graph_min_expansion(s)
+        assert exp >= np.log2(2 * s) - 1e-9
+
+    @pytest.mark.parametrize("s", POWERS)
+    def test_expansion_is_exactly_log2s(self, s):
+        # The paper's bound is tight: the full set achieves it.
+        exp, k, cov = core_graph_min_expansion(s)
+        assert exp == pytest.approx(np.log2(2 * s))
+        assert k == s and cov == s * (s.bit_length())
+
+
+class TestWirelessDP:
+    @pytest.mark.parametrize("s", [1, 2, 4, 8, 16])
+    def test_matches_exhaustive(self, s):
+        g = core_graph(s)
+        exact, _wit = max_unique_coverage_exact(g)
+        assert core_graph_max_unique_coverage(s) == exact
+
+    @pytest.mark.parametrize("s", POWERS)
+    def test_lemma44_claim5_cap(self, s):
+        assert core_graph_max_unique_coverage(s) <= 2 * s
+
+    @pytest.mark.parametrize("s", POWERS)
+    def test_optimum_is_2s_minus_1(self, s):
+        # The induction's bound 2s−1 is exactly attained (single leaf of the
+        # deepest path uniquely covers its whole ancestor chain).
+        assert core_graph_max_unique_coverage(s) == 2 * s - 1
+
+    @pytest.mark.parametrize("s", POWERS)
+    def test_witness_achieves_value(self, s):
+        g = core_graph(s)
+        value, witness = core_graph_max_unique_coverage(s, return_witness=True)
+        assert g.unique_cover_count(witness) == value
+
+    def test_single_leaf_is_optimal(self):
+        # A single leaf covers its 2s−1 ancestors' blocks uniquely.
+        g = core_graph(16)
+        assert g.unique_cover_count(np.array([7])) == 31
+
+
+class TestProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    def test_property_sheet_consistent(self, s):
+        g = core_graph(s)
+        props = core_graph_properties(s)
+        assert g.n_right == props["n_right"]
+        assert g.max_right_degree == props["max_right_degree"]
+        assert (g.left_degrees == props["left_degree"]).all()
+        assert g.avg_right_degree <= props["avg_right_degree_bound"] + 1e-9
+        assert props["wireless_fraction_upper_bound"] == pytest.approx(
+            props["wireless_coverage_upper_bound"] / props["n_right"]
+        )
+
+    def test_wireless_fraction_formula(self):
+        props = core_graph_properties(32)
+        assert props["wireless_fraction_upper_bound"] == pytest.approx(
+            2 / np.log2(64)
+        )

@@ -1,0 +1,43 @@
+"""The C⁺ motivating example (Section 1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import unique_expansion_of_set, wireless_expansion_of_set_exact
+from repro.graphs import cplus_graph, cplus_informed_after_round_one
+from repro.graphs.cplus import SOURCE
+
+
+class TestCPlus:
+    def test_structure(self):
+        g = cplus_graph(5)
+        assert g.n == 6
+        assert set(g.neighbors(SOURCE).tolist()) == {1, 2}
+        # Clique vertices all pairwise adjacent.
+        for u in range(1, 6):
+            for v in range(u + 1, 6):
+                assert g.has_edge(u, v)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cplus_graph(2)
+
+    def test_informed_set(self):
+        mask = cplus_informed_after_round_one(5)
+        assert set(np.flatnonzero(mask)) == {0, 1, 2}
+
+    def test_unique_expansion_of_informed_set_is_zero(self):
+        # The paper's observation: all clique vertices hear both x and y.
+        g = cplus_graph(7)
+        s = cplus_informed_after_round_one(7)
+        assert unique_expansion_of_set(g, s) == 0.0
+
+    def test_wireless_expansion_of_informed_set_is_positive(self):
+        # Selecting S' = {x} uniquely covers the whole remaining clique.
+        g = cplus_graph(7)
+        s = cplus_informed_after_round_one(7)
+        ratio, witness = wireless_expansion_of_set_exact(g, s)
+        # S' = {x} uniquely covers the clique_size − 2 outside-clique
+        # vertices; {x, y} together cover none (all collisions).
+        assert ratio == pytest.approx((7 - 2) / 3)
+        assert witness.size == 1 and witness[0] in (1, 2)

@@ -1,0 +1,108 @@
+"""Unit tests for the workload graph families."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chordal_cycle_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    hypercube,
+    margulis_expander,
+    path_graph,
+    random_bipartite,
+    random_bipartite_regular,
+    random_regular,
+    star_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.n == 6 and g.n_edges == 15
+        assert (g.degrees == 5).all()
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert (g.degrees == 2).all()
+        assert g.is_connected()
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.n_edges == 4
+        assert g.diameter() == 4
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degrees[0] == 5
+        assert (g.degrees[1:] == 1).all()
+        with pytest.raises(ValueError):
+            star_graph(1)
+
+    def test_hypercube(self):
+        for d in (1, 2, 3, 4):
+            g = hypercube(d)
+            assert g.n == 2**d
+            assert (g.degrees == d).all()
+            assert g.is_connected()
+            assert g.diameter() == d
+
+    def test_margulis(self):
+        g = margulis_expander(4)
+        assert g.n == 16
+        assert g.is_connected()
+        assert g.max_degree <= 8
+        with pytest.raises(ValueError):
+            margulis_expander(1)
+
+    def test_chordal_cycle(self):
+        g = chordal_cycle_graph(11)
+        assert g.n == 11
+        assert g.is_connected()
+        assert g.max_degree <= 3
+        with pytest.raises(ValueError, match="prime"):
+            chordal_cycle_graph(9)
+
+
+class TestRandomFamilies:
+    def test_random_regular_degrees(self):
+        for d in (2, 3, 6):
+            g = random_regular(24, d, rng=1)
+            assert (g.degrees == d).all()
+
+    def test_random_regular_deterministic(self):
+        a = random_regular(16, 3, rng=5)
+        b = random_regular(16, 3, rng=5)
+        assert a == b
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3, rng=0)
+        with pytest.raises(ValueError):
+            random_regular(4, 4, rng=0)
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi(6, 0.0, rng=0).n_edges == 0
+        assert erdos_renyi(6, 1.0, rng=0).n_edges == 15
+        with pytest.raises(ValueError):
+            erdos_renyi(6, 1.5, rng=0)
+
+    def test_random_bipartite_regular(self):
+        g = random_bipartite_regular(10, 20, 4, rng=2)
+        assert (g.left_degrees == 4).all()
+        assert g.n_right == 20
+        with pytest.raises(ValueError):
+            random_bipartite_regular(3, 2, 5, rng=0)
+
+    def test_random_bipartite_extremes(self):
+        assert random_bipartite(4, 5, 0.0, rng=0).n_edges == 0
+        assert random_bipartite(4, 5, 1.0, rng=0).n_edges == 20
+
+    def test_random_bipartite_deterministic(self):
+        a = random_bipartite(5, 6, 0.4, rng=9)
+        b = random_bipartite(5, 6, 0.4, rng=9)
+        assert a == b

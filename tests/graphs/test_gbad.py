@@ -1,0 +1,129 @@
+"""Lemma 3.3 / Figure 1: the bad unique-neighbour expander Gbad."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    bipartite_expansion_exact,
+    bipartite_unique_expansion_exact,
+    max_unique_coverage_exact,
+)
+from repro.graphs import (
+    gbad,
+    gbad_alternating_subset,
+    gbad_private_block,
+    gbad_shared_block,
+    gbad_unique_expansion,
+    gbad_wireless_lower_bound,
+)
+
+CASES = [(4, 3), (4, 4), (6, 4), (6, 5), (5, 3), (8, 4)]  # (Δ, β)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("delta,beta", CASES)
+    def test_sizes_and_degrees(self, delta, beta):
+        s = 6
+        g = gbad(s, delta, beta)
+        assert g.n_left == s
+        assert g.n_right == s * beta
+        assert (g.left_degrees == delta).all()
+
+    @pytest.mark.parametrize("delta,beta", CASES)
+    def test_consecutive_overlap_exact(self, delta, beta):
+        s = 6
+        g = gbad(s, delta, beta)
+        for i in range(s):
+            a = set(g.neighbors_of_left(i).tolist())
+            b = set(g.neighbors_of_left((i + 1) % s).tolist())
+            assert len(a & b) == delta - beta
+
+    def test_nonconsecutive_disjoint(self):
+        g = gbad(6, 4, 3)
+        a = set(g.neighbors_of_left(0).tolist())
+        c = set(g.neighbors_of_left(2).tolist())
+        assert not (a & c)
+
+    def test_right_degrees_are_one_or_two(self):
+        g = gbad(6, 6, 4)
+        assert set(g.right_degrees.tolist()) <= {1, 2}
+
+    def test_blocks(self):
+        s, delta, beta = 5, 4, 3
+        g = gbad(s, delta, beta)
+        for i in range(s):
+            shared = gbad_shared_block(s, delta, beta, i)
+            private = gbad_private_block(s, delta, beta, i)
+            assert len(shared) == delta - beta
+            assert len(private) == 2 * beta - delta
+            for v in shared:
+                assert g.right_degrees[v] == 2
+            for v in private:
+                assert g.right_degrees[v] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="s >= 3"):
+            gbad(2, 4, 3)
+        with pytest.raises(ValueError, match="Δ/2"):
+            gbad(5, 8, 3)  # β < Δ/2
+        with pytest.raises(ValueError, match="Δ/2"):
+            gbad(5, 4, 5)  # β > Δ
+        with pytest.raises(ValueError):
+            gbad_shared_block(5, 4, 3, 5)
+        with pytest.raises(ValueError):
+            gbad_private_block(5, 4, 3, -1)
+
+
+class TestLemma33Claims:
+    @pytest.mark.parametrize("delta,beta", CASES)
+    def test_full_set_unique_expansion_is_2beta_minus_delta(self, delta, beta):
+        s = 6
+        g = gbad(s, delta, beta)
+        full = np.arange(s)
+        assert g.unique_cover_count(full) == s * (2 * beta - delta)
+        assert gbad_unique_expansion(delta, beta) == 2 * beta - delta
+
+    def test_unique_expansion_zero_at_half_delta(self):
+        g = gbad(6, 4, 2)  # β = Δ/2
+        assert g.unique_cover_count(np.arange(6)) == 0
+
+    @pytest.mark.parametrize("delta,beta", [(4, 3), (4, 2), (6, 4)])
+    def test_exact_unique_expansion_minimum(self, delta, beta):
+        # With α = 1 the minimizing set is the full S: runs of length l have
+        # ratio (lΔ − 2(l−1)(Δ−β))/l ≥ 2β − Δ, with equality at l = s.
+        g = gbad(5, delta, beta)
+        bu, witness = bipartite_unique_expansion_exact(g)
+        assert bu == pytest.approx(2 * beta - delta)
+        assert witness.size == 5  # the full left side
+
+    @pytest.mark.parametrize("delta,beta", CASES)
+    def test_ordinary_expansion_is_beta(self, delta, beta):
+        g = gbad(5, delta, beta)
+        b, _ = bipartite_expansion_exact(g)
+        assert b == pytest.approx(beta)
+
+
+class TestRemark1Wireless:
+    @pytest.mark.parametrize("delta,beta", CASES)
+    def test_alternating_subset_payoff(self, delta, beta):
+        s = 6
+        g = gbad(s, delta, beta)
+        alt = gbad_alternating_subset(s)
+        # Every second vertex: no shared blocks collide, all Δ neighbours
+        # of each selected vertex are unique.
+        assert g.unique_cover_count(alt) == (s // 2) * delta
+
+    @pytest.mark.parametrize("delta,beta", CASES)
+    def test_wireless_beats_remark_bound(self, delta, beta):
+        s = 6
+        g = gbad(s, delta, beta)
+        best, _ = max_unique_coverage_exact(g)
+        assert best / s >= gbad_wireless_lower_bound(delta, beta) - 1e-9
+
+    def test_wireless_positive_where_unique_dies(self):
+        # β = Δ/2: unique expansion 0, wireless ≥ Δ/2.
+        delta = 4
+        g = gbad(6, delta, 2)
+        best, _ = max_unique_coverage_exact(g)
+        assert g.unique_cover_count(np.arange(6)) == 0
+        assert best / 6 >= delta / 2

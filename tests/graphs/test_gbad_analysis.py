@@ -1,0 +1,87 @@
+"""Remark 1 run-length calculus vs exact measurement on Gbad."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    alternating_run_payoff,
+    full_run_payoff,
+    gbad,
+    gbad_run_subset,
+    predicted_run_wireless,
+)
+
+
+class TestRunSubset:
+    def test_whole_run(self):
+        assert gbad_run_subset(2, 3, 8).tolist() == [2, 3, 4]
+
+    def test_wraps(self):
+        assert gbad_run_subset(6, 3, 8).tolist() == [6, 7, 0]
+
+    def test_alternating(self):
+        assert gbad_run_subset(0, 6, 8, step=2).tolist() == [0, 2, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gbad_run_subset(0, 9, 8)
+        with pytest.raises(ValueError):
+            gbad_run_subset(0, 0, 8)
+
+
+class TestPayoffFormulas:
+    @pytest.mark.parametrize("delta,beta", [(4, 3), (6, 4), (6, 5), (8, 6)])
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5])
+    def test_f_matches_measurement(self, delta, beta, length):
+        # f(l): the whole run transmits; per-vertex unique coverage.
+        s = 12  # long cycle so runs of length <= 5 don't wrap into overlap
+        g = gbad(s, delta, beta)
+        run = gbad_run_subset(0, length, s)
+        measured = g.unique_cover_count(run) / length
+        assert measured == pytest.approx(full_run_payoff(length, delta, beta))
+
+    @pytest.mark.parametrize("delta,beta", [(4, 3), (6, 4), (8, 6)])
+    @pytest.mark.parametrize("length", [2, 4, 6])
+    def test_g_matches_measurement_even(self, delta, beta, length):
+        # g(l) for even l: every second vertex, all Δ neighbours unique.
+        s = 12
+        g = gbad(s, delta, beta)
+        sel = gbad_run_subset(0, length, s, step=2)
+        measured = g.unique_cover_count(sel) / length
+        assert measured == pytest.approx(alternating_run_payoff(length, delta))
+
+    def test_g_odd_formula(self):
+        # Odd l: (l+1)/2 selected vertices each covering Δ uniquely.
+        s, delta, beta = 12, 6, 4
+        g = gbad(s, delta, beta)
+        length = 5
+        sel = gbad_run_subset(0, length, s, step=2)
+        measured = g.unique_cover_count(sel) / length
+        assert measured == pytest.approx(alternating_run_payoff(length, delta))
+
+    def test_limits_give_remark_bound(self):
+        # f -> 2β − Δ and g -> Δ/2 as l grows.
+        delta, beta = 6, 4
+        assert full_run_payoff(10_000, delta, beta) == pytest.approx(
+            2 * beta - delta, abs=1e-2
+        )
+        assert alternating_run_payoff(10_000, delta) == pytest.approx(
+            delta / 2, abs=1e-2
+        )
+
+    def test_prediction_is_max(self):
+        assert predicted_run_wireless(4, 6, 4) == max(
+            full_run_payoff(4, 6, 4), alternating_run_payoff(4, 6)
+        )
+
+    @pytest.mark.parametrize("length", [2, 3, 4, 6])
+    def test_prediction_never_exceeds_exact(self, length):
+        from repro.expansion import max_unique_coverage_exact
+
+        s, delta, beta = 12, 6, 4
+        g = gbad(s, delta, beta)
+        # Exact optimum over ALL subsets, restricted to a run's vertices:
+        run = gbad_run_subset(0, length, s)
+        sub = g.restrict_left(run)
+        best, _ = max_unique_coverage_exact(sub)
+        assert best / length >= predicted_run_wireless(length, delta, beta) - 1e-9

@@ -1,0 +1,139 @@
+"""Lemmas 4.6/4.7/4.8: generalized core graphs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    bipartite_expansion_exact,
+    max_unique_coverage_exact,
+)
+from repro.graphs import (
+    boosted_core,
+    core_graph,
+    diluted_core,
+    generalized_core,
+    generalized_core_max_unique_coverage,
+    lemma46_regime_ok,
+)
+
+
+class TestBoostedCore:
+    def test_multiplier_one_is_core(self):
+        gc = boosted_core(8, 1)
+        assert gc.mode == "core"
+        assert gc.graph == core_graph(8)
+
+    @pytest.mark.parametrize("s,k", [(4, 2), (8, 3), (16, 2)])
+    def test_lemma47_claims(self, s, k):
+        gc = boosted_core(s, k)
+        log2s = int(math.log2(2 * s))
+        # (1) |N̂| = s·β with β = k·log2s.
+        assert gc.graph.n_right == s * log2s * k
+        assert gc.expansion == k * log2s
+        # (2) left degree (2s−1)·k.
+        assert (gc.graph.left_degrees == (2 * s - 1) * k).all()
+        # (3) right degrees unchanged: max s, average ≤ 2s/log 2s.
+        assert gc.graph.max_right_degree == s
+        assert gc.graph.avg_right_degree <= 2 * s / log2s + 1e-9
+
+    def test_lemma47_expansion_exact(self):
+        gc = boosted_core(4, 2)
+        b, _ = bipartite_expansion_exact(gc.graph)
+        assert b == pytest.approx(gc.expansion)
+
+    def test_lemma47_wireless_cap(self):
+        gc = boosted_core(4, 3)
+        best, _ = max_unique_coverage_exact(gc.graph)
+        assert best <= gc.wireless_coverage_cap
+        assert best == generalized_core_max_unique_coverage(gc)
+
+    def test_exact_optimum_scales_with_k(self):
+        base, _ = max_unique_coverage_exact(core_graph(8))
+        gc = boosted_core(8, 4)
+        assert generalized_core_max_unique_coverage(gc) == 4 * base
+
+
+class TestDilutedCore:
+    def test_multiplier_one_is_core(self):
+        gc = diluted_core(8, 1)
+        assert gc.mode == "core"
+        assert gc.graph == core_graph(8)
+
+    @pytest.mark.parametrize("s,k", [(4, 2), (8, 2), (8, 3)])
+    def test_lemma48_claims(self, s, k):
+        gc = diluted_core(s, k)
+        log2s = int(math.log2(2 * s))
+        # (1) |Š| = s·k, |N| = s·log2s.
+        assert gc.graph.n_left == s * k
+        assert gc.graph.n_right == s * log2s
+        assert gc.expansion == pytest.approx(log2s / k)
+        # (2) left degree 2s−1 unchanged.
+        assert (gc.graph.left_degrees == 2 * s - 1).all()
+        # (3) right degrees scale by k.
+        assert gc.graph.max_right_degree == s * k
+
+    def test_lemma48_expansion_exact(self):
+        gc = diluted_core(4, 2)
+        b, _ = bipartite_expansion_exact(gc.graph)
+        assert b == pytest.approx(gc.expansion)
+
+    def test_lemma48_wireless_cap_unchanged(self):
+        gc = diluted_core(4, 2)
+        best, _ = max_unique_coverage_exact(gc.graph)
+        assert best <= gc.wireless_coverage_cap == 8
+        assert best == generalized_core_max_unique_coverage(gc)
+
+    def test_copies_only_collide(self):
+        # Selecting both copies of a left vertex can never beat one copy.
+        gc = diluted_core(4, 2)
+        one = gc.graph.unique_cover_count(np.array([0]))
+        both = gc.graph.unique_cover_count(np.array([0, 1]))
+        assert both == 0 < one
+
+
+class TestLemma46Regime:
+    def test_regime_check(self):
+        assert lemma46_regime_ok(40, 3)
+        assert not lemma46_regime_ok(4, 3)  # β* > Δ*/2e
+        assert not lemma46_regime_ok(40, 0.1)  # β* < 2e/Δ*
+
+    def test_out_of_regime_raises(self):
+        with pytest.raises(ValueError, match="2e"):
+            generalized_core(4, 3)
+
+
+class TestGeneralizedCore:
+    @pytest.mark.parametrize(
+        "delta_star,beta_star",
+        [(40, 6), (64, 2), (100, 10), (30, 1.0), (200, 0.5)],
+    )
+    def test_lemma46_assertions(self, delta_star, beta_star):
+        gc = generalized_core(delta_star, beta_star)
+        # (1) |S*| ≤ Δ*/2 and |N*| = β·|S*| for the achieved β.
+        assert gc.graph.n_left <= delta_star / 2 + 1e-9
+        assert gc.graph.n_right == pytest.approx(
+            gc.expansion * gc.graph.n_left
+        )
+        # Achieved parameters honour the request.
+        assert gc.expansion >= beta_star - 1e-9
+        assert gc.max_degree <= delta_star + 1e-9
+        assert gc.max_degree == max(
+            gc.graph.max_left_degree, gc.graph.max_right_degree
+        )
+        # (3) wireless cap: exact optimum ≤ (4/log min{Δ/β, Δβ})·|N*|.
+        exact = generalized_core_max_unique_coverage(gc)
+        assert exact <= gc.wireless_coverage_cap
+        assert (
+            gc.wireless_coverage_cap
+            <= gc.lemma46_wireless_fraction_cap * gc.graph.n_right + 1e-9
+        )
+
+    def test_boosted_branch_taken_for_large_beta(self):
+        gc = generalized_core(100, 10)
+        assert gc.mode == "boosted"
+
+    def test_diluted_branch_taken_for_small_beta(self):
+        gc = generalized_core(200, 0.5)
+        assert gc.mode == "diluted"

@@ -1,0 +1,190 @@
+"""Unit + property tests for the Graph kernel and its paper operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expansion.neighborhoods import (
+    naive_gamma,
+    naive_gamma_minus,
+    naive_gamma_one,
+    naive_gamma_one_s_excluding,
+    naive_gamma_s_excluding,
+)
+from repro.graphs import Graph, cycle_graph, hypercube
+
+
+def graph_strategy(max_n=9):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(1, max_n))
+        pairs = draw(
+            st.sets(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda t: t[0] < t[1]
+                ),
+                max_size=n * (n - 1) // 2,
+            )
+        )
+        return Graph(n, sorted(pairs))
+
+    return build()
+
+
+class TestConstruction:
+    def test_counts(self, triangle_with_tail):
+        assert triangle_with_tail.n == 4
+        assert triangle_with_tail.n_edges == 4
+
+    def test_degrees(self, triangle_with_tail):
+        assert triangle_with_tail.degrees.tolist() == [2, 2, 3, 1]
+        assert triangle_with_tail.max_degree == 3
+        assert triangle_with_tail.avg_degree == pytest.approx(2.0)
+
+    def test_neighbors(self, triangle_with_tail):
+        assert triangle_with_tail.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_has_edge(self, triangle_with_tail):
+        assert triangle_with_tail.has_edge(0, 1)
+        assert triangle_with_tail.has_edge(1, 0)
+        assert not triangle_with_tail.has_edge(0, 3)
+
+    def test_edge_order_normalized(self):
+        g = Graph(3, [(2, 0), (1, 0)])
+        assert g.edges().tolist() == [[0, 1], [0, 2]]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(2, [(0, 0)])
+
+    def test_rejects_duplicates_any_orientation(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 2)])
+
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0 and g.n_edges == 0 and g.max_degree == 0
+
+    def test_equality(self, triangle_with_tail):
+        same = Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert same == triangle_with_tail
+        assert Graph(4, [(0, 1)]) != triangle_with_tail
+
+
+class TestConverters:
+    def test_networkx_round_trip(self, triangle_with_tail):
+        nxg = triangle_with_tail.to_networkx()
+        back = Graph.from_networkx(nxg)
+        assert back == triangle_with_tail
+
+    def test_from_adjacency(self, triangle_with_tail):
+        back = Graph.from_adjacency(triangle_with_tail.adjacency)
+        assert back == triangle_with_tail
+
+    def test_from_adjacency_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Graph.from_adjacency(np.ones((2, 3)))
+
+
+class TestNeighborhoodOperators:
+    def test_gamma_includes_inside_neighbors(self, triangle_with_tail):
+        # Γ({0,1}) = {0,1,2}: 0 and 1 are each other's neighbours.
+        mask = triangle_with_tail.gamma([0, 1])
+        assert set(np.flatnonzero(mask)) == {0, 1, 2}
+
+    def test_gamma_minus(self, triangle_with_tail):
+        mask = triangle_with_tail.gamma_minus([0, 1])
+        assert set(np.flatnonzero(mask)) == {2}
+
+    def test_gamma_one(self, triangle_with_tail):
+        # Vertex 2 has two neighbours in {0,1}; so Γ¹ is empty.
+        assert triangle_with_tail.gamma_one([0, 1]).sum() == 0
+        # Γ¹({2}) = {0,1,3}.
+        assert set(np.flatnonzero(triangle_with_tail.gamma_one([2]))) == {0, 1, 3}
+
+    def test_gamma_s_excluding(self, triangle_with_tail):
+        out = triangle_with_tail.gamma_s_excluding([0, 1], [0])
+        assert set(np.flatnonzero(out)) == {2}
+
+    def test_gamma_one_s_excluding(self, triangle_with_tail):
+        out = triangle_with_tail.gamma_one_s_excluding([0, 1], [0])
+        assert set(np.flatnonzero(out)) == {2}
+        both = triangle_with_tail.gamma_one_s_excluding([0, 1], [0, 1])
+        assert both.sum() == 0
+
+    def test_s_prime_must_be_subset(self, triangle_with_tail):
+        with pytest.raises(ValueError, match="subset"):
+            triangle_with_tail.gamma_one_s_excluding([0], [1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy(), st.data())
+    def test_operators_match_naive(self, g, data):
+        s = sorted(data.draw(st.sets(st.integers(0, g.n - 1), max_size=g.n)))
+        s_arr = np.array(s, dtype=np.int64)
+        assert set(np.flatnonzero(g.gamma(s_arr))) == naive_gamma(g, s)
+        assert set(np.flatnonzero(g.gamma_minus(s_arr))) == naive_gamma_minus(g, s)
+        assert set(np.flatnonzero(g.gamma_one(s_arr))) == naive_gamma_one(g, s)
+        sp = sorted(data.draw(st.sets(st.sampled_from(s), max_size=len(s))) if s else [])
+        sp_arr = np.array(sp, dtype=np.int64)
+        assert set(
+            np.flatnonzero(g.gamma_s_excluding(s_arr, sp_arr))
+        ) == naive_gamma_s_excluding(g, s, sp)
+        assert set(
+            np.flatnonzero(g.gamma_one_s_excluding(s_arr, sp_arr))
+        ) == naive_gamma_one_s_excluding(g, s, sp)
+
+
+class TestBoundaryBipartite:
+    def test_structure(self, triangle_with_tail):
+        gs, left, right = triangle_with_tail.boundary_bipartite([0, 1])
+        assert left.tolist() == [0, 1]
+        assert right.tolist() == [2]
+        assert sorted(gs) == [(0, 0), (1, 0)]
+
+    def test_no_internal_edges_kept(self, q3):
+        s = [0, 1, 2, 3]
+        gs, left, right = q3.boundary_bipartite(s)
+        # Edges inside S (e.g. 0-1) must not appear.
+        assert gs.n_edges == int(q3.neighbor_counts(s)[right].sum())
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy(), st.data())
+    def test_coverage_consistency(self, g, data):
+        s = sorted(
+            data.draw(st.sets(st.integers(0, g.n - 1), min_size=1, max_size=g.n))
+        )
+        gs, left, right = g.boundary_bipartite(np.array(s))
+        # Unique coverage of the full S through the bipartite view equals Γ¹.
+        full = np.arange(gs.n_left)
+        assert gs.unique_cover_count(full) == int(g.gamma_one(np.array(s)).sum())
+
+
+class TestDistances:
+    def test_bfs_layers(self, triangle_with_tail):
+        assert triangle_with_tail.bfs_layers(3).tolist() == [2, 2, 1, 0]
+
+    def test_bfs_unreachable(self):
+        g = Graph(3, [(0, 1)])
+        assert g.bfs_layers(0).tolist() == [0, 1, -1]
+
+    def test_is_connected(self, q3):
+        assert q3.is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+        assert Graph(0, []).is_connected()
+
+    def test_diameter(self, q3):
+        assert q3.diameter() == 3
+        assert cycle_graph(6).diameter() == 3
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)]).diameter()
+
+    def test_eccentricity(self, triangle_with_tail):
+        assert triangle_with_tail.eccentricity(3) == 2
+        assert triangle_with_tail.eccentricity(2) == 1

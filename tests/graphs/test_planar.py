@@ -1,0 +1,61 @@
+"""Low-arboricity workload generators."""
+
+import pytest
+
+from repro.graphs import (
+    complete_binary_tree,
+    grid_2d,
+    random_recursive_tree,
+    triangular_grid,
+)
+
+
+class TestGrid:
+    def test_sizes(self):
+        g = grid_2d(3, 4)
+        assert g.n == 12
+        assert g.n_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_degrees(self):
+        g = grid_2d(3, 3)
+        assert g.max_degree == 4
+        assert g.degrees[4] == 4  # centre
+        assert g.degrees[0] == 2  # corner
+
+    def test_connected(self):
+        assert grid_2d(5, 7).is_connected()
+
+    def test_single_row(self):
+        g = grid_2d(1, 5)
+        assert g.n_edges == 4
+
+
+class TestTriangularGrid:
+    def test_diagonals_added(self):
+        base = grid_2d(3, 3)
+        tri = triangular_grid(3, 3)
+        assert tri.n_edges == base.n_edges + 4  # one diagonal per cell
+
+    def test_connected(self):
+        assert triangular_grid(4, 4).is_connected()
+
+
+class TestTrees:
+    def test_complete_binary_tree(self):
+        g = complete_binary_tree(3)
+        assert g.n == 15
+        assert g.n_edges == 14
+        assert g.is_connected()
+        assert g.degrees[0] == 2  # root
+
+    def test_random_recursive_tree(self):
+        g = random_recursive_tree(20, rng=1)
+        assert g.n_edges == 19
+        assert g.is_connected()
+
+    def test_random_recursive_tree_deterministic(self):
+        assert random_recursive_tree(15, rng=3) == random_recursive_tree(15, rng=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_recursive_tree(1, rng=0)

@@ -1,0 +1,61 @@
+"""Lemma 3.3 remark (2): plugging Gbad onto an expander."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import unique_expansion_of_set
+from repro.graphs import random_regular, unique_tweaked_expander
+
+
+@pytest.fixture(scope="module")
+def tweaked():
+    base = random_regular(64, 6, rng=5)
+    return unique_tweaked_expander(base, s=6, delta_bad=4, beta_bad=3, rng=6)
+
+
+class TestConstruction:
+    def test_vertex_bookkeeping(self, tweaked):
+        assert tweaked.graph.n == 64 + 6
+        assert (tweaked.planted_set >= 64).all()
+        assert tweaked.right_vertices.size == 6 * 3
+
+    def test_planted_edges_only_into_rights(self, tweaked):
+        rights = set(tweaked.right_vertices.tolist())
+        for v in tweaked.planted_set:
+            assert set(tweaked.graph.neighbors(int(v)).tolist()) <= rights
+
+    def test_base_preserved(self, tweaked):
+        base = random_regular(64, 6, rng=5)
+        base_edges = {tuple(e) for e in base.edges().tolist()}
+        assert base_edges <= {tuple(e) for e in tweaked.graph.edges().tolist()}
+
+    def test_too_small_base_rejected(self):
+        base = random_regular(10, 3, rng=1)
+        with pytest.raises(ValueError):
+            unique_tweaked_expander(base, s=6, delta_bad=4, beta_bad=3, rng=0)
+
+
+class TestUniqueCap:
+    def test_planted_unique_expansion_at_most_cap(self, tweaked):
+        # The planted set's unique expansion is capped at 2β − Δ = 2.
+        measured = unique_expansion_of_set(tweaked.graph, tweaked.planted_set)
+        assert measured <= tweaked.planted_unique_cap + 1e-9
+
+    def test_cap_value(self, tweaked):
+        assert tweaked.planted_unique_cap == 2
+
+    def test_zero_cap_at_half_delta(self):
+        base = random_regular(64, 6, rng=7)
+        tw = unique_tweaked_expander(base, s=6, delta_bad=4, beta_bad=2, rng=8)
+        assert tw.planted_unique_cap == 0
+        assert unique_expansion_of_set(tw.graph, tw.planted_set) == 0.0
+
+    def test_wireless_survives_the_tweak(self):
+        # Remark 1 carries over: wireless expansion of the planted set
+        # remains ≥ Δ/2 even where unique expansion is 0.
+        from repro.spokesman import wireless_lower_bound_of_set
+
+        base = random_regular(64, 6, rng=9)
+        tw = unique_tweaked_expander(base, s=6, delta_bad=4, beta_bad=2, rng=10)
+        bw, _ = wireless_lower_bound_of_set(tw.graph, tw.planted_set, rng=11)
+        assert bw >= 2.0 - 1e-9

@@ -1,0 +1,131 @@
+"""Section 4.3.3 / Corollary 4.11: the plugged worst-case expander."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    corollary_4_11_parameters,
+    random_regular,
+    worst_case_expander,
+)
+from repro.spokesman import wireless_lower_bound_of_set
+
+
+@pytest.fixture(scope="module")
+def base():
+    return random_regular(256, 64, rng=11)
+
+
+@pytest.fixture(scope="module")
+def wc(base):
+    return worst_case_expander(base, beta=2.0, epsilon=0.45, rng=12)
+
+
+class TestConstruction:
+    def test_vertex_bookkeeping(self, base, wc):
+        assert wc.graph.n == base.n + wc.planted_set.size
+        assert (wc.planted_set >= base.n).all()
+        assert (wc.core_right_vertices < base.n).all()
+        assert wc.core_right_vertices.size == wc.core.graph.n_right
+
+    def test_blowup_bounds(self, base, wc):
+        eps = wc.epsilon
+        assert wc.graph.n <= (1 + eps) * base.n
+        assert wc.graph.max_degree <= (1 + eps) * base.max_degree
+
+    def test_planted_edges_only_into_core_rights(self, wc):
+        # All neighbours of S* vertices are core right vertices.
+        rights = set(wc.core_right_vertices.tolist())
+        for v in wc.planted_set:
+            assert set(wc.graph.neighbors(int(v)).tolist()) <= rights
+
+    def test_base_edges_preserved(self, base, wc):
+        base_edges = {tuple(e) for e in base.edges().tolist()}
+        new_edges = {tuple(e) for e in wc.graph.edges().tolist()}
+        assert base_edges <= new_edges
+
+    def test_core_regime_parameters(self, wc):
+        # The core was built for Δ* = εΔ, β* = β/ε.
+        assert wc.core.max_degree <= wc.epsilon * wc.base_max_degree + 1e-9
+        assert wc.core.expansion >= wc.base_beta / wc.epsilon - 1e-9
+
+
+class TestClaim410:
+    def test_planted_set_wireless_cap(self, wc):
+        # Claim 4.10: the planted set's wireless coverage is capped by the
+        # core's cap; certify with the spokesman portfolio lower bound and
+        # the exact structural upper bound.
+        cap = wc.planted_wireless_coverage_cap
+        achieved, result = wireless_lower_bound_of_set(
+            wc.graph, wc.planted_set, rng=5
+        )
+        assert result.unique_count <= cap
+        # The planted wireless expansion is far below the ordinary β̃.
+        assert wc.planted_wireless_expansion_cap >= achieved
+
+    def test_expansion_of_planted_set_is_high(self, wc):
+        # Claim 4.9 ingredient: S* itself expands by β* = β/ε ≥ core claim.
+        from repro.expansion import expansion_of_set
+
+        ratio = expansion_of_set(wc.graph, wc.planted_set)
+        assert ratio >= wc.core.expansion - 1e-9
+
+
+class TestClaim49:
+    def test_sampled_sets_keep_beta_tilde(self, wc):
+        # Claim 4.9: G̃ remains a (α̃, β̃)-expander with β̃ = (1−ε)β.  A
+        # lower bound cannot be *proved* by sampling, but no sampled set may
+        # violate it; candidates mix base vertices and planted ones.
+        import numpy as np
+
+        from repro.expansion import expansion_of_set
+
+        beta_tilde = (1 - wc.epsilon) * wc.base_beta
+        gen = np.random.default_rng(77)
+        n = wc.graph.n
+        for _ in range(40):
+            size = int(gen.integers(1, n // 10))
+            subset = gen.choice(n, size=size, replace=False)
+            assert expansion_of_set(wc.graph, subset) >= beta_tilde - 1e-9
+
+    def test_planted_heavy_sets_expand_via_core(self, wc):
+        # The proof's other branch: sets dominated by S* expand through the
+        # core at rate β/ε ≥ β̃.
+        import numpy as np
+
+        from repro.expansion import expansion_of_set
+
+        beta_tilde = (1 - wc.epsilon) * wc.base_beta
+        for k in range(1, wc.planted_set.size + 1):
+            subset = wc.planted_set[:k]
+            assert expansion_of_set(wc.graph, subset) >= beta_tilde - 1e-9
+
+
+class TestParameters:
+    def test_corollary_sheet(self):
+        sheet = corollary_4_11_parameters(
+            n=1000, delta=64, beta=2.0, alpha=0.5, epsilon=0.25
+        )
+        assert sheet["n_tilde_max"] == pytest.approx(1250)
+        assert sheet["delta_tilde_max"] == pytest.approx(80)
+        assert sheet["beta_tilde"] == pytest.approx(1.5)
+        assert sheet["alpha_tilde"] == pytest.approx(0.375)
+        assert sheet["wireless_cap"] > 0
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            corollary_4_11_parameters(100, 64, 2.0, 0.5, 0.6)
+        with pytest.raises(ValueError):
+            corollary_4_11_parameters(100, 64, 2.0, 0.5, 0.0)
+
+    def test_delta_beta_regime(self):
+        with pytest.raises(ValueError, match="Δ·β"):
+            corollary_4_11_parameters(100, 2, 0.1, 0.5, 0.45)
+
+    def test_construction_validation(self, base):
+        with pytest.raises(ValueError):
+            worst_case_expander(base, beta=2.0, epsilon=0.9, rng=0)
+        # Core bigger than the base graph must be rejected.
+        small = random_regular(16, 8, rng=3)
+        with pytest.raises(ValueError):
+            worst_case_expander(small, beta=0.9, epsilon=0.45, rng=0)

@@ -1,0 +1,49 @@
+"""Section 5 per-hop concentration study."""
+
+import numpy as np
+import pytest
+
+from repro.radio import DecayProtocol, hop_time_study
+
+
+class TestHopTimeStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return hop_time_study(8, 4, DecayProtocol, repetitions=6, rng=1)
+
+    def test_shapes(self, study):
+        assert study.hop_times.shape == (6, 4)
+        assert study.totals.shape == (6,)
+
+    def test_totals_consistent(self, study):
+        assert (study.totals == study.hop_times.sum(axis=1)).all()
+
+    def test_hops_positive(self, study):
+        assert (study.hop_times > 0).all()
+
+    def test_hop_mean_scales_with_log(self, study):
+        # Each hop costs Ω(log 2s) = Ω(4); the Decay constant puts the mean
+        # clearly above 1 round and below a huge multiple.
+        assert 2.0 <= study.hop_mean <= 40.0
+
+    def test_reproducible(self):
+        a = hop_time_study(8, 3, DecayProtocol, repetitions=4, rng=9)
+        b = hop_time_study(8, 3, DecayProtocol, repetitions=4, rng=9)
+        assert (a.hop_times == b.hop_times).all()
+
+    def test_autocorrelation_small(self):
+        study = hop_time_study(8, 6, DecayProtocol, repetitions=8, rng=2)
+        # Independent hops -> autocorrelation near 0 (generous tolerance
+        # for an 8x5 sample).
+        assert abs(study.hop_autocorrelation()) < 0.6
+
+    def test_concentration_improves_with_layers(self):
+        short = hop_time_study(8, 2, DecayProtocol, repetitions=8, rng=3)
+        long = hop_time_study(8, 8, DecayProtocol, repetitions=8, rng=3)
+        # Sums of more independent hops concentrate (Chernoff direction);
+        # allow slack for the small sample.
+        assert long.total_relative_spread <= short.total_relative_spread + 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hop_time_study(8, 2, DecayProtocol, repetitions=1, rng=0)

@@ -1,0 +1,83 @@
+"""Section 5 lower-bound experiment drivers."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.graphs import core_graph_layout
+from repro.radio import (
+    DecayProtocol,
+    SpokesmanBroadcastProtocol,
+    measure_chain_broadcast,
+    portal_times,
+    rooted_core_graph,
+    run_broadcast,
+)
+
+
+class TestRootedCoreGraph:
+    def test_structure(self):
+        g, root, n_ids = rooted_core_graph(8)
+        layout = core_graph_layout(8)
+        assert g.n == 1 + 8 + layout.n_right
+        assert root == 0
+        assert set(g.neighbors(root).tolist()) == set(range(1, 9))
+        assert n_ids.size == layout.n_right
+
+    @pytest.mark.parametrize("s", [8, 16])
+    def test_corollary_51_cap_under_genie(self, s):
+        # Even a full-knowledge scheduler informs ≤ 2s new N-vertices per
+        # round (Lemma 4.4(5) in action).
+        g, root, n_ids = rooted_core_graph(s)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=0)
+        assert res.completed
+        rounds = res.first_informed_round[n_ids]
+        per_round = collections.Counter(rounds.tolist())
+        assert max(per_round.values()) <= 2 * s
+
+    @pytest.mark.parametrize("s", [8, 16])
+    def test_corollary_51_round_floor(self, s):
+        # Reaching a 2i/log(2s) fraction of N takes ≥ 1 + i rounds.
+        g, root, n_ids = rooted_core_graph(s)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=0)
+        log2s = int(np.log2(2 * s))
+        n_total = n_ids.size
+        rounds_in_n = np.sort(res.first_informed_round[n_ids])
+        for i in range(0, log2s // 2 + 1):
+            target = 2 * i / log2s * n_total
+            if target < 1:
+                continue
+            k = int(np.ceil(target))
+            reach_round = rounds_in_n[k - 1]
+            assert reach_round >= 1 + i - 1e-9, (s, i, reach_round)
+
+
+class TestChainMeasurement:
+    def test_portal_times_increasing(self):
+        m = measure_chain_broadcast(8, 4, DecayProtocol(), rng=1, chain_rng=2)
+        assert m.completed
+        times = m.portal_rounds
+        assert (np.diff(times) > 0).all()
+
+    def test_per_hop_rounds_positive(self):
+        m = measure_chain_broadcast(8, 4, DecayProtocol(), rng=3, chain_rng=4)
+        assert (m.per_hop_rounds > 0).all()
+        assert m.per_hop_rounds.sum() == m.portal_rounds[-1]
+
+    def test_km_bound_formula(self):
+        m = measure_chain_broadcast(4, 2, DecayProtocol(), rng=5, chain_rng=6)
+        d = m.diameter_claim
+        assert m.km_bound == pytest.approx(d * np.log2(m.n / d))
+
+    def test_genie_respects_portal_order(self):
+        m = measure_chain_broadcast(
+            8, 3, SpokesmanBroadcastProtocol(), rng=7, chain_rng=8
+        )
+        assert m.completed
+        assert (np.diff(m.portal_rounds) > 0).all()
+
+    def test_rounds_grow_with_layers(self):
+        short = measure_chain_broadcast(8, 2, DecayProtocol(), rng=9, chain_rng=10)
+        long = measure_chain_broadcast(8, 6, DecayProtocol(), rng=9, chain_rng=10)
+        assert long.rounds > short.rounds

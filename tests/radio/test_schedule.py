@@ -1,0 +1,128 @@
+"""Static broadcast-schedule synthesis (the Section 4.2.1 application)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    BipartiteGraph,
+    core_graph,
+    cplus_graph,
+    grid_2d,
+    hypercube,
+    random_bipartite,
+    random_regular,
+)
+from repro.radio import (
+    BroadcastSchedule,
+    StaticScheduleProtocol,
+    run_broadcast,
+    synthesize_broadcast_schedule,
+    synthesize_layer_schedule,
+)
+from repro.spokesman import spokesman_recursive
+
+
+class TestLayerSchedule:
+    def test_covers_everything(self, tiny_bipartite):
+        slots = synthesize_layer_schedule(tiny_bipartite)
+        covered = np.zeros(tiny_bipartite.n_right, dtype=bool)
+        for slot in slots:
+            covered |= tiny_bipartite.uniquely_covered(slot)
+        assert covered.all()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_covers_random_instances(self, seed):
+        gen = np.random.default_rng(seed)
+        gs = random_bipartite(12, 30, 0.25, rng=gen)
+        slots = synthesize_layer_schedule(gs)
+        covered = ~(gs.right_degrees >= 1)
+        for slot in slots:
+            covered |= gs.uniquely_covered(slot)
+        assert covered.all()
+
+    @pytest.mark.parametrize("s", [8, 16, 32, 64])
+    def test_core_graph_slot_count_logarithmic(self, s):
+        # Each slot covers ≥ MG(δ)-fraction, so slots = O(log γ); on the
+        # core graph that is O(log²s)-ish — assert a generous ceiling that
+        # a linear-slot scheduler would blow through.
+        gs = core_graph(s)
+        slots = synthesize_layer_schedule(gs)
+        assert len(slots) <= 4 * int(math.log2(2 * s)) ** 2
+
+    def test_custom_algorithm(self, core8):
+        slots = synthesize_layer_schedule(core8, algorithm=spokesman_recursive)
+        covered = np.zeros(core8.n_right, dtype=bool)
+        for slot in slots:
+            covered |= core8.uniquely_covered(slot)
+        assert covered.all()
+
+    def test_isolated_rights_ignored(self):
+        gs = BipartiteGraph(2, 3, [(0, 0), (1, 0)])
+        slots = synthesize_layer_schedule(gs)
+        assert len(slots) == 1
+
+    def test_slot_cap_raises(self, core8):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            synthesize_layer_schedule(core8, max_slots=1)
+
+
+class TestBroadcastSchedule:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: hypercube(4),
+            lambda: grid_2d(6, 6),
+            lambda: cplus_graph(8),
+            lambda: random_regular(48, 4, rng=7),
+        ],
+    )
+    def test_verifies_on_graph(self, maker):
+        g = maker()
+        schedule = synthesize_broadcast_schedule(g, source=0)
+        ok, informed = schedule.verify(g)
+        assert ok, f"{informed.sum()}/{g.n} informed"
+
+    def test_runner_agrees_with_verify(self):
+        g = hypercube(3)
+        schedule = synthesize_broadcast_schedule(g, source=0)
+        res = run_broadcast(
+            g, StaticScheduleProtocol(schedule), source=0,
+            max_rounds=schedule.length + 1, rng=0,
+        )
+        assert res.completed
+        assert res.rounds <= schedule.length
+
+    def test_cplus_schedule_is_short(self):
+        # Diameter 2 plus one halving slot: the schedule fixes the flooding
+        # deadlock with 2 rounds.
+        g = cplus_graph(10)
+        schedule = synthesize_broadcast_schedule(g, source=0)
+        assert schedule.length == 2
+
+    def test_length_scales_with_diameter(self):
+        short = synthesize_broadcast_schedule(grid_2d(4, 4), source=0)
+        long = synthesize_broadcast_schedule(grid_2d(8, 8), source=0)
+        assert long.length > short.length
+
+    def test_requires_connected(self):
+        from repro.graphs import Graph
+
+        g = Graph(4, [(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            synthesize_broadcast_schedule(g, source=0)
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_broadcast_schedule(hypercube(3), source=100)
+
+    def test_beats_decay_on_expander(self):
+        from repro.radio import DecayProtocol
+
+        g = random_regular(96, 6, rng=8)
+        schedule = synthesize_broadcast_schedule(g, source=0)
+        ok, _ = schedule.verify(g)
+        assert ok
+        decay = run_broadcast(g, DecayProtocol(), source=0, rng=9)
+        assert schedule.length <= decay.rounds

@@ -1,0 +1,85 @@
+"""Detailed broadcast tracing and collision accounting."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cplus_graph, hypercube, path_graph
+from repro.radio import (
+    DecayProtocol,
+    FloodingProtocol,
+    SpokesmanBroadcastProtocol,
+    run_broadcast,
+    run_broadcast_traced,
+)
+
+
+class TestTracedRunner:
+    def test_agrees_with_plain_runner(self):
+        g = hypercube(4)
+        plain = run_broadcast(g, DecayProtocol(), source=0, rng=7)
+        traced = run_broadcast_traced(g, DecayProtocol(), source=0, rng=7)
+        assert traced.completed == plain.completed
+        assert len(traced.rounds) == plain.rounds
+        assert (
+            traced.first_informed_round == plain.first_informed_round
+        ).all()
+        assert traced.total_transmissions == plain.transmissions
+
+    def test_path_flooding_no_collisions(self):
+        # One frontier vertex per side: flooding a path never collides at
+        # the frontier... but interior nodes hear both neighbours.
+        g = path_graph(5)
+        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, rng=0)
+        assert trace.completed
+        first = trace.rounds[0]
+        assert first.transmitters == 1
+        assert first.collision_victims == 0
+
+    def test_cplus_flooding_collision_storm(self):
+        # Round 2 on C+: {s0, x, y} all transmit; every clique vertex hears
+        # x and y -> all collide, nobody new is informed.
+        g = cplus_graph(8)
+        trace = run_broadcast_traced(
+            g, FloodingProtocol(), source=0, max_rounds=5, rng=0
+        )
+        assert not trace.completed
+        second = trace.rounds[1]
+        assert second.newly_informed == 0
+        assert second.collision_victims == 8 - 2  # the uninformed clique part
+        assert second.collision_rate == 1.0
+
+    def test_spokesman_low_collisions_on_cplus(self):
+        g = cplus_graph(8)
+        trace = run_broadcast_traced(
+            g, SpokesmanBroadcastProtocol(), source=0, rng=0
+        )
+        assert trace.completed
+        assert trace.mean_collision_rate <= 0.5
+
+    def test_round_record_fields(self):
+        g = path_graph(3)
+        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, rng=0)
+        r = trace.rounds[0]
+        assert r.round_index == 1
+        assert r.receptions == 1
+        assert r.newly_informed == 1
+
+    def test_collision_rate_zero_without_contact(self):
+        from repro.radio.trace import RoundRecord
+
+        r = RoundRecord(1, 0, 0, 0, 0)
+        assert r.collision_rate == 0.0
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            run_broadcast_traced(path_graph(3), FloodingProtocol(), source=9)
+
+    def test_totals(self):
+        g = path_graph(4)
+        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, rng=0)
+        assert trace.total_transmissions == sum(
+            r.transmitters for r in trace.rounds
+        )
+        assert trace.total_collision_victims == sum(
+            r.collision_victims for r in trace.rounds
+        )

@@ -1,0 +1,43 @@
+"""SpokesmanResult and evaluation helper."""
+
+import numpy as np
+import pytest
+
+from repro.spokesman import evaluate_subset, nonisolated_right_count
+
+
+class TestEvaluateSubset:
+    def test_measures_from_scratch(self, tiny_bipartite):
+        res = evaluate_subset(tiny_bipartite, [0, 1], "test")
+        assert res.unique_count == 2
+        assert res.n_left == 4 and res.n_right == 5
+        assert res.algorithm == "test"
+
+    def test_deduplicates_and_sorts(self, tiny_bipartite):
+        res = evaluate_subset(tiny_bipartite, [1, 0, 1], "test")
+        assert res.subset.tolist() == [0, 1]
+
+    def test_empty_subset(self, tiny_bipartite):
+        res = evaluate_subset(tiny_bipartite, [], "test")
+        assert res.unique_count == 0
+        assert res.subset.size == 0
+
+    def test_fractions(self, tiny_bipartite):
+        res = evaluate_subset(tiny_bipartite, [0, 1], "test")
+        assert res.unique_fraction == pytest.approx(2 / 5)
+        assert res.wireless_ratio == pytest.approx(2 / 4)
+
+    def test_repr(self, tiny_bipartite):
+        res = evaluate_subset(tiny_bipartite, [0], "algo")
+        assert "algo" in repr(res)
+
+
+class TestNonisolated:
+    def test_counts(self, tiny_bipartite):
+        assert nonisolated_right_count(tiny_bipartite) == 5
+
+    def test_with_isolated(self):
+        from repro.graphs import BipartiteGraph
+
+        g = BipartiteGraph(2, 4, [(0, 0), (1, 2)])
+        assert nonisolated_right_count(g) == 2

@@ -1,0 +1,88 @@
+"""Lemma A.5 / Corollaries A.6-A.7 degree-class algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expansion import OPTIMAL_DEGREE_CLASS_BASE, degree_class_guarantee
+from repro.graphs import BipartiteGraph, core_graph, random_bipartite
+from repro.spokesman import (
+    degree_class_members,
+    nonisolated_right_count,
+    spokesman_degree_classes,
+)
+
+
+class TestClassMembers:
+    def test_classes_partition_nonisolated(self, core8):
+        classes = degree_class_members(core8, 2.0)
+        all_members = np.concatenate([m for _, m in classes])
+        assert sorted(all_members.tolist()) == list(range(core8.n_right))
+
+    def test_class_boundaries(self):
+        gs = BipartiteGraph(
+            8, 4, [(i, 0) for i in range(1)] + [(i, 1) for i in range(2)]
+            + [(i, 2) for i in range(4)] + [(i, 3) for i in range(8)]
+        )
+        classes = dict(degree_class_members(gs, 2.0))
+        # deg 1 -> class 1; deg 2 -> class 2; deg 4 -> class 3; deg 8 -> 4.
+        assert classes[1].tolist() == [0]
+        assert classes[2].tolist() == [1]
+        assert classes[3].tolist() == [2]
+        assert classes[4].tolist() == [3]
+
+    def test_core_graph_classes_are_levels(self):
+        # Core graph degrees are powers of two: with c = 2 each tree level
+        # is its own class of exactly s vertices.
+        s = 16
+        classes = degree_class_members(core_graph(s), 2.0)
+        assert all(m.size == s for _, m in classes)
+        assert len(classes) == int(math.log2(2 * s))
+
+    def test_rejects_bad_base(self, core8):
+        with pytest.raises(ValueError):
+            degree_class_members(core8, 1.0)
+
+    def test_empty(self):
+        gs = BipartiteGraph(2, 3, [])
+        assert degree_class_members(gs, 2.0) == []
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_corollary_a6_random(self, seed):
+        gen = np.random.default_rng(500 + seed)
+        gs = random_bipartite(10, 14, float(gen.uniform(0.15, 0.6)), rng=gen)
+        gamma = nonisolated_right_count(gs)
+        deg = gs.right_degrees
+        if gamma == 0:
+            return
+        delta_max = int(deg.max())
+        result = spokesman_degree_classes(gs)
+        if delta_max > 1:
+            floor = degree_class_guarantee(gamma, delta_max)
+            assert result.unique_count >= floor - 1e-9
+        else:
+            assert result.unique_count >= 1
+
+    @pytest.mark.parametrize("s", [8, 16, 32])
+    @pytest.mark.parametrize("c", [2.0, OPTIMAL_DEGREE_CLASS_BASE, 5.0])
+    def test_core_graph_all_bases(self, s, c):
+        gs = core_graph(s)
+        result = spokesman_degree_classes(gs, c)
+        floor = gs.n_right * math.log2(c) / (
+            2 * (1 + c) * math.log2(gs.max_right_degree)
+        )
+        assert result.unique_count >= floor - 1e-9
+
+    def test_core_graph_near_optimal(self):
+        # On the core graph the best class is the leaf level and the
+        # algorithm should recover nearly the full 2s−1 optimum.
+        s = 32
+        result = spokesman_degree_classes(core_graph(s))
+        assert result.unique_count >= s  # ≥ half the optimum
+
+    def test_empty(self):
+        gs = BipartiteGraph(2, 3, [])
+        assert spokesman_degree_classes(gs).unique_count == 0

@@ -1,0 +1,39 @@
+"""Exact spokesman solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graphs import BipartiteGraph, random_bipartite
+from repro.spokesman import spokesman_exact
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        gen = np.random.default_rng(700 + seed)
+        gs = random_bipartite(7, 10, 0.35, rng=gen)
+        result = spokesman_exact(gs)
+        brute = max(
+            gs.unique_cover_count(np.array(sub, dtype=np.int64))
+            for k in range(8)
+            for sub in itertools.combinations(range(7), k)
+        )
+        assert result.unique_count == brute
+
+    def test_witness_achieves_optimum(self, tiny_bipartite):
+        result = spokesman_exact(tiny_bipartite)
+        assert (
+            tiny_bipartite.unique_cover_count(result.subset)
+            == result.unique_count
+        )
+
+    def test_rejects_wide_instances(self):
+        gs = BipartiteGraph(23, 1, [(i, 0) for i in range(23)])
+        with pytest.raises(ValueError):
+            spokesman_exact(gs)
+
+    def test_empty(self):
+        gs = BipartiteGraph(3, 3, [])
+        assert spokesman_exact(gs).unique_count == 0

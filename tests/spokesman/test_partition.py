@@ -1,0 +1,88 @@
+"""Procedure Partition: the (P1)-(P4) invariants and Lemma A.3."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import core_graph, gbad, random_bipartite
+from repro.spokesman import (
+    nonisolated_right_count,
+    procedure_partition,
+    spokesman_partition,
+)
+from repro.spokesman.partition import EXCLUDED, MANY, TMP, UNI
+
+
+class TestInvariants:
+    def test_fixed_graph(self, tiny_bipartite):
+        state = procedure_partition(tiny_bipartite)
+        assert state.check_invariants(tiny_bipartite) == []
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs(self, seed):
+        gen = np.random.default_rng(seed)
+        gs = random_bipartite(9, 14, float(gen.uniform(0.1, 0.7)), rng=gen)
+        state = procedure_partition(gs)
+        assert state.check_invariants(gs) == [], (seed, state)
+
+    @pytest.mark.parametrize("s", [4, 8, 16])
+    def test_core_graphs(self, s):
+        gs = core_graph(s)
+        state = procedure_partition(gs)
+        assert state.check_invariants(gs) == []
+
+    def test_right_restriction_respected(self, tiny_bipartite):
+        mask = np.array([True, True, False, False, True])
+        state = procedure_partition(tiny_bipartite, mask)
+        assert (state.labels[~mask] == EXCLUDED).all()
+
+    def test_isolated_right_excluded(self):
+        from repro.graphs import BipartiteGraph
+
+        g = BipartiteGraph(2, 3, [(0, 0), (1, 0)])
+        state = procedure_partition(g)
+        assert state.labels[1] == EXCLUDED
+        assert state.labels[2] == EXCLUDED
+
+    def test_labels_partition_managed(self, tiny_bipartite):
+        state = procedure_partition(tiny_bipartite)
+        managed = state.labels != EXCLUDED
+        assert set(state.labels[managed].tolist()) <= {TMP, UNI, MANY}
+
+    def test_p3_globally(self, tiny_bipartite):
+        state = procedure_partition(tiny_bipartite)
+        assert state.n_uni.size >= state.n_many.size
+
+
+class TestLemmaA3:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_guarantee_random(self, seed):
+        gen = np.random.default_rng(100 + seed)
+        gs = random_bipartite(10, 16, float(gen.uniform(0.15, 0.6)), rng=gen)
+        gamma = nonisolated_right_count(gs)
+        if gamma == 0:
+            return
+        deg = gs.right_degrees
+        delta = float(deg[deg >= 1].mean())
+        result = spokesman_partition(gs)
+        assert result.unique_count >= gamma / (8 * delta) - 1e-9
+
+    @pytest.mark.parametrize("s", [4, 8, 16, 32])
+    def test_guarantee_core_graph(self, s):
+        gs = core_graph(s)
+        gamma = gs.n_right
+        delta = gs.avg_right_degree
+        result = spokesman_partition(gs)
+        assert result.unique_count >= gamma / (8 * delta) - 1e-9
+
+    def test_guarantee_gbad(self):
+        gs = gbad(8, 6, 4)
+        result = spokesman_partition(gs)
+        delta = gs.avg_right_degree
+        assert result.unique_count >= gs.n_right / (8 * delta) - 1e-9
+
+    def test_empty_graph(self):
+        from repro.graphs import BipartiteGraph
+
+        gs = BipartiteGraph(3, 3, [])
+        result = spokesman_partition(gs)
+        assert result.unique_count == 0

@@ -1,0 +1,77 @@
+"""Lemma A.13 / Corollary A.15 recursive algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import BipartiteGraph, boosted_core, core_graph, gbad, random_bipartite
+from repro.spokesman import nonisolated_right_count, spokesman_recursive
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_lemma_a13_random(self, seed):
+        gen = np.random.default_rng(300 + seed)
+        gs = random_bipartite(10, 15, float(gen.uniform(0.1, 0.7)), rng=gen)
+        gamma = nonisolated_right_count(gs)
+        if gamma == 0:
+            return
+        deg = gs.right_degrees
+        delta = float(deg[deg >= 1].mean())
+        result = spokesman_recursive(gs)
+        assert result.unique_count >= gamma / (9 * math.log2(2 * delta)) - 1e-9
+
+    @pytest.mark.parametrize("s", [4, 8, 16, 32, 64])
+    def test_lemma_a13_core(self, s):
+        gs = core_graph(s)
+        result = spokesman_recursive(gs)
+        floor = gs.n_right / (9 * math.log2(2 * gs.avg_right_degree))
+        assert result.unique_count >= floor - 1e-9
+
+    def test_corollary_a15_random(self):
+        for seed in range(8):
+            gen = np.random.default_rng(400 + seed)
+            gs = random_bipartite(12, 18, 0.3, rng=gen)
+            gamma = nonisolated_right_count(gs)
+            if gamma == 0:
+                continue
+            deg = gs.right_degrees
+            delta = float(deg[deg >= 1].mean())
+            floor = (
+                gamma / 20
+                if delta < 2
+                else min(gamma / (9 * math.log2(delta)), gamma / 20)
+            )
+            result = spokesman_recursive(gs)
+            assert result.unique_count >= floor - 1e-9
+
+    def test_boosted_core(self):
+        gc = boosted_core(8, 3)
+        result = spokesman_recursive(gc.graph)
+        gs = gc.graph
+        floor = gs.n_right / (9 * math.log2(2 * gs.avg_right_degree))
+        assert result.unique_count >= floor - 1e-9
+
+    def test_gbad(self):
+        gs = gbad(10, 6, 4)
+        result = spokesman_recursive(gs)
+        floor = gs.n_right / (9 * math.log2(2 * gs.avg_right_degree))
+        assert result.unique_count >= floor - 1e-9
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        gs = BipartiteGraph(3, 3, [])
+        assert spokesman_recursive(gs).unique_count == 0
+
+    def test_tiny_base_case(self):
+        # γ ≤ 9 triggers the single-vertex base case.
+        gs = BipartiteGraph(3, 4, [(0, 0), (0, 1), (1, 2), (2, 3)])
+        result = spokesman_recursive(gs)
+        assert result.unique_count >= 1
+
+    def test_deterministic(self, core8):
+        a = spokesman_recursive(core8)
+        b = spokesman_recursive(core8)
+        assert (a.subset == b.subset).all()

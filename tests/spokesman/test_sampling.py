@@ -1,0 +1,95 @@
+"""Lemma 4.2/4.3 randomized sampling algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import BipartiteGraph, core_graph, random_bipartite
+from repro.spokesman import (
+    largest_degree_class,
+    lemma43_reduction,
+    spokesman_sampling,
+    spokesman_sampling_all_scales,
+)
+
+
+class TestLargestDegreeClass:
+    def test_uniform_degrees_single_class(self):
+        gs = BipartiteGraph(4, 6, [(i % 4, j) for j in range(6) for i in [j, j + 1]])
+        j, members = largest_degree_class(gs)
+        assert j == 1  # all degrees are 2 -> class [2, 4)
+        assert members.size == 6
+
+    def test_core_graph_class(self):
+        gs = core_graph(16)
+        j, members = largest_degree_class(gs)
+        # Class sizes are s per level for degrees s/2^i <= 2δ_N; the class
+        # chosen must be one of the eligible levels.
+        assert members.size >= 16
+
+    def test_empty_raises(self):
+        gs = BipartiteGraph(2, 2, [])
+        with pytest.raises(ValueError):
+            largest_degree_class(gs)
+
+
+class TestLemma43Reduction:
+    def test_output_expansion_at_least_one(self):
+        # β < 1 instance: many left, few right.
+        gen = np.random.default_rng(5)
+        gs = random_bipartite(20, 8, 0.3, rng=gen)
+        induced, left_ids = lemma43_reduction(gs)
+        assert induced.n_left <= induced.n_right or induced.n_right == 0
+        assert left_ids.size == induced.n_left
+
+    def test_left_ids_valid(self):
+        gen = np.random.default_rng(6)
+        gs = random_bipartite(15, 6, 0.4, rng=gen)
+        induced, left_ids = lemma43_reduction(gs)
+        assert (left_ids < gs.n_left).all()
+        # Each kept vertex must actually have edges.
+        assert (induced.left_degrees >= 1).all()
+
+    def test_covers_n_prime(self):
+        gen = np.random.default_rng(7)
+        gs = random_bipartite(12, 5, 0.5, rng=gen)
+        induced, _ = lemma43_reduction(gs)
+        if induced.n_right:
+            # By construction S'' covers all of N'.
+            assert induced.cover_count(np.arange(induced.n_left)) == induced.n_right
+
+
+class TestSampling:
+    def test_deterministic_given_seed(self, core8):
+        a = spokesman_sampling(core8, rng=42)
+        b = spokesman_sampling(core8, rng=42)
+        assert a.unique_count == b.unique_count
+        assert (a.subset == b.subset).all()
+
+    @pytest.mark.parametrize("s", [8, 16, 32])
+    def test_expected_guarantee_core(self, s):
+        # E[payoff] = Ω(γ/log 2δ_N); with 16 trials the best draw should
+        # clear a conservative e^{-3}/4 fraction of the largest class.
+        gs = core_graph(s)
+        result = spokesman_sampling(gs, rng=1, trials=16)
+        _j, members = largest_degree_class(gs)
+        floor = np.exp(-3) / 4 * members.size
+        assert result.unique_count >= floor
+
+    def test_low_beta_path(self):
+        # β < 1: must route through the Lemma 4.3 reduction and still work.
+        gen = np.random.default_rng(9)
+        gs = random_bipartite(24, 8, 0.25, rng=gen)
+        result = spokesman_sampling(gs, rng=2, trials=16)
+        assert result.unique_count >= 1
+        assert (result.subset < 24).all()
+
+    def test_empty_graph(self):
+        gs = BipartiteGraph(3, 3, [])
+        assert spokesman_sampling(gs, rng=0).unique_count == 0
+
+    def test_all_scales_dominates_trials(self, core8):
+        single = spokesman_sampling(core8, rng=3, trials=4)
+        multi = spokesman_sampling_all_scales(core8, rng=3, trials_per_scale=4)
+        # Not a theorem, but with shared seeds and more scales the all-scale
+        # variant should do at least as well on the core graph.
+        assert multi.unique_count >= single.unique_count

@@ -1,0 +1,68 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_int_list_parsing(self):
+        args = build_parser().parse_args(["core", "--sizes", "2,4,8"])
+        assert args.sizes == [2, 4, 8]
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_core(self, capsys):
+        assert main(["core", "--sizes", "2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 4.4" in out
+        assert "max_unique" in out
+
+    def test_gbad(self, capsys):
+        assert main(["gbad", "--s", "4", "--deltas", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Gbad" in out
+
+    def test_spokesman_core(self, capsys):
+        assert main(["spokesman", "--instance", "core", "--s", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "EXACT" in out
+        assert "recursive" in out
+
+    def test_spokesman_random(self, capsys):
+        assert main(["spokesman", "--instance", "random", "--s", "10"]) == 0
+        assert "spokesman election" in capsys.readouterr().out
+
+    def test_broadcast(self, capsys):
+        assert main(
+            ["broadcast", "--s", "4", "--layers", "2,3", "--reps", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Decay rounds" in out
+        assert "fit:" in out
+
+    def test_hops(self, capsys):
+        assert main(["hops", "--s", "4", "--layers", "3", "--reps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per-hop rounds" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--graph", "hypercube", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+
+    def test_worstcase(self, capsys):
+        assert main(
+            ["worstcase", "--n", "256", "--delta", "64", "--beta", "2.0",
+             "--eps", "0.45"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out

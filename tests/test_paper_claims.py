@@ -1,0 +1,343 @@
+"""Integration suite: one test per claim of the paper (DESIGN.md §1 table).
+
+Each test instantiates the relevant construction and verifies the claim
+numerically — exactly where feasible, otherwise through certified
+lower/upper bounds.
+"""
+
+import collections
+import math
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    bipartite_expansion_exact,
+    bipartite_unique_expansion_exact,
+    decay_success_lower_bound,
+    lemma31_verify,
+    max_unique_coverage_exact,
+    mg_bound,
+    theorem11_shape,
+    unique_expansion_exact,
+    unique_expansion_of_set,
+    unique_success_probability,
+    vertex_expansion_exact,
+    wireless_expansion_exact,
+    wireless_expansion_of_set_exact,
+)
+from repro.graphs import (
+    arboricity,
+    boosted_core,
+    core_graph,
+    core_graph_max_unique_coverage,
+    core_graph_min_expansion,
+    cplus_graph,
+    cplus_informed_after_round_one,
+    diluted_core,
+    erdos_renyi,
+    expander_arboricity_lower_bound,
+    gbad,
+    generalized_core,
+    generalized_core_max_unique_coverage,
+    grid_2d,
+    hypercube,
+    random_regular,
+    worst_case_expander,
+)
+from repro.radio import (
+    DecayProtocol,
+    SpokesmanBroadcastProtocol,
+    measure_chain_broadcast,
+    rooted_core_graph,
+    run_broadcast,
+)
+from repro.spokesman import (
+    spokesman_partition,
+    spokesman_portfolio,
+    spokesman_recursive,
+    wireless_lower_bound_of_set,
+)
+
+
+class TestSection1Motivation:
+    def test_cplus_story(self):
+        """C⁺ (Section 1.1): good expander, zero unique expansion after the
+        first broadcast round, but positive wireless expansion."""
+        g = cplus_graph(8)
+        s = cplus_informed_after_round_one(8)
+        assert unique_expansion_of_set(g, s) == 0.0
+        bw, witness = wireless_expansion_of_set_exact(g, s)
+        assert bw > 0 and witness.size == 1
+
+
+class TestObservation21:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sandwich(self, seed):
+        """β(G) ≥ βw(G) ≥ βu(G) at equal α — exact on small graphs."""
+        g = erdos_renyi(9, 0.4, rng=seed)
+        b, _ = vertex_expansion_exact(g, 0.5)
+        bw, _ = wireless_expansion_exact(g, 0.5)
+        bu, _ = unique_expansion_exact(g, 0.5)
+        assert b + 1e-12 >= bw >= bu - 1e-12
+
+
+class TestSection3:
+    @pytest.mark.parametrize(
+        "graph_maker", [lambda: hypercube(3), lambda: random_regular(12, 4, rng=1)]
+    )
+    def test_lemma31(self, graph_maker):
+        """d-regular unique expander ⇒ ordinary expander with the spectral
+        bound."""
+        report = lemma31_verify(graph_maker(), 0.5)
+        assert report.holds
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lemma32(self, seed):
+        """βu ≥ 2β − Δ, exact on small graphs."""
+        g = erdos_renyi(8, 0.5, rng=seed)
+        if g.max_degree == 0:
+            return
+        b, _ = vertex_expansion_exact(g, 0.5)
+        bu, _ = unique_expansion_exact(g, 0.5)
+        assert bu >= 2 * b - g.max_degree - 1e-9
+
+    @pytest.mark.parametrize("delta,beta", [(4, 3), (6, 4), (6, 5), (4, 2)])
+    def test_lemma33_tightness(self, delta, beta):
+        """Gbad attains βu = 2β − Δ exactly (and β exactly)."""
+        g = gbad(5, delta, beta)
+        bu, _ = bipartite_unique_expansion_exact(g)
+        b, _ = bipartite_expansion_exact(g)
+        assert bu == pytest.approx(2 * beta - delta)
+        assert b == pytest.approx(beta)
+
+    @pytest.mark.parametrize("delta,beta", [(4, 2), (6, 3), (6, 4)])
+    def test_remark1_wireless_survives(self, delta, beta):
+        """Wireless expansion of Gbad ≥ max{2β − Δ, Δ/2}."""
+        g = gbad(6, delta, beta)
+        best, _ = max_unique_coverage_exact(g)
+        assert best / 6 >= max(2 * beta - delta, delta / 2) - 1e-9
+
+
+class TestSection42Positive:
+    def test_lemma42_pointwise_probability(self):
+        """The e^{-3} floor of the sampling argument."""
+        for j in range(12):
+            for d in (2**j, 2 ** (j + 1) - 1):
+                assert (
+                    unique_success_probability(d, 2.0**-j)
+                    >= decay_success_lower_bound()
+                )
+
+    @pytest.mark.parametrize("s", [8, 16, 32, 64])
+    def test_theorem11_on_core_graphs(self, s):
+        """The portfolio certifies βw = Ω(β/log 2δ) even on the worst-case
+        core instances (where it is tight)."""
+        gs = core_graph(s)
+        best, _ = spokesman_portfolio(gs, rng=0)
+        beta = math.log2(2 * s)
+        delta = gs.max_right_degree
+        shape = theorem11_shape(beta, max(delta, 2 * s - 1))
+        # payoff/|S| is a certified wireless expansion lower bound; the
+        # theorem promises Ω(shape) — check with the paper's own constant
+        # regime (the recursive bound 1/9 log is the certified one).
+        assert best.unique_count / s >= beta / (
+            9 * math.log2(2 * gs.avg_right_degree)
+        ) - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_theorem11_low_beta_regime(self, seed):
+        """β < 1 instances route through Lemma 4.3 and still meet MG."""
+        gen = np.random.default_rng(seed)
+        from repro.graphs import random_bipartite
+
+        gs = random_bipartite(24, 10, 0.2, rng=gen)
+        deg = gs.right_degrees
+        gamma = int((deg >= 1).sum())
+        if gamma == 0:
+            return
+        delta = float(deg[deg >= 1].mean())
+        best, _ = spokesman_portfolio(gs, rng=gen)
+        assert best.unique_count >= gamma * mg_bound(max(delta, 1.0)) - 1e-9
+
+
+class TestSection43Negative:
+    @pytest.mark.parametrize("s", [4, 8, 16, 64, 256])
+    def test_lemma44_all_claims(self, s):
+        """The five core-graph properties."""
+        g = core_graph(s)
+        log2s = int(math.log2(2 * s))
+        assert g.n_right == s * log2s  # (1)
+        assert (g.left_degrees == 2 * s - 1).all()  # (2)
+        assert g.max_right_degree == s  # (3a)
+        assert g.avg_right_degree <= 2 * s / log2s + 1e-9  # (3b)
+        exp, _, _ = core_graph_min_expansion(s)
+        assert exp >= log2s - 1e-9  # (4)
+        assert core_graph_max_unique_coverage(s) <= 2 * s  # (5)
+
+    def test_lemma47_boosted(self):
+        gc = boosted_core(8, 4)
+        b, _ = bipartite_expansion_exact(gc.graph) if gc.graph.n_left <= 20 else (None, None)
+        assert b == pytest.approx(gc.expansion)
+        assert generalized_core_max_unique_coverage(gc) <= gc.wireless_coverage_cap
+
+    def test_lemma48_diluted(self):
+        gc = diluted_core(4, 3)
+        b, _ = bipartite_expansion_exact(gc.graph)
+        assert b == pytest.approx(gc.expansion)
+        assert generalized_core_max_unique_coverage(gc) <= 2 * 4
+
+    @pytest.mark.parametrize("delta_star,beta_star", [(64, 4), (128, 1.0), (64, 0.75)])
+    def test_lemma46(self, delta_star, beta_star):
+        gc = generalized_core(delta_star, beta_star)
+        assert gc.graph.n_left <= delta_star / 2 + 1e-9
+        assert gc.expansion >= beta_star - 1e-9
+        assert gc.max_degree <= delta_star + 1e-9
+        exact = generalized_core_max_unique_coverage(gc)
+        assert exact <= gc.lemma46_wireless_fraction_cap * gc.graph.n_right + 1e-9
+
+    def test_corollary_411_worst_case_gap(self):
+        """The planted set's wireless expansion is a log factor below its
+        ordinary expansion."""
+        base = random_regular(256, 64, rng=21)
+        wc = worst_case_expander(base, beta=2.0, epsilon=0.45, rng=22)
+        planted_wireless_cap = wc.planted_wireless_expansion_cap
+        planted_ordinary = wc.core.expansion
+        # The gap on the planted set is at least log-ish: cap/ordinary
+        # equals (2/log 2s)-ish by construction.
+        assert planted_wireless_cap < planted_ordinary
+        log_term = math.log2(
+            min(
+                wc.core.max_degree / wc.core.expansion,
+                wc.core.max_degree * wc.core.expansion,
+            )
+        )
+        assert (
+            planted_wireless_cap
+            <= 4 * planted_ordinary / log_term + 1e-9
+        )
+
+
+class TestSection421Spokesman:
+    @pytest.mark.parametrize("s", [16, 32, 64])
+    def test_beats_cw_guarantee_on_core(self, s):
+        """Our algorithms' payoff ≥ the |N|/log|S| CW guarantee would
+        require; on the core graph our guarantee is tight while CW's bound
+        coincides — check we deliver the optimum 2s−1."""
+        gs = core_graph(s)
+        best, _ = spokesman_portfolio(gs, rng=1)
+        assert best.unique_count == 2 * s - 1
+
+    def test_average_degree_refinement_formula(self):
+        """Section 4.2.1: the guarantee γ/(9·log 2δ) beats CW's γ/log|S|
+        once |S| outgrows 2^{9·log 2δ} — i.e. whenever the average degree is
+        small relative to the set size, which is exactly the paper's point
+        (min{δ_N, δ_S} ≤ |S| but can be far smaller)."""
+        gamma, delta = 1.0, 1.5  # per-unit-of-γ comparison
+        ours = gamma / (9 * math.log2(2 * delta))
+        for log_s in (20, 30, 64):
+            cw = gamma / log_s
+            assert ours > cw
+
+    def test_average_degree_refinement_achieved(self):
+        """The algorithms actually deliver the average-degree bound on a
+        sparse instance (where Δ_N may be much larger than δ_N)."""
+        from repro.graphs import random_bipartite_regular
+
+        gs = random_bipartite_regular(256, 512, 2, rng=5)
+        deg = gs.right_degrees
+        gamma = int((deg >= 1).sum())
+        delta = float(deg[deg >= 1].mean())
+        best, _ = spokesman_portfolio(
+            gs, rng=6, include=["partition", "recursive", "greedy-add"]
+        )
+        ours = gamma / (9 * math.log2(2 * delta))
+        assert best.unique_count >= ours - 1e-9
+
+
+class TestSection5Broadcast:
+    def test_observation_52_portal_order(self):
+        m = measure_chain_broadcast(8, 4, DecayProtocol(), rng=1, chain_rng=2)
+        assert m.completed
+        assert (np.diff(m.portal_rounds) > 0).all()
+
+    def test_corollary_51_cap(self):
+        s = 16
+        g, root, n_ids = rooted_core_graph(s)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=3)
+        rounds = res.first_informed_round[n_ids]
+        per_round = collections.Counter(rounds.tolist())
+        assert max(per_round.values()) <= 2 * s
+
+    def test_km_scaling_with_layers(self):
+        """Rounds grow (at least) linearly in the number of chained hops."""
+        rounds = []
+        for layers in (2, 4, 8):
+            m = measure_chain_broadcast(
+                8, layers, DecayProtocol(), rng=4, chain_rng=5
+            )
+            assert m.completed
+            rounds.append(m.rounds)
+        assert rounds[0] < rounds[1] < rounds[2]
+        # Per-hop cost is roughly constant -> total ~ layers.
+        assert rounds[2] >= 3 * rounds[0] * 0.5
+
+
+class TestAppendixA:
+    @pytest.mark.parametrize("s", [8, 16, 32])
+    def test_all_guarantees_on_core(self, s):
+        gs = core_graph(s)
+        gamma = gs.n_right
+        delta_avg = gs.avg_right_degree
+        from repro.spokesman import (
+            spokesman_degree_classes,
+            spokesman_naive_greedy,
+        )
+
+        assert (
+            spokesman_naive_greedy(gs).unique_count
+            >= gamma / gs.max_left_degree - 1e-9
+        )
+        assert (
+            spokesman_partition(gs).unique_count >= gamma / (8 * delta_avg) - 1e-9
+        )
+        assert (
+            spokesman_recursive(gs).unique_count
+            >= gamma / (9 * math.log2(2 * delta_avg)) - 1e-9
+        )
+        from repro.expansion import degree_class_guarantee
+
+        assert (
+            spokesman_degree_classes(gs).unique_count
+            >= degree_class_guarantee(gamma, gs.max_right_degree) - 1e-9
+        )
+
+    def test_mg_portfolio_guarantee(self):
+        gs = core_graph(32)
+        best, _ = spokesman_portfolio(gs, rng=2)
+        assert best.unique_count >= gs.n_right * mg_bound(gs.avg_right_degree)
+
+
+class TestArboricityCorollary:
+    def test_low_arboricity_small_gap(self):
+        """On planar-ish graphs, wireless ≈ ordinary expansion up to a
+        constant (the log min{Δ/β, Δβ} factor is O(log arboricity))."""
+        g = grid_2d(4, 4)
+        eta = arboricity(g)
+        assert eta <= 2
+        # For several sets, certified wireless lower bound is within a
+        # constant factor of the ordinary expansion.
+        gen = np.random.default_rng(3)
+        for _ in range(5):
+            size = int(gen.integers(2, 8))
+            subset = gen.choice(16, size=size, replace=False)
+            from repro.expansion import expansion_of_set
+
+            ordinary = expansion_of_set(g, subset)
+            wireless, _ = wireless_expansion_of_set_exact(g, subset)
+            assert wireless >= ordinary / (4 * max(eta, 1))
+
+    def test_expander_bound_consistent(self):
+        # Degree-Δ expanders with expansion β have arboricity ≥ min{Δ/β, Δβ}
+        # — sanity-check the direction on the core graph boundary instance.
+        assert expander_arboricity_lower_bound(16, 4.0) == 4.0

@@ -1,0 +1,75 @@
+"""Moderate-scale sanity: the library holds up beyond toy sizes.
+
+These tests exercise the vectorized paths on instances 1–2 orders of
+magnitude larger than the unit tests (still a few seconds total), where a
+Python-loop implementation would be visibly infeasible.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    broadcast_chain,
+    core_graph,
+    core_graph_max_unique_coverage,
+    core_graph_min_expansion,
+    random_regular,
+)
+from repro.radio import DecayProtocol, run_broadcast
+from repro.spokesman import (
+    spokesman_greedy_add,
+    spokesman_recursive,
+    spokesman_sampling_all_scales,
+)
+
+
+class TestCoreGraphScale:
+    def test_dp_at_4096(self):
+        # Exact wireless cap via the O(s) DP, far beyond enumeration.
+        assert core_graph_max_unique_coverage(4096) == 2 * 4096 - 1
+
+    def test_min_expansion_at_512(self):
+        exp, k, cov = core_graph_min_expansion(512)
+        assert exp == pytest.approx(math.log2(1024))
+        assert k == 512
+
+    def test_construction_at_1024(self):
+        g = core_graph(1024)
+        assert g.n_edges == 1024 * (2 * 1024 - 1)
+        assert g.max_right_degree == 1024
+
+    def test_recursive_guarantee_at_512(self):
+        gs = core_graph(512)
+        res = spokesman_recursive(gs)
+        floor = gs.n_right / (9 * math.log2(2 * gs.avg_right_degree))
+        assert res.unique_count >= floor
+
+    def test_greedy_add_optimum_at_256(self):
+        assert spokesman_greedy_add(core_graph(256)).unique_count == 511
+
+    def test_sampling_at_512(self):
+        gs = core_graph(512)
+        res = spokesman_sampling_all_scales(gs, rng=0, trials_per_scale=4)
+        assert res.unique_count >= 256  # well above the e^{-3} floor
+
+
+class TestRadioScale:
+    def test_decay_on_2000_vertex_expander(self):
+        g = random_regular(2000, 8, rng=1)
+        res = run_broadcast(g, DecayProtocol(), source=0, rng=2)
+        assert res.completed
+        # O(log² n)-ish rounds, far below the n-round trivial bound.
+        assert res.rounds < 500
+
+    def test_long_chain(self):
+        chain = broadcast_chain(16, 24, rng=3)
+        # Each layer holds s + s·log2(2s) = 16 + 16·5 vertices.
+        assert chain.graph.n == 1 + 24 * (16 + 16 * 5)
+        res = run_broadcast(
+            chain.graph, DecayProtocol(), source=chain.root, rng=4
+        )
+        assert res.completed
+        portal_rounds = res.first_informed_round[chain.portals]
+        assert (np.diff(portal_rounds) > 0).all()
