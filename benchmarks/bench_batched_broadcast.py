@@ -1,0 +1,92 @@
+"""E14 — engine: batched trial-vectorized simulation throughput.
+
+Compares the cost of ``T`` broadcast trials run one at a time (the
+pre-batching style: a Python loop over ``run_broadcast``) against one
+``run_broadcast_batch`` call, on the paper's graph families at four-digit
+vertex counts.  The acceptance bar is a ``≥ 5×`` speedup at ``T = 256`` on
+a ~1024-vertex instance; the table also re-checks the engines agree
+bit-for-bit on per-trial round counts (the equivalence contract the unit
+tests pin in detail).
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro._util import as_rng, spawn_seeds
+from repro.analysis import render_table
+from repro.graphs import broadcast_chain, hypercube, random_regular
+from repro.radio import DecayProtocol, run_broadcast, run_broadcast_batch
+
+TRIALS = 256
+MASTER = 7
+# Paper families around n = 1024: the Section 5 chain of cores, the
+# hypercube, and a random regular expander.
+FAMILIES = [
+    ("chain(s=16, layers=12)", lambda: broadcast_chain(16, 12, rng=1).graph),
+    ("hypercube(10)", lambda: hypercube(10)),
+    ("random_regular(1024, 8)", lambda: random_regular(1024, 8, rng=0)),
+]
+
+HEADERS = [
+    "family",
+    "n",
+    "trials",
+    "loop s",
+    "batch s",
+    "speedup",
+    "mean rounds",
+    "equal",
+]
+
+
+def compare_rows():
+    rows = []
+    for name, build in FAMILIES:
+        graph = build()
+        run_broadcast_batch(graph, DecayProtocol(), trials=8, rng=0)  # warm-up
+        t0 = time.perf_counter()
+        batch = run_broadcast_batch(
+            graph, DecayProtocol(), trials=TRIALS, rng=MASTER
+        )
+        batch_s = time.perf_counter() - t0
+        seeds = spawn_seeds(as_rng(MASTER), TRIALS)
+        t0 = time.perf_counter()
+        looped = [
+            run_broadcast(graph, DecayProtocol(), rng=seed) for seed in seeds
+        ]
+        loop_s = time.perf_counter() - t0
+        equal = all(
+            r.rounds == int(batch.rounds[t]) for t, r in enumerate(looped)
+        )
+        rows.append(
+            [
+                name,
+                graph.n,
+                TRIALS,
+                round(loop_s, 3),
+                round(batch_s, 3),
+                round(loop_s / batch_s, 1),
+                round(float(np.mean([r.rounds for r in looped])), 1),
+                equal,
+            ]
+        )
+    return rows
+
+
+def test_e14_batched_speedup(benchmark, results_dir):
+    rows = benchmark.pedantic(compare_rows, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E14_batched_engine.txt",
+        render_table(
+            HEADERS, rows,
+            title=f"E14 / engine: looped vs batched Decay trials (T={TRIALS})",
+        ),
+    )
+    for row in rows:
+        assert row[-1], f"batched {row[0]} diverged from the looped runs"
+    # The ≥ 5× acceptance bar on the ~1024-vertex instances.
+    assert max(row[5] for row in rows) >= 5.0
+    assert all(row[5] >= 3.0 for row in rows)

@@ -13,7 +13,13 @@ from repro._util.intmath import (
     next_power_of_two,
 )
 from repro._util.popcount import POPCOUNT16, popcount_u32, popcount_u64
-from repro._util.rng import as_rng, spawn_seeds
+from repro._util.rng import (
+    as_rng,
+    counter_coins,
+    counter_uniforms,
+    derive_keys,
+    spawn_seeds,
+)
 from repro._util.validation import (
     check_fraction,
     check_positive,
@@ -28,6 +34,9 @@ __all__ = [
     "check_fraction",
     "check_positive",
     "check_positive_int",
+    "counter_coins",
+    "counter_uniforms",
+    "derive_keys",
     "ilog2",
     "is_power_of_two",
     "log2_real",

@@ -5,13 +5,31 @@ either ``None`` (fresh entropy), an integer seed, or an existing
 :class:`numpy.random.Generator`.  Centralizing the coercion keeps experiment
 sweeps reproducible: the analysis harness spawns independent child seeds with
 :func:`spawn_seeds` so that parallel arms of a sweep never share streams.
+
+The batched simulation engine additionally needs *counter-based* randomness:
+a protocol running ``T`` trials at once must produce, for trial ``t``, the
+exact bit stream a standalone run seeded with trial ``t``'s seed would see —
+otherwise batched and looped experiments are not comparable.  Stateful
+generators cannot be vectorized across independent streams, so per-run
+randomness is reduced to a pure function ``uniform(key, round, node)``
+(:func:`counter_uniforms`, a splitmix64-style hash): one ``(n, T)`` array op
+evaluates all trials' draws at once, and a single-trial run evaluating the
+same function column-wise agrees bit for bit.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-__all__ = ["as_rng", "spawn_seeds"]
+__all__ = [
+    "as_rng",
+    "counter_coins",
+    "counter_uniforms",
+    "derive_keys",
+    "spawn_seeds",
+]
 
 RngLike = "np.random.Generator | int | None"
 
@@ -48,3 +66,100 @@ def spawn_seeds(rng: np.random.Generator | int | None, count: int) -> list[int]:
         raise ValueError(f"count must be non-negative, got {count}")
     gen = as_rng(rng)
     return [int(s) for s in gen.integers(0, 2**63 - 1, size=count)]
+
+
+# Splitmix64 constants (Steele–Lea–Flood) for the cheap per-(key, round)
+# mixing, and the murmur3 32-bit finalizer for the (n, T) lane pass — 32-bit
+# multiplies vectorize far better than 64-bit ones, and 32 bits of entropy
+# per (node, round, trial) coin is ample for a simulation stream.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_A = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_B = np.uint64(0x94D049BB133111EB)
+_GOLDEN32 = np.uint32(0x9E3779B9)
+_MURMUR_A = np.uint32(0x85EBCA6B)
+_MURMUR_B = np.uint32(0xC2B2AE35)
+_INV_2_32 = np.float64(2.0**-32)
+
+
+def _splitmix(z: np.ndarray) -> np.ndarray:
+    z = (z ^ (z >> np.uint64(30))) * _MIX_A
+    z = (z ^ (z >> np.uint64(27))) * _MIX_B
+    return z ^ (z >> np.uint64(31))
+
+
+# Pre-mixed per-node lane hashes, keyed by n.  Round-invariant, so caching
+# them halves the per-round mixing work of the batched hot path; a handful
+# of distinct n values per process keeps this tiny.
+_NODE_HASH_CACHE: dict[int, np.ndarray] = {}
+
+
+def _node_hashes(n: int) -> np.ndarray:
+    cached = _NODE_HASH_CACHE.get(n)
+    if cached is None:
+        with np.errstate(over="ignore"):
+            mixed = _splitmix(np.arange(1, n + 1, dtype=np.uint64) * _GOLDEN)
+        cached = (mixed >> np.uint64(32)).astype(np.uint32)[:, None]
+        _NODE_HASH_CACHE[n] = cached
+    return cached
+
+
+def derive_keys(rngs) -> np.ndarray:
+    """One 64-bit counter key per generator, as a ``(len(rngs),)`` uint64 array.
+
+    Each key is a single ``integers`` draw from its generator, so a batch of
+    generators seeded with :func:`spawn_seeds` children and a standalone
+    generator seeded with one of those children derive identical keys —
+    the anchor of the batched/looped bit-for-bit equivalence guarantee.
+    """
+    return np.array(
+        [as_rng(g).integers(0, 2**64, dtype=np.uint64) for g in rngs],
+        dtype=np.uint64,
+    )
+
+
+def _counter_bits(keys: np.ndarray, round_index: int, n: int) -> np.ndarray:
+    """``(n, len(keys))`` uint32 hash lattice over (key, round, node)."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        # Mix key and round on the cheap (T,) side in 64 bits, nodes once
+        # per n (cached); the only (n, T) work is one in-place murmur3
+        # finalizer pass in 32-bit lanes.
+        ctr = np.full(1, round_index + 1, dtype=np.uint64) * _GOLDEN
+        kr = (_splitmix(keys + ctr) >> np.uint64(32)).astype(np.uint32)
+        z = _node_hashes(n) ^ kr[None, :]
+        z ^= z >> np.uint32(16)
+        z *= _MURMUR_A
+        z ^= z >> np.uint32(13)
+        z *= _MURMUR_B
+        z ^= z >> np.uint32(16)
+    return z
+
+
+def counter_uniforms(keys: np.ndarray, round_index: int, n: int) -> np.ndarray:
+    """Uniform ``[0, 1)`` draws ``u[v, t] = hash(keys[t], round_index, v)``.
+
+    Returns an ``(n, len(keys))`` float64 array.  Being a pure function of
+    ``(key, round, node)``, the same entries come out whether a caller
+    evaluates one trial (``len(keys) == 1``) or a whole batch — randomized
+    protocols use this (via :func:`counter_coins`) for their per-round
+    transmission coin flips.
+    """
+    return _counter_bits(keys, round_index, n) * _INV_2_32
+
+
+def counter_coins(
+    keys: np.ndarray, round_index: int, n: int, p: float
+) -> np.ndarray:
+    """Bernoulli(``p``) coins ``coin[v, t] = (uniform(v, t) < p)``.
+
+    Equivalent to ``counter_uniforms(...) < p`` but compares the raw hash
+    against an integer threshold, skipping the float conversion on the
+    batched hot path.
+    """
+    trials = np.asarray(keys).shape[0]
+    threshold = math.ceil(p * 2.0**32)
+    if threshold >= 2**32:
+        return np.ones((n, trials), dtype=bool)
+    if threshold <= 0:
+        return np.zeros((n, trials), dtype=bool)
+    return _counter_bits(keys, round_index, n) < np.uint32(threshold)

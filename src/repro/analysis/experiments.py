@@ -114,6 +114,13 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         ("repro.radio.schedule",),
         "bench_schedule_synthesis.py", ("E13_schedule_synthesis.txt",),
     ),
+    Experiment(
+        "E14", "engine",
+        "batched trial-vectorized simulation: looped vs batched throughput",
+        ("repro.radio.broadcast", "repro.radio.network",
+         "repro.radio.protocols"),
+        "bench_batched_broadcast.py", ("E14_batched_engine.txt",),
+    ),
 )
 
 

@@ -4,6 +4,15 @@ A sweep is a cartesian product of named parameter lists; each grid point is
 evaluated with its own derived seed so that results are independent of
 evaluation order and reproducible from the master seed — the discipline the
 hpc-parallel guides prescribe for experiment farms.
+
+Repetition-heavy sweeps should hand the harness a *batched* evaluator
+(``batch_fn``): it receives a grid point's parameters plus the full list of
+that point's repetition seeds and returns one result per seed, so a
+trial-vectorized engine (e.g.
+:func:`repro.radio.broadcast.run_broadcast_batch`) can amortize all
+repetitions of a grid point into one call.  Seed derivation is identical in
+both modes, so a sweep can switch between ``fn`` and ``batch_fn`` without
+changing which random streams any repetition sees.
 """
 
 from __future__ import annotations
@@ -36,23 +45,43 @@ def sweep_grid(space: Mapping[str, Sequence]) -> Iterator[dict[str, Any]]:
 
 def run_sweep(
     space: Mapping[str, Sequence],
-    fn: Callable[..., Any],
+    fn: Callable[..., Any] | None = None,
     rng=None,
     repetitions: int = 1,
+    batch_fn: Callable[..., Sequence[Any]] | None = None,
 ) -> list[SweepPoint]:
-    """Evaluate ``fn(**params, seed=seed)`` over the grid.
+    """Evaluate a callable over the grid, one seed per repetition.
 
-    ``repetitions`` independent seeds are derived per grid point; the
-    callable receives the point's parameters plus its own ``seed`` kwarg.
+    Exactly one of ``fn`` and ``batch_fn`` must be given:
+
+    * ``fn(**params, seed=seed)`` is called once per (grid point,
+      repetition) — the general-purpose looped mode;
+    * ``batch_fn(**params, seeds=[...])`` is called once per grid point
+      with all of that point's repetition seeds and must return one result
+      per seed — the hook for trial-vectorized engines.
+
+    Seeds are derived identically in both modes, so the returned
+    :class:`SweepPoint` list (one entry per repetition, in grid × repetition
+    order) is the same either way for equivalent evaluators.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
+    if (fn is None) == (batch_fn is None):
+        raise ValueError("provide exactly one of fn and batch_fn")
     grid = list(sweep_grid(space))
     seeds = spawn_seeds(as_rng(rng), len(grid) * repetitions)
     out: list[SweepPoint] = []
     for i, params in enumerate(grid):
-        for r in range(repetitions):
-            seed = seeds[i * repetitions + r]
-            result = fn(**params, seed=seed)
+        point_seeds = seeds[i * repetitions : (i + 1) * repetitions]
+        if batch_fn is not None:
+            results = list(batch_fn(**params, seeds=list(point_seeds)))
+            if len(results) != repetitions:
+                raise ValueError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{repetitions} seeds at point {params}"
+                )
+        else:
+            results = [fn(**params, seed=seed) for seed in point_seeds]
+        for seed, result in zip(point_seeds, results):
             out.append(SweepPoint(params=dict(params), seed=seed, result=result))
     return out

@@ -99,16 +99,18 @@ def _cmd_spokesman(args: argparse.Namespace) -> int:
 
 def _cmd_broadcast(args: argparse.Namespace) -> int:
     from repro.analysis import fit_loglinear, render_table, summarize
-    from repro.radio import DecayProtocol, measure_chain_broadcast
+    from repro.radio import DecayProtocol, measure_chain_broadcast_batch
 
     rows, xs, ys = [], [], []
     for layers in args.layers:
         rounds = []
         for rep in range(args.reps):
-            m = measure_chain_broadcast(
-                args.s, layers, DecayProtocol(),
+            # One batched call simulates all --trials protocol runs of this
+            # chain together; each rep owns an independent chain.
+            m = measure_chain_broadcast_batch(
+                args.s, layers, DecayProtocol(), trials=args.trials,
                 rng=args.seed + rep, chain_rng=args.seed + 100 + rep)
-            rounds.append(m.rounds)
+            rounds.extend(int(r) for r in m.rounds)
         stats = summarize(rounds)
         xs.append(m.km_bound)
         ys.append(stats.mean)
@@ -130,7 +132,8 @@ def _cmd_hops(args: argparse.Namespace) -> int:
 
     study = hop_time_study(
         args.s, args.layers[0], DecayProtocol,
-        repetitions=args.reps, rng=args.seed)
+        repetitions=args.reps * args.trials, rng=args.seed,
+        trials_per_chain=args.trials)
     print(f"hop study: s={study.s}, layers={study.num_layers}, "
           f"reps={study.hop_times.shape[0]}")
     print(f"  per-hop rounds: mean {study.hop_mean:.2f} ± {study.hop_std:.2f}"
@@ -210,14 +213,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("broadcast", help="Section 5 chain scaling")
     p.add_argument("--s", type=int, default=8)
     p.add_argument("--layers", type=_int_list, default=[2, 4, 8])
-    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--reps", type=int, default=3,
+                   help="independent chains per grid point")
+    p.add_argument("--trials", type=int, default=1,
+                   help="batched protocol trials per chain")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_broadcast)
 
     p = sub.add_parser("hops", help="per-hop concentration study")
     p.add_argument("--s", type=int, default=8)
     p.add_argument("--layers", type=_int_list, default=[6])
-    p.add_argument("--reps", type=int, default=10)
+    p.add_argument("--reps", type=int, default=10,
+                   help="independent chains")
+    p.add_argument("--trials", type=int, default=1,
+                   help="batched protocol trials per chain")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_hops)
 

@@ -3,20 +3,47 @@
 Collision semantics, the Decay protocol, flooding/round-robin baselines, the
 centralized spokesman-aided scheduler, and the Section 5 lower-bound
 experiment drivers.
+
+The engine is *trial-vectorized*: the paper's positive results are
+probabilistic, so experiments need many independent trials per graph, and
+:func:`run_broadcast_batch` advances all of them together — one sparse
+``(n, T)`` product per round instead of ``T`` Python-loop simulations::
+
+    from repro.graphs import hypercube
+    from repro.radio import DecayProtocol, run_broadcast_batch
+
+    batch = run_broadcast_batch(hypercube(10), DecayProtocol(),
+                                trials=256, rng=0)
+    batch.completion_rate      # fraction of trials that informed everyone
+    batch.round_quantiles()    # median / p90 / p99 broadcast time
+    batch.trial(7)             # any trial as a plain BroadcastResult
+
+Seeding a batch with a master seed is bit-for-bit equivalent to seeding
+``T`` standalone :func:`run_broadcast` calls with the
+:func:`repro._util.spawn_seeds` children of that master — batched and
+looped experiments are directly comparable.
 """
 
 from repro.radio.aloha import AlohaProtocol
-from repro.radio.broadcast import BroadcastResult, run_broadcast
+from repro.radio.broadcast import (
+    BatchBroadcastResult,
+    BroadcastResult,
+    run_broadcast,
+    run_broadcast_batch,
+)
 from repro.radio.hop_analysis import HopTimeStudy, hop_time_study
 from repro.radio.lower_bound import (
+    BatchChainMeasurement,
     ChainMeasurement,
     measure_chain_broadcast,
+    measure_chain_broadcast_batch,
     portal_times,
     rooted_core_graph,
 )
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import (
     BroadcastProtocol,
+    CounterCoinProtocol,
     DecayProtocol,
     FloodingProtocol,
     RoundRobinProtocol,
@@ -32,10 +59,13 @@ from repro.radio.trace import DetailedTrace, RoundRecord, run_broadcast_traced
 
 __all__ = [
     "AlohaProtocol",
+    "BatchBroadcastResult",
+    "BatchChainMeasurement",
     "BroadcastProtocol",
     "BroadcastSchedule",
     "BroadcastResult",
     "ChainMeasurement",
+    "CounterCoinProtocol",
     "DecayProtocol",
     "FloodingProtocol",
     "RadioNetwork",
@@ -43,9 +73,11 @@ __all__ = [
     "SpokesmanBroadcastProtocol",
     "StaticScheduleProtocol",
     "measure_chain_broadcast",
+    "measure_chain_broadcast_batch",
     "portal_times",
     "rooted_core_graph",
     "run_broadcast",
+    "run_broadcast_batch",
     "synthesize_broadcast_schedule",
     "synthesize_layer_schedule",
     "DetailedTrace",

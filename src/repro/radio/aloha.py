@@ -6,19 +6,20 @@ Decay: it works when the frontier's neighbourhood degrees all sit near
 ``1/p`` and collapses when they don't — which is exactly what the Lemma 4.2
 scale analysis predicts, making ALOHA the natural ablation baseline for the
 Decay/sampling machinery (experiment E12).
+
+The coin flips come from :class:`~repro.radio.protocols.CounterCoinProtocol`,
+so the batched execution path vectorizes across trials while reproducing
+per-trial standalone streams bit for bit.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.radio.network import RadioNetwork
-from repro.radio.protocols import BroadcastProtocol
+from repro.radio.protocols import CounterCoinProtocol
 
 __all__ = ["AlohaProtocol"]
 
 
-class AlohaProtocol(BroadcastProtocol):
+class AlohaProtocol(CounterCoinProtocol):
     """Transmit with fixed probability ``p`` while informed."""
 
     def __init__(self, p: float = 0.5) -> None:
@@ -27,8 +28,5 @@ class AlohaProtocol(BroadcastProtocol):
         self.p = p
         self.name = f"aloha[p={p:g}]"
 
-    def transmitters(
-        self, round_index: int, informed: np.ndarray, network: RadioNetwork
-    ) -> np.ndarray:
-        draw = self._rng.random(network.n) < self.p
-        return draw & informed
+    def transmission_probability(self, round_index: int) -> float:
+        return self.p

@@ -1,20 +1,40 @@
 """Broadcast runner: drives a protocol over a radio network and records
 everything the experiments need (completion round, per-round progress,
 first-informed times).
+
+Two entry points share one engine:
+
+* :func:`run_broadcast_batch` — the trial-vectorized engine.  ``T``
+  independent trials advance together, one sparse ``(n, T)`` product per
+  round, and come back as a :class:`BatchBroadcastResult` (per-trial
+  rounds/completion/energy plus aggregate quantiles).
+* :func:`run_broadcast` — the classic single-run API, now the ``T = 1``
+  special case of the batch engine.
+
+Seeding contract: ``run_broadcast_batch(..., trials=T, rng=master)``
+derives per-trial seeds with :func:`repro._util.spawn_seeds` and is
+bit-for-bit identical to ``T`` standalone ``run_broadcast`` calls seeded
+with those children — the property the equivalence tests pin down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro._util import as_rng
+from repro._util import as_rng, spawn_seeds
 from repro.graphs.graph import Graph
 from repro.radio.network import RadioNetwork
-from repro.radio.protocols import BroadcastProtocol
+from repro.radio.protocols import BroadcastProtocol, legacy_hooks_specialized
 
-__all__ = ["BroadcastResult", "run_broadcast"]
+__all__ = [
+    "BatchBroadcastResult",
+    "BroadcastResult",
+    "run_broadcast",
+    "run_broadcast_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +74,181 @@ class BroadcastResult:
         return int(reached[0]) + 1 if reached.size else -1
 
 
+@dataclass(frozen=True)
+class BatchBroadcastResult:
+    """Traces of ``T`` independent broadcast trials run as one batch.
+
+    Attributes
+    ----------
+    trials:
+        Number of trials ``T``.
+    rounds:
+        ``(T,)`` int64 — rounds each trial executed before completing (or
+        the round cap for incomplete trials).
+    completed:
+        ``(T,)`` bool — whether each trial reached full coverage.
+    informed_per_round:
+        ``(R, T)`` int64 where ``R = rounds.max()``; entry ``[r, t]`` is
+        trial ``t``'s informed count after round ``r``.  Rows past a
+        trial's completion stay at ``n``.
+    first_informed_round:
+        ``(n, T)`` int64 — per-vertex, per-trial first-informed round
+        (``0`` for the source, ``-1`` if never).
+    transmissions:
+        ``(T,)`` int64 — per-trial total (node, round) transmissions.
+    """
+
+    trials: int
+    rounds: np.ndarray
+    completed: np.ndarray
+    informed_per_round: np.ndarray
+    first_informed_round: np.ndarray
+    transmissions: np.ndarray
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of trials that informed everyone."""
+        return float(self.completed.mean()) if self.trials else 0.0
+
+    @property
+    def mean_rounds(self) -> float:
+        """Mean rounds across trials."""
+        return float(self.rounds.mean())
+
+    def round_quantiles(
+        self, qs: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> np.ndarray:
+        """Quantiles of the per-trial round counts (the aggregate view the
+        paper's w.h.p. statements call for)."""
+        return np.quantile(self.rounds, np.asarray(qs, dtype=float))
+
+    def trial(self, t: int) -> BroadcastResult:
+        """Extract trial ``t`` as a standalone :class:`BroadcastResult`."""
+        if not 0 <= t < self.trials:
+            raise IndexError(f"trial {t} out of range [0, {self.trials})")
+        r = int(self.rounds[t])
+        return BroadcastResult(
+            rounds=r,
+            completed=bool(self.completed[t]),
+            informed_per_round=self.informed_per_round[:r, t].copy(),
+            first_informed_round=self.first_informed_round[:, t].copy(),
+            transmissions=int(self.transmissions[t]),
+        )
+
+
+def _default_max_rounds(n: int) -> int:
+    return max(1000, 50 * n * max(1, int(np.log2(max(2, n)))))
+
+
+def run_broadcast_batch(
+    graph: Graph,
+    protocol: BroadcastProtocol,
+    trials: int,
+    source: int = 0,
+    max_rounds: int | None = None,
+    rng=None,
+    trial_rngs: Sequence | None = None,
+) -> BatchBroadcastResult:
+    """Run ``trials`` independent broadcasts of ``protocol`` on ``graph``,
+    advanced together round by round.
+
+    Per round, the protocol produces an ``(n, T)`` transmit matrix and one
+    sparse product applies the collision semantics to every trial at once;
+    trials that already completed are frozen (they stop transmitting and
+    stop accruing rounds).  The global loop ends when all trials complete
+    or the round cap is hit.
+
+    Parameters
+    ----------
+    rng:
+        Master seed/generator; ``trials`` child seeds are derived from it
+        via :func:`repro._util.spawn_seeds`, one per trial.
+    trial_rngs:
+        Explicit per-trial seeds/generators (overrides ``rng``) — the hook
+        :func:`run_broadcast` uses to be the ``T = 1`` special case.
+    """
+    if not 0 <= source < graph.n:
+        raise ValueError(f"source {source} out of range")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if trial_rngs is None:
+        trial_rngs = [as_rng(s) for s in spawn_seeds(as_rng(rng), trials)]
+    else:
+        if len(trial_rngs) != trials:
+            raise ValueError(
+                f"trial_rngs has {len(trial_rngs)} entries for {trials} trials"
+            )
+        trial_rngs = [as_rng(g) for g in trial_rngs]
+    if max_rounds is None:
+        max_rounds = _default_max_rounds(graph.n)
+
+    network = RadioNetwork(graph)
+    # A protocol whose class specializes the legacy single-run hooks more
+    # deeply than the batch hooks (e.g. a DecayProtocol subclass overriding
+    # only `transmitters`) must run through the per-trial clone adapter, or
+    # its overrides would be silently bypassed by the inherited vectorized
+    # path.
+    face = (
+        BroadcastProtocol if legacy_hooks_specialized(protocol) else
+        type(protocol)
+    )
+    face.reset_batch(protocol, network, source, trial_rngs)
+
+    n, T = graph.n, trials
+    first_round = np.full((n, T), -1, dtype=np.int64)
+    first_round[source, :] = 0
+    completed = np.zeros(T, dtype=bool)
+    rounds = np.zeros(T, dtype=np.int64)
+    transmissions = np.zeros(T, dtype=np.int64)
+    # Per round: (still-active trial ids, their informed counts) — assembled
+    # into the dense (R, T) matrix at the end.
+    count_log: list[tuple[np.ndarray, np.ndarray]] = []
+
+    # Completed trials are compacted out of the working set, so late rounds
+    # (only the slowest trials still running) cost proportionally less —
+    # the batch pays the mean trial length, not T times the max.
+    active = np.arange(T)
+    informed = np.zeros((n, T), dtype=bool)
+    informed[source, :] = True
+    if n == 1:
+        completed[:] = True
+        active = active[:0]
+
+    round_index = 0
+    while round_index < max_rounds and active.size:
+        mask = face.transmitters_batch(protocol, round_index, informed, network)
+        mask = mask & informed
+        transmissions[active] += mask.sum(axis=0)
+        received = network.step(mask)
+        fresh = received & ~informed
+        round_index += 1
+        rounds[active] += 1
+        informed |= fresh
+        rows, cols = np.nonzero(fresh)
+        first_round[rows, active[cols]] = round_index
+        counts = informed.sum(axis=0).astype(np.int64)
+        count_log.append((active, counts))
+        keep = counts < n
+        if not keep.all():
+            completed[active[~keep]] = True
+            active = active[keep]
+            informed = informed[:, keep]
+            face.select_trials(protocol, keep)
+
+    informed_per_round = np.full((round_index, T), n, dtype=np.int64)
+    for r, (idx, counts) in enumerate(count_log):
+        informed_per_round[r, idx] = counts
+
+    return BatchBroadcastResult(
+        trials=T,
+        rounds=rounds,
+        completed=completed,
+        informed_per_round=informed_per_round,
+        first_informed_round=first_round,
+        transmissions=transmissions,
+    )
+
+
 def run_broadcast(
     graph: Graph,
     protocol: BroadcastProtocol,
@@ -66,37 +261,15 @@ def run_broadcast(
 
     The runner enforces the radio model: only informed processors may
     transmit, and reception requires exactly one transmitting neighbour.
+    This is the ``T = 1`` special case of :func:`run_broadcast_batch`; the
+    ``rng`` seeds the single trial directly.
     """
-    if not 0 <= source < graph.n:
-        raise ValueError(f"source {source} out of range")
-    network = RadioNetwork(graph)
-    gen = as_rng(rng)
-    protocol.reset(network, source, gen)
-    if max_rounds is None:
-        max_rounds = max(1000, 50 * graph.n * max(1, int(np.log2(max(2, graph.n)))))
-
-    informed = np.zeros(graph.n, dtype=bool)
-    informed[source] = True
-    first_round = np.full(graph.n, -1, dtype=np.int64)
-    first_round[source] = 0
-    informed_counts: list[int] = []
-    transmissions = 0
-
-    rounds = 0
-    while rounds < max_rounds and not informed.all():
-        mask = protocol.transmitters(rounds, informed, network) & informed
-        transmissions += int(mask.sum())
-        received = network.step(mask)
-        fresh = received & ~informed
-        rounds += 1
-        informed |= fresh
-        first_round[fresh] = rounds
-        informed_counts.append(int(informed.sum()))
-
-    return BroadcastResult(
-        rounds=rounds,
-        completed=bool(informed.all()),
-        informed_per_round=np.array(informed_counts, dtype=np.int64),
-        first_informed_round=first_round,
-        transmissions=transmissions,
+    batch = run_broadcast_batch(
+        graph,
+        protocol,
+        trials=1,
+        source=source,
+        max_rounds=max_rounds,
+        trial_rngs=[as_rng(rng)],
     )
+    return batch.trial(0)

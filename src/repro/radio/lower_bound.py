@@ -25,12 +25,19 @@ import numpy as np
 from repro.graphs.broadcast_chain import BroadcastChain, broadcast_chain
 from repro.graphs.core_graph import core_graph, core_graph_layout
 from repro.graphs.graph import Graph
-from repro.radio.broadcast import BroadcastResult, run_broadcast
+from repro.radio.broadcast import (
+    BatchBroadcastResult,
+    BroadcastResult,
+    run_broadcast,
+    run_broadcast_batch,
+)
 from repro.radio.protocols import BroadcastProtocol
 
 __all__ = [
+    "BatchChainMeasurement",
     "ChainMeasurement",
     "measure_chain_broadcast",
+    "measure_chain_broadcast_batch",
     "portal_times",
     "rooted_core_graph",
 ]
@@ -112,4 +119,82 @@ def measure_chain_broadcast(
         rounds=result.rounds,
         completed=result.completed,
         portal_rounds=portal_times(chain, result),
+    )
+
+
+@dataclass(frozen=True)
+class BatchChainMeasurement:
+    """``T`` protocol trials on one shared chain, run as a batch.
+
+    The chain (portal choices) is sampled once from ``chain_rng``; only the
+    protocol's randomness varies across trials — the conditional law the
+    per-hop concentration statistics average over.
+    """
+
+    s: int
+    num_layers: int
+    n: int
+    diameter_claim: int
+    trials: int
+    rounds: np.ndarray
+    completed: np.ndarray
+    portal_rounds: np.ndarray
+
+    @property
+    def km_bound(self) -> float:
+        """The ``D·log₂(n/D)`` yardstick for this instance."""
+        d = self.diameter_claim
+        return d * np.log2(self.n / d)
+
+    @property
+    def per_hop_rounds(self) -> np.ndarray:
+        """``(num_layers, T)`` rounds between consecutive portal arrivals
+        (the ``R_i`` of the paper's proof), valid for completed trials."""
+        return np.diff(self.portal_rounds, axis=0, prepend=0)
+
+    def trial(self, t: int) -> ChainMeasurement:
+        """Extract trial ``t`` as a standalone :class:`ChainMeasurement`."""
+        if not 0 <= t < self.trials:
+            raise IndexError(f"trial {t} out of range [0, {self.trials})")
+        return ChainMeasurement(
+            s=self.s,
+            num_layers=self.num_layers,
+            n=self.n,
+            diameter_claim=self.diameter_claim,
+            rounds=int(self.rounds[t]),
+            completed=bool(self.completed[t]),
+            portal_rounds=self.portal_rounds[:, t].copy(),
+        )
+
+
+def measure_chain_broadcast_batch(
+    s: int,
+    num_layers: int,
+    protocol: BroadcastProtocol,
+    trials: int,
+    rng=None,
+    chain_rng=None,
+    max_rounds: int | None = None,
+) -> BatchChainMeasurement:
+    """Build one chain and broadcast ``trials`` independent protocol runs
+    over it through the batched engine (one sparse product per round for
+    all trials).  ``rng`` is the master seed for the per-trial streams."""
+    chain = broadcast_chain(s, num_layers, rng=chain_rng)
+    result: BatchBroadcastResult = run_broadcast_batch(
+        chain.graph,
+        protocol,
+        trials=trials,
+        source=chain.root,
+        max_rounds=max_rounds,
+        rng=rng,
+    )
+    return BatchChainMeasurement(
+        s=s,
+        num_layers=num_layers,
+        n=chain.graph.n,
+        diameter_claim=chain.diameter_claim,
+        trials=trials,
+        rounds=result.rounds,
+        completed=result.completed,
+        portal_rounds=result.first_informed_round[chain.portals, :],
     )

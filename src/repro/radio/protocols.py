@@ -11,23 +11,62 @@ knowledge models appear in the experiments:
   are scheduling genies with full topology knowledge — they *upper-bound*
   what any distributed protocol could do, which is exactly the role the
   wireless-expansion positive results play.
+
+Batched execution
+-----------------
+Every protocol also exposes a trial-vectorized face: :meth:`reset_batch`
+prepares ``T`` independent per-trial streams and
+:meth:`~BroadcastProtocol.transmitters_batch` maps an ``(n, T)`` informed
+matrix to an ``(n, T)`` transmit matrix.  The base class provides a default
+adapter that clones the protocol once per trial and loops the legacy
+column-wise :meth:`~BroadcastProtocol.transmitters` — so third-party
+protocols keep working unmodified, with exactly the semantics of ``T``
+standalone runs.  The built-in baselines override both hooks with native
+``(n, T)`` array code (counter-based randomness, no per-trial Python on the
+hot path) that reproduces the per-trial streams bit for bit.
 """
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro._util import as_rng, ceil_log2
+from repro._util import as_rng, ceil_log2, counter_coins, derive_keys
 from repro.radio.network import RadioNetwork
 
 __all__ = [
     "BroadcastProtocol",
+    "CounterCoinProtocol",
     "DecayProtocol",
     "FloodingProtocol",
     "RoundRobinProtocol",
 ]
+
+_LEGACY_HOOKS = ("reset", "transmitters")
+_BATCH_HOOKS = ("reset_batch", "transmitters_batch", "select_trials")
+
+
+def legacy_hooks_specialized(protocol: "BroadcastProtocol") -> bool:
+    """True when ``protocol``'s class customizes the legacy single-run hooks
+    more deeply than its batch hooks.
+
+    A subclass of a vectorized built-in that overrides only ``transmitters``
+    or ``reset`` would be silently ignored by the inherited vectorized
+    ``transmitters_batch`` — so the engine routes such protocols through the
+    per-trial clone adapter instead, which drives exactly the overridden
+    legacy hooks.
+    """
+    mro = type(protocol).__mro__
+
+    def depth(name: str) -> int:
+        for i, cls in enumerate(mro):
+            if name in cls.__dict__:
+                return i
+        return len(mro)
+
+    return min(map(depth, _LEGACY_HOOKS)) < min(map(depth, _BATCH_HOOKS))
 
 
 class BroadcastProtocol(ABC):
@@ -50,6 +89,65 @@ class BroadcastProtocol(ABC):
         never transmit a message a node does not hold.
         """
 
+    # ------------------------------------------------------------------
+    # Batched (trial-vectorized) interface
+    # ------------------------------------------------------------------
+    def reset_batch(self, network: RadioNetwork, source: int, rngs) -> None:
+        """Prepare per-run state for ``len(rngs)`` independent trials.
+
+        Default adapter: deep-copy this protocol once per trial and reset
+        each clone with its own generator, so any legacy protocol runs under
+        the batch engine with the exact semantics (state *and* random
+        stream) of ``len(rngs)`` standalone runs.  A single-trial batch
+        (the :func:`~repro.radio.broadcast.run_broadcast` path) skips the
+        clone and drives this instance directly, preserving the classic
+        contract that a run's state lands on the protocol object itself.
+        Vectorized protocols override this to derive whatever shared state
+        they need instead.
+        """
+        if len(rngs) == 1:
+            self._batch_clones = [self]
+            self.reset(network, source, rngs[0])
+            return
+        template = copy.copy(self)
+        template.__dict__.pop("_batch_clones", None)
+        self._batch_clones = [copy.deepcopy(template) for _ in rngs]
+        for clone, gen in zip(self._batch_clones, rngs):
+            clone.reset(network, source, gen)
+
+    def transmitters_batch(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        """``(n, T)`` bool transmit matrix for ``T`` trials in this round.
+
+        Column ``t`` must equal what trial ``t``'s standalone run would
+        transmit given ``informed[:, t]``.  Default adapter: loop the
+        per-trial clones over the legacy :meth:`transmitters`.
+        """
+        return np.stack(
+            [
+                clone.transmitters(round_index, informed[:, t], network)
+                for t, clone in enumerate(self._batch_clones)
+            ],
+            axis=1,
+        )
+
+    def select_trials(self, keep: np.ndarray) -> None:
+        """Drop per-trial batch state for trials not in ``keep``.
+
+        The engine compacts completed trials out of the working set;
+        ``keep`` is a bool mask over the *current* trial columns.  The
+        default adapter narrows its clone list; vectorized protocols
+        override to subset their own per-trial state (a protocol with no
+        per-trial state can ignore this — the default is a safe no-op
+        when no clones exist).
+        """
+        clones = getattr(self, "_batch_clones", None)
+        if clones is not None:
+            self._batch_clones = [
+                clone for clone, k in zip(clones, keep) if k
+            ]
+
 
 class FloodingProtocol(BroadcastProtocol):
     """Everyone who knows the message shouts every round.
@@ -61,6 +159,14 @@ class FloodingProtocol(BroadcastProtocol):
     name = "flooding"
 
     def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        return informed.copy()
+
+    def reset_batch(self, network: RadioNetwork, source: int, rngs) -> None:
+        pass
+
+    def transmitters_batch(
         self, round_index: int, informed: np.ndarray, network: RadioNetwork
     ) -> np.ndarray:
         return informed.copy()
@@ -82,8 +188,66 @@ class RoundRobinProtocol(BroadcastProtocol):
         mask[round_index % network.n] = True
         return mask & informed
 
+    def reset_batch(self, network: RadioNetwork, source: int, rngs) -> None:
+        pass
 
-class DecayProtocol(BroadcastProtocol):
+    def transmitters_batch(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        mask = np.zeros_like(informed)
+        mask[round_index % network.n, :] = True
+        return mask & informed
+
+
+class CounterCoinProtocol(BroadcastProtocol):
+    """Base for protocols whose transmitters are independent Bernoulli
+    coins with some per-round probability.
+
+    Randomness is counter-based: :meth:`reset` derives one 64-bit key from
+    the run's generator and each round's coin flips are
+    ``counter_coins(key, round, node, p)`` — a pure function, so the
+    batched path evaluates all trials' flips in one ``(n, T)`` array op
+    while agreeing bit for bit with per-trial standalone runs.  Subclasses
+    implement :meth:`transmission_probability`.
+    """
+
+    def reset(self, network: RadioNetwork, source: int, rng) -> None:
+        super().reset(network, source, rng)
+        self._keys = derive_keys([self._rng])
+
+    def reset_batch(self, network: RadioNetwork, source: int, rngs) -> None:
+        self._keys = derive_keys(rngs)
+
+    def select_trials(self, keep: np.ndarray) -> None:
+        self._keys = self._keys[keep]
+
+    @abstractmethod
+    def transmission_probability(self, round_index: int) -> float:
+        """Probability with which each informed node transmits this round."""
+
+    def _draw(self, round_index: int, informed: np.ndarray) -> np.ndarray:
+        coins = counter_coins(
+            self._keys,
+            round_index,
+            informed.shape[0],
+            self.transmission_probability(round_index),
+        )
+        if informed.ndim == 1:
+            coins = coins[:, 0]
+        return coins & informed
+
+    def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        return self._draw(round_index, informed)
+
+    def transmitters_batch(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        return self._draw(round_index, informed)
+
+
+class DecayProtocol(CounterCoinProtocol):
     """The Bar-Yehuda–Goldreich–Itai Decay protocol [5].
 
     Time is divided into phases of ``k = ⌈log₂ n⌉ + 1`` rounds; in round
@@ -99,17 +263,20 @@ class DecayProtocol(BroadcastProtocol):
     def __init__(self, phase_length: int | None = None) -> None:
         self.phase_length = phase_length
 
-    def reset(self, network: RadioNetwork, source: int, rng) -> None:
-        super().reset(network, source, rng)
-        self._k = (
+    def _resolve_phase_length(self, network: RadioNetwork) -> int:
+        return (
             self.phase_length
             if self.phase_length is not None
             else ceil_log2(max(2, network.n)) + 1
         )
 
-    def transmitters(
-        self, round_index: int, informed: np.ndarray, network: RadioNetwork
-    ) -> np.ndarray:
-        i = round_index % self._k
-        draw = self._rng.random(network.n) < 2.0 ** (-i)
-        return draw & informed
+    def reset(self, network: RadioNetwork, source: int, rng) -> None:
+        super().reset(network, source, rng)
+        self._k = self._resolve_phase_length(network)
+
+    def reset_batch(self, network: RadioNetwork, source: int, rngs) -> None:
+        super().reset_batch(network, source, rngs)
+        self._k = self._resolve_phase_length(network)
+
+    def transmission_probability(self, round_index: int) -> float:
+        return 2.0 ** (-(round_index % self._k))

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro._util import as_rng
 from repro.graphs.graph import Graph
+from repro.radio.broadcast import _default_max_rounds
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import BroadcastProtocol
 
@@ -93,9 +94,7 @@ def run_broadcast_traced(
     gen = as_rng(rng)
     protocol.reset(network, source, gen)
     if max_rounds is None:
-        max_rounds = max(
-            1000, 50 * graph.n * max(1, int(np.log2(max(2, graph.n))))
-        )
+        max_rounds = _default_max_rounds(graph.n)
 
     informed = np.zeros(graph.n, dtype=bool)
     informed[source] = True

@@ -48,3 +48,42 @@ class TestRunSweep:
     def test_validation(self):
         with pytest.raises(ValueError):
             run_sweep({"a": [1]}, lambda a, seed: 0, repetitions=0)
+
+
+class TestBatchedSweep:
+    def test_batch_fn_matches_fn(self):
+        def fn(a, seed):
+            return (a, seed)
+
+        def batch_fn(a, seeds):
+            return [(a, s) for s in seeds]
+
+        looped = run_sweep({"a": [1, 2]}, fn, rng=5, repetitions=3)
+        batched = run_sweep({"a": [1, 2]}, rng=5, repetitions=3,
+                            batch_fn=batch_fn)
+        assert [(p.params, p.seed, p.result) for p in looped] == [
+            (p.params, p.seed, p.result) for p in batched
+        ]
+
+    def test_batch_fn_called_once_per_point(self):
+        calls = []
+
+        def batch_fn(a, seeds):
+            calls.append((a, tuple(seeds)))
+            return [0] * len(seeds)
+
+        run_sweep({"a": [1, 2, 3]}, rng=0, repetitions=4, batch_fn=batch_fn)
+        assert len(calls) == 3
+        assert all(len(seeds) == 4 for _, seeds in calls)
+
+    def test_wrong_result_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep({"a": [1]}, rng=0, repetitions=2,
+                      batch_fn=lambda a, seeds: [0])
+
+    def test_exactly_one_evaluator(self):
+        with pytest.raises(ValueError):
+            run_sweep({"a": [1]}, rng=0)
+        with pytest.raises(ValueError):
+            run_sweep({"a": [1]}, lambda a, seed: 0, rng=0,
+                      batch_fn=lambda a, seeds: [0])

@@ -47,3 +47,23 @@ class TestHopTimeStudy:
     def test_validation(self):
         with pytest.raises(ValueError):
             hop_time_study(8, 2, DecayProtocol, repetitions=1, rng=0)
+        with pytest.raises(ValueError):
+            hop_time_study(8, 2, DecayProtocol, repetitions=6, rng=0,
+                           trials_per_chain=0)
+        with pytest.raises(ValueError):
+            hop_time_study(8, 2, DecayProtocol, repetitions=5, rng=0,
+                           trials_per_chain=2)
+
+    def test_batched_chains(self):
+        study = hop_time_study(8, 3, DecayProtocol, repetitions=8, rng=4,
+                               trials_per_chain=4)
+        assert study.hop_times.shape == (8, 3)
+        assert (study.totals == study.hop_times.sum(axis=1)).all()
+        assert (study.hop_times > 0).all()
+
+    def test_batched_reproducible(self):
+        a = hop_time_study(8, 3, DecayProtocol, repetitions=6, rng=9,
+                           trials_per_chain=3)
+        b = hop_time_study(8, 3, DecayProtocol, repetitions=6, rng=9,
+                           trials_per_chain=3)
+        assert (a.hop_times == b.hop_times).all()
