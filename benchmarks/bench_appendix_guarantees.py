@@ -6,7 +6,6 @@ For each workload and each algorithm, report ``measured / guaranteed``
 
 import math
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis import render_table

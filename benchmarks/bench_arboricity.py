@@ -8,7 +8,7 @@ independent of size, unlike the core-graph family where it decays as
 """
 
 import numpy as np
-from conftest import emit
+from conftest import SMOKE, emit, scaled
 
 from repro.analysis import render_table
 from repro.expansion import expansion_of_set
@@ -26,10 +26,11 @@ from repro.spokesman import spokesman_portfolio, wireless_lower_bound_of_set
 
 def _low_arb_cases():
     yield "grid(8x8)", grid_2d(8, 8)
-    yield "grid(16x16)", grid_2d(16, 16)
-    yield "tri-grid(10x10)", triangular_grid(10, 10)
-    yield "binary-tree(7)", complete_binary_tree(7)
-    yield "rec-tree(200)", random_recursive_tree(200, rng=101)
+    if not SMOKE:
+        yield "grid(16x16)", grid_2d(16, 16)
+    yield "tri-grid", triangular_grid(*scaled((10, 10), (6, 6)))
+    yield "binary-tree", complete_binary_tree(scaled(7, 5))
+    yield "rec-tree", random_recursive_tree(scaled(200, 80), rng=101)
 
 
 def arboricity_rows():
@@ -81,5 +82,5 @@ def test_e10_low_arboricity(benchmark, results_dir):
 
 
 def test_e10_degeneracy_speed(benchmark):
-    g = grid_2d(40, 40)
+    g = grid_2d(*scaled((40, 40), (12, 12)))
     assert benchmark(degeneracy, g) == 2

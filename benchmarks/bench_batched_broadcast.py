@@ -12,21 +12,22 @@ tests pin in detail).
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import SMOKE, emit, scaled
 
 from repro._util import as_rng, spawn_seeds
 from repro.analysis import render_table
 from repro.graphs import broadcast_chain, hypercube, random_regular
 from repro.radio import DecayProtocol, run_broadcast, run_broadcast_batch
 
-TRIALS = 256
+TRIALS = scaled(256, 16)
 MASTER = 7
-# Paper families around n = 1024: the Section 5 chain of cores, the
-# hypercube, and a random regular expander.
+# Paper families around n = 1024 (smoke scale shrinks them; the speedup
+# acceptance bar only applies at full scale): the Section 5 chain of
+# cores, the hypercube, and a random regular expander.
 FAMILIES = [
-    ("chain(s=16, layers=12)", lambda: broadcast_chain(16, 12, rng=1).graph),
-    ("hypercube(10)", lambda: hypercube(10)),
-    ("random_regular(1024, 8)", lambda: random_regular(1024, 8, rng=0)),
+    ("chain", lambda: broadcast_chain(*scaled((16, 12), (8, 4)), rng=1).graph),
+    ("hypercube", lambda: hypercube(scaled(10, 6))),
+    ("random_regular", lambda: random_regular(scaled(1024, 128), 8, rng=0)),
 ]
 
 HEADERS = [
@@ -87,6 +88,7 @@ def test_e14_batched_speedup(benchmark, results_dir):
     )
     for row in rows:
         assert row[-1], f"batched {row[0]} diverged from the looped runs"
-    # The ≥ 5× acceptance bar on the ~1024-vertex instances.
-    assert max(row[5] for row in rows) >= 5.0
-    assert all(row[5] >= 3.0 for row in rows)
+    if not SMOKE:
+        # The ≥ 5× acceptance bar on the ~1024-vertex instances.
+        assert max(row[5] for row in rows) >= 5.0
+        assert all(row[5] >= 3.0 for row in rows)

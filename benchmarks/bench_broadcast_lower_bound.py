@@ -14,7 +14,7 @@ Two series:
 import collections
 
 import numpy as np
-from conftest import emit
+from conftest import SMOKE, emit, scaled
 
 from repro.analysis import fit_loglinear, render_table, summarize
 from repro.radio import (
@@ -25,9 +25,9 @@ from repro.radio import (
     run_broadcast,
 )
 
-LAYERS = [2, 4, 8, 16]
+LAYERS = scaled([2, 4, 8, 16], [2, 4, 8])
 S = 8
-REPS = 5
+REPS = scaled(5, 2)
 
 
 def chain_rows():
@@ -88,17 +88,18 @@ def test_e7_chain_scaling(benchmark, results_dir):
         f"{fit.slope_through_origin:.3f})"
     )
     emit(results_dir, "E7_broadcast_lower_bound.txt", table)
-    # Shape: rounds grow linearly in D·log(n/D) with positive slope.
     assert fit.slope > 0
-    assert fit.r_squared > 0.9
-    # Monotone in D.
-    means = [row[4] for row in rows]
-    assert all(a < b for a, b in zip(means, means[1:]))
+    if not SMOKE:
+        # Statistical shape bars need the full sample sizes: rounds grow
+        # linearly in D·log(n/D) (high R²) and monotonically in D.
+        assert fit.r_squared > 0.9
+        means = [row[4] for row in rows]
+        assert all(a < b for a, b in zip(means, means[1:]))
 
 
 def corollary51_rows():
     rows = []
-    for s in (8, 16, 32):
+    for s in scaled((8, 16, 32), (4, 8)):
         g, root, n_ids = rooted_core_graph(s)
         res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=5)
         assert res.completed
@@ -129,7 +130,7 @@ def test_e7_corollary51(benchmark, results_dir):
 def test_e7_decay_round_speed(benchmark):
     from repro.graphs import broadcast_chain
 
-    chain = broadcast_chain(16, 8, rng=1)
+    chain = broadcast_chain(*scaled((16, 8), (8, 4)), rng=1)
 
     def run():
         from repro.radio import run_broadcast

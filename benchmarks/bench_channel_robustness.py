@@ -1,0 +1,143 @@
+"""E15 — robustness: broadcast degradation across channel & fault models.
+
+The paper's machinery predicts that good wireless expanders keep informing
+many new vertices per round even when conditions degrade, while the
+worst-case families (the Section 5 chain of cores) have no slack.  Two
+tables quantify that on the batched engine's channel layer:
+
+* **erasure sweep** — Decay broadcast time on a random regular expander vs
+  the chain, as the per-link erasure probability rises; the chain's
+  relative slowdown should dominate the expander's.
+* **jamming** — the same pair under adversarial jam windows covering a
+  growing fraction of vertices during the opening rounds.
+
+Both tables re-check the channel layer's anchor invariant: erasure with
+``p = 0`` reproduces the classic collision model bit for bit.
+"""
+
+import numpy as np
+from conftest import SMOKE, emit, scaled
+
+from repro.analysis import ERASURE_HEADERS, erasure_degradation, render_table
+from repro.graphs import broadcast_chain, random_regular
+from repro.radio import (
+    AdversarialJamming,
+    DecayProtocol,
+    FaultSchedule,
+    run_broadcast_batch,
+)
+
+TRIALS = scaled(64, 8)
+MASTER = 11
+ERASURE_PS = [0.0, 0.1, 0.2, 0.3]
+JAM_FRACTIONS = [0.0, 0.1, 0.25]
+JAM_ROUNDS = scaled(20, 6)
+MAX_ROUNDS = 200_000
+
+
+def families():
+    n = scaled(512, 96)
+    s = scaled(8, 4)
+    layers = scaled(16, 4)
+    return [
+        ("expander", random_regular(n, 8, rng=1)),
+        ("chain", broadcast_chain(s, layers, rng=1).graph),
+    ]
+
+
+def erasure_points():
+    points = erasure_degradation(
+        families(), ERASURE_PS, trials=TRIALS, rng=MASTER, max_rounds=MAX_ROUNDS
+    )
+    for pt in points:
+        if pt.p == 0.0:
+            # The channel layer's anchor invariant, at bench scale.
+            assert (pt.batch.rounds == pt.baseline.rounds).all()
+            assert (pt.batch.transmissions == pt.baseline.transmissions).all()
+    return points
+
+
+def jam_schedule(graph, fraction):
+    count = int(round(fraction * graph.n))
+    jammed = np.random.default_rng(5).choice(graph.n, size=count, replace=False)
+    victims = tuple(int(v) for v in jammed if v != 0)
+    if not victims:
+        return FaultSchedule()
+    return FaultSchedule(jam_windows=((0, JAM_ROUNDS - 1, victims),))
+
+
+def jamming_rows():
+    rows = []
+    for name, graph in families():
+        baseline = None
+        for fraction in JAM_FRACTIONS:
+            batch = run_broadcast_batch(
+                graph,
+                DecayProtocol(),
+                trials=TRIALS,
+                rng=MASTER,
+                channel=AdversarialJamming(jam_schedule(graph, fraction)),
+                max_rounds=MAX_ROUNDS,
+            )
+            if baseline is None:
+                baseline = batch.mean_rounds
+            rows.append(
+                [
+                    name,
+                    graph.n,
+                    fraction,
+                    JAM_ROUNDS,
+                    round(batch.completion_rate, 3),
+                    round(batch.mean_rounds, 1),
+                    round(batch.mean_rounds / baseline, 2),
+                ]
+            )
+    return rows
+
+
+def test_e15_erasure_degradation(benchmark, results_dir):
+    points = benchmark.pedantic(erasure_points, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "E15_channel_robustness.txt",
+        render_table(
+            ERASURE_HEADERS,
+            [pt.row for pt in points],
+            title=f"E15 / robustness: Decay under erasure (T={TRIALS})",
+        ),
+    )
+    by_family = {}
+    for pt in points:
+        assert pt.batch.completion_rate == 1.0, (
+            f"{pt.family} failed to complete at p={pt.p}"
+        )
+        by_family.setdefault(pt.family, {})[pt.p] = pt
+    for family, grid in by_family.items():
+        assert grid[0.0].slowdown == 1.0
+        assert (
+            grid[max(ERASURE_PS)].batch.mean_rounds
+            >= grid[0.0].batch.mean_rounds
+        ), f"{family}: erasure did not slow broadcast down"
+    if not SMOKE:
+        # Full scale only: the worst-case chain degrades strictly faster
+        # than the expander — the E15 headline.
+        assert (
+            by_family["chain"][max(ERASURE_PS)].slowdown
+            > by_family["expander"][max(ERASURE_PS)].slowdown
+        )
+
+
+def test_e15_jamming_degradation(results_dir):
+    rows = jamming_rows()
+    emit(
+        results_dir,
+        "E15_jamming.txt",
+        render_table(
+            ["family", "n", "jam frac", "jam rounds", "completion", "mean", "slowdown"],
+            rows,
+            title=f"E15 / robustness: Decay under jam windows (T={TRIALS})",
+        ),
+    )
+    for family, _, fraction, _, completion, _, slowdown in rows:
+        assert completion == 1.0, f"{family} failed to complete at f={fraction}"
+        assert np.isfinite(slowdown)

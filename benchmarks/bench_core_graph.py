@@ -7,7 +7,7 @@ gap column is the paper's Theorem 1.2 separation appearing in the raw data.
 
 import math
 
-from conftest import emit
+from conftest import emit, scaled
 
 from repro.analysis import render_table
 from repro.graphs import (
@@ -17,7 +17,9 @@ from repro.graphs import (
     core_graph_properties,
 )
 
-SIZES = [2, 4, 8, 16, 32, 64, 128, 256]
+SIZES = scaled([2, 4, 8, 16, 32, 64, 128, 256], [2, 4, 8, 16])
+S_SPEED = scaled(256, 32)
+S_DP = scaled(4096, 256)
 
 
 def core_graph_rows():
@@ -80,10 +82,10 @@ def test_e5_core_graph_properties(benchmark, results_dir):
 
 
 def test_e5_construction_speed(benchmark):
-    g = benchmark(core_graph, 256)
-    assert g.n_left == 256
+    g = benchmark(core_graph, S_SPEED)
+    assert g.n_left == S_SPEED
 
 
 def test_e5_wireless_dp_speed(benchmark):
-    cap = benchmark(core_graph_max_unique_coverage, 4096)
-    assert cap == 2 * 4096 - 1
+    cap = benchmark(core_graph_max_unique_coverage, S_DP)
+    assert cap == 2 * S_DP - 1

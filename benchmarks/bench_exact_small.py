@@ -2,8 +2,7 @@
 and how tightly the polynomial algorithms track the exact wireless optimum.
 """
 
-import numpy as np
-from conftest import emit
+from conftest import emit, scaled
 
 from repro.analysis import render_table, summarize
 from repro.expansion import (
@@ -16,7 +15,7 @@ from repro.spokesman import wireless_lower_bound_of_set
 
 N = 10
 ALPHA = 0.5
-SEEDS = list(range(8))
+SEEDS = list(range(scaled(8, 3)))
 
 
 def sandwich_rows():

@@ -6,8 +6,7 @@ and the exact wireless optimum (must stay ≥ ``max{2β − Δ, Δ/2}``) — the
 separation that motivates the whole paper.
 """
 
-import numpy as np
-from conftest import emit
+from conftest import emit, scaled
 
 from repro.analysis import render_table
 from repro.expansion import (
@@ -18,7 +17,10 @@ from repro.expansion import (
 from repro.graphs import gbad, gbad_wireless_lower_bound
 
 S = 6
-GRID = [(4, 2), (4, 3), (4, 4), (6, 3), (6, 4), (6, 5), (8, 4), (8, 6), (8, 8)]
+GRID = scaled(
+    [(4, 2), (4, 3), (4, 4), (6, 3), (6, 4), (6, 5), (8, 4), (8, 6), (8, 8)],
+    [(4, 2), (4, 3), (6, 4)],
+)
 
 
 def gbad_rows():

@@ -7,7 +7,7 @@ the exact tree-DP optimum must respect the wireless caps.
 
 import math
 
-from conftest import emit
+from conftest import emit, scaled
 
 from repro.analysis import render_table
 from repro.graphs import (
@@ -17,7 +17,11 @@ from repro.graphs import (
     generalized_core_max_unique_coverage,
 )
 
-TARGETS = [(32, 2.0), (64, 4.0), (64, 1.0), (128, 8.0), (128, 0.75), (256, 2.0)]
+TARGETS = scaled(
+    [(32, 2.0), (64, 4.0), (64, 1.0), (128, 8.0), (128, 0.75), (256, 2.0)],
+    [(32, 2.0), (64, 1.0)],
+)
+S_SPEED = scaled(256, 32)
 
 
 def generalized_rows():
@@ -81,10 +85,14 @@ def test_e6_generalized_core(benchmark, results_dir):
 
 
 def test_e6_boosted_speed(benchmark):
-    gc = benchmark.pedantic(lambda: boosted_core(256, 4), rounds=1, iterations=1)
-    assert gc.graph.n_right == 256 * 9 * 4
+    gc = benchmark.pedantic(
+        lambda: boosted_core(S_SPEED, 4), rounds=1, iterations=1
+    )
+    assert gc.graph.n_right == S_SPEED * int(math.log2(2 * S_SPEED)) * 4
 
 
 def test_e6_diluted_speed(benchmark):
-    gc = benchmark.pedantic(lambda: diluted_core(256, 4), rounds=1, iterations=1)
-    assert gc.graph.n_left == 1024
+    gc = benchmark.pedantic(
+        lambda: diluted_core(S_SPEED, 4), rounds=1, iterations=1
+    )
+    assert gc.graph.n_left == S_SPEED * 4

@@ -8,7 +8,6 @@ length with Decay's (randomized, distributed) completion time and the
 diameter floor.
 """
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis import render_table, summarize

@@ -10,7 +10,6 @@ algorithms hit the true optimum while the CW line is far below it.
 
 import math
 
-import numpy as np
 from conftest import emit
 
 from repro.analysis import render_table

@@ -12,7 +12,24 @@ import os
 
 import pytest
 
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+#: CI's bench-smoke job sets ``REPRO_BENCH_SMOKE=1`` to run every bench at
+#: tiny scale — the scripts can't silently rot, at a fraction of the cost.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+
+# Smoke tables land in a scratch subdirectory so a smoke run can never
+# clobber the checked-in full-scale tables under results/.
+_BASE_RESULTS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+RESULTS_DIR = os.path.join(_BASE_RESULTS, "smoke") if SMOKE else _BASE_RESULTS
+
+
+def scaled(full, smoke):
+    """Pick the full-size or smoke-size value of a benchmark knob.
+
+    Statistical/performance acceptance assertions should be kept out of
+    smoke runs (they need the full sample sizes); shape and equivalence
+    assertions stay on.
+    """
+    return smoke if SMOKE else full
 
 
 @pytest.fixture(scope="session")

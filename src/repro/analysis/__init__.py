@@ -1,16 +1,24 @@
 """Experiment harness: sweeps, statistics, and table rendering."""
 
 from repro.analysis.experiments import EXPERIMENTS, Experiment, validate_registry
+from repro.analysis.robustness import (
+    ERASURE_HEADERS,
+    ErasurePoint,
+    erasure_degradation,
+)
 from repro.analysis.stats import FitResult, SampleSummary, fit_loglinear, summarize
 from repro.analysis.sweep import SweepPoint, run_sweep, sweep_grid
 from repro.analysis.tables import format_value, render_table, write_table
 
 __all__ = [
+    "ERASURE_HEADERS",
     "EXPERIMENTS",
+    "ErasurePoint",
     "Experiment",
     "FitResult",
     "SampleSummary",
     "SweepPoint",
+    "erasure_degradation",
     "fit_loglinear",
     "format_value",
     "render_table",

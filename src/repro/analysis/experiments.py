@@ -1,6 +1,6 @@
 """Experiment registry: the canonical index of reproduction targets.
 
-A single table mapping experiment ids (E1–E12) to the paper statement they
+A single table mapping experiment ids (E1–E15) to the paper statement they
 reproduce, the modules that implement the pieces, and the benchmark file
 that regenerates the table.  DESIGN.md and EXPERIMENTS.md mirror this
 registry; a consistency test (``tests/analysis/test_experiments.py``)
@@ -120,6 +120,15 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         ("repro.radio.broadcast", "repro.radio.network",
          "repro.radio.protocols"),
         "bench_batched_broadcast.py", ("E14_batched_engine.txt",),
+    ),
+    Experiment(
+        "E15", "robustness",
+        "channel & fault models: expander vs worst-case broadcast "
+        "degradation under erasure and jamming",
+        ("repro.radio.channel", "repro.radio.broadcast",
+         "repro.analysis.robustness"),
+        "bench_channel_robustness.py",
+        ("E15_channel_robustness.txt", "E15_jamming.txt"),
     ),
 )
 

@@ -1,0 +1,94 @@
+"""E15 channel-robustness measurement, shared by the CLI and the bench.
+
+One definition of the erasure-degradation experiment — family pair, classic
+baseline, and the completion/mean/p90/slowdown columns — so the interactive
+``repro channels`` table and the archived ``E15_channel_robustness.txt``
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+ERASURE_HEADERS = [
+    "family",
+    "n",
+    "erasure p",
+    "completion",
+    "mean",
+    "p90",
+    "slowdown",
+]
+
+
+@dataclass(frozen=True)
+class ErasurePoint:
+    """One (family, erasure probability) measurement.
+
+    ``baseline`` is the same seeded batch under the classic channel —
+    slowdowns are relative to it, independent of the sweep's grid order,
+    and the ``p = 0`` point must reproduce it bit for bit.
+    """
+
+    family: str
+    n: int
+    p: float
+    batch: "BatchBroadcastResult"  # noqa: F821 - forward ref, radio layer
+    baseline: "BatchBroadcastResult"  # noqa: F821
+
+    @property
+    def slowdown(self) -> float:
+        """Mean-rounds ratio against the classic baseline."""
+        return self.batch.mean_rounds / self.baseline.mean_rounds
+
+    @property
+    def row(self) -> list:
+        """The :data:`ERASURE_HEADERS` display row."""
+        return [
+            self.family,
+            self.n,
+            self.p,
+            round(self.batch.completion_rate, 3),
+            round(self.batch.mean_rounds, 1),
+            int(self.batch.round_quantiles([0.9])[0]),
+            round(self.slowdown, 2),
+        ]
+
+
+def erasure_degradation(
+    families: Sequence[tuple[str, "Graph"]],  # noqa: F821
+    erasure_ps: Sequence[float],
+    trials: int,
+    rng,
+    max_rounds: int | None = None,
+) -> list[ErasurePoint]:
+    """Measure Decay broadcast degradation of each family across erasure
+    probabilities, against a classic-channel baseline with the same seed.
+
+    ``families`` is a list of ``(label, graph)`` pairs; the same master
+    ``rng`` seeds every run, so the ``p = 0`` point is bit-for-bit the
+    baseline (the channel layer's anchor invariant).
+    """
+    from repro.radio import DecayProtocol, ErasureChannel, run_broadcast_batch
+
+    points = []
+    for name, graph in families:
+        baseline = run_broadcast_batch(
+            graph, DecayProtocol(), trials=trials, rng=rng, max_rounds=max_rounds
+        )
+        for p in erasure_ps:
+            batch = run_broadcast_batch(
+                graph,
+                DecayProtocol(),
+                trials=trials,
+                rng=rng,
+                channel=ErasureChannel(p),
+                max_rounds=max_rounds,
+            )
+            points.append(
+                ErasurePoint(
+                    family=name, n=graph.n, p=p, batch=batch, baseline=baseline
+                )
+            )
+    return points

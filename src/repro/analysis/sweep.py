@@ -49,6 +49,7 @@ def run_sweep(
     rng=None,
     repetitions: int = 1,
     batch_fn: Callable[..., Sequence[Any]] | None = None,
+    static_params: Mapping[str, Any] | None = None,
 ) -> list[SweepPoint]:
     """Evaluate a callable over the grid, one seed per repetition.
 
@@ -60,6 +61,13 @@ def run_sweep(
       with all of that point's repetition seeds and must return one result
       per seed — the hook for trial-vectorized engines.
 
+    ``static_params`` are forwarded to every call unchanged but are *not*
+    part of the grid (and not recorded on the returned points) — the hook
+    for threading run-wide configuration such as a graph instance or a
+    channel-model factory through a sweep.  Pass stateful objects as
+    zero-argument factories (e.g. ``channel_factory=lambda:
+    ErasureChannel(0.2)``) so each evaluation owns fresh state.
+
     Seeds are derived identically in both modes, so the returned
     :class:`SweepPoint` list (one entry per repetition, in grid × repetition
     order) is the same either way for equivalent evaluators.
@@ -68,20 +76,31 @@ def run_sweep(
         raise ValueError("repetitions must be >= 1")
     if (fn is None) == (batch_fn is None):
         raise ValueError("provide exactly one of fn and batch_fn")
+    static = dict(static_params) if static_params is not None else {}
+    overlap = set(static) & (set(space) | {"seed", "seeds"})
+    if overlap:
+        raise ValueError(
+            f"static_params shadow grid or reserved parameters: "
+            f"{sorted(overlap)}"
+        )
     grid = list(sweep_grid(space))
     seeds = spawn_seeds(as_rng(rng), len(grid) * repetitions)
     out: list[SweepPoint] = []
     for i, params in enumerate(grid):
         point_seeds = seeds[i * repetitions : (i + 1) * repetitions]
         if batch_fn is not None:
-            results = list(batch_fn(**params, seeds=list(point_seeds)))
+            results = list(
+                batch_fn(**params, **static, seeds=list(point_seeds))
+            )
             if len(results) != repetitions:
                 raise ValueError(
                     f"batch_fn returned {len(results)} results for "
                     f"{repetitions} seeds at point {params}"
                 )
         else:
-            results = [fn(**params, seed=seed) for seed in point_seeds]
+            results = [
+                fn(**params, **static, seed=seed) for seed in point_seeds
+            ]
         for seed, result in zip(point_seeds, results):
             out.append(SweepPoint(params=dict(params), seed=seed, result=result))
     return out

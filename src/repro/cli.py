@@ -12,6 +12,12 @@ Commands
 ``broadcast``   Section 5 chain scaling against D·log2(n/D).
 ``hops``        Per-hop timing distribution (concentration check).
 ``worstcase``   Corollary 4.11 planted bad set.
+``channels``    Broadcast degradation across channel/fault models (E15).
+
+``broadcast`` and ``hops`` accept ``--channel`` (classic /
+collision-detection / erasure / jamming), ``--erasure-p``, and
+``--faults`` (a ``jam@A-B:v,...;crash@R:v,...;down@R:u-v`` spec) to run
+the same experiments under non-classic reception models.
 """
 
 from __future__ import annotations
@@ -97,10 +103,38 @@ def _cmd_spokesman(args: argparse.Namespace) -> int:
     return 0
 
 
+def _channel_factory(args: argparse.Namespace):
+    """Fresh-channel factory from the CLI channel flags (channels hold
+    per-run state, so every run gets its own instance)."""
+    from repro.radio import make_channel
+
+    def build():
+        return make_channel(
+            args.channel, erasure_p=args.erasure_p, faults=args.faults
+        )
+
+    return build
+
+
+def _add_channel_flags(p: "argparse.ArgumentParser") -> None:
+    from repro.radio import CHANNELS
+
+    p.add_argument(
+        "--channel", choices=sorted(CHANNELS) + ["cd"], default="classic",
+        help="reception model (cd = collision-detection)")
+    p.add_argument(
+        "--erasure-p", type=float, default=0.1,
+        help="drop probability for --channel erasure")
+    p.add_argument(
+        "--faults", type=str, default=None,
+        help="fault spec for --channel jamming, e.g. 'jam@0-9:0,1;crash@5:7'")
+
+
 def _cmd_broadcast(args: argparse.Namespace) -> int:
     from repro.analysis import fit_loglinear, render_table, summarize
     from repro.radio import DecayProtocol, measure_chain_broadcast_batch
 
+    channel = _channel_factory(args)
     rows, xs, ys = [], [], []
     for layers in args.layers:
         rounds = []
@@ -109,7 +143,8 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
             # chain together; each rep owns an independent chain.
             m = measure_chain_broadcast_batch(
                 args.s, layers, DecayProtocol(), trials=args.trials,
-                rng=args.seed + rep, chain_rng=args.seed + 100 + rep)
+                rng=args.seed + rep, chain_rng=args.seed + 100 + rep,
+                channel=channel())
             rounds.extend(int(r) for r in m.rounds)
         stats = summarize(rounds)
         xs.append(m.km_bound)
@@ -118,7 +153,8 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
                      round(stats.mean, 1), stats.min, stats.max])
     print(render_table(
         ["layers", "n", "D", "D·log2(n/D)", "mean", "min", "max"], rows,
-        title="Section 5: Decay rounds on chained cores"))
+        title=f"Section 5: Decay rounds on chained cores "
+              f"[channel={args.channel}]"))
     if len(xs) >= 2:
         fit = fit_loglinear(xs, ys)
         print(f"fit: rounds ≈ {fit.slope:.2f}·bound {fit.intercept:+.1f}"
@@ -133,9 +169,10 @@ def _cmd_hops(args: argparse.Namespace) -> int:
     study = hop_time_study(
         args.s, args.layers[0], DecayProtocol,
         repetitions=args.reps * args.trials, rng=args.seed,
-        trials_per_chain=args.trials)
+        trials_per_chain=args.trials,
+        channel_factory=_channel_factory(args))
     print(f"hop study: s={study.s}, layers={study.num_layers}, "
-          f"reps={study.hop_times.shape[0]}")
+          f"reps={study.hop_times.shape[0]}, channel={args.channel}")
     print(f"  per-hop rounds: mean {study.hop_mean:.2f} ± {study.hop_std:.2f}"
           f"  (log2(2s) = {math.log2(2 * args.s):.1f})")
     print(f"  total relative spread: {study.total_relative_spread:.3f}")
@@ -163,6 +200,25 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_channels(args: argparse.Namespace) -> int:
+    from repro.analysis import ERASURE_HEADERS, erasure_degradation, render_table
+    from repro.graphs import broadcast_chain, random_regular
+
+    families = [
+        ("expander", random_regular(args.n, args.delta, rng=args.seed)),
+        ("chain", broadcast_chain(
+            args.s, max(2, args.n // (3 * args.s)), rng=args.seed).graph),
+    ]
+    # Shared E15 row definition (repro.analysis.robustness): slowdowns are
+    # against a classic-channel baseline, independent of --erasure-ps order.
+    points = erasure_degradation(
+        families, args.erasure_ps, trials=args.trials, rng=args.seed)
+    print(render_table(
+        ERASURE_HEADERS, [pt.row for pt in points],
+        title="E15: broadcast degradation under erasure"))
+    return 0
+
+
 def _cmd_worstcase(args: argparse.Namespace) -> int:
     from repro.expansion import expansion_of_set
     from repro.graphs import random_regular, worst_case_expander
@@ -184,6 +240,10 @@ def _cmd_worstcase(args: argparse.Namespace) -> int:
 
 def _int_list(text: str) -> list[int]:
     return [int(tok) for tok in text.split(",") if tok]
+
+
+def _float_list(text: str) -> list[float]:
+    return [float(tok) for tok in text.split(",") if tok]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=1,
                    help="batched protocol trials per chain")
     p.add_argument("--seed", type=int, default=0)
+    _add_channel_flags(p)
     p.set_defaults(fn=_cmd_broadcast)
 
     p = sub.add_parser("hops", help="per-hop concentration study")
@@ -228,7 +289,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=1,
                    help="batched protocol trials per chain")
     p.add_argument("--seed", type=int, default=0)
+    _add_channel_flags(p)
     p.set_defaults(fn=_cmd_hops)
+
+    p = sub.add_parser("channels",
+                       help="E15 broadcast degradation across erasure rates")
+    p.add_argument("--n", type=int, default=256)
+    p.add_argument("--delta", type=int, default=8)
+    p.add_argument("--s", type=int, default=8)
+    p.add_argument("--trials", type=int, default=32)
+    p.add_argument("--erasure-ps", type=_float_list,
+                   default=[0.0, 0.1, 0.2, 0.3])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_channels)
 
     p = sub.add_parser("schedule", help="synthesize + verify a static schedule")
     p.add_argument("--graph", choices=["hypercube", "grid", "regular"],

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Iterable
 
-import numpy as np
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph

@@ -22,6 +22,15 @@ Seeding a batch with a master seed is bit-for-bit equivalent to seeding
 ``T`` standalone :func:`run_broadcast` calls with the
 :func:`repro._util.spawn_seeds` children of that master — batched and
 looped experiments are directly comparable.
+
+Reception semantics are pluggable (:mod:`repro.radio.channel`): the
+default :class:`ClassicCollision` is the paper's model, and
+:class:`CollisionDetection`, :class:`ErasureChannel`, and
+:class:`AdversarialJamming` open feedback-, loss-, and fault-model
+workloads on the same engine::
+
+    run_broadcast_batch(g, DecayProtocol(), trials=256, rng=0,
+                        channel=ErasureChannel(0.2))
 """
 
 from repro.radio.aloha import AlohaProtocol
@@ -30,6 +39,17 @@ from repro.radio.broadcast import (
     BroadcastResult,
     run_broadcast,
     run_broadcast_batch,
+)
+from repro.radio.channel import (
+    CHANNELS,
+    AdversarialJamming,
+    ChannelModel,
+    ClassicCollision,
+    CollisionDetection,
+    ErasureChannel,
+    FaultSchedule,
+    make_channel,
+    parse_fault_spec,
 )
 from repro.radio.hop_analysis import HopTimeStudy, hop_time_study
 from repro.radio.lower_bound import (
@@ -43,6 +63,7 @@ from repro.radio.lower_bound import (
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import (
     BroadcastProtocol,
+    CollisionBackoffProtocol,
     CounterCoinProtocol,
     DecayProtocol,
     FloodingProtocol,
@@ -59,17 +80,27 @@ from repro.radio.trace import DetailedTrace, RoundRecord, run_broadcast_traced
 
 __all__ = [
     "AlohaProtocol",
+    "AdversarialJamming",
     "BatchBroadcastResult",
     "BatchChainMeasurement",
     "BroadcastProtocol",
     "BroadcastSchedule",
     "BroadcastResult",
+    "CHANNELS",
     "ChainMeasurement",
+    "ChannelModel",
+    "ClassicCollision",
+    "CollisionBackoffProtocol",
+    "CollisionDetection",
     "CounterCoinProtocol",
     "DecayProtocol",
+    "ErasureChannel",
+    "FaultSchedule",
     "FloodingProtocol",
     "RadioNetwork",
     "RoundRobinProtocol",
+    "make_channel",
+    "parse_fault_spec",
     "SpokesmanBroadcastProtocol",
     "StaticScheduleProtocol",
     "measure_chain_broadcast",

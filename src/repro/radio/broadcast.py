@@ -14,7 +14,11 @@ Two entry points share one engine:
 Seeding contract: ``run_broadcast_batch(..., trials=T, rng=master)``
 derives per-trial seeds with :func:`repro._util.spawn_seeds` and is
 bit-for-bit identical to ``T`` standalone ``run_broadcast`` calls seeded
-with those children — the property the equivalence tests pin down.
+with those children — the property the equivalence tests pin down.  The
+contract extends to channel models (:mod:`repro.radio.channel`): the
+runner resets the active channel with the same per-trial generators right
+after the protocol, so randomized channels (erasure) follow the same
+counter-based discipline.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import numpy as np
 
 from repro._util import as_rng, spawn_seeds
 from repro.graphs.graph import Graph
+from repro.radio.channel import ChannelModel
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import BroadcastProtocol, legacy_hooks_specialized
 
@@ -90,7 +95,8 @@ class BatchBroadcastResult:
     informed_per_round:
         ``(R, T)`` int64 where ``R = rounds.max()``; entry ``[r, t]`` is
         trial ``t``'s informed count after round ``r``.  Rows past a
-        trial's completion stay at ``n``.
+        trial's completion stay at its final count (``n`` except under
+        crash-fault channels, whose coverage excludes dead processors).
     first_informed_round:
         ``(n, T)`` int64 — per-vertex, per-trial first-informed round
         (``0`` for the source, ``-1`` if never).
@@ -148,12 +154,13 @@ def run_broadcast_batch(
     max_rounds: int | None = None,
     rng=None,
     trial_rngs: Sequence | None = None,
+    channel: ChannelModel | None = None,
 ) -> BatchBroadcastResult:
     """Run ``trials`` independent broadcasts of ``protocol`` on ``graph``,
     advanced together round by round.
 
     Per round, the protocol produces an ``(n, T)`` transmit matrix and one
-    sparse product applies the collision semantics to every trial at once;
+    sparse product applies the channel semantics to every trial at once;
     trials that already completed are frozen (they stop transmitting and
     stop accruing rounds).  The global loop ends when all trials complete
     or the round cap is hit.
@@ -166,6 +173,14 @@ def run_broadcast_batch(
     trial_rngs:
         Explicit per-trial seeds/generators (overrides ``rng``) — the hook
         :func:`run_broadcast` uses to be the ``T = 1`` special case.
+    channel:
+        Reception model (:mod:`repro.radio.channel`); ``None`` means the
+        paper's classic collision model.  The runner resets the channel
+        with the per-trial generators (after the protocol, so counter keys
+        stay aligned with standalone runs), forwards channel feedback to
+        the protocol's ``channel_feedback`` hooks, and measures completion
+        against the channel's coverage targets (crashed processors are
+        not waited for).
     """
     if not 0 <= source < graph.n:
         raise ValueError(f"source {source} out of range")
@@ -182,7 +197,7 @@ def run_broadcast_batch(
     if max_rounds is None:
         max_rounds = _default_max_rounds(graph.n)
 
-    network = RadioNetwork(graph)
+    network = RadioNetwork(graph, channel=channel)
     # A protocol whose class specializes the legacy single-run hooks more
     # deeply than the batch hooks (e.g. a DecayProtocol subclass overriding
     # only `transmitters`) must run through the per-trial clone adapter, or
@@ -193,6 +208,13 @@ def run_broadcast_batch(
         type(protocol)
     )
     face.reset_batch(protocol, network, source, trial_rngs)
+    # Channel after protocol: both may draw per-trial counter keys from the
+    # same generators, and standalone runs use the same order.
+    network.channel.reset(network, trial_rngs)
+    # Crash faults remove processors from the coverage requirement — they
+    # can never receive, so waiting for them would always hit the cap.
+    targets = network.channel.coverage_targets(network)
+    need = graph.n if targets is None else int(np.count_nonzero(targets))
 
     n, T = graph.n, trials
     first_round = np.full((n, T), -1, dtype=np.int64)
@@ -210,7 +232,8 @@ def run_broadcast_batch(
     active = np.arange(T)
     informed = np.zeros((n, T), dtype=bool)
     informed[source, :] = True
-    if n == 1:
+    source_covers = 1 if targets is None or targets[source] else 0
+    if source_covers >= need:
         completed[:] = True
         active = active[:0]
 
@@ -218,8 +241,14 @@ def run_broadcast_batch(
     while round_index < max_rounds and active.size:
         mask = face.transmitters_batch(protocol, round_index, informed, network)
         mask = mask & informed
+        mask = network.channel.effective_transmitters(round_index, mask)
         transmissions[active] += mask.sum(axis=0)
-        received = network.step(mask)
+        received = network.step(mask, round_index)
+        feedback = network.channel.feedback
+        if feedback is not None:
+            face.channel_feedback_batch(
+                protocol, round_index, feedback, network
+            )
         fresh = received & ~informed
         round_index += 1
         rounds[active] += 1
@@ -228,16 +257,26 @@ def run_broadcast_batch(
         first_round[rows, active[cols]] = round_index
         counts = informed.sum(axis=0).astype(np.int64)
         count_log.append((active, counts))
-        keep = counts < n
+        if targets is None:
+            covered = counts
+        else:
+            covered = informed[targets, :].sum(axis=0).astype(np.int64)
+        keep = covered < need
         if not keep.all():
             completed[active[~keep]] = True
             active = active[keep]
             informed = informed[:, keep]
             face.select_trials(protocol, keep)
+            network.channel.select_trials(keep)
 
-    informed_per_round = np.full((round_index, T), n, dtype=np.int64)
+    # Rows past a trial's completion hold its final informed count (= n for
+    # full-coverage channels); holes only appear after a trial leaves the
+    # working set, so a running maximum fills them.
+    informed_per_round = np.full((round_index, T), -1, dtype=np.int64)
     for r, (idx, counts) in enumerate(count_log):
         informed_per_round[r, idx] = counts
+    if round_index:
+        np.maximum.accumulate(informed_per_round, axis=0, out=informed_per_round)
 
     return BatchBroadcastResult(
         trials=T,
@@ -255,14 +294,16 @@ def run_broadcast(
     source: int = 0,
     max_rounds: int | None = None,
     rng=None,
+    channel: ChannelModel | None = None,
 ) -> BroadcastResult:
     """Run ``protocol`` on ``graph`` from ``source`` until full coverage or
     ``max_rounds`` (default ``50·n·log₂n``-ish safety cap).
 
     The runner enforces the radio model: only informed processors may
-    transmit, and reception requires exactly one transmitting neighbour.
-    This is the ``T = 1`` special case of :func:`run_broadcast_batch`; the
-    ``rng`` seeds the single trial directly.
+    transmit, and reception follows the active ``channel`` (default: the
+    classic exactly-one-transmitting-neighbour collision model).  This is
+    the ``T = 1`` special case of :func:`run_broadcast_batch`; the ``rng``
+    seeds the single trial directly.
     """
     batch = run_broadcast_batch(
         graph,
@@ -271,5 +312,6 @@ def run_broadcast(
         source=source,
         max_rounds=max_rounds,
         trial_rngs=[as_rng(rng)],
+        channel=channel,
     )
     return batch.trial(0)

@@ -85,6 +85,7 @@ def hop_time_study(
     repetitions: int = 10,
     rng=None,
     trials_per_chain: int = 1,
+    channel_factory=None,
 ) -> HopTimeStudy:
     """Run ``repetitions`` chain broadcasts and collect hop times.
 
@@ -94,7 +95,10 @@ def hop_time_study(
     choices and each of its trials an independent protocol stream, all
     advanced together by the batched engine.  The default
     ``trials_per_chain=1`` matches the proof's probability space exactly
-    (every repetition an independent chain).
+    (every repetition an independent chain).  ``channel_factory`` (if
+    given) builds a fresh :class:`~repro.radio.channel.ChannelModel` per
+    chain, so hop statistics can be collected under erasure/fault models
+    too; channels hold per-run state, hence the factory.
     """
     if repetitions < 2:
         raise ValueError("need at least 2 repetitions for spread statistics")
@@ -117,6 +121,7 @@ def hop_time_study(
             trials=trials_per_chain,
             rng=seeds[2 * c],
             chain_rng=seeds[2 * c + 1],
+            channel=channel_factory() if channel_factory is not None else None,
         )
         if not m.completed.all():
             raise RuntimeError(

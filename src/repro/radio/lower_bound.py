@@ -31,6 +31,7 @@ from repro.radio.broadcast import (
     run_broadcast,
     run_broadcast_batch,
 )
+from repro.radio.channel import ChannelModel
 from repro.radio.protocols import BroadcastProtocol
 
 __all__ = [
@@ -105,11 +106,20 @@ def measure_chain_broadcast(
     rng=None,
     chain_rng=None,
     max_rounds: int | None = None,
+    channel: ChannelModel | None = None,
 ) -> ChainMeasurement:
-    """Build a chain, broadcast over it, and package the measurement."""
+    """Build a chain, broadcast over it, and package the measurement.
+
+    ``channel`` selects the reception model (default: classic collision).
+    """
     chain = broadcast_chain(s, num_layers, rng=chain_rng)
     result = run_broadcast(
-        chain.graph, protocol, source=chain.root, rng=rng, max_rounds=max_rounds
+        chain.graph,
+        protocol,
+        source=chain.root,
+        rng=rng,
+        max_rounds=max_rounds,
+        channel=channel,
     )
     return ChainMeasurement(
         s=s,
@@ -175,10 +185,13 @@ def measure_chain_broadcast_batch(
     rng=None,
     chain_rng=None,
     max_rounds: int | None = None,
+    channel: ChannelModel | None = None,
 ) -> BatchChainMeasurement:
     """Build one chain and broadcast ``trials`` independent protocol runs
     over it through the batched engine (one sparse product per round for
-    all trials).  ``rng`` is the master seed for the per-trial streams."""
+    all trials).  ``rng`` is the master seed for the per-trial streams;
+    ``channel`` selects the reception model (default: classic collision).
+    """
     chain = broadcast_chain(s, num_layers, rng=chain_rng)
     result: BatchBroadcastResult = run_broadcast_batch(
         chain.graph,
@@ -187,6 +200,7 @@ def measure_chain_broadcast_batch(
         source=chain.root,
         max_rounds=max_rounds,
         rng=rng,
+        channel=channel,
     )
     return BatchChainMeasurement(
         s=s,

@@ -1,12 +1,17 @@
-"""Synchronous collision-model radio network (the paper's Section 1.1 model).
+"""Synchronous radio network with pluggable channel semantics.
 
 A radio network is an undirected multihop network of processors operating in
 synchronous rounds.  Per round each processor either transmits or stays
-silent; a processor *receives* a message iff it stays silent and **exactly
-one** of its neighbours transmits.  Collisions (≥ 2 transmitting neighbours)
-are indistinguishable from silence — receivers get nothing and no feedback.
+silent; what a silent processor *hears* is decided by the network's
+:class:`~repro.radio.channel.ChannelModel`.  The default,
+:class:`~repro.radio.channel.ClassicCollision`, is the paper's Section 1.1
+model: a processor receives iff it stays silent and **exactly one** of its
+neighbours transmits — collisions (≥ 2 transmitting neighbours) are
+indistinguishable from silence.  Other channels add collision-detection
+feedback, i.i.d. erasures, or adversarial jamming/crash/link faults (see
+:mod:`repro.radio.channel`).
 
-The round step is one sparse mat-vec: ``counts = A @ transmit``;
+The classic round step is one sparse mat-vec: ``counts = A @ transmit``;
 ``received = (counts == 1) & ~transmit`` — so simulating a round of an
 ``n``-vertex network costs ``O(m)`` regardless of protocol complexity.
 
@@ -23,17 +28,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.radio.channel import ChannelModel, ClassicCollision
 
 __all__ = ["RadioNetwork"]
 
 
 class RadioNetwork:
-    """Wraps a :class:`~repro.graphs.graph.Graph` with radio semantics."""
+    """Wraps a :class:`~repro.graphs.graph.Graph` with radio semantics.
 
-    __slots__ = ("graph", "_adj_cast", "_count_dtype")
+    ``channel`` selects the reception model; ``None`` means the paper's
+    classic collision model.  Stateful channels (erasure, jamming) must be
+    reset with per-trial generators before stepping — the broadcast engine
+    does this automatically.
+    """
 
-    def __init__(self, graph: Graph) -> None:
+    __slots__ = ("graph", "channel", "_adj_cast", "_count_dtype")
+
+    def __init__(self, graph: Graph, channel: ChannelModel | None = None) -> None:
         self.graph = graph
+        self.channel = channel if channel is not None else ClassicCollision()
         # Neighbour counts are bounded by the max degree, so the sparse
         # product can run in the narrowest safe integer type — int8 is
         # several times faster than int32 on wide trial batches.
@@ -50,7 +63,18 @@ class RadioNetwork:
         """Number of processors."""
         return self.graph.n
 
-    def step(self, transmitting: np.ndarray) -> np.ndarray:
+    @property
+    def count_dtype(self) -> type:
+        """Narrowest integer dtype that holds this graph's neighbour counts
+        (channels doing their own sparse products should use it too)."""
+        return self._count_dtype
+
+    def transmit_counts(self, transmitting: np.ndarray) -> np.ndarray:
+        """Transmitting-neighbour counts — the shared sparse kernel every
+        channel's reception rule is built from."""
+        return self._adj_cast @ transmitting.astype(self._count_dtype)
+
+    def step(self, transmitting: np.ndarray, round_index: int = 0) -> np.ndarray:
         """One synchronous round, for one trial or a whole batch.
 
         Parameters
@@ -60,13 +84,17 @@ class RadioNetwork:
             ``(n,)`` vector (one trial) or an ``(n, T)`` matrix whose
             columns are ``T`` independent trials advanced together by a
             single sparse product.
+        round_index:
+            The current round number; round-indexed channels (erasure
+            coins, fault schedules) condition on it.  Irrelevant under the
+            classic model, hence optional.
 
         Returns
         -------
         numpy.ndarray
             Bool mask (same shape as the input) of processors that
-            *receive* the message this round: silent processors with
-            exactly one transmitting neighbour.
+            *receive* the message this round, as decided by the active
+            channel model.
         """
         transmitting = np.asarray(transmitting)
         if (
@@ -78,11 +106,11 @@ class RadioNetwork:
                 f"transmitting must be a bool (n,) mask or (n, T) matrix "
                 f"with n = {self.n}"
             )
-        counts = self._adj_cast @ transmitting.astype(self._count_dtype)
-        return (counts == 1) & ~transmitting
+        return self.channel.deliver(round_index, transmitting, self)
 
     def step_naive(self, transmitting: np.ndarray) -> np.ndarray:
-        """Pure-Python reference of :meth:`step` (used by property tests)."""
+        """Pure-Python reference of the *classic* :meth:`step` (used by
+        property tests; channel models are tested against it at p=0)."""
         transmitting = np.asarray(transmitting, dtype=bool)
         out = np.zeros(self.n, dtype=bool)
         for v in range(self.n):

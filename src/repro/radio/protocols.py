@@ -33,19 +33,31 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro._util import as_rng, ceil_log2, counter_coins, derive_keys
+from repro._util import (
+    as_rng,
+    ceil_log2,
+    counter_coins,
+    counter_uniforms,
+    derive_keys,
+)
 from repro.radio.network import RadioNetwork
 
 __all__ = [
     "BroadcastProtocol",
+    "CollisionBackoffProtocol",
     "CounterCoinProtocol",
     "DecayProtocol",
     "FloodingProtocol",
     "RoundRobinProtocol",
 ]
 
-_LEGACY_HOOKS = ("reset", "transmitters")
-_BATCH_HOOKS = ("reset_batch", "transmitters_batch", "select_trials")
+_LEGACY_HOOKS = ("reset", "transmitters", "channel_feedback")
+_BATCH_HOOKS = (
+    "reset_batch",
+    "transmitters_batch",
+    "select_trials",
+    "channel_feedback_batch",
+)
 
 
 def legacy_hooks_specialized(protocol: "BroadcastProtocol") -> bool:
@@ -147,6 +159,38 @@ class BroadcastProtocol(ABC):
             self._batch_clones = [
                 clone for clone, k in zip(clones, keep) if k
             ]
+
+    # ------------------------------------------------------------------
+    # Channel feedback (collision detection and richer models)
+    # ------------------------------------------------------------------
+    def channel_feedback(
+        self, round_index: int, feedback: np.ndarray, network: RadioNetwork
+    ) -> None:
+        """Per-round channel feedback for one trial (default: ignored).
+
+        Under a feedback-providing channel (e.g.
+        :class:`~repro.radio.channel.CollisionDetection`) the runner calls
+        this after every round with the channel's ``(n,)`` feedback mask —
+        the extra bit the classic model withholds.  Feedback-blind
+        protocols inherit this no-op and behave identically under classic
+        and collision-detection channels.
+        """
+
+    def channel_feedback_batch(
+        self, round_index: int, feedback: np.ndarray, network: RadioNetwork
+    ) -> None:
+        """Per-round channel feedback for a whole batch.
+
+        ``feedback`` is the channel's ``(n, T)`` mask.  Default adapter:
+        forward column ``t`` to clone ``t``'s :meth:`channel_feedback`
+        (a no-op when there are no clones — i.e. for vectorized protocols
+        that do not override this hook).
+        """
+        clones = getattr(self, "_batch_clones", None)
+        if clones is None:
+            return
+        for t, clone in enumerate(clones):
+            clone.channel_feedback(round_index, feedback[:, t], network)
 
 
 class FloodingProtocol(BroadcastProtocol):
@@ -280,3 +324,102 @@ class DecayProtocol(CounterCoinProtocol):
 
     def transmission_probability(self, round_index: int) -> float:
         return 2.0 ** (-(round_index % self._k))
+
+
+class CollisionBackoffProtocol(BroadcastProtocol):
+    """Congestion-sensing backoff that exploits collision-detection feedback.
+
+    Decay probes every scale blindly because the classic channel gives no
+    feedback.  Under :class:`~repro.radio.channel.CollisionDetection` each
+    processor learns, per round it stays silent, whether it stood in a
+    collision — a local congestion estimate.  Every processor keeps a
+    backoff level ``ℓ_v`` (transmit probability ``2^{-ℓ_v}`` while
+    informed) updated AIMD-style each round:
+
+    * it transmitted → raise the level (self-throttle; a transmitter gets
+      no feedback, so it pessimistically assumes contention),
+    * silent and heard a collision → raise the level (congested
+      neighbourhood),
+    * silent and heard no collision → lower the level (quiet channel,
+      speed back up).
+
+    In quiet neighbourhoods levels fall to zero (every free round is
+    used); in congested ones they climb until the contention resolves —
+    the adaptive rate Decay sweeps blindly.  Under a feedback-less channel
+    the hooks never fire, levels stay at zero, and the protocol
+    degenerates to flooding — the feedback bit *is* the mechanism.
+
+    Transmission coins follow the counter-based discipline: one uniform
+    per ``(trial key, round, node)`` compared against the per-node
+    probability, so batched and standalone runs agree bit for bit (levels
+    evolve identically because feedback is a pure function of the
+    transmit history).
+    """
+
+    name = "collision-backoff"
+
+    def __init__(self, max_level: int | None = None) -> None:
+        self.max_level = max_level
+
+    def _resolve_max_level(self, network: RadioNetwork) -> int:
+        return (
+            self.max_level
+            if self.max_level is not None
+            else ceil_log2(max(2, network.n)) + 1
+        )
+
+    def reset(self, network: RadioNetwork, source: int, rng) -> None:
+        super().reset(network, source, rng)
+        self._keys = derive_keys([self._rng])
+        self._levels = np.zeros((network.n, 1), dtype=np.int16)
+        self._last_mask = np.zeros((network.n, 1), dtype=bool)
+        self._cap = self._resolve_max_level(network)
+
+    def reset_batch(self, network: RadioNetwork, source: int, rngs) -> None:
+        self._keys = derive_keys(rngs)
+        self._levels = np.zeros((network.n, len(rngs)), dtype=np.int16)
+        self._last_mask = np.zeros((network.n, len(rngs)), dtype=bool)
+        self._cap = self._resolve_max_level(network)
+
+    def select_trials(self, keep: np.ndarray) -> None:
+        self._keys = self._keys[keep]
+        self._levels = self._levels[:, keep]
+        self._last_mask = self._last_mask[:, keep]
+
+    def _draw(self, round_index: int, informed: np.ndarray) -> np.ndarray:
+        uniforms = counter_uniforms(self._keys, round_index, informed.shape[0])
+        coins = uniforms < np.ldexp(1.0, -self._levels)
+        if informed.ndim == 1:
+            mask = coins[:, 0] & informed
+            self._last_mask = mask[:, None]
+        else:
+            mask = coins & informed
+            self._last_mask = mask
+        return mask
+
+    def transmitters(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        return self._draw(round_index, informed)
+
+    def transmitters_batch(
+        self, round_index: int, informed: np.ndarray, network: RadioNetwork
+    ) -> np.ndarray:
+        return self._draw(round_index, informed)
+
+    def _apply_feedback(self, collided: np.ndarray) -> None:
+        raised = np.minimum(self._levels + 1, self._cap)
+        eased = np.maximum(self._levels - 1, 0)
+        self._levels = np.where(
+            collided | self._last_mask, raised, eased
+        ).astype(np.int16)
+
+    def channel_feedback(
+        self, round_index: int, feedback: np.ndarray, network: RadioNetwork
+    ) -> None:
+        self._apply_feedback(feedback[:, None])
+
+    def channel_feedback_batch(
+        self, round_index: int, feedback: np.ndarray, network: RadioNetwork
+    ) -> None:
+        self._apply_feedback(feedback)

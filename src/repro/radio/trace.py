@@ -26,6 +26,7 @@ import numpy as np
 from repro._util import as_rng
 from repro.graphs.graph import Graph
 from repro.radio.broadcast import _default_max_rounds
+from repro.radio.channel import ChannelModel, ClassicCollision
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import BroadcastProtocol
 
@@ -85,14 +86,21 @@ def run_broadcast_traced(
     source: int = 0,
     max_rounds: int | None = None,
     rng=None,
+    channel: ChannelModel | None = None,
 ) -> DetailedTrace:
     """Like :func:`repro.radio.broadcast.run_broadcast` but with per-round
-    collision accounting."""
+    collision accounting.
+
+    ``channel`` selects the reception model; collision-victim counts are
+    always computed against the *base* adjacency (the classic collision
+    picture), so lossy channels show as receptions < contacts.
+    """
     if not 0 <= source < graph.n:
         raise ValueError(f"source {source} out of range")
-    network = RadioNetwork(graph)
+    network = RadioNetwork(graph, channel=channel)
     gen = as_rng(rng)
     protocol.reset(network, source, gen)
+    network.channel.reset(network, [gen])
     if max_rounds is None:
         max_rounds = _default_max_rounds(graph.n)
 
@@ -105,8 +113,17 @@ def run_broadcast_traced(
     round_index = 0
     while round_index < max_rounds and not informed.all():
         mask = protocol.transmitters(round_index, informed, network) & informed
+        mask = network.channel.effective_transmitters(round_index, mask)
         counts = graph.adjacency @ mask.astype(np.int32)
-        received = (counts == 1) & ~mask
+        if type(network.channel) is ClassicCollision:
+            # Classic reception is a pure function of the counts already
+            # computed for collision accounting — skip the second product.
+            received = (counts == 1) & ~mask
+        else:
+            received = network.step(mask, round_index)
+            feedback = network.channel.feedback
+            if feedback is not None:
+                protocol.channel_feedback(round_index, feedback, network)
         victims = (counts >= 2) & ~mask
         fresh = received & ~informed
         round_index += 1

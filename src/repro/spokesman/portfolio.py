@@ -13,7 +13,6 @@ throughout the experiments (any algorithm's payoff on ``G_S`` certifies
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph

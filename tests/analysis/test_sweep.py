@@ -87,3 +87,49 @@ class TestBatchedSweep:
         with pytest.raises(ValueError):
             run_sweep({"a": [1]}, lambda a, seed: 0, rng=0,
                       batch_fn=lambda a, seeds: [0])
+
+
+class TestStaticParams:
+    def test_static_params_forwarded_not_recorded(self):
+        seen = []
+
+        def fn(a, graph, seed):
+            seen.append(graph)
+            return a
+
+        points = run_sweep(
+            {"a": [1, 2]}, fn, rng=0, static_params={"graph": "G"})
+        assert seen == ["G", "G"]
+        assert all(p.params == {"a": p.result} for p in points)
+
+    def test_static_params_in_batch_mode(self):
+        def batch_fn(a, channel_factory, seeds):
+            return [channel_factory() for _ in seeds]
+
+        points = run_sweep(
+            {"a": [1]}, rng=0, repetitions=3, batch_fn=batch_fn,
+            static_params={"channel_factory": lambda: "fresh"})
+        assert [p.result for p in points] == ["fresh"] * 3
+
+    def test_static_params_do_not_change_seeds(self):
+        def fn(a, seed, extra=None):
+            return seed
+
+        plain = run_sweep({"a": [1, 2]}, fn, rng=9, repetitions=2)
+        static = run_sweep({"a": [1, 2]}, fn, rng=9, repetitions=2,
+                           static_params={"extra": "x"})
+        assert [p.seed for p in plain] == [p.seed for p in static]
+
+    def test_static_params_shadowing_grid_rejected(self):
+        with pytest.raises(ValueError, match="shadow"):
+            run_sweep({"a": [1]}, lambda a, seed: 0, rng=0,
+                      static_params={"a": 2})
+
+    def test_static_params_reserved_names_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            run_sweep({"a": [1]}, lambda a, seed: 0, rng=0,
+                      static_params={"seed": 5})
+        with pytest.raises(ValueError, match="reserved"):
+            run_sweep({"a": [1]}, rng=0,
+                      batch_fn=lambda a, seeds: [0],
+                      static_params={"seeds": [1]})

@@ -1,6 +1,5 @@
 """Sampled (adversarial) wireless-expansion estimator."""
 
-import numpy as np
 import pytest
 
 from repro.expansion import (

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs import BipartiteGraph, random_bipartite
+from repro.graphs import random_bipartite
 
 
 class TestBatchKernels:

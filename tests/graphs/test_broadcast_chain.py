@@ -1,6 +1,5 @@
 """Section 5 chained-core-graph construction."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import broadcast_chain, core_graph_layout

@@ -1,6 +1,5 @@
 """Unit tests for the workload graph families."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import (

@@ -1,6 +1,5 @@
 """Remark 1 run-length calculus vs exact measurement on Gbad."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import (

@@ -12,7 +12,7 @@ from repro.expansion.neighborhoods import (
     naive_gamma_one_s_excluding,
     naive_gamma_s_excluding,
 )
-from repro.graphs import Graph, cycle_graph, hypercube
+from repro.graphs import Graph, cycle_graph
 
 
 def graph_strategy(max_n=9):

@@ -1,6 +1,5 @@
 """Lemma 3.3 remark (2): plugging Gbad onto an expander."""
 
-import numpy as np
 import pytest
 
 from repro.expansion import unique_expansion_of_set

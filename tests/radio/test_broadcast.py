@@ -6,7 +6,6 @@ import pytest
 from repro.graphs import (
     complete_graph,
     cplus_graph,
-    cplus_informed_after_round_one,
     hypercube,
     path_graph,
 )

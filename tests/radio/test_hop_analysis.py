@@ -1,6 +1,5 @@
 """Section 5 per-hop concentration study."""
 
-import numpy as np
 import pytest
 
 from repro.radio import DecayProtocol, hop_time_study

@@ -10,7 +10,6 @@ from repro.radio import (
     DecayProtocol,
     SpokesmanBroadcastProtocol,
     measure_chain_broadcast,
-    portal_times,
     rooted_core_graph,
     run_broadcast,
 )

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs import Graph, complete_graph, erdos_renyi, path_graph
+from repro.graphs import complete_graph, erdos_renyi, path_graph
 from repro.radio import RadioNetwork
 
 

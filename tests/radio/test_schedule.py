@@ -15,7 +15,6 @@ from repro.graphs import (
     random_regular,
 )
 from repro.radio import (
-    BroadcastSchedule,
     StaticScheduleProtocol,
     run_broadcast,
     synthesize_broadcast_schedule,

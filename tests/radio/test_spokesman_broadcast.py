@@ -1,9 +1,7 @@
 """Centralized spokesman-aided broadcast."""
 
-import collections
 
 import numpy as np
-import pytest
 
 from repro.graphs import complete_graph, cplus_graph, hypercube, random_regular
 from repro.radio import (

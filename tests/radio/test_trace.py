@@ -1,6 +1,5 @@
 """Detailed broadcast tracing and collision accounting."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import cplus_graph, hypercube, path_graph

@@ -1,6 +1,5 @@
 """SpokesmanResult and evaluation helper."""
 
-import numpy as np
 import pytest
 
 from repro.spokesman import evaluate_subset, nonisolated_right_count

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.expansion import mg_bound
-from repro.graphs import core_graph, cycle_graph, random_bipartite
+from repro.graphs import cycle_graph, random_bipartite
 from repro.spokesman import (
     DETERMINISTIC_ALGORITHMS,
     RANDOMIZED_ALGORITHMS,

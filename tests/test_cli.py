@@ -66,3 +66,43 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "gap" in out
+
+
+class TestChannelFlags:
+    def test_broadcast_erasure(self, capsys):
+        assert main(
+            ["broadcast", "--s", "4", "--layers", "2,3", "--reps", "2",
+             "--trials", "8", "--channel", "erasure", "--erasure-p", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "channel=erasure" in out
+
+    def test_broadcast_jamming_with_faults(self, capsys):
+        assert main(
+            ["broadcast", "--s", "4", "--layers", "2", "--reps", "1",
+             "--trials", "4", "--channel", "jamming",
+             "--faults", "jam@0-2:1,2"]
+        ) == 0
+        assert "channel=jamming" in capsys.readouterr().out
+
+    def test_hops_collision_detection_alias(self, capsys):
+        assert main(
+            ["hops", "--s", "4", "--layers", "3", "--reps", "4",
+             "--trials", "2", "--channel", "cd"]
+        ) == 0
+        assert "channel=cd" in capsys.readouterr().out
+
+    def test_channels_table(self, capsys):
+        assert main(
+            ["channels", "--n", "64", "--trials", "8",
+             "--erasure-ps", "0.0,0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "E15" in out
+        assert "expander" in out and "chain" in out
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["broadcast", "--channel", "telepathy"]
+            )

@@ -56,7 +56,6 @@ from repro.spokesman import (
     spokesman_partition,
     spokesman_portfolio,
     spokesman_recursive,
-    wireless_lower_bound_of_set,
 )
 
 

@@ -8,7 +8,6 @@ per-module unit tests.
 import math
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,10 +1,8 @@
 """Second wave of hypothesis property tests: schedules, certificates,
 batched kernels, and the threshold-partition family."""
 
-import math
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
