@@ -85,6 +85,7 @@ def test_e14_batched_speedup(benchmark, results_dir):
             HEADERS, rows,
             title=f"E14 / engine: looped vs batched Decay trials (T={TRIALS})",
         ),
+        data={"headers": HEADERS, "rows": rows, "trials": TRIALS},
     )
     for row in rows:
         assert row[-1], f"batched {row[0]} diverged from the looped runs"

@@ -105,6 +105,11 @@ def test_e15_erasure_degradation(benchmark, results_dir):
             [pt.row for pt in points],
             title=f"E15 / robustness: Decay under erasure (T={TRIALS})",
         ),
+        data={
+            "headers": ERASURE_HEADERS,
+            "rows": [pt.row for pt in points],
+            "trials": TRIALS,
+        },
     )
     by_family = {}
     for pt in points:
@@ -137,6 +142,7 @@ def test_e15_jamming_degradation(results_dir):
             rows,
             title=f"E15 / robustness: Decay under jam windows (T={TRIALS})",
         ),
+        data={"rows": rows, "trials": TRIALS},
     )
     for family, _, fraction, _, completion, _, slowdown in rows:
         assert completion == 1.0, f"{family} failed to complete at f={fraction}"

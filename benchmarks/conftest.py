@@ -4,6 +4,13 @@ Every ``bench_*.py`` regenerates one experiment from DESIGN.md §4: it
 computes the reproduction table, archives it under ``benchmarks/results/``,
 asserts the paper's claimed shape, and times the core computation via
 pytest-benchmark.
+
+The benches route their plumbing through :mod:`repro.runtime`: every
+:func:`emit` call writes a machine-readable ``.json`` sidecar next to the
+``.txt`` table via the runtime store's shared JSON writer, and the
+``REPRO_JOBS`` environment contract (exported by ``repro run E<k> --jobs
+N`` / :func:`repro.analysis.run_experiment`) supplies :data:`JOBS`, the
+worker count for benches that schedule through the runtime executor.
 """
 
 from __future__ import annotations
@@ -12,9 +19,16 @@ import os
 
 import pytest
 
+from repro.runtime.executor import default_jobs
+from repro.runtime.store import write_json_payload
+
 #: CI's bench-smoke job sets ``REPRO_BENCH_SMOKE=1`` to run every bench at
 #: tiny scale — the scripts can't silently rot, at a fraction of the cost.
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+
+#: Worker-process count for runtime-scheduled benches (the ``REPRO_JOBS``
+#: contract of ``run_experiment``/``repro run``; E16 honours it).
+JOBS = default_jobs(fallback=1)
 
 # Smoke tables land in a scratch subdirectory so a smoke run can never
 # clobber the checked-in full-scale tables under results/.
@@ -38,8 +52,22 @@ def results_dir() -> str:
     return RESULTS_DIR
 
 
-def emit(results_dir: str, name: str, text: str) -> None:
-    """Print a table and archive it for EXPERIMENTS.md."""
+def emit(results_dir: str, name: str, text: str, data=None) -> None:
+    """Print a table, archive it for EXPERIMENTS.md, and write the
+    machine-readable ``.json`` sidecar (``data`` carries structured rows;
+    the rendered table always rides along)."""
     print("\n" + text)
     with open(os.path.join(results_dir, name), "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
+    stem = os.path.splitext(name)[0]
+    write_json_payload(
+        os.path.join(results_dir, stem + ".json"),
+        {
+            "name": stem,
+            "experiment": stem.split("_")[0],
+            "smoke": SMOKE,
+            "jobs": JOBS,
+            "table": text.splitlines(),
+            "data": data,
+        },
+    )

@@ -15,7 +15,10 @@ expansion (``β ≥ βw ≥ βu``).  This package implements, from scratch:
 * a synchronous collision-model radio network simulator with Decay,
   flooding, round-robin and spokesman-aided broadcast — :mod:`repro.radio`;
 * the experiment harness regenerating every claim as a measured table —
-  :mod:`repro.analysis` and the ``benchmarks/`` directory.
+  :mod:`repro.analysis` and the ``benchmarks/`` directory;
+* the execution runtime farming sweep tasks across processes with a
+  content-addressed result cache and resumable manifests —
+  :mod:`repro.runtime`.
 
 Quickstart::
 

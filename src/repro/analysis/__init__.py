@@ -1,6 +1,12 @@
 """Experiment harness: sweeps, statistics, and table rendering."""
 
-from repro.analysis.experiments import EXPERIMENTS, Experiment, validate_registry
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    run_experiment,
+    validate_registry,
+)
 from repro.analysis.robustness import (
     ERASURE_HEADERS,
     ErasurePoint,
@@ -21,7 +27,9 @@ __all__ = [
     "erasure_degradation",
     "fit_loglinear",
     "format_value",
+    "get_experiment",
     "render_table",
+    "run_experiment",
     "run_sweep",
     "summarize",
     "sweep_grid",

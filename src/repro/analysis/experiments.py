@@ -1,20 +1,34 @@
 """Experiment registry: the canonical index of reproduction targets.
 
-A single table mapping experiment ids (E1–E15) to the paper statement they
+A single table mapping experiment ids (E1–E16) to the paper statement they
 reproduce, the modules that implement the pieces, and the benchmark file
 that regenerates the table.  DESIGN.md and EXPERIMENTS.md mirror this
 registry; a consistency test (``tests/analysis/test_experiments.py``)
 asserts every referenced bench file and module actually exists, so the
 documentation can never silently rot.
+
+:func:`run_experiment` is the programmatic entry point behind ``repro run
+E<k>``: it regenerates one registered experiment by invoking its bench
+file in a pytest subprocess, threading the runtime knobs (``--jobs``,
+smoke scale) through the ``REPRO_JOBS`` / ``REPRO_BENCH_SMOKE``
+environment contract the benches honour.
 """
 
 from __future__ import annotations
 
 import importlib
 import os
+import subprocess
+import sys
 from dataclasses import dataclass, field
 
-__all__ = ["EXPERIMENTS", "Experiment", "validate_registry"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "run_experiment",
+    "validate_registry",
+]
 
 
 @dataclass(frozen=True)
@@ -130,7 +144,78 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "bench_channel_robustness.py",
         ("E15_channel_robustness.txt", "E15_jamming.txt"),
     ),
+    Experiment(
+        "E16", "runtime",
+        "parallel executor + content-addressed cache: sweep scaling and "
+        "warm-cache replay, bit-for-bit equal to serial",
+        ("repro.runtime.executor", "repro.runtime.store",
+         "repro.runtime.manifest"),
+        "bench_runtime_scaling.py", ("E16_runtime_scaling.txt",),
+    ),
 )
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Registry lookup by id (case-insensitive); raises on unknown ids."""
+    wanted = exp_id.strip().upper()
+    for exp in EXPERIMENTS:
+        if exp.id == wanted:
+            return exp
+    known = ", ".join(e.id for e in EXPERIMENTS)
+    raise ValueError(f"unknown experiment {exp_id!r}; registered: {known}")
+
+
+def default_benchmarks_dir() -> str:
+    """The repo's ``benchmarks/`` directory, located relative to the
+    package's src-layout checkout."""
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(os.path.dirname(os.path.dirname(src_dir)), "benchmarks")
+
+
+def run_experiment(
+    exp_id: str,
+    jobs: int = 1,
+    smoke: bool | None = None,
+    benchmarks_dir: str | None = None,
+    pytest_args: tuple[str, ...] = (),
+    capture: bool = False,
+) -> subprocess.CompletedProcess:
+    """Regenerate one registered experiment's tables.
+
+    Runs the experiment's bench file through pytest in a subprocess (the
+    benches are pytest modules, and a fresh interpreter keeps their
+    pytest-benchmark plumbing and result archiving identical to a full
+    suite run).  ``jobs`` is exported as ``REPRO_JOBS`` for benches that
+    schedule through the runtime executor; ``smoke`` pins
+    ``REPRO_BENCH_SMOKE`` (``None`` inherits the caller's environment).
+    Returns the :class:`subprocess.CompletedProcess` (stdout/stderr
+    captured as text when ``capture``).
+    """
+    exp = get_experiment(exp_id)
+    bench_dir = benchmarks_dir or default_benchmarks_dir()
+    bench_path = os.path.join(bench_dir, exp.bench_file)
+    if not os.path.isfile(bench_path):
+        raise FileNotFoundError(
+            f"bench file for {exp.id} not found at {bench_path}; "
+            "run from a source checkout or pass benchmarks_dir"
+        )
+    env = dict(os.environ)
+    env["REPRO_JOBS"] = str(int(jobs))
+    if smoke is not None:
+        env["REPRO_BENCH_SMOKE"] = "1" if smoke else "0"
+    # The src/ directory two levels above the package, so the subprocess
+    # can `import repro` even from an uninstalled checkout.
+    src_dir = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    cmd = [
+        sys.executable, "-m", "pytest", bench_path,
+        "-q", "-p", "no:cacheprovider", *pytest_args,
+    ]
+    return subprocess.run(cmd, env=env, capture_output=capture, text=True)
 
 
 def validate_registry(benchmarks_dir: str) -> list[str]:

@@ -56,12 +56,29 @@ class ErasurePoint:
         ]
 
 
+def _erasure_batch(graph, p, trials, rng, max_rounds):
+    """One seeded Decay batch under ``ErasureChannel(p)`` (``p=None`` is the
+    classic-channel baseline) — module-level so the runtime executor can
+    schedule measurement points across worker processes."""
+    from repro.radio import DecayProtocol, ErasureChannel, run_broadcast_batch
+
+    return run_broadcast_batch(
+        graph,
+        DecayProtocol(),
+        trials=trials,
+        rng=rng,
+        channel=None if p is None else ErasureChannel(p),
+        max_rounds=max_rounds,
+    )
+
+
 def erasure_degradation(
     families: Sequence[tuple[str, "Graph"]],  # noqa: F821
     erasure_ps: Sequence[float],
     trials: int,
     rng,
     max_rounds: int | None = None,
+    executor=None,
 ) -> list[ErasurePoint]:
     """Measure Decay broadcast degradation of each family across erasure
     probabilities, against a classic-channel baseline with the same seed.
@@ -69,26 +86,46 @@ def erasure_degradation(
     ``families`` is a list of ``(label, graph)`` pairs; the same master
     ``rng`` seeds every run, so the ``p = 0`` point is bit-for-bit the
     baseline (the channel layer's anchor invariant).
-    """
-    from repro.radio import DecayProtocol, ErasureChannel, run_broadcast_batch
 
-    points = []
-    for name, graph in families:
-        baseline = run_broadcast_batch(
-            graph, DecayProtocol(), trials=trials, rng=rng, max_rounds=max_rounds
+    ``executor`` (a :class:`repro.runtime.Executor` or int job count) farms
+    the independent (family, p) measurements — baselines included — across
+    worker processes; every batch is seeded identically either way, so the
+    point list is bit-for-bit the serial one.  Parallel scheduling
+    re-seeds every batch from ``rng``, so it requires a reusable seed (an
+    int or ``None``), not a stateful generator.
+    """
+    import numpy as np
+
+    if executor is not None and isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "erasure_degradation(executor=...) needs an int (or None) rng: "
+            "a Generator would be consumed in executor-dependent order"
         )
-        for p in erasure_ps:
-            batch = run_broadcast_batch(
-                graph,
-                DecayProtocol(),
-                trials=trials,
-                rng=rng,
-                channel=ErasureChannel(p),
-                max_rounds=max_rounds,
+    # One task per (family, p) plus each family's baseline, all independent.
+    calls = []
+    for name, graph in families:
+        for p in (None, *erasure_ps):
+            calls.append(
+                dict(graph=graph, p=p, trials=trials, rng=rng, max_rounds=max_rounds)
             )
+    if executor is None:
+        batches = [_erasure_batch(**kw) for kw in calls]
+    else:
+        from repro.runtime import as_executor
+
+        batches = as_executor(executor).map(_erasure_batch, calls)
+    points = []
+    per_family = 1 + len(erasure_ps)
+    for f, (name, graph) in enumerate(families):
+        baseline = batches[f * per_family]
+        for j, p in enumerate(erasure_ps):
             points.append(
                 ErasurePoint(
-                    family=name, n=graph.n, p=p, batch=batch, baseline=baseline
+                    family=name,
+                    n=graph.n,
+                    p=p,
+                    batch=batches[f * per_family + 1 + j],
+                    baseline=baseline,
                 )
             )
     return points

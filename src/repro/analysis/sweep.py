@@ -35,9 +35,37 @@ class SweepPoint:
     result: Any
 
 
+def _validate_space(space: Mapping[str, Sequence]) -> None:
+    """Reject grids that would silently be empty or mis-shapen.
+
+    Each dimension must be a non-string sized iterable (list, tuple, numpy
+    array, …) with at least one value — a single empty dimension empties
+    the whole cartesian product, and a bare string would sweep over its
+    characters.
+    """
+    for key in sorted(space):
+        values = space[key]
+        if isinstance(values, (str, bytes)) or not hasattr(values, "__len__"):
+            raise TypeError(
+                f"sweep dimension {key!r} must be a non-string sequence of "
+                f"values (e.g. a list), got {type(values).__name__}"
+            )
+        if len(values) == 0:
+            raise ValueError(
+                f"sweep dimension {key!r} is empty; every dimension needs "
+                "at least one value (an empty dimension would silently "
+                "produce an empty grid)"
+            )
+
+
 def sweep_grid(space: Mapping[str, Sequence]) -> Iterator[dict[str, Any]]:
     """Yield all parameter assignments of the cartesian grid, in a fixed
-    (lexicographic-by-key) order."""
+    (lexicographic-by-key) order.  Dimensions are validated eagerly."""
+    _validate_space(space)
+    return _sweep_grid_iter(space)
+
+
+def _sweep_grid_iter(space: Mapping[str, Sequence]) -> Iterator[dict[str, Any]]:
     keys = sorted(space.keys())
     for combo in itertools.product(*(space[k] for k in keys)):
         yield dict(zip(keys, combo))
@@ -50,6 +78,8 @@ def run_sweep(
     repetitions: int = 1,
     batch_fn: Callable[..., Sequence[Any]] | None = None,
     static_params: Mapping[str, Any] | None = None,
+    executor=None,
+    cache=None,
 ) -> list[SweepPoint]:
     """Evaluate a callable over the grid, one seed per repetition.
 
@@ -71,6 +101,20 @@ def run_sweep(
     Seeds are derived identically in both modes, so the returned
     :class:`SweepPoint` list (one entry per repetition, in grid × repetition
     order) is the same either way for equivalent evaluators.
+
+    ``executor`` and ``cache`` hand the grid to the runtime layer
+    (:mod:`repro.runtime`): ``executor`` (an
+    :class:`~repro.runtime.Executor` or an int job count) schedules tasks —
+    one per repetition in ``fn`` mode, one per grid point in ``batch_fn``
+    mode — across processes, and ``cache`` (a
+    :class:`~repro.runtime.ResultStore` or cache-root path) replays
+    completed tasks and persists new ones, making interrupted sweeps
+    resumable.  Because every task owns a derived seed, the returned list
+    is bit-for-bit identical whichever executor runs it and whether results
+    were computed or replayed.  Parallel execution requires module-level
+    evaluators and picklable parameters; caching additionally requires
+    content-addressable ones (plain data or dataclass specs such as
+    :class:`repro.radio.ChannelSpec`).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
@@ -85,6 +129,23 @@ def run_sweep(
         )
     grid = list(sweep_grid(space))
     seeds = spawn_seeds(as_rng(rng), len(grid) * repetitions)
+    if executor is not None or cache is not None:
+        # The runtime layer reproduces this function's scheduling exactly
+        # (same grid order, same seeds, same call signatures), adding
+        # process parallelism and the content-addressed cache on top.
+        from repro.runtime.executor import execute_sweep
+
+        return execute_sweep(
+            space=space,
+            grid=grid,
+            seeds=seeds,
+            fn=fn,
+            batch_fn=batch_fn,
+            repetitions=repetitions,
+            static=static,
+            executor=executor,
+            cache=cache,
+        )
     out: list[SweepPoint] = []
     for i, params in enumerate(grid):
         point_seeds = seeds[i * repetitions : (i + 1) * repetitions]

@@ -13,11 +13,18 @@ Commands
 ``hops``        Per-hop timing distribution (concentration check).
 ``worstcase``   Corollary 4.11 planted bad set.
 ``channels``    Broadcast degradation across channel/fault models (E15).
+``run``         Regenerate a registered experiment (E1–E16) via its bench.
+``sweep``       Cached, resumable chain-broadcast grid sweep (runtime demo).
+``cache``       Inspect (``stats``) or wipe (``clear``) the result cache.
 
-``broadcast`` and ``hops`` accept ``--channel`` (classic /
-collision-detection / erasure / jamming), ``--erasure-p``, and
-``--faults`` (a ``jam@A-B:v,...;crash@R:v,...;down@R:u-v`` spec) to run
-the same experiments under non-classic reception models.
+Simulation commands uniformly take ``--seed`` (master seed) and ``--jobs``
+(worker processes; tasks are farmed through
+:class:`repro.runtime.ParallelExecutor`, with results bit-for-bit identical
+to serial runs).  ``broadcast``, ``hops``, and ``sweep`` accept
+``--channel`` (classic / collision-detection / erasure / jamming),
+``--erasure-p``, and ``--faults`` (a ``jam@A-B:v,...;crash@R:v,...;
+down@R:u-v`` spec) to run the same experiments under non-classic reception
+models.
 """
 
 from __future__ import annotations
@@ -103,17 +110,39 @@ def _cmd_spokesman(args: argparse.Namespace) -> int:
     return 0
 
 
-def _channel_factory(args: argparse.Namespace):
-    """Fresh-channel factory from the CLI channel flags (channels hold
-    per-run state, so every run gets its own instance)."""
-    from repro.radio import make_channel
+def _channel_spec(args: argparse.Namespace):
+    """Fresh-channel factory from the CLI channel flags.
 
-    def build():
-        return make_channel(
-            args.channel, erasure_p=args.erasure_p, faults=args.faults
-        )
+    A :class:`repro.radio.ChannelSpec` rather than a closure: channels hold
+    per-run state, so every run gets its own instance, and the spec is
+    picklable / content-addressable so ``--jobs`` and the result cache work.
+    """
+    from repro.radio import ChannelSpec
 
-    return build
+    return ChannelSpec(
+        name=args.channel, erasure_p=args.erasure_p, faults=args.faults
+    )
+
+
+def _executor(args: argparse.Namespace):
+    """The runtime executor behind ``--jobs`` (``None`` = inline serial)."""
+    if getattr(args, "jobs", 1) > 1:
+        from repro.runtime import ParallelExecutor
+
+        return ParallelExecutor(args.jobs)
+    return None
+
+
+def _add_exec_flags(p: "argparse.ArgumentParser", seed: bool = True) -> None:
+    """The uniform ``--seed`` / ``--jobs`` pair every simulation command
+    takes (``REPRO_JOBS`` sets the ``--jobs`` default)."""
+    from repro.runtime import default_jobs
+
+    if seed:
+        p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument(
+        "--jobs", type=int, default=default_jobs(fallback=1),
+        help="worker processes (>1 schedules via repro.runtime)")
 
 
 def _add_channel_flags(p: "argparse.ArgumentParser") -> None:
@@ -130,27 +159,48 @@ def _add_channel_flags(p: "argparse.ArgumentParser") -> None:
         help="fault spec for --channel jamming, e.g. 'jam@0-9:0,1;crash@5:7'")
 
 
-def _cmd_broadcast(args: argparse.Namespace) -> int:
-    from repro.analysis import fit_loglinear, render_table, summarize
-    from repro.radio import DecayProtocol, measure_chain_broadcast_batch
+def _rep_groups(points, reps: int):
+    """Regroup a grid-major ``SweepPoint`` list into its grid points.
 
-    channel = _channel_factory(args)
+    Yields ``(first_result, rounds, completed)`` per grid point —
+    ``rounds``/``completed`` flattened across the point's repetitions —
+    for the chain-broadcast tables (`broadcast`, `sweep`).
+    """
+    for i in range(0, len(points), reps):
+        group = points[i : i + reps]
+        yield (
+            group[0].result,
+            [r for pt in group for r in pt.result["rounds"]],
+            [c for pt in group for c in pt.result["completed"]],
+        )
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.analysis import fit_loglinear, render_table, run_sweep, summarize
+    from repro.runtime.tasks import chain_broadcast_point
+
+    # One runtime task per (layers, rep): each owns a fresh chain and one
+    # batched --trials protocol run; --jobs farms tasks across processes
+    # (bit-for-bit identical to the serial schedule).
+    points = run_sweep(
+        {"layers": args.layers},
+        chain_broadcast_point,
+        rng=args.seed,
+        repetitions=args.reps,
+        static_params={
+            "s": args.s, "trials": args.trials, "channel": _channel_spec(args),
+        },
+        executor=_executor(args),
+    )
     rows, xs, ys = [], [], []
-    for layers in args.layers:
-        rounds = []
-        for rep in range(args.reps):
-            # One batched call simulates all --trials protocol runs of this
-            # chain together; each rep owns an independent chain.
-            m = measure_chain_broadcast_batch(
-                args.s, layers, DecayProtocol(), trials=args.trials,
-                rng=args.seed + rep, chain_rng=args.seed + 100 + rep,
-                channel=channel())
-            rounds.extend(int(r) for r in m.rounds)
+    for first, rounds, _ in _rep_groups(points, args.reps):
         stats = summarize(rounds)
-        xs.append(m.km_bound)
+        xs.append(first["km_bound"])
         ys.append(stats.mean)
-        rows.append([layers, m.n, m.diameter_claim, round(m.km_bound, 1),
-                     round(stats.mean, 1), stats.min, stats.max])
+        rows.append(
+            [first["layers"], first["n"], first["diameter"],
+             round(first["km_bound"], 1),
+             round(stats.mean, 1), stats.min, stats.max])
     print(render_table(
         ["layers", "n", "D", "D·log2(n/D)", "mean", "min", "max"], rows,
         title=f"Section 5: Decay rounds on chained cores "
@@ -170,7 +220,8 @@ def _cmd_hops(args: argparse.Namespace) -> int:
         args.s, args.layers[0], DecayProtocol,
         repetitions=args.reps * args.trials, rng=args.seed,
         trials_per_chain=args.trials,
-        channel_factory=_channel_factory(args))
+        channel_factory=_channel_spec(args),
+        executor=_executor(args))
     print(f"hop study: s={study.s}, layers={study.num_layers}, "
           f"reps={study.hop_times.shape[0]}, channel={args.channel}")
     print(f"  per-hop rounds: mean {study.hop_mean:.2f} ± {study.hop_std:.2f}"
@@ -181,8 +232,10 @@ def _cmd_hops(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.analysis import run_sweep, summarize
     from repro.graphs import grid_2d, hypercube, random_regular
-    from repro.radio import DecayProtocol, run_broadcast, synthesize_broadcast_schedule
+    from repro.radio import synthesize_broadcast_schedule
+    from repro.runtime.tasks import broadcast_rounds_point
 
     if args.graph == "hypercube":
         g = hypercube(args.size)
@@ -192,11 +245,22 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         g = random_regular(2**args.size, 6, rng=args.seed)
     schedule = synthesize_broadcast_schedule(g, source=0)
     ok, informed = schedule.verify(g)
-    decay = run_broadcast(g, DecayProtocol(), source=0, rng=args.seed)
+    # The randomized comparison: --reps independent Decay runs, scheduled
+    # through the runtime so --jobs parallelizes them.
+    points = run_sweep(
+        {}, broadcast_rounds_point, rng=args.seed, repetitions=args.reps,
+        static_params={"graph": g, "source": 0}, executor=_executor(args))
+    rounds = [r for pt in points for r in pt.result["rounds"]]
     print(f"graph: {args.graph}({args.size}) n={g.n}")
     print(f"  schedule length {schedule.length} rounds "
           f"(eccentricity {g.eccentricity(0)}), verified: {ok}")
-    print(f"  Decay (distributed, randomized): {decay.rounds} rounds")
+    if len(rounds) == 1:
+        print(f"  Decay (distributed, randomized): {rounds[0]} rounds")
+    else:
+        stats = summarize(rounds)
+        print(f"  Decay (distributed, randomized): mean {stats.mean:.1f} "
+              f"rounds over {len(rounds)} runs "
+              f"(min {int(stats.min)}, max {int(stats.max)})")
     return 0 if ok else 1
 
 
@@ -212,7 +276,8 @@ def _cmd_channels(args: argparse.Namespace) -> int:
     # Shared E15 row definition (repro.analysis.robustness): slowdowns are
     # against a classic-channel baseline, independent of --erasure-ps order.
     points = erasure_degradation(
-        families, args.erasure_ps, trials=args.trials, rng=args.seed)
+        families, args.erasure_ps, trials=args.trials, rng=args.seed,
+        executor=_executor(args))
     print(render_table(
         ERASURE_HEADERS, [pt.row for pt in points],
         title="E15: broadcast degradation under erasure"))
@@ -235,6 +300,73 @@ def _cmd_worstcase(args: argparse.Namespace) -> int:
     print(f"  β(S*)  = {ordinary:.3f}")
     print(f"  βw(S*) achieved {achieved:.3f}, cap {wc.planted_wireless_expansion_cap:.3f}")
     print(f"  gap β/βw ≥ {ordinary / wc.planted_wireless_expansion_cap:.2f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis import run_experiment
+
+    proc = run_experiment(
+        args.experiment, jobs=args.jobs, smoke=True if args.smoke else None)
+    return proc.returncode
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table, run_sweep, summarize
+    from repro.runtime import ResultStore, plan_sweep
+    from repro.runtime.tasks import chain_broadcast_point
+
+    store = ResultStore(args.cache_dir)
+    space = {"s": args.s_values, "layers": args.layers}
+    static = {"trials": args.trials, "channel": _channel_spec(args)}
+    sweep_kw = dict(rng=args.seed, repetitions=args.reps, static_params=static)
+    manifest = plan_sweep(space, chain_broadcast_point, **sweep_kw, store=store)
+    if args.resume:
+        done, total = manifest.progress(store)
+        print(f"sweep {manifest.sweep_id}: resuming, "
+              f"{done}/{total} tasks already cached")
+    else:
+        dropped = store.drop(manifest.keys)
+        note = f" ({dropped} stale cache entries dropped)" if dropped else ""
+        print(f"sweep {manifest.sweep_id}: fresh run, "
+              f"{manifest.task_count} tasks{note}")
+    points = run_sweep(
+        space, chain_broadcast_point, **sweep_kw,
+        executor=_executor(args), cache=store)
+    rows = []
+    for first, rounds, completed in _rep_groups(points, args.reps):
+        stats = summarize(rounds)
+        rows.append(
+            [first["s"], first["layers"], first["n"], first["diameter"],
+             round(stats.mean, 1), stats.min, stats.max,
+             round(sum(completed) / len(completed), 3)])
+    print(render_table(
+        ["s", "layers", "n", "D", "mean", "min", "max", "completion"], rows,
+        title=f"runtime sweep: Decay rounds on chained cores "
+              f"[channel={args.channel}, jobs={args.jobs}]"))
+    print(f"cache: {store.hits} hits, {store.misses} misses over "
+          f"{manifest.task_count} tasks (manifest {manifest.sweep_id})")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import ResultStore, SweepManifest
+
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "stats":
+        st = store.stats()
+        print(f"cache root: {st.root}")
+        print(f"  entries:   {st.entries}")
+        print(f"  manifests: {st.manifests}")
+        print(f"  size:      {st.bytes / 1024:.1f} KiB")
+        for sid in SweepManifest.list_ids(store):
+            m = SweepManifest.load(store, sid)
+            done, total = m.progress(store)
+            print(f"  sweep {sid}: {done}/{total} tasks complete ({m.fn})")
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed.entries} cached results and "
+          f"{removed.manifests} manifests from {removed.root}")
     return 0
 
 
@@ -277,7 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="independent chains per grid point")
     p.add_argument("--trials", type=int, default=1,
                    help="batched protocol trials per chain")
-    p.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(p)
     _add_channel_flags(p)
     p.set_defaults(fn=_cmd_broadcast)
 
@@ -288,7 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="independent chains")
     p.add_argument("--trials", type=int, default=1,
                    help="batched protocol trials per chain")
-    p.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(p)
     _add_channel_flags(p)
     p.set_defaults(fn=_cmd_hops)
 
@@ -300,14 +432,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=32)
     p.add_argument("--erasure-ps", type=_float_list,
                    default=[0.0, 0.1, 0.2, 0.3])
-    p.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(p)
     p.set_defaults(fn=_cmd_channels)
 
     p = sub.add_parser("schedule", help="synthesize + verify a static schedule")
     p.add_argument("--graph", choices=["hypercube", "grid", "regular"],
                    default="hypercube")
     p.add_argument("--size", type=int, default=6)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--reps", type=int, default=1,
+                   help="independent Decay comparison runs")
+    _add_exec_flags(p)
     p.set_defaults(fn=_cmd_schedule)
 
     p = sub.add_parser("worstcase", help="Corollary 4.11 planted bad set")
@@ -317,6 +451,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.45)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_worstcase)
+
+    p = sub.add_parser(
+        "run", help="regenerate a registered experiment (E1-E16) via its bench")
+    p.add_argument("experiment", help="registry id, e.g. E16")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny-scale run (sets REPRO_BENCH_SMOKE=1)")
+    _add_exec_flags(p, seed=False)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="cached, resumable chain-broadcast grid sweep via repro.runtime")
+    p.add_argument("--s-values", type=_int_list, default=[4, 8],
+                   help="chain widths (powers of two)")
+    p.add_argument("--layers", type=_int_list, default=[2, 4])
+    p.add_argument("--reps", type=int, default=2,
+                   help="independent chains per grid point")
+    p.add_argument("--trials", type=int, default=4,
+                   help="batched protocol trials per chain")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-store root (default: results/cache)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed tasks from the cache instead of "
+                        "recomputing them")
+    _add_exec_flags(p)
+    _add_channel_flags(p)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or wipe the runtime result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for verb, help_text in (
+        ("stats", "entry/manifest counts, size, and sweep progress"),
+        ("clear", "delete every cached result and manifest"),
+    ):
+        cp = cache_sub.add_parser(verb, help=help_text)
+        cp.add_argument("--cache-dir", default=None,
+                        help="result-store root (default: results/cache)")
+        cp.set_defaults(fn=_cmd_cache)
 
     return parser
 

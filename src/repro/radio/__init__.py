@@ -44,6 +44,7 @@ from repro.radio.channel import (
     CHANNELS,
     AdversarialJamming,
     ChannelModel,
+    ChannelSpec,
     ClassicCollision,
     CollisionDetection,
     ErasureChannel,
@@ -89,6 +90,7 @@ __all__ = [
     "CHANNELS",
     "ChainMeasurement",
     "ChannelModel",
+    "ChannelSpec",
     "ClassicCollision",
     "CollisionBackoffProtocol",
     "CollisionDetection",

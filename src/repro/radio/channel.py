@@ -58,6 +58,7 @@ __all__ = [
     "CHANNELS",
     "AdversarialJamming",
     "ChannelModel",
+    "ChannelSpec",
     "ClassicCollision",
     "CollisionDetection",
     "ErasureChannel",
@@ -489,3 +490,23 @@ def make_channel(
     raise ValueError(
         f"unknown channel {name!r}; known channels: {', '.join(sorted(CHANNELS))}"
     )
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A picklable, content-addressable channel *factory*.
+
+    Channels hold per-run state, so anything scheduling runs (the CLI, the
+    runtime executor) passes a factory rather than an instance.  Closures
+    cannot cross process boundaries or enter cache keys; this frozen
+    dataclass can do both — calling it builds a fresh channel via
+    :func:`make_channel`.  ``faults`` stays in its
+    :func:`parse_fault_spec` string form for the same reason.
+    """
+
+    name: str = "classic"
+    erasure_p: float = 0.1
+    faults: str | None = None
+
+    def __call__(self) -> ChannelModel:
+        return make_channel(self.name, erasure_p=self.erasure_p, faults=self.faults)

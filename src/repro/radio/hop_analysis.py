@@ -78,6 +78,28 @@ class HopTimeStudy:
         return float(np.corrcoef(a, b)[0, 1])
 
 
+def _measure_chain(
+    s: int,
+    num_layers: int,
+    protocol_factory,
+    trials: int,
+    rng: int,
+    chain_rng: int,
+    channel_factory,
+):
+    """One chain's batched measurement — module-level (and hence picklable)
+    so the runtime executor can schedule chains across worker processes."""
+    return measure_chain_broadcast_batch(
+        s,
+        num_layers,
+        protocol_factory(),
+        trials=trials,
+        rng=rng,
+        chain_rng=chain_rng,
+        channel=channel_factory() if channel_factory is not None else None,
+    )
+
+
 def hop_time_study(
     s: int,
     num_layers: int,
@@ -86,6 +108,7 @@ def hop_time_study(
     rng=None,
     trials_per_chain: int = 1,
     channel_factory=None,
+    executor=None,
 ) -> HopTimeStudy:
     """Run ``repetitions`` chain broadcasts and collect hop times.
 
@@ -99,6 +122,12 @@ def hop_time_study(
     given) builds a fresh :class:`~repro.radio.channel.ChannelModel` per
     chain, so hop statistics can be collected under erasure/fault models
     too; channels hold per-run state, hence the factory.
+
+    ``executor`` (a :class:`repro.runtime.Executor` or int job count)
+    schedules chains across worker processes; every chain owns derived
+    seeds, so the assembled study is bit-for-bit identical to the serial
+    run.  Parallel execution needs picklable factories — a protocol class
+    and e.g. :class:`repro.radio.ChannelSpec` rather than closures.
     """
     if repetitions < 2:
         raise ValueError("need at least 2 repetitions for spread statistics")
@@ -111,18 +140,27 @@ def hop_time_study(
         )
     chains = repetitions // trials_per_chain
     seeds = spawn_seeds(as_rng(rng), 2 * chains)
-    hops = np.zeros((repetitions, num_layers), dtype=np.int64)
-    totals = np.zeros(repetitions, dtype=np.int64)
-    for c in range(chains):
-        m = measure_chain_broadcast_batch(
-            s,
-            num_layers,
-            protocol_factory(),
+    calls = [
+        dict(
+            s=s,
+            num_layers=num_layers,
+            protocol_factory=protocol_factory,
             trials=trials_per_chain,
             rng=seeds[2 * c],
             chain_rng=seeds[2 * c + 1],
-            channel=channel_factory() if channel_factory is not None else None,
+            channel_factory=channel_factory,
         )
+        for c in range(chains)
+    ]
+    hops = np.zeros((repetitions, num_layers), dtype=np.int64)
+    totals = np.zeros(repetitions, dtype=np.int64)
+    if executor is None:
+        measured = ((c, _measure_chain(**kw)) for c, kw in enumerate(calls))
+    else:
+        from repro.runtime import as_executor
+
+        measured = as_executor(executor).imap(_measure_chain, calls)
+    for c, m in measured:
         if not m.completed.all():
             raise RuntimeError(
                 f"broadcast did not complete (chain {c}); raise max_rounds"

@@ -1,0 +1,288 @@
+"""Executor layer: serial and process-parallel task scheduling.
+
+One interface, two implementations: :class:`SerialExecutor` evaluates tasks
+inline, :class:`ParallelExecutor` farms them across a
+:class:`concurrent.futures.ProcessPoolExecutor`.  A "task" is a
+module-level callable plus keyword arguments (parallel execution pickles
+both), and every task carries its own derived seed — the repo's seeding
+discipline — so the executors are interchangeable: scheduling order may
+differ, but results are bit-for-bit identical and always returned in
+submission order.
+
+:func:`execute_sweep` is the orchestration entry point
+``repro.analysis.run_sweep`` delegates to when an ``executor`` or ``cache``
+is requested: it builds the task ledger (one task per repetition in ``fn``
+mode, one per grid point in ``batch_fn`` mode), replays completed tasks
+from the content-addressed store, schedules the rest, and persists each
+result as it lands — which is what makes interrupted runs resumable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import as_completed
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "as_executor",
+    "default_jobs",
+    "execute_sweep",
+    "plan_sweep",
+]
+
+
+def default_jobs(fallback: int | None = None) -> int:
+    """Worker count when none is given — the single ``REPRO_JOBS`` parser.
+
+    ``REPRO_JOBS`` wins when set; otherwise ``fallback`` (the CLI and the
+    benches default to 1 so parallelism is always opt-in), and with no
+    fallback the available CPU budget.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer worker count, got {env!r}"
+            ) from None
+    if fallback is not None:
+        return max(1, int(fallback))
+    if hasattr(os, "sched_getaffinity"):
+        return max(1, len(os.sched_getaffinity(0)))
+    return max(1, os.cpu_count() or 1)  # pragma: no cover - non-Linux
+
+
+def _invoke(fn: Callable, kwargs: dict) -> Any:
+    """Module-level trampoline so worker processes can unpickle the call."""
+    return fn(**kwargs)
+
+
+class Executor:
+    """Interface: schedule ``fn(**kwargs)`` calls, results in call order."""
+
+    jobs: int = 1
+
+    def imap(
+        self, fn: Callable, calls: Sequence[Mapping[str, Any]]
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(call_index, result)`` pairs in *completion* order."""
+        raise NotImplementedError
+
+    def map(self, fn: Callable, calls: Sequence[Mapping[str, Any]]) -> list:
+        """Results of every call, in submission order."""
+        out: list[Any] = [None] * len(calls)
+        for i, result in self.imap(fn, calls):
+            out[i] = result
+        return out
+
+
+class SerialExecutor(Executor):
+    """Inline evaluation — the reference schedule every other executor must
+    reproduce bit for bit."""
+
+    jobs = 1
+
+    def imap(self, fn, calls):
+        for i, kwargs in enumerate(calls):
+            yield i, fn(**kwargs)
+
+
+class ParallelExecutor(Executor):
+    """Process-pool evaluation of independent tasks.
+
+    ``fn`` and every kwarg must be picklable (module-level functions, plain
+    data, dataclass specs).  Worker failures propagate to the caller as the
+    original exception; remaining futures are cancelled.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        jobs = default_jobs() if jobs is None else int(jobs)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def imap(self, fn, calls):
+        calls = list(calls)
+        if self.jobs == 1 or len(calls) <= 1:
+            yield from SerialExecutor().imap(fn, calls)
+            return
+        with _ProcessPool(max_workers=min(self.jobs, len(calls))) as pool:
+            futures = {
+                pool.submit(_invoke, fn, dict(kwargs)): i
+                for i, kwargs in enumerate(calls)
+            }
+            try:
+                for future in as_completed(futures):
+                    yield futures[future], future.result()
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+
+
+def as_executor(executor: "Executor | int | None") -> Executor:
+    """Coerce ``None`` / a job count / an executor into an :class:`Executor`."""
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, int):
+        return SerialExecutor() if executor <= 1 else ParallelExecutor(executor)
+    if isinstance(executor, Executor):
+        return executor
+    raise TypeError(
+        f"executor must be None, an int job count, or an Executor; "
+        f"got {type(executor).__name__}"
+    )
+
+
+def plan_sweep(
+    space: Mapping[str, Sequence],
+    fn: Callable | None = None,
+    rng=None,
+    repetitions: int = 1,
+    batch_fn: Callable | None = None,
+    static_params: Mapping[str, Any] | None = None,
+    store=None,
+):
+    """The :class:`~repro.runtime.manifest.SweepManifest` a ``run_sweep``
+    call with these arguments would execute, without evaluating anything.
+
+    Mirrors ``run_sweep``'s seed derivation exactly, so the planned task
+    keys are the ones the run will hit — which is only possible from a
+    *reusable* ``rng`` (an int seed or ``None``); a stateful Generator
+    would be consumed by the plan and derive different seeds in the run,
+    so it is rejected.  ``store`` (a
+    :class:`~repro.runtime.store.ResultStore` or cache-root path) supplies
+    the key salt; ``None`` uses the default salt.
+    """
+    import numpy as np
+
+    from repro._util import as_rng, spawn_seeds
+    from repro.analysis.sweep import sweep_grid
+    from repro.runtime.manifest import build_manifest
+    from repro.runtime.store import code_salt
+
+    if (fn is None) == (batch_fn is None):
+        raise ValueError("provide exactly one of fn and batch_fn")
+    if isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "plan_sweep needs a reusable rng (an int seed or None): a "
+            "Generator would be consumed by planning, so the subsequent "
+            "run_sweep call could never match the planned task keys"
+        )
+    store = as_store(store) if store is not None else None
+    grid = list(sweep_grid(space))
+    seeds = spawn_seeds(as_rng(rng), len(grid) * repetitions)
+    return build_manifest(
+        fn if fn is not None else batch_fn,
+        space,
+        seeds,
+        repetitions,
+        static_params,
+        store.salt if store is not None else code_salt(),
+        "fn" if fn is not None else "batch",
+    )
+
+
+def as_store(cache):
+    """Coerce a cache argument (store instance or root path) to a store."""
+    from repro.runtime.store import ResultStore
+
+    if isinstance(cache, ResultStore):
+        return cache
+    return ResultStore(cache)
+
+
+def execute_sweep(
+    *,
+    space: Mapping[str, Sequence],
+    grid: list[dict[str, Any]],
+    seeds: list[int],
+    fn: Callable | None,
+    batch_fn: Callable | None,
+    repetitions: int,
+    static: Mapping[str, Any],
+    executor,
+    cache,
+) -> list:
+    """Run a sweep's task ledger through an executor with optional caching.
+
+    The workhorse behind ``run_sweep(executor=..., cache=...)``; returns the
+    same grid-major ``SweepPoint`` list as the inline path.  With a cache,
+    the manifest is saved before evaluation and every task result is
+    persisted as it completes, so a killed run loses at most in-flight
+    tasks.
+    """
+    from repro.analysis.sweep import SweepPoint
+    from repro.runtime.manifest import build_manifest
+
+    evaluator = fn if fn is not None else batch_fn
+    mode = "fn" if fn is not None else "batch"
+    exec_ = as_executor(executor)
+    store = as_store(cache) if cache is not None else None
+
+    # The task ledger, in schedule (grid-major) order.
+    calls: list[dict[str, Any]] = []
+    task_seeds: list[list[int]] = []
+    for i, params in enumerate(grid):
+        point_seeds = seeds[i * repetitions : (i + 1) * repetitions]
+        if mode == "batch":
+            calls.append({**params, **static, "seeds": list(point_seeds)})
+            task_seeds.append(list(point_seeds))
+        else:
+            for seed in point_seeds:
+                calls.append({**params, **static, "seed": seed})
+                task_seeds.append([seed])
+
+    results: list[Any] = [None] * len(calls)
+    done = [False] * len(calls)
+    keys: list[str] | None = None
+    if store is not None:
+        manifest = build_manifest(
+            evaluator, space, seeds, repetitions, static, store.salt, mode
+        )
+        manifest.save(store)
+        keys = manifest.keys
+        for t, key in enumerate(keys):
+            try:
+                results[t] = store.get(key)
+                done[t] = True
+            except KeyError:
+                pass
+
+    pending = [t for t in range(len(calls)) if not done[t]]
+    per_task = repetitions if mode == "batch" else 1
+    for j, result in exec_.imap(evaluator, [calls[t] for t in pending]):
+        t = pending[j]
+        if mode == "batch":
+            result = list(result)
+        if mode == "batch" and len(result) != per_task:
+            raise ValueError(
+                f"batch_fn returned {len(result)} results for "
+                f"{per_task} seeds at point {grid[t]}"
+            )
+        results[t] = result
+        done[t] = True
+        if store is not None and keys is not None:
+            store.put(keys[t], result)
+
+    out: list[SweepPoint] = []
+    for t, (result, seed_list) in enumerate(zip(results, task_seeds)):
+        point = grid[t // repetitions] if mode == "fn" else grid[t]
+        if mode == "batch":
+            if len(result) != per_task:  # a stale/foreign cache entry
+                raise ValueError(
+                    f"cached batch entry for point {point} holds "
+                    f"{len(result)} results for {per_task} seeds"
+                )
+            for seed, res in zip(seed_list, result):
+                out.append(SweepPoint(params=dict(point), seed=seed, result=res))
+        else:
+            out.append(
+                SweepPoint(params=dict(point), seed=seed_list[0], result=result)
+            )
+    return out

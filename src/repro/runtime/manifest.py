@@ -1,0 +1,212 @@
+"""Sweep manifests: the resume ledger of the experiment runtime.
+
+A manifest pins everything a sweep run decided up front — grid order, the
+full derived seed list, one content-addressed task key per schedulable unit
+— as a JSON document under ``<cache>/manifests/<sweep_id>.json``.  Because
+seeds are recorded explicitly, resuming does not re-derive randomness: an
+interrupted run (or the same ``run_sweep`` call issued again) rebuilds the
+identical manifest, checks each task key against the store, and computes
+only what is missing.  Parallel, resumed, and serial runs therefore return
+bit-for-bit identical :class:`~repro.analysis.sweep.SweepPoint` lists.
+
+Task granularity follows the evaluator: looped ``fn`` sweeps get one task
+per (grid point, repetition); batched ``batch_fn`` sweeps get one task per
+grid point carrying all of that point's repetition seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.runtime.store import ResultStore, canonical_dumps, task_key
+
+__all__ = ["SweepManifest", "build_manifest"]
+
+
+@dataclass(frozen=True)
+class SweepManifest:
+    """The persisted identity and task ledger of one sweep.
+
+    Attributes
+    ----------
+    fn:
+        Qualified name of the evaluator.
+    mode:
+        ``"fn"`` (one task per repetition) or ``"batch"`` (one task per
+        grid point).
+    space, repetitions, static:
+        The sweep definition (``static`` is the JSON-able rendering of
+        ``static_params`` — it participates in task keys because it changes
+        results).
+    seeds:
+        The flat derived seed list, grid-major (``len(grid) * repetitions``).
+    keys:
+        One content address per task, in schedule order.
+    salt:
+        The store salt the keys were computed under.
+    """
+
+    fn: str
+    mode: str
+    space: dict[str, list]
+    repetitions: int
+    static: Any
+    seeds: list[int]
+    keys: list[str]
+    salt: str
+
+    @property
+    def sweep_id(self) -> str:
+        """Stable short id of the sweep definition (not of its results)."""
+        identity = canonical_dumps(
+            {
+                "fn": self.fn,
+                "mode": self.mode,
+                "space": self.space,
+                "repetitions": self.repetitions,
+                "static": self.static,
+                "seeds": self.seeds,
+                "salt": self.salt,
+            }
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()[:16]
+
+    @property
+    def task_count(self) -> int:
+        return len(self.keys)
+
+    def pending(self, store: ResultStore) -> list[int]:
+        """Indices of tasks whose results are not (decodably) in ``store``."""
+        return [i for i, key in enumerate(self.keys) if not store.contains(key)]
+
+    def progress(self, store: ResultStore) -> tuple[int, int]:
+        """``(completed, total)`` task counts against ``store``."""
+        return self.task_count - len(self.pending(store)), self.task_count
+
+    def to_payload(self) -> dict:
+        return {
+            "sweep_id": self.sweep_id,
+            "fn": self.fn,
+            "mode": self.mode,
+            "space": self.space,
+            "repetitions": self.repetitions,
+            "static": self.static,
+            "seeds": self.seeds,
+            "keys": self.keys,
+            "salt": self.salt,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SweepManifest":
+        return cls(
+            fn=payload["fn"],
+            mode=payload["mode"],
+            space={k: list(v) for k, v in payload["space"].items()},
+            repetitions=int(payload["repetitions"]),
+            static=payload["static"],
+            seeds=[int(s) for s in payload["seeds"]],
+            keys=list(payload["keys"]),
+            salt=payload["salt"],
+        )
+
+    def path_in(self, store: ResultStore) -> str:
+        return os.path.join(store.manifests_dir, self.sweep_id + ".json")
+
+    def save(self, store: ResultStore) -> str:
+        """Persist under the store's manifest directory; returns the path.
+
+        The payload is already pure JSON (``static`` is canonicalized at
+        build time), so it round-trips to an identical ``sweep_id``.
+        """
+        from repro.runtime.store import _atomic_write_bytes
+
+        path = self.path_in(store)
+        _atomic_write_bytes(
+            path, (json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n").encode()
+        )
+        return path
+
+    @classmethod
+    def load(cls, store: ResultStore, sweep_id: str) -> "SweepManifest":
+        path = os.path.join(store.manifests_dir, sweep_id + ".json")
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_payload(json.load(fh))
+
+    @classmethod
+    def list_ids(cls, store: ResultStore) -> list[str]:
+        """Sweep ids with a manifest on disk, sorted."""
+        if not os.path.isdir(store.manifests_dir):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(store.manifests_dir)
+            if name.endswith(".json")
+        )
+
+
+def _encodable_static(static: Mapping[str, Any] | None, fn_name: str) -> Any:
+    """``static_params`` canonicalized to a pure-JSON tree for task keys and
+    manifest persistence, with a targeted error when they cannot be
+    (factories/closures have no stable content address)."""
+    static = dict(static) if static else {}
+    try:
+        return json.loads(canonical_dumps(static))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"static_params for cached sweep over {fn_name} are not "
+            f"content-addressable: {exc}. Pass plain data or dataclass "
+            "specs (e.g. repro.radio.ChannelSpec) instead of closures."
+        ) from None
+
+
+def build_manifest(
+    fn,
+    space: Mapping[str, Sequence],
+    seeds: Sequence[int],
+    repetitions: int,
+    static_params: Mapping[str, Any] | None,
+    salt: str,
+    mode: str,
+) -> SweepManifest:
+    """Derive the task ledger for one sweep definition.
+
+    ``seeds`` is the flat grid-major seed list ``run_sweep`` derived; the
+    manifest freezes it so resume never depends on generator state.
+    """
+    from repro.analysis.sweep import sweep_grid
+    from repro.runtime.store import _fn_name
+
+    if mode not in ("fn", "batch"):
+        raise ValueError(f"mode must be 'fn' or 'batch', got {mode!r}")
+    fn_name = _fn_name(fn)
+    static = _encodable_static(static_params, fn_name)
+    grid = list(sweep_grid(space))
+    if len(seeds) != len(grid) * repetitions:
+        raise ValueError(
+            f"seed list has {len(seeds)} entries for {len(grid)} grid points "
+            f"x {repetitions} repetitions"
+        )
+    keys: list[str] = []
+    for i, params in enumerate(grid):
+        point_seeds = seeds[i * repetitions : (i + 1) * repetitions]
+        identity = {"params": params, "static": static}
+        if mode == "batch":
+            keys.append(task_key(fn_name, identity, point_seeds, salt))
+        else:
+            keys.extend(
+                task_key(fn_name, identity, seed, salt) for seed in point_seeds
+            )
+    return SweepManifest(
+        fn=fn_name,
+        mode=mode,
+        space={k: list(v) for k, v in space.items()},
+        repetitions=repetitions,
+        static=static,
+        seeds=[int(s) for s in seeds],
+        keys=keys,
+        salt=salt,
+    )

@@ -1,0 +1,408 @@
+"""Content-addressed result store for the experiment runtime.
+
+Every runtime task — one grid point (or one repetition) of a sweep, one
+bench measurement — is addressed by a stable hash of *what would be
+computed*: the task function's qualified name, its parameters, its derived
+seed, and a code-version salt.  Because the repo's seeding discipline makes
+every task a pure function of exactly those inputs, the hash is a true
+content address: re-running a sweep looks each task up before computing it,
+so warm reruns are pure cache replays and interrupted runs resume where
+they stopped (see :mod:`repro.runtime.manifest`).
+
+Payloads persist under ``results/cache/`` as one JSON document per task;
+numpy arrays inside a result are split out into an ``.npz`` sidecar so
+dtypes and shapes survive the round trip bit for bit.  Corrupted entries
+(truncated JSON, missing sidecar, undecodable payload) are discarded and
+treated as misses — the cache can always be rebuilt by recomputing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import importlib.metadata
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "ResultStore",
+    "canonical_dumps",
+    "code_salt",
+    "task_key",
+    "write_json_payload",
+]
+
+#: Default cache root, relative to the invoking process's working directory
+#: (the CLI's ``--cache-dir`` and :class:`ResultStore`'s ``root`` override it).
+DEFAULT_CACHE_DIR = os.path.join("results", "cache")
+
+_KIND = "__kind__"
+
+
+def code_salt() -> str:
+    """The code-version salt mixed into every task key.
+
+    Bumping the package version (or setting ``REPRO_CACHE_SALT``) retires
+    every cached result at once — the blunt but safe answer to "did the
+    code that produced this payload change?".
+    """
+    env = os.environ.get("REPRO_CACHE_SALT")
+    if env:
+        return env
+    try:
+        return importlib.metadata.version("wireless-expanders-repro")
+    except importlib.metadata.PackageNotFoundError:  # pragma: no cover
+        return "unversioned"
+
+
+def _encode(obj: Any, arrays: list[np.ndarray] | None, inline: bool) -> Any:
+    """Lower ``obj`` to a JSON-able tree.
+
+    Three modes share this walker:
+
+    * ``arrays`` a list — arrays are appended to it and referenced by index
+      (the ``.npz`` persistence mode, lossless);
+    * ``inline=True`` — arrays/scalars become plain lists/numbers (the
+      human-readable sidecar mode, lossy on dtype);
+    * otherwise — arrays are replaced by a digest of their bytes (the
+      key-hashing mode, where only identity matters).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        if inline:
+            return obj.tolist()
+        if arrays is not None:
+            arrays.append(obj)
+            return {_KIND: "ndarray", "ref": len(arrays) - 1}
+        data = np.ascontiguousarray(obj)
+        return {
+            _KIND: "ndarray",
+            "sha256": hashlib.sha256(data.tobytes()).hexdigest(),
+            "dtype": str(data.dtype),
+            "shape": list(data.shape),
+        }
+    if isinstance(obj, np.generic):
+        if inline:
+            return obj.item()
+        return {_KIND: "npscalar", "dtype": obj.dtype.str, "value": obj.item()}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _encode(getattr(obj, f.name), arrays, inline)
+            for f in dataclasses.fields(obj)
+        }
+        if inline:
+            return fields
+        return {
+            _KIND: "dataclass",
+            "type": f"{type(obj).__module__}:{type(obj).__qualname__}",
+            "fields": fields,
+        }
+    if isinstance(obj, tuple):
+        items = [_encode(v, arrays, inline) for v in obj]
+        return items if inline else {_KIND: "tuple", "items": items}
+    if isinstance(obj, list):
+        return [_encode(v, arrays, inline) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and _KIND not in obj:
+            return {k: _encode(v, arrays, inline) for k, v in obj.items()}
+        return {
+            _KIND: "dict",
+            "items": [
+                [_encode(k, arrays, inline), _encode(v, arrays, inline)]
+                for k, v in obj.items()
+            ],
+        }
+    raise TypeError(
+        f"cannot persist {type(obj).__name__} in the result store; supported "
+        "payloads are JSON scalars, lists/tuples/dicts, numpy arrays and "
+        "scalars, and dataclasses of those"
+    )
+
+
+def _decode(obj: Any, arrays: list[np.ndarray]) -> Any:
+    """Invert the ``.npz`` persistence mode of :func:`_encode`."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [_decode(v, arrays) for v in obj]
+    kind = obj.get(_KIND)
+    if kind is None:
+        return {k: _decode(v, arrays) for k, v in obj.items()}
+    if kind == "ndarray":
+        return arrays[obj["ref"]]
+    if kind == "npscalar":
+        return np.dtype(obj["dtype"]).type(obj["value"])
+    if kind == "tuple":
+        return tuple(_decode(v, arrays) for v in obj["items"])
+    if kind == "dict":
+        return {_decode(k, arrays): _decode(v, arrays) for k, v in obj["items"]}
+    if kind == "dataclass":
+        module, _, qualname = obj["type"].partition(":")
+        target: Any = importlib.import_module(module)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+        return target(**{k: _decode(v, arrays) for k, v in obj["fields"].items()})
+    raise ValueError(f"unknown payload marker {kind!r}")
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Deterministic JSON rendering of ``obj`` for key hashing.
+
+    Dict insertion order does not matter (keys are sorted) and numpy arrays
+    contribute a digest of their raw bytes, so structurally equal inputs
+    always hash alike.
+    """
+    return json.dumps(
+        _encode(obj, arrays=None, inline=False),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _fn_name(fn: Callable | str) -> str:
+    if isinstance(fn, str):
+        name = fn
+    else:
+        name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+    if "<lambda>" in name:
+        raise ValueError(
+            f"task function {name!r} has no stable import path; content "
+            "addressing needs a named function (several lambdas in one "
+            "scope would share an address)"
+        )
+    return name
+
+
+def task_key(
+    fn: Callable | str,
+    params: Any,
+    seed: int | Iterable[int],
+    salt: str | None = None,
+) -> str:
+    """The content address of one task: sha256 over (function qualname,
+    canonical params, seed(s), code salt)."""
+    if not isinstance(seed, int):
+        seed = [int(s) for s in seed]
+    identity = {
+        "fn": _fn_name(fn),
+        "params": params,
+        "seed": seed,
+        "salt": code_salt() if salt is None else str(salt),
+    }
+    return hashlib.sha256(canonical_dumps(identity).encode()).hexdigest()
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def write_json_payload(path: str, payload: Any) -> str:
+    """Write ``payload`` as human-readable JSON (arrays inlined as lists).
+
+    The shared machine-readable emitter: every bench writes its ``.json``
+    sidecar through this, and the store uses the same atomic-replace
+    discipline for its own documents.
+    """
+    text = json.dumps(
+        _encode(payload, arrays=None, inline=True), indent=2, sort_keys=True
+    )
+    _atomic_write_bytes(path, (text + "\n").encode())
+    return path
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One ``repro cache stats`` snapshot."""
+
+    root: str
+    entries: int
+    manifests: int
+    bytes: int
+
+
+class ResultStore:
+    """Content-addressed persistence under one cache root.
+
+    ``hits`` / ``misses`` count this instance's lookups (a warm replay of a
+    sweep is exactly ``hits == tasks, misses == 0`` — the invariant CI's
+    runtime-smoke step asserts).
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, salt: str | None = None):
+        self.root = os.path.abspath(os.fspath(root) if root is not None else DEFAULT_CACHE_DIR)
+        self.salt = code_salt() if salt is None else str(salt)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    @property
+    def manifests_dir(self) -> str:
+        return os.path.join(self.root, "manifests")
+
+    def key(self, fn: Callable | str, params: Any, seed: int | Iterable[int]) -> str:
+        """Task key under this store's salt."""
+        return task_key(fn, params, seed, self.salt)
+
+    def _paths(self, key: str) -> tuple[str, str]:
+        shard = os.path.join(self.objects_dir, key[:2])
+        return os.path.join(shard, key + ".json"), os.path.join(shard, key + ".npz")
+
+    def _load(self, key: str) -> Any:
+        """Decode entry ``key`` or raise ``KeyError`` (no counter updates).
+
+        Any failure past "file not found" means a corrupted entry; it is
+        deleted so the caller recomputes instead of tripping on it forever.
+        """
+        json_path, npz_path = self._paths(key)
+        try:
+            with open(json_path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:  # entry absent: a plain miss
+            raise KeyError(key) from None
+        except Exception:
+            self.discard(key)
+            raise KeyError(key) from None
+        try:
+            if payload.get("key") != key:
+                raise ValueError("payload/key mismatch")
+            arrays: list[np.ndarray] = []
+            if payload.get("arrays"):
+                with np.load(npz_path) as znp:
+                    arrays = [znp[f"arr{i}"] for i in range(payload["arrays"])]
+            return _decode(payload["value"], arrays)
+        except Exception:
+            # Anything past a parsed JSON document — key mismatch, missing
+            # or unreadable sidecar, undecodable payload — is a corrupted
+            # entry: drop it so recomputation heals the store.
+            self.discard(key)
+            raise KeyError(key) from None
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` holds a well-formed entry, without decoding it.
+
+        Parses the JSON header and checks the ``.npz`` sidecar exists when
+        arrays are referenced — cheap enough for manifest progress scans
+        over large payloads (the full decode happens once, in :meth:`get`).
+        Corruption counts as absent and is discarded; the hit/miss
+        counters are untouched.
+        """
+        json_path, npz_path = self._paths(key)
+        try:
+            with open(json_path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("key") != key:
+                raise ValueError("payload/key mismatch")
+            if payload.get("arrays") and not os.path.isfile(npz_path):
+                raise ValueError("missing npz sidecar")
+            return True
+        except FileNotFoundError:
+            return False
+        except Exception:
+            self.discard(key)
+            return False
+
+    def get(self, key: str) -> Any:
+        """Return the cached value for ``key`` or raise ``KeyError``."""
+        try:
+            value = self._load(key)
+        except KeyError:
+            self.misses += 1
+            raise
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any, meta: dict | None = None) -> str:
+        """Persist ``value`` under ``key``; returns the JSON path.
+
+        The ``.npz`` sidecar (if any) lands before the JSON document, so a
+        crash mid-put never leaves a JSON entry pointing at missing arrays.
+        """
+        arrays: list[np.ndarray] = []
+        encoded = _encode(value, arrays=arrays, inline=False)
+        json_path, npz_path = self._paths(key)
+        if arrays:
+            os.makedirs(os.path.dirname(npz_path), exist_ok=True)
+            # The suffix must end in ".npz" or np.savez appends one, writing
+            # past the temp name and breaking the atomic replace.
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(npz_path), suffix=".tmp.npz"
+            )
+            os.close(fd)
+            try:
+                np.savez(tmp, **{f"arr{i}": a for i, a in enumerate(arrays)})
+                os.replace(tmp, npz_path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        payload = {"key": key, "salt": self.salt, "arrays": len(arrays), "value": encoded}
+        if meta:
+            payload["meta"] = _encode(meta, arrays=None, inline=True)
+        _atomic_write_bytes(
+            json_path,
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(),
+        )
+        return json_path
+
+    def discard(self, key: str) -> bool:
+        """Remove entry ``key`` (returns whether anything existed)."""
+        removed = False
+        for path in self._paths(key):
+            if os.path.exists(path):
+                os.unlink(path)
+                removed = True
+        return removed
+
+    def drop(self, keys: Iterable[str]) -> int:
+        """Remove a batch of entries; returns how many existed."""
+        return sum(1 for k in keys if self.discard(k))
+
+    def stats(self) -> CacheStats:
+        """Entry/manifest counts and total on-disk bytes under the root."""
+        entries = 0
+        total = 0
+        if os.path.isdir(self.objects_dir):
+            for dirpath, _, files in os.walk(self.objects_dir):
+                for name in files:
+                    total += os.path.getsize(os.path.join(dirpath, name))
+                    if name.endswith(".json"):
+                        entries += 1
+        manifests = 0
+        if os.path.isdir(self.manifests_dir):
+            for name in os.listdir(self.manifests_dir):
+                if name.endswith(".json"):
+                    manifests += 1
+                    total += os.path.getsize(os.path.join(self.manifests_dir, name))
+        return CacheStats(
+            root=self.root, entries=entries, manifests=manifests, bytes=total
+        )
+
+    def clear(self) -> CacheStats:
+        """Delete every cached entry and manifest; returns what was removed."""
+        removed = self.stats()
+        for sub in (self.objects_dir, self.manifests_dir):
+            if os.path.isdir(sub):
+                shutil.rmtree(sub)
+        return removed

@@ -1,0 +1,104 @@
+"""Picklable, cache-friendly task functions for runtime-scheduled sweeps.
+
+``ParallelExecutor`` pickles the task function and its kwargs into worker
+processes, and the result store content-addresses both — so sweep
+evaluators that want parallelism or caching must be module-level functions
+taking plain-data parameters and returning plain-data results.  This module
+collects the ones the CLI and benches schedule; library code with richer
+signatures (protocol factories, channel objects) stays where it is and is
+wrapped here.
+
+Channel selection travels as a :class:`repro.radio.ChannelSpec` — a frozen
+dataclass, hence both picklable and content-addressable — instead of a
+closure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._util import spawn_seeds
+
+__all__ = ["chain_broadcast_point", "broadcast_rounds_point"]
+
+
+def chain_broadcast_point(
+    s: int,
+    layers: int,
+    seed: int,
+    trials: int = 1,
+    channel=None,
+    max_rounds: int | None = None,
+) -> dict[str, Any]:
+    """One (``s``, ``layers``) grid point: ``trials`` batched Decay
+    broadcasts on a fresh Section 5 chain.
+
+    ``seed`` (the sweep-derived per-task seed) splits into the protocol
+    master seed and the chain-construction seed, so every task is a pure
+    function of its arguments.  ``channel`` is an optional zero-argument
+    channel factory, canonically a :class:`repro.radio.ChannelSpec`.
+    Returns a plain-JSON dict — executor-, cache-, and sidecar-friendly.
+    """
+    from repro.radio import DecayProtocol
+    from repro.radio.lower_bound import measure_chain_broadcast_batch
+
+    proto_seed, chain_seed = spawn_seeds(seed, 2)
+    m = measure_chain_broadcast_batch(
+        s,
+        layers,
+        DecayProtocol(),
+        trials=trials,
+        rng=proto_seed,
+        chain_rng=chain_seed,
+        max_rounds=max_rounds,
+        channel=channel() if channel is not None else None,
+    )
+    rounds = [int(r) for r in m.rounds]
+    return {
+        "s": s,
+        "layers": layers,
+        "n": m.n,
+        "diameter": m.diameter_claim,
+        "km_bound": float(m.km_bound),
+        "trials": trials,
+        "rounds": rounds,
+        "completed": [bool(c) for c in m.completed],
+        "mean_rounds": float(np.mean(rounds)),
+    }
+
+
+def broadcast_rounds_point(
+    graph,
+    seed: int,
+    trials: int = 1,
+    source: int = 0,
+    channel=None,
+    max_rounds: int | None = None,
+) -> dict[str, Any]:
+    """Batched Decay broadcast rounds on an arbitrary ``graph``.
+
+    The graph rides along as a (picklable, digest-addressable) parameter;
+    used by ``repro schedule`` to average its randomized comparison over
+    executor-scheduled repetitions.
+    """
+    from repro.radio import DecayProtocol, run_broadcast_batch
+
+    batch = run_broadcast_batch(
+        graph,
+        DecayProtocol(),
+        trials=trials,
+        source=source,
+        rng=seed,
+        max_rounds=max_rounds,
+        channel=channel() if channel is not None else None,
+    )
+    rounds = [int(r) for r in batch.rounds]
+    return {
+        "n": graph.n,
+        "trials": trials,
+        "rounds": rounds,
+        "completed": [bool(c) for c in batch.completed],
+        "mean_rounds": float(np.mean(rounds)),
+    }

@@ -16,6 +16,30 @@ class TestSweepGrid:
         b = list(sweep_grid({"a": [3], "b": [1, 2]}))
         assert a == b
 
+    def test_empty_dimension_rejected_eagerly(self):
+        # Must raise at call time, not on first iteration: an empty
+        # dimension would otherwise silently empty the whole grid.
+        with pytest.raises(ValueError, match="'b' is empty"):
+            sweep_grid({"a": [1, 2], "b": []})
+
+    def test_string_dimension_rejected(self):
+        with pytest.raises(TypeError, match="non-string sequence"):
+            sweep_grid({"a": "xyz"})
+
+    def test_scalar_dimension_rejected(self):
+        with pytest.raises(TypeError, match="non-string sequence"):
+            sweep_grid({"a": 5})
+
+    def test_numpy_array_dimension_accepted(self):
+        import numpy as np
+
+        grid = list(sweep_grid({"p": np.linspace(0.0, 0.3, 4)}))
+        assert len(grid) == 4
+
+    def test_run_sweep_validates_space_too(self):
+        with pytest.raises(ValueError, match="'a' is empty"):
+            run_sweep({"a": []}, lambda a, seed: a, rng=0)
+
 
 class TestRunSweep:
     def test_calls_with_seed(self):

@@ -1,0 +1,125 @@
+"""CLI runtime verbs: ``repro sweep``, ``repro cache``, ``repro run``."""
+
+import os
+import subprocess
+
+import pytest
+
+from repro.analysis import get_experiment, run_experiment
+from repro.analysis.experiments import default_benchmarks_dir
+from repro.cli import build_parser, main
+
+
+def table_rows(out):
+    """The rendered table rows of a CLI capture (pipe-delimited lines)."""
+    return [ln for ln in out.splitlines() if ln.count("|") >= 3]
+
+
+class TestSweepVerb:
+    def test_fresh_then_resume_is_pure_replay(self, tmp_path, capsys):
+        argv = ["sweep", "--s-values", "2", "--layers", "2,3", "--reps", "2",
+                "--trials", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "fresh run, 4 tasks" in first
+        assert "cache: 0 hits, 4 misses" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resuming, 4/4 tasks already cached" in second
+        assert "cache: 4 hits, 0 misses" in second
+        # The tables themselves agree line for line (replay == recompute).
+        assert table_rows(first) == table_rows(second)
+
+    def test_fresh_run_drops_stale_entries(self, tmp_path, capsys):
+        argv = ["sweep", "--s-values", "2", "--layers", "2", "--reps", "1",
+                "--trials", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0  # no --resume: recompute, dropping the cache
+        out = capsys.readouterr().out
+        assert "stale cache entries dropped" in out
+        assert "cache: 0 hits, 1 misses" in out
+
+    def test_jobs_flag_matches_serial(self, tmp_path, capsys):
+        base = ["sweep", "--s-values", "2,4", "--layers", "2", "--reps", "2",
+                "--trials", "2"]
+        assert main(base + ["--cache-dir", str(tmp_path / "a")]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--cache-dir", str(tmp_path / "b"), "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert table_rows(serial) == table_rows(parallel)
+
+
+class TestCacheVerb:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        main(["sweep", "--s-values", "2", "--layers", "2", "--reps", "1",
+              "--trials", "2", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   1" in out
+        assert "1/1 tasks complete" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 1 cached results" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:   0" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestRunVerb:
+    def test_registry_lookup(self):
+        assert get_experiment("e16").bench_file == "bench_runtime_scaling.py"
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_run_experiment_builds_pytest_invocation(self, monkeypatch):
+        captured = {}
+
+        def fake_run(cmd, env=None, capture_output=False, text=False):
+            captured.update(cmd=cmd, env=env)
+            return subprocess.CompletedProcess(cmd, 0)
+
+        monkeypatch.setattr(subprocess, "run", fake_run)
+        proc = run_experiment("E16", jobs=4, smoke=True)
+        assert proc.returncode == 0
+        assert captured["cmd"][1:4] == ["-m", "pytest",
+                                        default_benchmarks_dir() + "/bench_runtime_scaling.py"]
+        assert captured["env"]["REPRO_JOBS"] == "4"
+        assert captured["env"]["REPRO_BENCH_SMOKE"] == "1"
+        # The injected entry must be the src/ dir itself (so `import
+        # repro` works in the subprocess), not the package dir inside it.
+        injected = captured["env"]["PYTHONPATH"].split(os.pathsep)[0]
+        assert injected.endswith(os.sep + "src")
+        assert os.path.isdir(os.path.join(injected, "repro"))
+
+    def test_run_experiment_inherits_smoke_when_unset(self, monkeypatch):
+        captured = {}
+
+        def fake_run(cmd, env=None, capture_output=False, text=False):
+            captured.update(env=env)
+            return subprocess.CompletedProcess(cmd, 0)
+
+        monkeypatch.setattr(subprocess, "run", fake_run)
+        monkeypatch.delenv("REPRO_BENCH_SMOKE", raising=False)
+        run_experiment("E1")
+        assert "REPRO_BENCH_SMOKE" not in captured["env"]
+
+    def test_cli_run_verb_propagates_return_code(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.analysis.experiments.run_experiment",
+            lambda *a, **k: subprocess.CompletedProcess([], 3),
+            raising=False,
+        )
+        # main() resolves run_experiment lazily from repro.analysis.
+        monkeypatch.setattr(
+            "repro.analysis.run_experiment",
+            lambda *a, **k: subprocess.CompletedProcess([], 3),
+        )
+        assert main(["run", "E16", "--smoke"]) == 3
+
+    def test_missing_bench_dir_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="bench file"):
+            run_experiment("E16", benchmarks_dir=str(tmp_path))

@@ -1,0 +1,237 @@
+"""Content-addressed result store: keys, round trips, corruption recovery."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_sweep
+from repro.radio import ChannelSpec, DecayProtocol
+from repro.radio.lower_bound import measure_chain_broadcast_batch
+from repro.runtime import ResultStore, canonical_dumps, task_key
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache", salt="test-salt")
+
+
+def named_task(x, seed):
+    return x + seed
+
+
+class TestTaskKey:
+    def test_stable_across_dict_order(self):
+        a = task_key("m.f", {"a": 1, "b": 2}, 3, "s")
+        b = task_key("m.f", {"b": 2, "a": 1}, 3, "s")
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = task_key("m.f", {"a": 1}, 3, "s")
+        assert task_key("m.g", {"a": 1}, 3, "s") != base
+        assert task_key("m.f", {"a": 2}, 3, "s") != base
+        assert task_key("m.f", {"a": 1}, 4, "s") != base
+        assert task_key("m.f", {"a": 1}, 3, "other") != base
+
+    def test_seed_lists_address_batches(self):
+        assert task_key("m.f", {}, [1, 2], "s") != task_key("m.f", {}, [2, 1], "s")
+        assert task_key("m.f", {}, [3], "s") != task_key("m.f", {}, 3, "s")
+
+    def test_callable_resolved_to_qualname(self):
+        assert task_key(named_task, {}, 0, "s") == task_key(
+            f"{named_task.__module__}.named_task", {}, 0, "s"
+        )
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ValueError, match="stable import path"):
+            task_key(lambda x: x, {}, 0, "s")
+
+    def test_dataclass_and_array_params_are_addressable(self):
+        spec = ChannelSpec("erasure", 0.2)
+        arr = np.arange(4)
+        key = task_key("m.f", {"channel": spec, "mask": arr}, 0, "s")
+        assert key == task_key("m.f", {"channel": spec, "mask": arr.copy()}, 0, "s")
+        assert key != task_key(
+            "m.f", {"channel": ChannelSpec("erasure", 0.3), "mask": arr}, 0, "s"
+        )
+
+    def test_unaddressable_params_raise(self):
+        with pytest.raises(TypeError, match="cannot persist"):
+            canonical_dumps({"fn": object()})
+
+
+class TestRoundTrip:
+    def test_plain_payload(self, store):
+        value = {"rounds": [1, 2, 3], "mean": 2.0, "tag": ("a", 1), "none": None}
+        store.put("k" * 64, value)
+        got = store.get("k" * 64)
+        assert got == value
+        assert isinstance(got["tag"], tuple)
+
+    def test_numpy_and_dataclass_payload(self, store):
+        m = measure_chain_broadcast_batch(
+            4, 2, DecayProtocol(), trials=3, rng=0, chain_rng=1
+        )
+        key = store.key("repro.radio.lower_bound.measure_chain_broadcast_batch",
+                        {"s": 4, "layers": 2}, 0)
+        store.put(key, m)
+        got = store.get(key)
+        assert type(got) is type(m)
+        assert got.s == m.s and got.trials == m.trials
+        np.testing.assert_array_equal(got.rounds, m.rounds)
+        assert got.rounds.dtype == m.rounds.dtype
+        np.testing.assert_array_equal(got.portal_rounds, m.portal_rounds)
+
+    def test_numpy_scalars_keep_dtype(self, store):
+        store.put("s" * 64, {"x": np.int64(7), "y": np.float64(0.5)})
+        got = store.get("s" * 64)
+        assert got["x"] == 7 and got["x"].dtype == np.int64
+        assert got["y"] == 0.5
+
+    def test_miss_counts_and_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("0" * 64)
+        assert (store.hits, store.misses) == (0, 1)
+        store.put("0" * 64, 1)
+        assert store.get("0" * 64) == 1
+        assert (store.hits, store.misses) == (1, 1)
+
+
+class TestCorruptionRecovery:
+    def _entry_path(self, store, key):
+        return os.path.join(store.objects_dir, key[:2], key + ".json")
+
+    def test_truncated_json_is_a_miss_and_discarded(self, store):
+        key = "a" * 64
+        store.put(key, {"v": 1})
+        with open(self._entry_path(store, key), "w") as fh:
+            fh.write('{"key": "a')
+        with pytest.raises(KeyError):
+            store.get(key)
+        assert not os.path.exists(self._entry_path(store, key))
+        store.put(key, {"v": 2})  # recomputation re-populates cleanly
+        assert store.get(key) == {"v": 2}
+
+    def test_key_mismatch_is_a_miss(self, store):
+        key, other = "b" * 64, "c" * 64
+        store.put(key, {"v": 1})
+        payload = open(self._entry_path(store, key)).read()
+        os.makedirs(os.path.dirname(self._entry_path(store, other)), exist_ok=True)
+        with open(self._entry_path(store, other), "w") as fh:
+            fh.write(payload)  # entry stored under a foreign address
+        with pytest.raises(KeyError):
+            store.get(other)
+
+    def test_missing_npz_sidecar_is_a_miss(self, store):
+        key = "d" * 64
+        store.put(key, {"arr": np.arange(5)})
+        os.unlink(os.path.join(store.objects_dir, key[:2], key + ".npz"))
+        with pytest.raises(KeyError):
+            store.get(key)
+        # The orphaned JSON document was discarded, not left to rot.
+        assert not os.path.exists(self._entry_path(store, key))
+        assert not store.contains(key)
+
+
+class TestStoreManagement:
+    def test_stats_and_clear(self, store):
+        for i in range(3):
+            store.put(f"{i}" * 64, {"i": i, "arr": np.arange(4)})
+        st = store.stats()
+        assert st.entries == 3 and st.bytes > 0
+        removed = store.clear()
+        assert removed.entries == 3
+        assert store.stats().entries == 0
+
+    def test_drop_selected_keys(self, store):
+        keys = [f"{i}" * 64 for i in range(4)]
+        for k in keys:
+            store.put(k, 0)
+        assert store.drop(keys[:2]) == 2
+        assert not store.contains(keys[0]) and store.contains(keys[3])
+
+    def test_salt_partitions_the_address_space(self, tmp_path):
+        a = ResultStore(tmp_path, salt="v1")
+        b = ResultStore(tmp_path, salt="v2")
+        assert a.key("m.f", {}, 0) != b.key("m.f", {}, 0)
+
+
+class TestCachedSweep:
+    def test_warm_run_replays_without_evaluating(self, store):
+        calls = []
+
+        def fn(a, seed):
+            calls.append((a, seed))
+            return a * 10
+
+        kw = dict(rng=3, repetitions=2)
+        reference = run_sweep({"a": [1, 2]}, fn, **kw)
+        cold = run_sweep({"a": [1, 2]}, fn, **kw, cache=store)
+        assert len(calls) == 2 * len(reference)
+        warm = run_sweep({"a": [1, 2]}, fn, **kw, cache=store)
+        assert len(calls) == 2 * len(reference)  # no new evaluations
+        assert cold == warm == reference
+        assert store.misses == 4 and store.hits == 4
+
+    def test_corrupted_entry_recomputed_alone(self, store):
+        calls = []
+
+        def fn(a, seed):
+            calls.append(a)
+            return a
+
+        kw = dict(rng=3, repetitions=1)
+        run_sweep({"a": [1, 2, 3]}, fn, **kw, cache=store)
+        # Corrupt one of the three entries on disk.
+        victim = os.listdir(store.objects_dir)[0]
+        shard = os.path.join(store.objects_dir, victim)
+        with open(os.path.join(shard, os.listdir(shard)[0]), "w") as fh:
+            fh.write("garbage")
+        calls.clear()
+        again = run_sweep({"a": [1, 2, 3]}, fn, **kw, cache=store)
+        assert len(calls) == 1  # only the corrupted task re-ran
+        assert [p.result for p in again] == [1, 2, 3]
+
+    def test_cache_accepts_plain_path(self, tmp_path):
+        def fn(a, seed):
+            return a
+
+        root = tmp_path / "bypath"
+        run_sweep({"a": [5]}, fn, rng=0, cache=root)
+        assert any(
+            name.endswith(".json")
+            for _, _, files in os.walk(root)
+            for name in files
+        )
+
+    def test_unaddressable_static_params_error(self, store):
+        with pytest.raises(TypeError, match="content-addressable"):
+            run_sweep(
+                {"a": [1]},
+                named_task,
+                rng=0,
+                static_params={"factory": lambda: 1},
+                cache=store,
+            )
+
+    def test_batch_results_cached_per_point(self, store):
+        def batch(a, seeds):
+            return [a + s for s in seeds]
+
+        kw = dict(rng=1, repetitions=3)
+        cold = run_sweep({"a": [1, 2]}, batch_fn=batch, **kw, cache=store)
+        assert store.misses == 2  # one task (and entry) per grid point
+        warm = run_sweep({"a": [1, 2]}, batch_fn=batch, **kw, cache=store)
+        assert store.hits == 2
+        assert cold == warm
+
+    def test_sidecar_json_is_plain(self, tmp_path):
+        from repro.runtime import write_json_payload
+
+        path = tmp_path / "out.json"
+        write_json_payload(
+            path, {"arr": np.arange(3), "x": np.int64(2), "t": (1, 2)}
+        )
+        data = json.loads(path.read_text())
+        assert data == {"arr": [0, 1, 2], "x": 2, "t": [1, 2]}

@@ -59,6 +59,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "verified: True" in out
 
+    def test_schedule_reps_average(self, capsys):
+        assert main(["schedule", "--graph", "hypercube", "--size", "4",
+                     "--reps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "over 3 runs" in out
+
     def test_worstcase(self, capsys):
         assert main(
             ["worstcase", "--n", "256", "--delta", "64", "--beta", "2.0",
@@ -106,3 +112,43 @@ class TestChannelFlags:
             build_parser().parse_args(
                 ["broadcast", "--channel", "telepathy"]
             )
+
+
+class TestUniformExecFlags:
+    # Every simulation subcommand exposes the same --seed/--jobs pair.
+    COMMANDS = {
+        "broadcast": [],
+        "hops": [],
+        "schedule": [],
+        "channels": [],
+        "sweep": [],
+        "spokesman": [],  # --seed only (single-instance election)
+        "worstcase": [],  # --seed only
+    }
+
+    def test_seed_flag_everywhere(self):
+        parser = build_parser()
+        for cmd in self.COMMANDS:
+            args = parser.parse_args([cmd, "--seed", "42"])
+            assert args.seed == 42, cmd
+
+    def test_jobs_flag_on_runtime_commands(self):
+        parser = build_parser()
+        for cmd in ("broadcast", "hops", "schedule", "channels", "sweep"):
+            args = parser.parse_args([cmd, "--jobs", "3"])
+            assert args.jobs == 3, cmd
+        assert parser.parse_args(["run", "E16", "--jobs", "2"]).jobs == 2
+
+    def test_jobs_defaults_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        args = build_parser().parse_args(["broadcast"])
+        assert args.jobs == 5
+
+    def test_broadcast_with_jobs_matches_serial(self, capsys):
+        argv = ["broadcast", "--s", "4", "--layers", "2,3", "--reps", "2",
+                "--trials", "4"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
