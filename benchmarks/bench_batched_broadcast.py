@@ -46,16 +46,16 @@ def compare_rows():
     rows = []
     for name, build in FAMILIES:
         graph = build()
-        run_broadcast_batch(graph, DecayProtocol(), trials=8, rng=0)  # warm-up
+        run_broadcast_batch(graph, DecayProtocol(), trials=8, seed=0)  # warm-up
         t0 = time.perf_counter()
         batch = run_broadcast_batch(
-            graph, DecayProtocol(), trials=TRIALS, rng=MASTER
+            graph, DecayProtocol(), trials=TRIALS, seed=MASTER
         )
         batch_s = time.perf_counter() - t0
         seeds = spawn_seeds(as_rng(MASTER), TRIALS)
         t0 = time.perf_counter()
         looped = [
-            run_broadcast(graph, DecayProtocol(), rng=seed) for seed in seeds
+            run_broadcast(graph, DecayProtocol(), seed=seed) for seed in seeds
         ]
         loop_s = time.perf_counter() - t0
         equal = all(

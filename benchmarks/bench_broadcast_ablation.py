@@ -45,7 +45,7 @@ def protocol_rows():
             done = True
             for rep in range(3):
                 res = run_broadcast(
-                    graph, proto, source=source, max_rounds=cap, rng=300 + rep
+                    graph, proto, source=source, max_rounds=cap, seed=300 + rep
                 )
                 rounds.append(res.rounds)
                 done = done and res.completed

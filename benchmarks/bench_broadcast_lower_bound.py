@@ -40,8 +40,8 @@ def chain_rows():
                 S,
                 layers,
                 DecayProtocol(),
-                rng=100 + rep,
-                chain_rng=200 + rep,
+                seed=100 + rep,
+                chain_seed=200 + rep,
             )
             assert m.completed
             rounds.append(m.rounds)
@@ -101,7 +101,7 @@ def corollary51_rows():
     rows = []
     for s in scaled((8, 16, 32), (4, 8)):
         g, root, n_ids = rooted_core_graph(s)
-        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=5)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, seed=5)
         assert res.completed
         arrivals = res.first_informed_round[n_ids]
         per_round = collections.Counter(arrivals.tolist())
@@ -136,7 +136,7 @@ def test_e7_decay_round_speed(benchmark):
         from repro.radio import run_broadcast
 
         return run_broadcast(
-            chain.graph, DecayProtocol(), source=chain.root, rng=2
+            chain.graph, DecayProtocol(), source=chain.root, seed=2
         ).rounds
 
     assert benchmark.pedantic(run, rounds=1, iterations=1) > 0

@@ -47,7 +47,7 @@ def families():
 
 def erasure_points():
     points = erasure_degradation(
-        families(), ERASURE_PS, trials=TRIALS, rng=MASTER, max_rounds=MAX_ROUNDS
+        families(), ERASURE_PS, trials=TRIALS, seed=MASTER, max_rounds=MAX_ROUNDS
     )
     for pt in points:
         if pt.p == 0.0:
@@ -75,7 +75,7 @@ def jamming_rows():
                 graph,
                 DecayProtocol(),
                 trials=TRIALS,
-                rng=MASTER,
+                seed=MASTER,
                 channel=AdversarialJamming(jam_schedule(graph, fraction)),
                 max_rounds=MAX_ROUNDS,
             )

@@ -44,7 +44,7 @@ def _sweep(executor=None, cache=None):
     return run_sweep(
         SPACE,
         chain_broadcast_point,
-        rng=MASTER,
+        seed=MASTER,
         repetitions=REPS,
         static_params={"trials": TRIALS},
         executor=executor,

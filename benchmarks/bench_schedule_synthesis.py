@@ -37,7 +37,7 @@ def schedule_rows():
         ok, _ = schedule.verify(g)
         decay_rounds = []
         for rep in range(3):
-            res = run_broadcast(g, DecayProtocol(), source=source, rng=400 + rep)
+            res = run_broadcast(g, DecayProtocol(), source=source, seed=400 + rep)
             assert res.completed
             decay_rounds.append(res.rounds)
         diameter = g.eccentricity(source)

@@ -22,7 +22,7 @@ def main() -> None:
         hop_means = []
         for rep in range(5):
             m = measure_chain_broadcast(
-                s, layers, DecayProtocol(), rng=10 + rep, chain_rng=20 + rep
+                s, layers, DecayProtocol(), seed=10 + rep, chain_seed=20 + rep
             )
             rounds.append(m.rounds)
             hop_means.append(float(m.per_hop_rounds.mean()))

@@ -39,7 +39,7 @@ def main() -> None:
     rows = []
     for s in (8, 16, 32, 64):
         graph, root, n_ids = rooted_core_graph(s)
-        res = run_broadcast(graph, SpokesmanBroadcastProtocol(), source=root, rng=0)
+        res = run_broadcast(graph, SpokesmanBroadcastProtocol(), source=root, seed=0)
         arrivals = res.first_informed_round[n_ids]
         per_round = collections.Counter(arrivals.tolist())
         worst = max(per_round.values())
@@ -74,10 +74,10 @@ def main() -> None:
     for s in (8, 16, 32, 64):
         graph, root, _ = rooted_core_graph(s)
         genie = run_broadcast(
-            graph, SpokesmanBroadcastProtocol(), source=root, rng=0
+            graph, SpokesmanBroadcastProtocol(), source=root, seed=0
         )
         batch = run_broadcast_batch(
-            graph, DecayProtocol(), trials=args.trials, source=root, rng=0
+            graph, DecayProtocol(), trials=args.trials, source=root, seed=0
         )
         p50, p90 = batch.round_quantiles((0.5, 0.9))
         rows.append(
@@ -94,7 +94,7 @@ def main() -> None:
     )
 
     clique = complete_graph(129)
-    res = run_broadcast(clique, SpokesmanBroadcastProtocol(), source=0, rng=0)
+    res = run_broadcast(clique, SpokesmanBroadcastProtocol(), source=0, seed=0)
     print(f"\ncontrast: clique n=129 -> genie completes in {res.rounds} round(s)")
     print("The core graph throttles ANY schedule to a 2/log(2s) fraction of N")
     print("per round (Lemma 4.4(5)) — that is Corollary 5.1, and chaining")

@@ -23,7 +23,7 @@ from repro.runtime import ParallelExecutor, ResultStore
 from repro.runtime.tasks import chain_broadcast_point
 
 SPACE = {"s": [4, 8], "layers": [2, 4]}  # 4 grid points
-SWEEP = dict(rng=0, repetitions=4, static_params={"trials": 32})
+SWEEP = dict(seed=0, repetitions=4, static_params={"trials": 32})
 
 
 def timed(label, **kwargs):

@@ -54,7 +54,7 @@ def main() -> None:
 
     g = grid_2d(16, 16)
     for proto in (DecayProtocol(), SpokesmanBroadcastProtocol()):
-        res = run_broadcast(g, proto, source=0, rng=1)
+        res = run_broadcast(g, proto, source=0, seed=1)
         print(f"broadcast on grid 16x16 with {proto.name:10s}: "
               f"{res.rounds} rounds (diameter {g.diameter()})")
 

@@ -42,7 +42,7 @@ def main() -> None:
     # Radio broadcast: flooding deadlocks, decay and the spokesman genie win.
     print("\nbroadcast from s0:")
     for proto in (FloodingProtocol(), DecayProtocol(), SpokesmanBroadcastProtocol()):
-        res = run_broadcast(g, proto, source=0, max_rounds=200, rng=0)
+        res = run_broadcast(g, proto, source=0, max_rounds=200, seed=0)
         status = f"completed in {res.rounds} rounds" if res.completed else (
             f"STALLED at {res.informed_per_round[-1]}/{g.n} informed"
         )

@@ -18,16 +18,19 @@ expansion (``β ≥ βw ≥ βu``).  This package implements, from scratch:
   :mod:`repro.analysis` and the ``benchmarks/`` directory;
 * the execution runtime farming sweep tasks across processes with a
   content-addressed result cache and resumable manifests —
-  :mod:`repro.runtime`.
+  :mod:`repro.runtime`;
+* the declarative scenario layer tying all of the above together: one
+  picklable spec from graph → protocol → channel → runtime —
+  :mod:`repro.scenario`.
 
 Quickstart::
 
-    import numpy as np
-    from repro import core_graph, spokesman_portfolio
+    from repro import Scenario
 
-    gs = core_graph(64)                      # the Lemma 4.4 construction
-    best, results = spokesman_portfolio(gs, rng=0)
-    print(best.unique_count, "of", gs.n_right, "uniquely covered")
+    batch = Scenario.from_string(
+        "hypercube(10) | decay | erasure(0.1) | trials=64 | seed=0"
+    ).run()
+    print(batch.completion_rate, batch.round_quantiles())
 """
 
 from repro.analysis import (
@@ -74,6 +77,7 @@ from repro.graphs import (
     worst_case_expander,
 )
 from repro.radio import (
+    ChannelSpec,
     DecayProtocol,
     FloodingProtocol,
     RadioNetwork,
@@ -81,6 +85,12 @@ from repro.radio import (
     SpokesmanBroadcastProtocol,
     measure_chain_broadcast,
     run_broadcast,
+)
+from repro.scenario import (
+    GraphSpec,
+    ProtocolSpec,
+    Scenario,
+    ScenarioSweep,
 )
 from repro.spokesman import (
     SpokesmanResult,
@@ -98,10 +108,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BipartiteGraph",
+    "ChannelSpec",
     "DecayProtocol",
     "FloodingProtocol",
     "Graph",
+    "GraphSpec",
+    "ProtocolSpec",
     "RadioNetwork",
+    "Scenario",
+    "ScenarioSweep",
     "RoundRobinProtocol",
     "SpokesmanBroadcastProtocol",
     "SpokesmanResult",

@@ -4,6 +4,7 @@ Nothing here is part of the public API; downstream users should import from
 :mod:`repro` or its documented subpackages instead.
 """
 
+from repro._util.deprecation import UNSET, resolve_seed, warn_legacy_kwarg
 from repro._util.intmath import (
     ceil_div,
     ceil_log2,
@@ -13,6 +14,7 @@ from repro._util.intmath import (
     next_power_of_two,
 )
 from repro._util.popcount import POPCOUNT16, popcount_u32, popcount_u64
+from repro._util.specstr import format_call, format_value, parse_call, parse_value
 from repro._util.rng import (
     as_rng,
     counter_coins,
@@ -28,6 +30,7 @@ from repro._util.validation import (
 
 __all__ = [
     "POPCOUNT16",
+    "UNSET",
     "as_rng",
     "ceil_div",
     "ceil_log2",
@@ -37,11 +40,17 @@ __all__ = [
     "counter_coins",
     "counter_uniforms",
     "derive_keys",
+    "format_call",
+    "format_value",
     "ilog2",
     "is_power_of_two",
     "log2_real",
     "next_power_of_two",
+    "parse_call",
+    "parse_value",
     "popcount_u32",
     "popcount_u64",
+    "resolve_seed",
     "spawn_seeds",
+    "warn_legacy_kwarg",
 ]

@@ -1,0 +1,56 @@
+"""Deprecation plumbing for the one-release legacy-kwarg shims.
+
+The scenario API redesign (PR 4) standardized seed-taking entry points on
+``seed=`` and replaced per-layer factory kwargs with spec objects.  The old
+spellings keep working for one release through shims that funnel through
+:func:`warn_legacy_kwarg`, so every warning names the replacement syntax
+and the tests can assert each shim actually fires.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["UNSET", "resolve_seed", "warn_legacy_kwarg"]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from ``None`` (a valid seed)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+
+def warn_legacy_kwarg(fn_name: str, old: str, replacement: str) -> None:
+    """Emit the standard shim warning: ``fn(old=...)`` → ``replacement``.
+
+    ``replacement`` spells out the new syntax (including the spec string
+    form where one exists) so callers can migrate from the message alone.
+    """
+    warnings.warn(
+        f"{fn_name}({old}=...) is deprecated and will be removed in the "
+        f"next release; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_seed(fn_name: str, seed, rng, replacement: str = "seed=<int>"):
+    """Collapse the ``seed=`` / legacy ``rng=`` pair into one value.
+
+    ``rng`` is the deprecated spelling; passing it warns (naming the
+    ``replacement`` syntax) and passing both is an error — silently
+    preferring one would change results.
+    """
+    if rng is UNSET:
+        return seed
+    warn_legacy_kwarg(fn_name, "rng", replacement)
+    if seed is not None:
+        raise TypeError(
+            f"{fn_name}() got both seed= and the deprecated rng=; "
+            "pass only seed="
+        )
+    return rng

@@ -1,0 +1,194 @@
+"""Compact call-string grammar shared by every spec layer.
+
+The declarative scenario API (:mod:`repro.scenario`) describes graphs,
+protocols, and channels as short human-writable strings::
+
+    hypercube(10)
+    random_regular(1024, 8)
+    decay(phase_length=5)
+    erasure(0.05)
+    jamming("jam@0-9:0,1;crash@5:7")
+
+This module owns the grammar — ``name`` or ``name(arg, ..., key=value)``
+with int/float/bool/none/string literals — so the parser and the canonical
+formatter cannot drift apart: :func:`format_call` always produces a string
+:func:`parse_call` maps back to the same ``(name, args, kwargs)`` triple,
+the round-trip property the spec tests pin.
+
+It lives in ``repro._util`` (not the scenario package) because the radio
+layer's :class:`~repro.radio.channel.ChannelSpec` speaks the same grammar
+and must not import :mod:`repro.scenario` (which imports the radio layer).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["format_call", "format_value", "parse_call", "parse_value"]
+
+#: Registry names: letters/digits/underscore/dash, starting with a letter.
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+
+#: Strings that survive unquoted: a superset of names that also admits the
+#: characters fault specs and paths use — but nothing the call grammar
+#: itself needs (quotes, commas, parens, equals, whitespace).
+_BARE_STRING_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-./@:;]*")
+
+_KEYWORDS = {"true": True, "false": False, "none": None}
+
+
+def parse_value(token: str) -> Any:
+    """One literal of the call grammar: int, float, bool, none, or string.
+
+    Quoted strings (single or double, with backslash escapes) decode to
+    their contents; bare tokens try int, then float, then the keyword
+    table, and fall back to a plain string.
+    """
+    token = token.strip()
+    if not token:
+        raise ValueError("empty value in spec string")
+    if token[0] in "\"'":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise ValueError(f"unterminated string literal {token!r}")
+        body = token[1:-1]
+        out = []
+        i = 0
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= len(body):
+                    raise ValueError(f"dangling escape in {token!r}")
+                out.append(body[i + 1])
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+    lowered = token.lower()
+    if lowered in _KEYWORDS:
+        return _KEYWORDS[lowered]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def format_value(value: Any) -> str:
+    """The canonical literal for ``value`` — the inverse of
+    :func:`parse_value` (``parse_value(format_value(v)) == v``)."""
+    if value is None:
+        return "none"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        # Bare only when lexically safe AND it would not re-parse as some
+        # other literal (e.g. "none", "10", "1e6" must be quoted).
+        if _BARE_STRING_RE.fullmatch(value) and parse_value(value) == value:
+            return value
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise TypeError(
+        f"spec strings cannot represent {type(value).__name__} values; "
+        "use int, float, bool, none, or str"
+    )
+
+
+def _split_args(body: str) -> list[str]:
+    """Split an argument list on top-level commas, respecting quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if quote is not None:
+            current.append(ch)
+            if ch == "\\" and i + 1 < len(body):
+                current.append(body[i + 1])
+                i += 1
+            elif ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if quote is not None:
+        raise ValueError(f"unterminated string literal in {body!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def parse_call(text: str) -> tuple[str, tuple, dict[str, Any]]:
+    """Parse ``"name"`` or ``"name(arg, ..., key=value)"``.
+
+    Returns ``(name, positional_args, keyword_args)``.  Keyword arguments
+    must follow positional ones, as in Python.
+    """
+    text = text.strip()
+    match = _NAME_RE.match(text)
+    if match is None:
+        raise ValueError(
+            f"bad spec {text!r}: expected name or name(args), e.g. "
+            "'hypercube(10)' or 'erasure(0.05)'"
+        )
+    name = match.group(0)
+    rest = text[match.end():].strip()
+    if not rest:
+        return name, (), {}
+    if not (rest.startswith("(") and rest.endswith(")")):
+        raise ValueError(
+            f"bad spec {text!r}: trailing text after name {name!r} "
+            "(arguments go in parentheses)"
+        )
+    body = rest[1:-1].strip()
+    if not body:
+        return name, (), {}
+    args: list[Any] = []
+    kwargs: dict[str, Any] = {}
+    for part in _split_args(body):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"empty argument in spec {text!r}")
+        key_match = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(.+)$", part)
+        if key_match:
+            key = key_match.group(1)
+            if key in kwargs:
+                raise ValueError(f"duplicate keyword {key!r} in spec {text!r}")
+            kwargs[key] = parse_value(key_match.group(2))
+        else:
+            if kwargs:
+                raise ValueError(
+                    f"positional argument after keyword in spec {text!r}"
+                )
+            args.append(parse_value(part))
+    return name, tuple(args), kwargs
+
+
+def format_call(name: str, args: tuple = (), kwargs: dict | None = None) -> str:
+    """The canonical string for a spec call — bare ``name`` when there are
+    no arguments, else ``name(arg, ..., key=value)`` with keywords sorted."""
+    if not _NAME_RE.fullmatch(name):
+        raise ValueError(f"bad spec name {name!r}")
+    kwargs = kwargs or {}
+    parts = [format_value(a) for a in args]
+    parts += [f"{k}={format_value(kwargs[k])}" for k in sorted(kwargs)]
+    if not parts:
+        return name
+    return f"{name}({', '.join(parts)})"

@@ -22,6 +22,8 @@ import subprocess
 import sys
 from dataclasses import dataclass, field
 
+from repro.scenario import Scenario
+
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
@@ -33,7 +35,16 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Experiment:
-    """One row of the reproduction index."""
+    """One row of the reproduction index.
+
+    ``scenario`` is the canonical :class:`~repro.scenario.Scenario` the
+    experiment's simulation runs (``None`` for pure-computation rows —
+    the expansion/spokesman analyses that never touch the radio engine).
+    Storing the spec object, not a closure or kwargs, is what makes
+    "what configuration does E15 actually run?" a one-line answer
+    (``repro scenarios show E15``) and every registered simulation
+    reproducible through ``Scenario.run``.
+    """
 
     id: str
     paper_ref: str
@@ -41,6 +52,7 @@ class Experiment:
     modules: tuple[str, ...]
     bench_file: str
     result_files: tuple[str, ...] = field(default_factory=tuple)
+    scenario: Scenario | None = None
 
 
 EXPERIMENTS: tuple[Experiment, ...] = (
@@ -87,6 +99,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
          "repro.radio.hop_analysis"),
         "bench_broadcast_lower_bound.py",
         ("E7_broadcast_lower_bound.txt", "E7_corollary51.txt"),
+        scenario=Scenario.from_string("chain(8, 4) | decay | classic | trials=16"),
     ),
     Experiment(
         "E8", "Section 4.2.1",
@@ -121,12 +134,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
          "repro.spokesman.sampling"),
         "bench_broadcast_ablation.py",
         ("E12_protocol_ablation.txt", "E12_scale_ablation.txt"),
+        scenario=Scenario.from_string("chain(8, 4) | aloha(0.5) | classic | trials=16"),
     ),
     Experiment(
         "E13", "Section 4.2.1 application",
         "static broadcast schedules via repeated spokesman election",
         ("repro.radio.schedule",),
         "bench_schedule_synthesis.py", ("E13_schedule_synthesis.txt",),
+        scenario=Scenario.from_string("hypercube(6) | decay | classic | trials=8"),
     ),
     Experiment(
         "E14", "engine",
@@ -134,6 +149,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         ("repro.radio.broadcast", "repro.radio.network",
          "repro.radio.protocols"),
         "bench_batched_broadcast.py", ("E14_batched_engine.txt",),
+        scenario=Scenario.from_string("hypercube(10) | decay | classic | trials=256"),
     ),
     Experiment(
         "E15", "robustness",
@@ -143,6 +159,9 @@ EXPERIMENTS: tuple[Experiment, ...] = (
          "repro.analysis.robustness"),
         "bench_channel_robustness.py",
         ("E15_channel_robustness.txt", "E15_jamming.txt"),
+        scenario=Scenario.from_string(
+            "random_regular(256, 8) | decay | erasure(0.1) | trials=32"
+        ),
     ),
     Experiment(
         "E16", "runtime",
@@ -151,6 +170,7 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         ("repro.runtime.executor", "repro.runtime.store",
          "repro.runtime.manifest"),
         "bench_runtime_scaling.py", ("E16_runtime_scaling.txt",),
+        scenario=Scenario.from_string("chain(4, 2) | decay | classic | trials=4"),
     ),
 )
 
@@ -221,8 +241,9 @@ def run_experiment(
 def validate_registry(benchmarks_dir: str) -> list[str]:
     """Return human-readable inconsistencies (empty list = registry clean).
 
-    Checks that every referenced module imports and every bench file
-    exists on disk.
+    Checks that every referenced module imports, every bench file exists
+    on disk, and every bound scenario spec round-trips through its string
+    form (so ``repro scenarios show E<k>`` can never rot).
     """
     problems: list[str] = []
     seen_ids = set()
@@ -238,4 +259,12 @@ def validate_registry(benchmarks_dir: str) -> list[str]:
         bench = os.path.join(benchmarks_dir, exp.bench_file)
         if not os.path.isfile(bench):
             problems.append(f"{exp.id}: bench file {exp.bench_file} missing")
+        if exp.scenario is not None:
+            try:
+                if Scenario.from_string(exp.scenario.describe()) != exp.scenario:
+                    problems.append(
+                        f"{exp.id}: scenario does not round-trip its string form"
+                    )
+            except Exception as exc:  # noqa: BLE001 - collected, not raised
+                problems.append(f"{exp.id}: scenario invalid ({exc})")
     return problems

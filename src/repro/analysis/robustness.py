@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro._util import UNSET, resolve_seed
+
 ERASURE_HEADERS = [
     "family",
     "n",
@@ -66,63 +68,143 @@ def _erasure_batch(graph, p, trials, rng, max_rounds):
         graph,
         DecayProtocol(),
         trials=trials,
-        rng=rng,
+        seed=rng,
         channel=None if p is None else ErasureChannel(p),
         max_rounds=max_rounds,
     )
 
 
+def _family_scenario(gspec, p, trials, seed, max_rounds, protocol):
+    """The scenario one (family spec, erasure p) measurement runs."""
+    from repro.radio import ChannelSpec
+    from repro.scenario import Scenario
+
+    channel = (
+        ChannelSpec() if p is None else ChannelSpec(name="erasure", erasure_p=p)
+    )
+    return Scenario(
+        graph=gspec,
+        protocol=protocol,
+        channel=channel,
+        trials=trials,
+        seed=seed if seed is not None else 0,
+        max_rounds=max_rounds,
+    )
+
+
 def erasure_degradation(
-    families: Sequence[tuple[str, "Graph"]],  # noqa: F821
+    families: Sequence[tuple[str, object]],
     erasure_ps: Sequence[float],
     trials: int,
-    rng,
+    seed=None,
     max_rounds: int | None = None,
     executor=None,
+    protocol="decay",
+    rng=UNSET,
 ) -> list[ErasurePoint]:
-    """Measure Decay broadcast degradation of each family across erasure
+    """Measure broadcast degradation of each family across erasure
     probabilities, against a classic-channel baseline with the same seed.
 
-    ``families`` is a list of ``(label, graph)`` pairs; the same master
-    ``rng`` seeds every run, so the ``p = 0`` point is bit-for-bit the
-    baseline (the channel layer's anchor invariant).
+    ``families`` is a list of ``(label, family)`` pairs, where ``family``
+    is a graph spec — a :class:`~repro.scenario.GraphSpec` or spec string
+    such as ``"random_regular(256, 8)"`` — or, for direct engine users, an
+    already-built :class:`~repro.graphs.graph.Graph`.  Spec families are
+    routed through :class:`~repro.scenario.Scenario` (and ``protocol``
+    selects their protocol spec, default Decay); every (family, p) point
+    shares the same master ``seed``, so within a family the graph instance
+    is fixed and the ``p = 0`` point is bit-for-bit the classic baseline —
+    the channel layer's anchor invariant.
 
     ``executor`` (a :class:`repro.runtime.Executor` or int job count) farms
     the independent (family, p) measurements — baselines included — across
     worker processes; every batch is seeded identically either way, so the
     point list is bit-for-bit the serial one.  Parallel scheduling
-    re-seeds every batch from ``rng``, so it requires a reusable seed (an
-    int or ``None``), not a stateful generator.
+    re-seeds every batch from ``seed``, so it requires a reusable seed (an
+    int or ``None``), not a stateful generator.  (``rng=`` is the
+    deprecated spelling of ``seed=``.)
     """
     import numpy as np
 
-    if executor is not None and isinstance(rng, np.random.Generator):
+    from repro.graphs.graph import Graph
+    from repro.scenario import GraphSpec, ProtocolSpec
+    from repro.scenario.tasks import run_scenario
+
+    seed = resolve_seed("erasure_degradation", seed, rng)
+    if executor is not None and isinstance(seed, np.random.Generator):
         raise TypeError(
-            "erasure_degradation(executor=...) needs an int (or None) rng: "
+            "erasure_degradation(executor=...) needs an int (or None) seed: "
             "a Generator would be consumed in executor-dependent order"
         )
+    if not isinstance(protocol, ProtocolSpec):
+        protocol = (
+            ProtocolSpec.from_string(protocol)
+            if isinstance(protocol, str)
+            else ProtocolSpec.from_dict(protocol)
+        )
     # One task per (family, p) plus each family's baseline, all independent.
-    calls = []
-    for name, graph in families:
-        for p in (None, *erasure_ps):
-            calls.append(
-                dict(graph=graph, p=p, trials=trials, rng=rng, max_rounds=max_rounds)
+    # Spec families schedule run_scenario (the canonical payload); built
+    # graphs keep the direct-engine task.
+    calls: list[tuple] = []  # (fn, kwargs)
+    for name, family in families:
+        if isinstance(family, Graph):
+            gspec = None
+        else:
+            gspec = (
+                family
+                if isinstance(family, GraphSpec)
+                else GraphSpec.from_string(family)
             )
+        for p in (None, *erasure_ps):
+            if gspec is None:
+                calls.append(
+                    (
+                        _erasure_batch,
+                        dict(
+                            graph=family,
+                            p=p,
+                            trials=trials,
+                            rng=seed,
+                            max_rounds=max_rounds,
+                        ),
+                    )
+                )
+            else:
+                calls.append(
+                    (
+                        run_scenario,
+                        dict(
+                            scenario=_family_scenario(
+                                gspec, p, trials, seed, max_rounds, protocol
+                            )
+                        ),
+                    )
+                )
     if executor is None:
-        batches = [_erasure_batch(**kw) for kw in calls]
+        batches = [fn(**kw) for fn, kw in calls]
     else:
         from repro.runtime import as_executor
 
-        batches = as_executor(executor).map(_erasure_batch, calls)
+        exec_ = as_executor(executor)
+        batches = [None] * len(calls)
+        # Group by task fn so each executor.map call is homogeneous.
+        for fn in {fn for fn, _ in calls}:
+            idx = [i for i, (f, _) in enumerate(calls) if f is fn]
+            for i, result in zip(
+                idx, exec_.map(fn, [calls[i][1] for i in idx])
+            ):
+                batches[i] = result
     points = []
     per_family = 1 + len(erasure_ps)
-    for f, (name, graph) in enumerate(families):
+    for f, (name, _family) in enumerate(families):
         baseline = batches[f * per_family]
+        # The vertex count rides on the batch itself (first_informed_round
+        # is (n, T)) — no extra graph build just to report n.
+        n = int(baseline.first_informed_round.shape[0])
         for j, p in enumerate(erasure_ps):
             points.append(
                 ErasurePoint(
                     family=name,
-                    n=graph.n,
+                    n=n,
                     p=p,
                     batch=batches[f * per_family + 1 + j],
                     baseline=baseline,

@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
-from repro._util import as_rng, spawn_seeds
+from repro._util import UNSET, as_rng, resolve_seed, spawn_seeds
 
 __all__ = ["SweepPoint", "run_sweep", "sweep_grid"]
 
@@ -74,16 +74,38 @@ def _sweep_grid_iter(space: Mapping[str, Sequence]) -> Iterator[dict[str, Any]]:
 def run_sweep(
     space: Mapping[str, Sequence],
     fn: Callable[..., Any] | None = None,
-    rng=None,
+    seed=None,
     repetitions: int = 1,
     batch_fn: Callable[..., Sequence[Any]] | None = None,
     static_params: Mapping[str, Any] | None = None,
     executor=None,
     cache=None,
+    scenario=None,
+    rng=UNSET,
 ) -> list[SweepPoint]:
-    """Evaluate a callable over the grid, one seed per repetition.
+    """Evaluate a callable — or a :class:`~repro.scenario.Scenario` — over
+    the grid, one seed per repetition.
 
-    Exactly one of ``fn`` and ``batch_fn`` must be given:
+    **Scenario mode.**  With ``scenario=`` the grid's keys are scenario
+    override paths (``"graph"``, ``"channel.erasure_p"``, ``"trials"``, …
+    — see :meth:`repro.scenario.Scenario.with_overrides`) and every grid
+    point runs the overridden spec through the batched engine, returning
+    one :func:`~repro.scenario.tasks.scenario_summary` dict per
+    repetition::
+
+        run_sweep(
+            {"graph": ["chain(8, 2)", "chain(8, 4)"]},
+            scenario=Scenario.from_string("chain(8, 2) | decay | classic | trials=8"),
+            seed=0, repetitions=3,
+        )
+
+    Seed derivation, executor scheduling, and caching are identical to
+    callable mode (the work is delegated to
+    :class:`~repro.scenario.ScenarioSweep`), but cache keys are the
+    scenarios' canonical dicts — spec-equal runs hit regardless of which
+    helper produced them.
+
+    **Callable mode.**  Exactly one of ``fn`` and ``batch_fn``:
 
     * ``fn(**params, seed=seed)`` is called once per (grid point,
       repetition) — the general-purpose looped mode;
@@ -115,9 +137,33 @@ def run_sweep(
     evaluators and picklable parameters; caching additionally requires
     content-addressable ones (plain data or dataclass specs such as
     :class:`repro.radio.ChannelSpec`).
+
+    The old ``rng=`` spelling of the master seed still works but emits a
+    ``DeprecationWarning``.
     """
+    seed = resolve_seed("run_sweep", seed, rng)
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
+    if scenario is not None:
+        if fn is not None or batch_fn is not None or static_params is not None:
+            raise ValueError(
+                "scenario mode takes no fn/batch_fn/static_params — the "
+                "scenario spec is the whole configuration"
+            )
+        from repro.scenario.sweep import ScenarioSweep
+
+        points = ScenarioSweep(
+            base=scenario,
+            grid=space,
+            repetitions=repetitions,
+            seed=seed,
+        ).run(executor=executor, cache=cache)
+        return [
+            SweepPoint(
+                params=dict(p.overrides), seed=p.scenario.seed, result=p.result
+            )
+            for p in points
+        ]
     if (fn is None) == (batch_fn is None):
         raise ValueError("provide exactly one of fn and batch_fn")
     static = dict(static_params) if static_params is not None else {}
@@ -128,7 +174,7 @@ def run_sweep(
             f"{sorted(overlap)}"
         )
     grid = list(sweep_grid(space))
-    seeds = spawn_seeds(as_rng(rng), len(grid) * repetitions)
+    seeds = spawn_seeds(as_rng(seed), len(grid) * repetitions)
     if executor is not None or cache is not None:
         # The runtime layer reproduces this function's scheduling exactly
         # (same grid order, same seeds, same call signatures), adding

@@ -14,17 +14,26 @@ Commands
 ``worstcase``   Corollary 4.11 planted bad set.
 ``channels``    Broadcast degradation across channel/fault models (E15).
 ``run``         Regenerate a registered experiment (E1–E16) via its bench.
-``sweep``       Cached, resumable chain-broadcast grid sweep (runtime demo).
+``sweep``       Cached, resumable scenario grid sweep (runtime demo).
 ``cache``       Inspect (``stats``) or wipe (``clear``) the result cache.
+``scenarios``   Discover the spec registries (``list``) or inspect one
+                scenario's string/dict/key forms (``show``).
 
-Simulation commands uniformly take ``--seed`` (master seed) and ``--jobs``
-(worker processes; tasks are farmed through
+Every simulation verb routes through the declarative scenario layer
+(:mod:`repro.scenario`) and shares one spec builder: ``--scenario SPEC``
+replaces the verb's default configuration with a spec string (or preset
+name — see ``repro scenarios list``), and repeatable ``-S key=value``
+overrides tweak individual fields::
+
+    repro broadcast --scenario "chain(8, 4) | decay | erasure(0.1)" -S trials=64
+    repro hops -S channel=cd -S protocol=collision-backoff
+    repro sweep --scenario sweep-smoke -S seed=3 --resume
+
+Simulation commands also uniformly take ``--seed`` (master seed) and
+``--jobs`` (worker processes; tasks are farmed through
 :class:`repro.runtime.ParallelExecutor`, with results bit-for-bit identical
-to serial runs).  ``broadcast``, ``hops``, and ``sweep`` accept
-``--channel`` (classic / collision-detection / erasure / jamming),
-``--erasure-p``, and ``--faults`` (a ``jam@A-B:v,...;crash@R:v,...;
-down@R:u-v`` spec) to run the same experiments under non-classic reception
-models.
+to serial runs).  The legacy ``--channel`` / ``--erasure-p`` / ``--faults``
+flags remain as spelling sugar for ``-S channel=...``.
 """
 
 from __future__ import annotations
@@ -120,8 +129,114 @@ def _channel_spec(args: argparse.Namespace):
     from repro.radio import ChannelSpec
 
     return ChannelSpec(
-        name=args.channel, erasure_p=args.erasure_p, faults=args.faults
+        name=getattr(args, "channel", "classic"),
+        erasure_p=getattr(args, "erasure_p", 0.1),
+        faults=getattr(args, "faults", None),
     )
+
+
+def _parse_overrides(args: argparse.Namespace) -> dict:
+    """The ``-S key=value`` list as an override mapping."""
+    out: dict[str, str] = {}
+    for item in getattr(args, "scenario_set", []) or []:
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise SystemExit(f"bad -S override {item!r} (expected key=value)")
+        out[key] = value.strip()
+    return out
+
+
+def _resolve_scenario(args: argparse.Namespace, default):
+    """The verb's base scenario: ``--scenario`` (spec string or preset
+    name) over the legacy-flag ``default``, with ``-S`` overrides applied.
+
+    Returns ``(scenario, overrides)`` — callers use the overrides to honour
+    ``-S seed=...`` as the sweep's master seed.
+    """
+    from repro.scenario import get_scenario
+
+    base = default
+    if getattr(args, "scenario", None):
+        try:
+            base = get_scenario(args.scenario)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SystemExit(f"bad --scenario: {exc}") from None
+    overrides = _parse_overrides(args)
+    if overrides:
+        try:
+            base = base.with_overrides(overrides)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SystemExit(f"bad -S override: {exc}") from None
+    return base, overrides
+
+
+def _channel_label(args: argparse.Namespace, base, overrides) -> str:
+    """What the table header calls the channel: the legacy flag's spelling
+    when it chose the channel, the spec's canonical form otherwise."""
+    if (
+        hasattr(args, "channel")
+        and not getattr(args, "scenario", None)
+        and not any(k == "channel" or k.startswith("channel.") for k in overrides)
+    ):
+        return args.channel
+    return base.channel.describe()
+
+
+def _seed(args: argparse.Namespace) -> int:
+    """The --seed value (its parser default is None so explicitness is
+    observable; unset means 0)."""
+    value = getattr(args, "seed", None)
+    return 0 if value is None else value
+
+
+def _graph_overridden(args: argparse.Namespace, overrides) -> bool:
+    """Whether --scenario or a -S graph override chose the graph (so the
+    verb must not rebuild its legacy graph grid over it)."""
+    return bool(getattr(args, "scenario", None)) or any(
+        k == "graph" or k.startswith("graph.") for k in overrides
+    )
+
+
+def _master_seed(args: argparse.Namespace, base, overrides) -> int:
+    """The repetition-deriving master seed: ``-S seed=`` wins, then an
+    explicit ``--seed``, then a seed baked into ``--scenario``."""
+    if "seed" in overrides:
+        return base.seed
+    if getattr(args, "seed", None) is not None:
+        return args.seed
+    return base.seed
+
+
+def _chain_rows(points_iter):
+    """Table rows for scenario summaries: the chain family's rich columns
+    when its meta is present, a generic scenario table otherwise.
+
+    Returns ``(headers, rows, fit_xy)``; ``fit_xy`` is the
+    (km_bound, mean) series for the log-linear fit, empty for non-chain
+    scenarios.
+    """
+    from repro.analysis import summarize
+
+    headers = None
+    rows, xs, ys = [], [], []
+    for first, rounds, completed in points_iter:
+        stats = summarize(rounds)
+        if "km_bound" in first:
+            headers = ["layers", "n", "D", "D·log2(n/D)", "mean", "min", "max"]
+            xs.append(first["km_bound"])
+            ys.append(stats.mean)
+            rows.append(
+                [first["layers"], first["n"], first["diameter"],
+                 round(first["km_bound"], 1),
+                 round(stats.mean, 1), stats.min, stats.max])
+        else:
+            headers = ["scenario", "n", "mean", "min", "max", "completion"]
+            rows.append(
+                [first["scenario"], first["n"], round(stats.mean, 1),
+                 stats.min, stats.max,
+                 round(sum(completed) / len(completed), 3)])
+    return headers, rows, (xs, ys)
 
 
 def _executor(args: argparse.Namespace):
@@ -139,7 +254,10 @@ def _add_exec_flags(p: "argparse.ArgumentParser", seed: bool = True) -> None:
     from repro.runtime import default_jobs
 
     if seed:
-        p.add_argument("--seed", type=int, default=0, help="master seed")
+        # Default None (treated as 0) so an explicit --seed is
+        # distinguishable from the default when --scenario bakes a seed.
+        p.add_argument("--seed", type=int, default=None,
+                       help="master seed (default 0)")
     p.add_argument(
         "--jobs", type=int, default=default_jobs(fallback=1),
         help="worker processes (>1 schedules via repro.runtime)")
@@ -150,13 +268,29 @@ def _add_channel_flags(p: "argparse.ArgumentParser") -> None:
 
     p.add_argument(
         "--channel", choices=sorted(CHANNELS) + ["cd"], default="classic",
-        help="reception model (cd = collision-detection)")
+        help="reception model (cd = collision-detection); "
+             "sugar for -S channel=...")
     p.add_argument(
         "--erasure-p", type=float, default=0.1,
         help="drop probability for --channel erasure")
     p.add_argument(
         "--faults", type=str, default=None,
         help="fault spec for --channel jamming, e.g. 'jam@0-9:0,1;crash@5:7'")
+
+
+def _add_scenario_flags(p: "argparse.ArgumentParser") -> None:
+    """The uniform declarative-spec pair shared by every simulation verb."""
+    p.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="scenario spec string or preset name replacing this verb's "
+             "default configuration, e.g. 'chain(8, 4) | decay | "
+             "erasure(0.1)' (see `repro scenarios list`)")
+    p.add_argument(
+        "-S", "--set", dest="scenario_set", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="scenario field override (repeatable): graph/protocol/channel/"
+             "trials/seed/source/max_rounds or dotted spec fields such as "
+             "channel.erasure_p")
 
 
 def _rep_groups(points, reps: int):
@@ -176,35 +310,44 @@ def _rep_groups(points, reps: int):
 
 
 def _cmd_broadcast(args: argparse.Namespace) -> int:
-    from repro.analysis import fit_loglinear, render_table, run_sweep, summarize
-    from repro.runtime.tasks import chain_broadcast_point
+    from repro.analysis import fit_loglinear, render_table, run_sweep
+    from repro.scenario import GraphSpec, Scenario
 
-    # One runtime task per (layers, rep): each owns a fresh chain and one
-    # batched --trials protocol run; --jobs farms tasks across processes
-    # (bit-for-bit identical to the serial schedule).
+    default = Scenario(
+        graph=GraphSpec.make("chain", args.s, args.layers[0]),
+        channel=_channel_spec(args),
+        trials=args.trials,
+        seed=_seed(args),
+    )
+    base, overrides = _resolve_scenario(args, default)
+    # Legacy grid mode sweeps --layers over chain graphs; an explicit
+    # --scenario (or -S graph=...) runs exactly that spec (--reps
+    # independent repetitions).
+    if _graph_overridden(args, overrides):
+        grid: dict = {}
+    else:
+        grid = {
+            "graph": [GraphSpec.make("chain", args.s, l) for l in args.layers]
+        }
+    # One scenario task per (grid point, rep); --jobs farms the pickled
+    # specs across processes (bit-for-bit identical to serial).
     points = run_sweep(
-        {"layers": args.layers},
-        chain_broadcast_point,
-        rng=args.seed,
+        grid,
+        scenario=base,
+        seed=_master_seed(args, base, overrides),
         repetitions=args.reps,
-        static_params={
-            "s": args.s, "trials": args.trials, "channel": _channel_spec(args),
-        },
         executor=_executor(args),
     )
-    rows, xs, ys = [], [], []
-    for first, rounds, _ in _rep_groups(points, args.reps):
-        stats = summarize(rounds)
-        xs.append(first["km_bound"])
-        ys.append(stats.mean)
-        rows.append(
-            [first["layers"], first["n"], first["diameter"],
-             round(first["km_bound"], 1),
-             round(stats.mean, 1), stats.min, stats.max])
+    headers, rows, (xs, ys) = _chain_rows(_rep_groups(points, args.reps))
+    proto = base.protocol.describe().capitalize()
+    title = (
+        f"Section 5: {proto} rounds on chained cores"
+        if not _graph_overridden(args, overrides)
+        else f"scenario broadcast: {proto} rounds"
+    )
     print(render_table(
-        ["layers", "n", "D", "D·log2(n/D)", "mean", "min", "max"], rows,
-        title=f"Section 5: Decay rounds on chained cores "
-              f"[channel={args.channel}]"))
+        headers, rows,
+        title=f"{title} [channel={_channel_label(args, base, overrides)}]"))
     if len(xs) >= 2:
         fit = fit_loglinear(xs, ys)
         print(f"fit: rounds ≈ {fit.slope:.2f}·bound {fit.intercept:+.1f}"
@@ -213,19 +356,34 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
 
 
 def _cmd_hops(args: argparse.Namespace) -> int:
-    from repro.radio import DecayProtocol
     from repro.radio.hop_analysis import hop_time_study
+    from repro.scenario import GraphSpec, Scenario
 
-    study = hop_time_study(
-        args.s, args.layers[0], DecayProtocol,
-        repetitions=args.reps * args.trials, rng=args.seed,
-        trials_per_chain=args.trials,
-        channel_factory=_channel_spec(args),
-        executor=_executor(args))
+    default = Scenario(
+        graph=GraphSpec.make("chain", args.s, args.layers[0]),
+        channel=_channel_spec(args),
+        trials=args.trials,
+        seed=_seed(args),
+    )
+    base, overrides = _resolve_scenario(args, default)
+    if base.graph.family != "chain" or len(base.graph.args) < 2:
+        raise SystemExit(
+            "repro hops needs a chain(s, layers) scenario (per-hop timing "
+            f"is defined on the Section 5 chain); got {base.graph.describe()!r}"
+        )
+    try:
+        study = hop_time_study(
+            scenario=base,
+            repetitions=args.reps * base.trials,
+            seed=_master_seed(args, base, overrides),
+            executor=_executor(args))
+    except ValueError as exc:
+        raise SystemExit(f"bad scenario for repro hops: {exc}") from None
     print(f"hop study: s={study.s}, layers={study.num_layers}, "
-          f"reps={study.hop_times.shape[0]}, channel={args.channel}")
+          f"reps={study.hop_times.shape[0]}, "
+          f"channel={_channel_label(args, base, overrides)}")
     print(f"  per-hop rounds: mean {study.hop_mean:.2f} ± {study.hop_std:.2f}"
-          f"  (log2(2s) = {math.log2(2 * args.s):.1f})")
+          f"  (log2(2s) = {math.log2(2 * study.s):.1f})")
     print(f"  total relative spread: {study.total_relative_spread:.3f}")
     print(f"  lag-1 hop autocorrelation: {study.hop_autocorrelation():+.3f}")
     return 0
@@ -233,23 +391,33 @@ def _cmd_hops(args: argparse.Namespace) -> int:
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     from repro.analysis import run_sweep, summarize
-    from repro.graphs import grid_2d, hypercube, random_regular
+    from repro.graphs import random_regular
     from repro.radio import synthesize_broadcast_schedule
     from repro.runtime.tasks import broadcast_rounds_point
+    from repro.scenario import GraphSpec
 
+    # Deterministic families travel as specs (the scenario-routed task
+    # path); the randomized one is built once here so the synthesized
+    # schedule and the Decay comparison see the same instance.
     if args.graph == "hypercube":
-        g = hypercube(args.size)
+        gspec = GraphSpec.make("hypercube", args.size)
     elif args.graph == "grid":
-        g = grid_2d(args.size, args.size)
+        gspec = GraphSpec.make("grid", args.size)
     else:
-        g = random_regular(2**args.size, 6, rng=args.seed)
+        gspec = None
+    if gspec is not None:
+        g = gspec.build().graph
+    else:
+        g = random_regular(2**args.size, 6, rng=_seed(args))
     schedule = synthesize_broadcast_schedule(g, source=0)
     ok, informed = schedule.verify(g)
     # The randomized comparison: --reps independent Decay runs, scheduled
     # through the runtime so --jobs parallelizes them.
     points = run_sweep(
-        {}, broadcast_rounds_point, rng=args.seed, repetitions=args.reps,
-        static_params={"graph": g, "source": 0}, executor=_executor(args))
+        {}, broadcast_rounds_point, seed=_seed(args), repetitions=args.reps,
+        static_params={"graph": gspec if gspec is not None else g,
+                       "source": 0},
+        executor=_executor(args))
     rounds = [r for pt in points for r in pt.result["rounds"]]
     print(f"graph: {args.graph}({args.size}) n={g.n}")
     print(f"  schedule length {schedule.length} rounds "
@@ -266,18 +434,35 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_channels(args: argparse.Namespace) -> int:
     from repro.analysis import ERASURE_HEADERS, erasure_degradation, render_table
-    from repro.graphs import broadcast_chain, random_regular
+    from repro.scenario import GraphSpec, Scenario
 
+    default = Scenario(
+        graph=GraphSpec.make("random_regular", args.n, args.delta),
+        trials=args.trials,
+        seed=_seed(args),
+    )
+    base, overrides = _resolve_scenario(args, default)
+    if base.channel.to_dict() != {"name": "classic"}:
+        raise SystemExit(
+            "repro channels sweeps erasure rates itself (--erasure-ps); a "
+            "scenario channel override would be silently ignored — drop it"
+        )
+    # Family pair under test: the scenario's graph (the expander by
+    # default) against the Section 5 chain of comparable size — both as
+    # specs, so every measurement is a pickled, cacheable Scenario.
+    customized = _graph_overridden(args, overrides)
     families = [
-        ("expander", random_regular(args.n, args.delta, rng=args.seed)),
-        ("chain", broadcast_chain(
-            args.s, max(2, args.n // (3 * args.s)), rng=args.seed).graph),
+        (base.graph.family if customized else "expander", base.graph),
+        ("chain", GraphSpec.make(
+            "chain", args.s, max(2, args.n // (3 * args.s)))),
     ]
     # Shared E15 row definition (repro.analysis.robustness): slowdowns are
     # against a classic-channel baseline, independent of --erasure-ps order.
     points = erasure_degradation(
-        families, args.erasure_ps, trials=args.trials, rng=args.seed,
-        executor=_executor(args))
+        families, args.erasure_ps, trials=base.trials,
+        seed=_master_seed(args, base, overrides),
+        max_rounds=base.max_rounds,
+        protocol=base.protocol, executor=_executor(args))
     print(render_table(
         ERASURE_HEADERS, [pt.row for pt in points],
         title="E15: broadcast degradation under erasure"))
@@ -312,15 +497,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis import render_table, run_sweep, summarize
-    from repro.runtime import ResultStore, plan_sweep
-    from repro.runtime.tasks import chain_broadcast_point
+    from repro.analysis import render_table, summarize
+    from repro.runtime import ResultStore
+    from repro.scenario import GraphSpec, Scenario, ScenarioSweep
 
     store = ResultStore(args.cache_dir)
-    space = {"s": args.s_values, "layers": args.layers}
-    static = {"trials": args.trials, "channel": _channel_spec(args)}
-    sweep_kw = dict(rng=args.seed, repetitions=args.reps, static_params=static)
-    manifest = plan_sweep(space, chain_broadcast_point, **sweep_kw, store=store)
+    default = Scenario(
+        graph=GraphSpec.make("chain", args.s_values[0], args.layers[0]),
+        channel=_channel_spec(args),
+        trials=args.trials,
+        seed=_seed(args),
+    )
+    base, overrides = _resolve_scenario(args, default)
+    if _graph_overridden(args, overrides):
+        grid: dict = {}
+    else:
+        grid = {
+            "graph": [
+                GraphSpec.make("chain", s, l)
+                for s in args.s_values
+                for l in args.layers
+            ]
+        }
+    sweep = ScenarioSweep(
+        base=base,
+        grid=grid,
+        repetitions=args.reps,
+        seed=_master_seed(args, base, overrides),
+    )
+    # Canonical spec dicts are the cache keys and the pickled scenarios the
+    # task payloads — any helper producing a spec-equal run hits the same
+    # entries.
+    manifest = sweep.manifest(store)
     if args.resume:
         done, total = manifest.progress(store)
         print(f"sweep {manifest.sweep_id}: resuming, "
@@ -330,22 +538,101 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         note = f" ({dropped} stale cache entries dropped)" if dropped else ""
         print(f"sweep {manifest.sweep_id}: fresh run, "
               f"{manifest.task_count} tasks{note}")
-    points = run_sweep(
-        space, chain_broadcast_point, **sweep_kw,
-        executor=_executor(args), cache=store)
+    points = sweep.run(executor=_executor(args), cache=store)
     rows = []
+    chain_mode = all("s" in p.result and "layers" in p.result for p in points)
     for first, rounds, completed in _rep_groups(points, args.reps):
         stats = summarize(rounds)
-        rows.append(
-            [first["s"], first["layers"], first["n"], first["diameter"],
-             round(stats.mean, 1), stats.min, stats.max,
-             round(sum(completed) / len(completed), 3)])
+        if chain_mode:
+            rows.append(
+                [first["s"], first["layers"], first["n"], first["diameter"],
+                 round(stats.mean, 1), stats.min, stats.max,
+                 round(sum(completed) / len(completed), 3)])
+        else:
+            rows.append(
+                [first["scenario"], first["n"], round(stats.mean, 1),
+                 stats.min, stats.max,
+                 round(sum(completed) / len(completed), 3)])
+    headers = (
+        ["s", "layers", "n", "D", "mean", "min", "max", "completion"]
+        if chain_mode
+        else ["scenario", "n", "mean", "min", "max", "completion"]
+    )
     print(render_table(
-        ["s", "layers", "n", "D", "mean", "min", "max", "completion"], rows,
-        title=f"runtime sweep: Decay rounds on chained cores "
-              f"[channel={args.channel}, jobs={args.jobs}]"))
+        headers, rows,
+        title=f"runtime sweep: {base.protocol.describe().capitalize()} rounds "
+              f"[channel={_channel_label(args, base, overrides)}, "
+              f"jobs={args.jobs}]"))
     print(f"cache: {store.hits} hits, {store.misses} misses over "
           f"{manifest.task_count} tasks (manifest {manifest.sweep_id})")
+    return 0
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.analysis import EXPERIMENTS
+    from repro.radio import CHANNELS
+    from repro.scenario import GRAPHS, PROTOCOLS, SCENARIOS
+
+    print("graph families (GraphSpec):")
+    for name, entry in GRAPHS.items():
+        tag = "  [seeded]" if entry.randomized else ""
+        print(f"  {name:16s} {entry.summary}{tag}")
+    print("\nprotocols (ProtocolSpec):")
+    for name, entry in PROTOCOLS.items():
+        alias = f" (alias: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {name:16s} {entry.summary}{alias}")
+    print("\nchannels (ChannelSpec):")
+    for name in sorted(CHANNELS):
+        print(f"  {name:16s} {CHANNELS[name]}")
+    print("\nnamed scenarios:")
+    for name in sorted(SCENARIOS):
+        scenario, summary = SCENARIOS[name]
+        print(f"  {name:16s} {scenario.describe()}")
+        if summary:
+            print(f"  {'':16s} {summary}")
+    bound = [e for e in EXPERIMENTS if e.scenario is not None]
+    if bound:
+        print("\nexperiment-bound scenarios (repro scenarios show E<k>):")
+        for exp in bound:
+            print(f"  {exp.id:16s} {exp.scenario.describe()}")
+    print("\nspec form: 'graph | protocol | channel | trials=T | seed=K'"
+          " — e.g. repro broadcast --scenario"
+          " 'chain(8, 4) | decay | erasure(0.1)' -S trials=64")
+    return 0
+
+
+def _cmd_scenarios_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import EXPERIMENTS
+    from repro.runtime import ResultStore
+    from repro.scenario import get_scenario
+
+    name = args.name.strip()
+    scenario = None
+    for exp in EXPERIMENTS:
+        if exp.id == name.upper() and exp.scenario is not None:
+            scenario = exp.scenario
+            break
+    if scenario is None:
+        try:
+            scenario = get_scenario(name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(f"spec:      {scenario.describe()}")
+    print(f"canonical: {json.dumps(scenario.to_dict(), sort_keys=True)}")
+    store = ResultStore(args.cache_dir)
+    print(f"cache key: {store.scenario_key(scenario)} (salt {store.salt})")
+    realized = scenario.build()
+    graph = realized.built.graph
+    print(f"graph:     n={graph.n}, source={realized.source}")
+    for key, value in sorted(realized.built.meta.items()):
+        print(f"  {key} = {value}")
+    protocol_seed, graph_seed = scenario.seeds
+    print(f"seeds:     protocol={protocol_seed}"
+          + (f", graph={graph_seed}" if graph_seed is not None else
+             " (deterministic graph)"))
     return 0
 
 
@@ -411,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="batched protocol trials per chain")
     _add_exec_flags(p)
     _add_channel_flags(p)
+    _add_scenario_flags(p)
     p.set_defaults(fn=_cmd_broadcast)
 
     p = sub.add_parser("hops", help="per-hop concentration study")
@@ -422,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="batched protocol trials per chain")
     _add_exec_flags(p)
     _add_channel_flags(p)
+    _add_scenario_flags(p)
     p.set_defaults(fn=_cmd_hops)
 
     p = sub.add_parser("channels",
@@ -433,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--erasure-ps", type=_float_list,
                    default=[0.0, 0.1, 0.2, 0.3])
     _add_exec_flags(p)
+    _add_scenario_flags(p)
     p.set_defaults(fn=_cmd_channels)
 
     p = sub.add_parser("schedule", help="synthesize + verify a static schedule")
@@ -477,7 +767,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "recomputing them")
     _add_exec_flags(p)
     _add_channel_flags(p)
+    _add_scenario_flags(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="declarative scenario registry: list specs or inspect one")
+    scen_sub = p.add_subparsers(dest="scenarios_command", required=True)
+    lp = scen_sub.add_parser(
+        "list", help="registered graph families, protocols, channels, and "
+                     "named scenarios")
+    lp.set_defaults(fn=_cmd_scenarios_list)
+    sp = scen_sub.add_parser(
+        "show", help="one scenario's spec string, canonical dict, cache "
+                     "key, and realized graph")
+    sp.add_argument("name",
+                    help="preset name, experiment id (E7), or spec string")
+    sp.add_argument("--cache-dir", default=None,
+                    help="result-store root used for the cache key")
+    sp.set_defaults(fn=_cmd_scenarios_show)
 
     p = sub.add_parser("cache", help="inspect or wipe the runtime result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -11,7 +11,7 @@ Two entry points share one engine:
 * :func:`run_broadcast` — the classic single-run API, now the ``T = 1``
   special case of the batch engine.
 
-Seeding contract: ``run_broadcast_batch(..., trials=T, rng=master)``
+Seeding contract: ``run_broadcast_batch(..., trials=T, seed=master)``
 derives per-trial seeds with :func:`repro._util.spawn_seeds` and is
 bit-for-bit identical to ``T`` standalone ``run_broadcast`` calls seeded
 with those children — the property the equivalence tests pin down.  The
@@ -28,7 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro._util import as_rng, spawn_seeds
+from repro._util import UNSET, as_rng, resolve_seed, spawn_seeds
 from repro.graphs.graph import Graph
 from repro.radio.channel import ChannelModel
 from repro.radio.network import RadioNetwork
@@ -152,9 +152,10 @@ def run_broadcast_batch(
     trials: int,
     source: int = 0,
     max_rounds: int | None = None,
-    rng=None,
+    seed=None,
     trial_rngs: Sequence | None = None,
     channel: ChannelModel | None = None,
+    rng=UNSET,
 ) -> BatchBroadcastResult:
     """Run ``trials`` independent broadcasts of ``protocol`` on ``graph``,
     advanced together round by round.
@@ -167,11 +168,12 @@ def run_broadcast_batch(
 
     Parameters
     ----------
-    rng:
+    seed:
         Master seed/generator; ``trials`` child seeds are derived from it
-        via :func:`repro._util.spawn_seeds`, one per trial.
+        via :func:`repro._util.spawn_seeds`, one per trial.  (The old
+        ``rng=`` spelling still works but emits a ``DeprecationWarning``.)
     trial_rngs:
-        Explicit per-trial seeds/generators (overrides ``rng``) — the hook
+        Explicit per-trial seeds/generators (overrides ``seed``) — the hook
         :func:`run_broadcast` uses to be the ``T = 1`` special case.
     channel:
         Reception model (:mod:`repro.radio.channel`); ``None`` means the
@@ -182,12 +184,13 @@ def run_broadcast_batch(
         against the channel's coverage targets (crashed processors are
         not waited for).
     """
+    seed = resolve_seed("run_broadcast_batch", seed, rng)
     if not 0 <= source < graph.n:
         raise ValueError(f"source {source} out of range")
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     if trial_rngs is None:
-        trial_rngs = [as_rng(s) for s in spawn_seeds(as_rng(rng), trials)]
+        trial_rngs = [as_rng(s) for s in spawn_seeds(as_rng(seed), trials)]
     else:
         if len(trial_rngs) != trials:
             raise ValueError(
@@ -293,8 +296,9 @@ def run_broadcast(
     protocol: BroadcastProtocol,
     source: int = 0,
     max_rounds: int | None = None,
-    rng=None,
+    seed=None,
     channel: ChannelModel | None = None,
+    rng=UNSET,
 ) -> BroadcastResult:
     """Run ``protocol`` on ``graph`` from ``source`` until full coverage or
     ``max_rounds`` (default ``50·n·log₂n``-ish safety cap).
@@ -302,16 +306,17 @@ def run_broadcast(
     The runner enforces the radio model: only informed processors may
     transmit, and reception follows the active ``channel`` (default: the
     classic exactly-one-transmitting-neighbour collision model).  This is
-    the ``T = 1`` special case of :func:`run_broadcast_batch`; the ``rng``
-    seeds the single trial directly.
+    the ``T = 1`` special case of :func:`run_broadcast_batch`; the ``seed``
+    seeds the single trial directly (``rng=`` is the deprecated spelling).
     """
+    seed = resolve_seed("run_broadcast", seed, rng)
     batch = run_broadcast_batch(
         graph,
         protocol,
         trials=1,
         source=source,
         max_rounds=max_rounds,
-        trial_rngs=[as_rng(rng)],
+        trial_rngs=[as_rng(seed)],
         channel=channel,
     )
     return batch.trial(0)

@@ -502,11 +502,100 @@ class ChannelSpec:
     dataclass can do both — calling it builds a fresh channel via
     :func:`make_channel`.  ``faults`` stays in its
     :func:`parse_fault_spec` string form for the same reason.
+
+    ``ChannelSpec`` speaks the declarative spec interface shared with
+    :class:`repro.scenario.GraphSpec` / :class:`repro.scenario.ProtocolSpec`:
+    a compact string form (:meth:`from_string` / :meth:`describe`) and a
+    lossless canonical-dict form (:meth:`to_dict` / :meth:`from_dict`) —
+    the dict is what scenario cache keys hash, so it carries only the
+    parameters the named channel actually consumes (``erasure_p`` on a
+    classic channel cannot perturb the key)::
+
+        ChannelSpec.from_string("erasure(0.05)")          # loss model
+        ChannelSpec.from_string('jamming("jam@0-9:0,1")')  # fault schedule
+        ChannelSpec.from_string("cd").describe()  # 'collision-detection'
     """
 
     name: str = "classic"
     erasure_p: float = 0.1
     faults: str | None = None
 
+    #: Spec-interface discriminator (mirrors GraphSpec/ProtocolSpec).
+    kind = "channel"
+
     def __call__(self) -> ChannelModel:
         return make_channel(self.name, erasure_p=self.erasure_p, faults=self.faults)
+
+    # Alias so all spec classes share one verb for "make the live object".
+    build = __call__
+
+    @staticmethod
+    def _canonical_name(name: str) -> str:
+        key = name.strip().lower()
+        if key == "cd":
+            key = "collision-detection"
+        if key not in CHANNELS:
+            raise ValueError(
+                f"unknown channel {name!r}; known channels: "
+                f"{', '.join(sorted(CHANNELS))} (cd = collision-detection)"
+            )
+        return key
+
+    @classmethod
+    def from_string(cls, text: str) -> "ChannelSpec":
+        """Parse the compact form: ``classic``, ``cd``, ``erasure(0.05)``,
+        ``jamming("jam@0-9:0,1;crash@5:7")``."""
+        from repro._util import parse_call
+
+        name, args, kwargs = parse_call(text)
+        name = cls._canonical_name(name)
+        if name == "erasure":
+            if len(args) > 1 or set(kwargs) - {"p"}:
+                raise ValueError(f"erasure takes one probability, got {text!r}")
+            p = args[0] if args else kwargs.get("p", 0.1)
+            return cls(name=name, erasure_p=float(p))
+        if name == "jamming":
+            if len(args) > 1 or set(kwargs) - {"faults"}:
+                raise ValueError(f"jamming takes one fault spec, got {text!r}")
+            faults = args[0] if args else kwargs.get("faults")
+            if faults is not None:
+                parse_fault_spec(faults)  # validate the grammar eagerly
+            return cls(name=name, faults=faults)
+        if args or kwargs:
+            raise ValueError(f"channel {name!r} takes no arguments, got {text!r}")
+        return cls(name=name)
+
+    def describe(self) -> str:
+        """The canonical string form (``from_string(describe())`` is the
+        identity on canonical specs)."""
+        from repro._util import format_call
+
+        name = self._canonical_name(self.name)
+        if name == "erasure":
+            return format_call(name, (self.erasure_p,))
+        if name == "jamming" and self.faults:
+            return format_call(name, (self.faults,))
+        return name
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form — only the parameters the named
+        channel consumes, so spec-equal channels always encode alike."""
+        name = self._canonical_name(self.name)
+        out: dict = {"name": name}
+        if name == "erasure":
+            out["erasure_p"] = float(self.erasure_p)
+        if name == "jamming" and self.faults:
+            out["faults"] = self.faults
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChannelSpec":
+        """Inverse of :meth:`to_dict`."""
+        extra = set(data) - {"name", "erasure_p", "faults"}
+        if extra:
+            raise ValueError(f"unknown channel-spec fields {sorted(extra)}")
+        return cls(
+            name=cls._canonical_name(data.get("name", "classic")),
+            erasure_p=float(data.get("erasure_p", 0.1)),
+            faults=data.get("faults"),
+        )

@@ -23,7 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import as_rng, spawn_seeds
+from repro._util import (
+    UNSET,
+    as_rng,
+    resolve_seed,
+    spawn_seeds,
+    warn_legacy_kwarg,
+)
 from repro.radio.lower_bound import measure_chain_broadcast_batch
 
 __all__ = ["HopTimeStudy", "hop_time_study"]
@@ -86,6 +92,7 @@ def _measure_chain(
     rng: int,
     chain_rng: int,
     channel_factory,
+    max_rounds: int | None = None,
 ):
     """One chain's batched measurement — module-level (and hence picklable)
     so the runtime executor can schedule chains across worker processes."""
@@ -94,34 +101,51 @@ def _measure_chain(
         num_layers,
         protocol_factory(),
         trials=trials,
-        rng=rng,
-        chain_rng=chain_rng,
+        seed=rng,
+        chain_seed=chain_rng,
         channel=channel_factory() if channel_factory is not None else None,
+        max_rounds=max_rounds,
     )
 
 
 def hop_time_study(
-    s: int,
-    num_layers: int,
-    protocol_factory,
+    s: int | None = None,
+    num_layers: int | None = None,
+    protocol_factory=None,
     repetitions: int = 10,
-    rng=None,
-    trials_per_chain: int = 1,
-    channel_factory=None,
+    seed=None,
+    trials_per_chain: int | None = None,
+    channel=None,
     executor=None,
+    scenario=None,
+    max_rounds: int | None = None,
+    rng=UNSET,
+    channel_factory=UNSET,
 ) -> HopTimeStudy:
     """Run ``repetitions`` chain broadcasts and collect hop times.
 
-    ``protocol_factory`` builds a fresh protocol per chain (protocols hold
-    per-run state).  Repetitions are grouped into
+    The spec-first form takes a ``scenario`` whose graph is the ``chain``
+    family — its ``s``/``layers`` arguments, protocol, channel, seed, and
+    ``max_rounds`` configure the study, and its ``trials`` field sets the
+    default ``trials_per_chain`` (a ``source`` field is rejected: the
+    study always broadcasts from the chain root)::
+
+        hop_time_study(
+            scenario=Scenario.from_string("chain(8, 6) | decay | erasure(0.1)"),
+            repetitions=40,
+        )
+
+    The positional form (``s``, ``num_layers``, ``protocol_factory`` — a
+    fresh-protocol callable, since protocols hold per-run state) remains
+    for direct engine users.  Repetitions are grouped into
     ``repetitions / trials_per_chain`` chains; each chain gets fresh portal
     choices and each of its trials an independent protocol stream, all
     advanced together by the batched engine.  The default
     ``trials_per_chain=1`` matches the proof's probability space exactly
-    (every repetition an independent chain).  ``channel_factory`` (if
-    given) builds a fresh :class:`~repro.radio.channel.ChannelModel` per
-    chain, so hop statistics can be collected under erasure/fault models
-    too; channels hold per-run state, hence the factory.
+    (every repetition an independent chain).  ``channel`` (a
+    :class:`~repro.radio.ChannelSpec` or other zero-argument factory)
+    selects the reception model per chain; the old ``channel_factory=``
+    and ``rng=`` spellings still work behind ``DeprecationWarning`` shims.
 
     ``executor`` (a :class:`repro.runtime.Executor` or int job count)
     schedules chains across worker processes; every chain owns derived
@@ -129,6 +153,54 @@ def hop_time_study(
     run.  Parallel execution needs picklable factories — a protocol class
     and e.g. :class:`repro.radio.ChannelSpec` rather than closures.
     """
+    seed = resolve_seed("hop_time_study", seed, rng)
+    if channel_factory is not UNSET:
+        warn_legacy_kwarg(
+            "hop_time_study",
+            "channel_factory",
+            "channel=ChannelSpec(...) or scenario=Scenario.from_string("
+            "'chain(8, 6) | decay | erasure(0.1)')",
+        )
+        if channel is not None:
+            raise TypeError(
+                "hop_time_study() got both channel= and the deprecated "
+                "channel_factory="
+            )
+        channel = channel_factory
+    if scenario is not None:
+        if s is not None or num_layers is not None or protocol_factory is not None:
+            raise TypeError(
+                "hop_time_study() takes either a scenario or the positional "
+                "(s, num_layers, protocol_factory) form, not both"
+            )
+        if scenario.graph.family != "chain" or len(scenario.graph.args) < 2:
+            raise ValueError(
+                "hop_time_study needs a chain-family scenario, e.g. "
+                "'chain(8, 6) | decay | classic'; got "
+                f"{scenario.graph.describe()!r}"
+            )
+        if scenario.source is not None:
+            raise ValueError(
+                "hop_time_study always broadcasts from the chain root; "
+                "drop the scenario's source= field"
+            )
+        s, num_layers = (int(a) for a in scenario.graph.args[:2])
+        protocol_factory = scenario.protocol.build
+        if channel is None:
+            channel = scenario.channel
+        if seed is None:
+            seed = scenario.seed
+        if trials_per_chain is None:
+            trials_per_chain = scenario.trials
+        if max_rounds is None:
+            max_rounds = scenario.max_rounds
+    if s is None or num_layers is None or protocol_factory is None:
+        raise TypeError(
+            "hop_time_study() needs s, num_layers, and protocol_factory "
+            "(or a chain-family scenario)"
+        )
+    if trials_per_chain is None:
+        trials_per_chain = 1
     if repetitions < 2:
         raise ValueError("need at least 2 repetitions for spread statistics")
     if trials_per_chain < 1:
@@ -139,7 +211,7 @@ def hop_time_study(
             f"trials_per_chain ({trials_per_chain})"
         )
     chains = repetitions // trials_per_chain
-    seeds = spawn_seeds(as_rng(rng), 2 * chains)
+    seeds = spawn_seeds(as_rng(seed), 2 * chains)
     calls = [
         dict(
             s=s,
@@ -148,7 +220,8 @@ def hop_time_study(
             trials=trials_per_chain,
             rng=seeds[2 * c],
             chain_rng=seeds[2 * c + 1],
-            channel_factory=channel_factory,
+            channel_factory=channel,
+            max_rounds=max_rounds,
         )
         for c in range(chains)
     ]

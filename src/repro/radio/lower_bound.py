@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import UNSET, resolve_seed, warn_legacy_kwarg
 from repro.graphs.broadcast_chain import BroadcastChain, broadcast_chain
 from repro.graphs.core_graph import core_graph, core_graph_layout
 from repro.graphs.graph import Graph
@@ -99,25 +100,45 @@ class ChainMeasurement:
         return np.diff(np.concatenate([[0], valid]))
 
 
+def _resolve_chain_seed(fn_name: str, chain_seed, chain_rng):
+    if chain_rng is UNSET:
+        return chain_seed
+    warn_legacy_kwarg(fn_name, "chain_rng", "chain_seed=<int>")
+    if chain_seed is not None:
+        raise TypeError(
+            f"{fn_name}() got both chain_seed= and the deprecated chain_rng="
+        )
+    return chain_rng
+
+
 def measure_chain_broadcast(
     s: int,
     num_layers: int,
     protocol: BroadcastProtocol,
-    rng=None,
-    chain_rng=None,
+    seed=None,
+    chain_seed=None,
     max_rounds: int | None = None,
     channel: ChannelModel | None = None,
+    rng=UNSET,
+    chain_rng=UNSET,
 ) -> ChainMeasurement:
     """Build a chain, broadcast over it, and package the measurement.
 
-    ``channel`` selects the reception model (default: classic collision).
+    ``seed`` drives the protocol, ``chain_seed`` the chain's portal
+    choices (the deprecated ``rng=`` / ``chain_rng=`` spellings still
+    work); ``channel`` selects the reception model (default: classic
+    collision).
     """
-    chain = broadcast_chain(s, num_layers, rng=chain_rng)
+    seed = resolve_seed("measure_chain_broadcast", seed, rng)
+    chain_seed = _resolve_chain_seed(
+        "measure_chain_broadcast", chain_seed, chain_rng
+    )
+    chain = broadcast_chain(s, num_layers, rng=chain_seed)
     result = run_broadcast(
         chain.graph,
         protocol,
         source=chain.root,
-        rng=rng,
+        seed=seed,
         max_rounds=max_rounds,
         channel=channel,
     )
@@ -182,24 +203,32 @@ def measure_chain_broadcast_batch(
     num_layers: int,
     protocol: BroadcastProtocol,
     trials: int,
-    rng=None,
-    chain_rng=None,
+    seed=None,
+    chain_seed=None,
     max_rounds: int | None = None,
     channel: ChannelModel | None = None,
+    rng=UNSET,
+    chain_rng=UNSET,
 ) -> BatchChainMeasurement:
     """Build one chain and broadcast ``trials`` independent protocol runs
     over it through the batched engine (one sparse product per round for
-    all trials).  ``rng`` is the master seed for the per-trial streams;
-    ``channel`` selects the reception model (default: classic collision).
+    all trials).  ``seed`` is the master seed for the per-trial streams
+    and ``chain_seed`` drives the portal choices (``rng=`` / ``chain_rng=``
+    are the deprecated spellings); ``channel`` selects the reception model
+    (default: classic collision).
     """
-    chain = broadcast_chain(s, num_layers, rng=chain_rng)
+    seed = resolve_seed("measure_chain_broadcast_batch", seed, rng)
+    chain_seed = _resolve_chain_seed(
+        "measure_chain_broadcast_batch", chain_seed, chain_rng
+    )
+    chain = broadcast_chain(s, num_layers, rng=chain_seed)
     result: BatchBroadcastResult = run_broadcast_batch(
         chain.graph,
         protocol,
         trials=trials,
         source=chain.root,
         max_rounds=max_rounds,
-        rng=rng,
+        seed=seed,
         channel=channel,
     )
     return BatchChainMeasurement(

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import as_rng
+from repro._util import UNSET, as_rng, resolve_seed
 from repro.graphs.graph import Graph
 from repro.radio.broadcast import _default_max_rounds
 from repro.radio.channel import ChannelModel, ClassicCollision
@@ -85,20 +85,23 @@ def run_broadcast_traced(
     protocol: BroadcastProtocol,
     source: int = 0,
     max_rounds: int | None = None,
-    rng=None,
+    seed=None,
     channel: ChannelModel | None = None,
+    rng=UNSET,
 ) -> DetailedTrace:
     """Like :func:`repro.radio.broadcast.run_broadcast` but with per-round
     collision accounting.
 
     ``channel`` selects the reception model; collision-victim counts are
     always computed against the *base* adjacency (the classic collision
-    picture), so lossy channels show as receptions < contacts.
+    picture), so lossy channels show as receptions < contacts.  (``rng=``
+    is the deprecated spelling of ``seed=``.)
     """
+    seed = resolve_seed("run_broadcast_traced", seed, rng)
     if not 0 <= source < graph.n:
         raise ValueError(f"source {source} out of range")
     network = RadioNetwork(graph, channel=channel)
-    gen = as_rng(rng)
+    gen = as_rng(seed)
     protocol.reset(network, source, gen)
     network.channel.reset(network, [gen])
     if max_rounds is None:

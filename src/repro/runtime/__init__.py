@@ -22,11 +22,20 @@ Quickstart::
     points = run_sweep(
         {"s": [4, 8], "layers": [2, 4]},
         chain_broadcast_point,
-        rng=0,
+        seed=0,
         repetitions=4,
         static_params={"trials": 16},
         executor=ParallelExecutor(4),      # farm grid points across cores
         cache=ResultStore("results/cache"),  # warm reruns replay instantly
+    )
+
+Scenario-first equivalent (the canonical task payload is the pickled
+spec itself)::
+
+    from repro.scenario import Scenario
+
+    Scenario.from_string("chain(8, 4) | decay | classic | trials=64").run(
+        executor=ParallelExecutor(4), cache=ResultStore("results/cache")
     )
 """
 
@@ -45,6 +54,7 @@ from repro.runtime.store import (
     ResultStore,
     canonical_dumps,
     code_salt,
+    scenario_key,
     task_key,
     write_json_payload,
 )
@@ -63,6 +73,7 @@ __all__ = [
     "code_salt",
     "default_jobs",
     "plan_sweep",
+    "scenario_key",
     "task_key",
     "write_json_payload",
 ]

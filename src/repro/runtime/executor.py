@@ -24,6 +24,8 @@ from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from repro._util.deprecation import UNSET as _UNSET
+
 __all__ = [
     "Executor",
     "ParallelExecutor",
@@ -142,41 +144,43 @@ def as_executor(executor: "Executor | int | None") -> Executor:
 def plan_sweep(
     space: Mapping[str, Sequence],
     fn: Callable | None = None,
-    rng=None,
+    seed=None,
     repetitions: int = 1,
     batch_fn: Callable | None = None,
     static_params: Mapping[str, Any] | None = None,
     store=None,
+    rng=_UNSET,
 ):
     """The :class:`~repro.runtime.manifest.SweepManifest` a ``run_sweep``
     call with these arguments would execute, without evaluating anything.
 
     Mirrors ``run_sweep``'s seed derivation exactly, so the planned task
     keys are the ones the run will hit — which is only possible from a
-    *reusable* ``rng`` (an int seed or ``None``); a stateful Generator
-    would be consumed by the plan and derive different seeds in the run,
-    so it is rejected.  ``store`` (a
-    :class:`~repro.runtime.store.ResultStore` or cache-root path) supplies
-    the key salt; ``None`` uses the default salt.
+    *reusable* ``seed`` (an int or ``None``); a stateful Generator would
+    be consumed by the plan and derive different seeds in the run, so it
+    is rejected.  (``rng=`` is the deprecated spelling of ``seed=``.)
+    ``store`` (a :class:`~repro.runtime.store.ResultStore` or cache-root
+    path) supplies the key salt; ``None`` uses the default salt.
     """
     import numpy as np
 
-    from repro._util import as_rng, spawn_seeds
+    from repro._util import as_rng, resolve_seed, spawn_seeds
     from repro.analysis.sweep import sweep_grid
     from repro.runtime.manifest import build_manifest
     from repro.runtime.store import code_salt
 
+    seed = resolve_seed("plan_sweep", seed, rng)
     if (fn is None) == (batch_fn is None):
         raise ValueError("provide exactly one of fn and batch_fn")
-    if isinstance(rng, np.random.Generator):
+    if isinstance(seed, np.random.Generator):
         raise TypeError(
-            "plan_sweep needs a reusable rng (an int seed or None): a "
+            "plan_sweep needs a reusable seed (an int or None): a "
             "Generator would be consumed by planning, so the subsequent "
             "run_sweep call could never match the planned task keys"
         )
     store = as_store(store) if store is not None else None
     grid = list(sweep_grid(space))
-    seeds = spawn_seeds(as_rng(rng), len(grid) * repetitions)
+    seeds = spawn_seeds(as_rng(seed), len(grid) * repetitions)
     return build_manifest(
         fn if fn is not None else batch_fn,
         space,

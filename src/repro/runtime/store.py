@@ -37,6 +37,7 @@ __all__ = [
     "ResultStore",
     "canonical_dumps",
     "code_salt",
+    "scenario_key",
     "task_key",
     "write_json_payload",
 ]
@@ -47,21 +48,27 @@ DEFAULT_CACHE_DIR = os.path.join("results", "cache")
 
 _KIND = "__kind__"
 
+#: Key-schema revision, mixed into the salt alongside the package version.
+#: Bumped whenever how keys are derived changes — ``k2``: scenario-canonical
+#: keys (spec-equal runs share an address regardless of producing helper).
+_KEY_SCHEMA = "k2"
+
 
 def code_salt() -> str:
     """The code-version salt mixed into every task key.
 
-    Bumping the package version (or setting ``REPRO_CACHE_SALT``) retires
-    every cached result at once — the blunt but safe answer to "did the
-    code that produced this payload change?".
+    Bumping the package version or the key-schema revision (or setting
+    ``REPRO_CACHE_SALT``) retires every cached result at once — the blunt
+    but safe answer to "did the code that produced this payload change?".
     """
     env = os.environ.get("REPRO_CACHE_SALT")
     if env:
         return env
     try:
-        return importlib.metadata.version("wireless-expanders-repro")
+        version = importlib.metadata.version("wireless-expanders-repro")
     except importlib.metadata.PackageNotFoundError:  # pragma: no cover
-        return "unversioned"
+        version = "unversioned"
+    return f"{version}+{_KEY_SCHEMA}"
 
 
 def _encode(obj: Any, arrays: list[np.ndarray] | None, inline: bool) -> Any:
@@ -202,6 +209,33 @@ def task_key(
     return hashlib.sha256(canonical_dumps(identity).encode()).hexdigest()
 
 
+def scenario_key(scenario, view: str = "result", salt: str | None = None) -> str:
+    """The content address of one scenario evaluation.
+
+    Unlike :func:`task_key`, the identity is the scenario's *canonical
+    dict* (its ``to_dict`` form, which already carries the seed) plus the
+    result ``view`` — no function qualname — so spec-equal runs hit the
+    same entry regardless of which helper produced them
+    (``Scenario.run``, ``ScenarioSweep``, the CLI, or a legacy shim).
+
+    ``view`` distinguishes payload shapes of the same spec: ``"result"``
+    (the full :class:`~repro.radio.broadcast.BatchBroadcastResult`) and
+    ``"summary"`` (the plain-dict table row).
+    """
+    canonical = scenario.to_dict() if hasattr(scenario, "to_dict") else scenario
+    if not isinstance(canonical, dict):
+        raise TypeError(
+            f"scenario_key needs a Scenario (or its canonical dict); "
+            f"got {type(scenario).__name__}"
+        )
+    identity = {
+        "scenario": canonical,
+        "view": str(view),
+        "salt": code_salt() if salt is None else str(salt),
+    }
+    return hashlib.sha256(canonical_dumps(identity).encode()).hexdigest()
+
+
 def _atomic_write_bytes(path: str, data: bytes) -> None:
     os.makedirs(os.path.dirname(path), exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
@@ -264,6 +298,10 @@ class ResultStore:
     def key(self, fn: Callable | str, params: Any, seed: int | Iterable[int]) -> str:
         """Task key under this store's salt."""
         return task_key(fn, params, seed, self.salt)
+
+    def scenario_key(self, scenario, view: str = "result") -> str:
+        """Scenario key under this store's salt (see :func:`scenario_key`)."""
+        return scenario_key(scenario, view, self.salt)
 
     def _paths(self, key: str) -> tuple[str, str]:
         shard = os.path.join(self.objects_dir, key[:2])

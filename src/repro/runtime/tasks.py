@@ -3,25 +3,37 @@
 ``ParallelExecutor`` pickles the task function and its kwargs into worker
 processes, and the result store content-addresses both — so sweep
 evaluators that want parallelism or caching must be module-level functions
-taking plain-data parameters and returning plain-data results.  This module
-collects the ones the CLI and benches schedule; library code with richer
-signatures (protocol factories, channel objects) stays where it is and is
-wrapped here.
+taking plain-data parameters and returning plain-data results.
 
-Channel selection travels as a :class:`repro.radio.ChannelSpec` — a frozen
-dataclass, hence both picklable and content-addressable — instead of a
-closure.
+Since the scenario API landed, the canonical payload is a pickled
+:class:`~repro.scenario.Scenario` and the canonical evaluators live in
+:mod:`repro.scenario.tasks`.  The two legacy task functions below are
+kept as thin compatibility wrappers over that machinery — same function
+names, same argument shapes, same result dicts (now produced by
+:func:`~repro.scenario.tasks.scenario_summary`, so spec-born and
+helper-born runs share one engine path).
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
-from repro._util import spawn_seeds
-
 __all__ = ["chain_broadcast_point", "broadcast_rounds_point"]
+
+
+def _channel_spec(channel) -> Any:
+    """Coerce a legacy channel factory argument to a ChannelSpec."""
+    from repro.radio import ChannelSpec
+
+    if channel is None:
+        return ChannelSpec()
+    if isinstance(channel, ChannelSpec):
+        return channel
+    raise TypeError(
+        "scenario-routed tasks need a repro.radio.ChannelSpec (or None), "
+        f"not {type(channel).__name__}; arbitrary factories cannot be "
+        "content-addressed"
+    )
 
 
 def chain_broadcast_point(
@@ -35,38 +47,24 @@ def chain_broadcast_point(
     """One (``s``, ``layers``) grid point: ``trials`` batched Decay
     broadcasts on a fresh Section 5 chain.
 
-    ``seed`` (the sweep-derived per-task seed) splits into the protocol
-    master seed and the chain-construction seed, so every task is a pure
-    function of its arguments.  ``channel`` is an optional zero-argument
-    channel factory, canonically a :class:`repro.radio.ChannelSpec`.
-    Returns a plain-JSON dict — executor-, cache-, and sidecar-friendly.
+    A thin wrapper over ``scenario_summary`` of the equivalent
+    ``chain(s, layers) | decay`` scenario — ``seed`` splits into the
+    protocol and chain-construction seeds exactly as before, so every
+    measured number is bit-for-bit the pre-scenario one (the dict gains
+    the ``scenario`` and ``completion_rate`` keys).  Returns a plain-JSON
+    dict — executor-, cache-, and sidecar-friendly.
     """
-    from repro.radio import DecayProtocol
-    from repro.radio.lower_bound import measure_chain_broadcast_batch
+    from repro.scenario import GraphSpec, Scenario, scenario_summary
 
-    proto_seed, chain_seed = spawn_seeds(seed, 2)
-    m = measure_chain_broadcast_batch(
-        s,
-        layers,
-        DecayProtocol(),
-        trials=trials,
-        rng=proto_seed,
-        chain_rng=chain_seed,
-        max_rounds=max_rounds,
-        channel=channel() if channel is not None else None,
+    return scenario_summary(
+        Scenario(
+            graph=GraphSpec.make("chain", int(s), int(layers)),
+            channel=_channel_spec(channel),
+            trials=trials,
+            seed=seed,
+            max_rounds=max_rounds,
+        )
     )
-    rounds = [int(r) for r in m.rounds]
-    return {
-        "s": s,
-        "layers": layers,
-        "n": m.n,
-        "diameter": m.diameter_claim,
-        "km_bound": float(m.km_bound),
-        "trials": trials,
-        "rounds": rounds,
-        "completed": [bool(c) for c in m.completed],
-        "mean_rounds": float(np.mean(rounds)),
-    }
 
 
 def broadcast_rounds_point(
@@ -79,10 +77,33 @@ def broadcast_rounds_point(
 ) -> dict[str, Any]:
     """Batched Decay broadcast rounds on an arbitrary ``graph``.
 
-    The graph rides along as a (picklable, digest-addressable) parameter;
-    used by ``repro schedule`` to average its randomized comparison over
-    executor-scheduled repetitions.
+    ``graph`` may be a :class:`~repro.scenario.GraphSpec` / spec string —
+    the scenario-routed form — or an already-built
+    :class:`~repro.graphs.graph.Graph`, which rides along as a (picklable,
+    digest-addressable) parameter; used by ``repro schedule`` to average
+    its randomized comparison over executor-scheduled repetitions.
     """
+    import numpy as np
+
+    from repro.graphs.graph import Graph
+    from repro.scenario import GraphSpec, Scenario, scenario_summary
+
+    if not isinstance(graph, Graph):
+        gspec = (
+            graph
+            if isinstance(graph, GraphSpec)
+            else GraphSpec.from_string(graph)
+        )
+        return scenario_summary(
+            Scenario(
+                graph=gspec,
+                channel=_channel_spec(channel),
+                trials=trials,
+                seed=seed,
+                source=source,
+                max_rounds=max_rounds,
+            )
+        )
     from repro.radio import DecayProtocol, run_broadcast_batch
 
     batch = run_broadcast_batch(
@@ -90,7 +111,7 @@ def broadcast_rounds_point(
         DecayProtocol(),
         trials=trials,
         source=source,
-        rng=seed,
+        seed=seed,
         max_rounds=max_rounds,
         channel=channel() if channel is not None else None,
     )

@@ -1,0 +1,76 @@
+"""Named scenario presets — the discoverable workload catalogue.
+
+``repro scenarios list`` prints this registry next to the component
+registries, and ``repro scenarios show <name>`` (or any ``--scenario``
+flag) resolves names through :func:`get_scenario` before falling back to
+the spec-string parser.  The experiment registry
+(:mod:`repro.analysis.experiments`) binds its simulation rows to the same
+objects, so "what configuration does E15 actually run?" has one answer.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import Scenario
+
+__all__ = ["SCENARIOS", "get_scenario", "register_scenario"]
+
+#: Name → (scenario, one-line description).
+SCENARIOS: dict[str, tuple[Scenario, str]] = {}
+
+
+def register_scenario(name: str, scenario: Scenario | str, summary: str = "") -> Scenario:
+    """Register a named scenario (spec strings are parsed); returns it."""
+    if isinstance(scenario, str):
+        scenario = Scenario.from_string(scenario)
+    SCENARIOS[name] = (scenario, summary)
+    return scenario
+
+
+def get_scenario(name_or_spec: str) -> Scenario:
+    """Resolve a preset name, falling back to the spec-string parser."""
+    hit = SCENARIOS.get(name_or_spec.strip())
+    if hit is not None:
+        return hit[0]
+    return Scenario.from_string(name_or_spec)
+
+
+register_scenario(
+    "chain-decay",
+    "chain(8, 4) | decay | classic | trials=16",
+    "Section 5 lower-bound chain under Decay (the E7 workhorse)",
+)
+register_scenario(
+    "chain-aloha",
+    "chain(8, 4) | aloha(0.5) | classic | trials=16",
+    "single-scale ALOHA on the chain (the E12 ablation baseline)",
+)
+register_scenario(
+    "hypercube-decay",
+    "hypercube(10) | decay | classic | trials=256",
+    "bounded-degree expander broadcast at batch scale (E14's instance)",
+)
+register_scenario(
+    "schedule-baseline",
+    "hypercube(6) | decay | classic | trials=8",
+    "the randomized comparison behind static-schedule synthesis (E13)",
+)
+register_scenario(
+    "expander-erasure",
+    "random_regular(256, 8) | decay | erasure(0.1) | trials=32",
+    "expander broadcast under 10% link loss (E15's headline point)",
+)
+register_scenario(
+    "cd-backoff",
+    "hypercube(8) | collision-backoff | collision-detection | trials=32",
+    "feedback-exploiting backoff under collision detection",
+)
+register_scenario(
+    "cplus-flooding",
+    "cplus(12) | flooding | classic | max_rounds=200",
+    "the paper's opening deadlock: flooding stalls on C+ after one round",
+)
+register_scenario(
+    "sweep-smoke",
+    "chain(4, 2) | decay | classic | trials=4",
+    "tiny cached-sweep instance (CI smoke and E16)",
+)

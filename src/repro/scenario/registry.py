@@ -1,0 +1,245 @@
+"""Extensible registries behind the declarative scenario specs.
+
+A spec string like ``"hypercube(10)"`` or ``"decay"`` resolves against a
+:class:`SpecRegistry`: one for graph families (:data:`GRAPHS`), one for
+protocols (:data:`PROTOCOLS`).  Channels reuse the radio layer's own
+registry (:data:`repro.radio.CHANNELS` via
+:class:`~repro.radio.channel.ChannelSpec`), promoted to the same spec
+interface — so all three layers are discoverable through ``repro
+scenarios list`` and third-party code can register new entries without
+touching this module::
+
+    from repro.scenario import GRAPHS
+    GRAPHS.register("petersen", my_builder, summary="the Petersen graph")
+    Scenario.from_string("petersen | decay | classic").run()
+
+Graph builders may return a plain :class:`~repro.graphs.graph.Graph` or a
+:class:`BuiltGraph` carrying a non-zero default broadcast source and a
+``meta`` dict of instance facts (the chain family reports ``diameter`` and
+the ``D·log₂(n/D)`` yardstick, which the CLI tables surface).  Randomized
+families take an ``rng`` keyword; the scenario layer feeds it the derived
+graph seed so a spec plus a seed is always one reproducible instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["BuiltGraph", "GRAPHS", "PROTOCOLS", "SpecEntry", "SpecRegistry"]
+
+
+@dataclass(frozen=True)
+class BuiltGraph:
+    """A realized graph instance plus its scenario-facing defaults.
+
+    ``source`` is the family's natural broadcast source (the chain's root);
+    ``meta`` holds plain-data instance facts for experiment tables.
+    """
+
+    graph: Graph
+    source: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One registry row: a named, documented builder."""
+
+    name: str
+    builder: Callable[..., Any]
+    summary: str = ""
+    randomized: bool = False
+    aliases: tuple[str, ...] = ()
+
+
+class SpecRegistry:
+    """Name → :class:`SpecEntry` mapping with aliases and helpful errors."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, SpecEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        builder: Callable[..., Any],
+        summary: str = "",
+        randomized: bool = False,
+        aliases: tuple[str, ...] = (),
+    ) -> SpecEntry:
+        """Add (or replace) an entry; returns it for chaining."""
+        entry = SpecEntry(
+            name=name,
+            builder=builder,
+            summary=summary,
+            randomized=randomized,
+            aliases=tuple(aliases),
+        )
+        self._entries[name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = name
+        return entry
+
+    def canonical(self, name: str) -> str:
+        """Resolve aliases to the canonical registry name."""
+        key = name.strip().lower()
+        return self._aliases.get(key, key)
+
+    def get(self, name: str) -> SpecEntry:
+        key = self.canonical(name)
+        entry = self._entries.get(key)
+        if entry is None:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; registered {self.kind}s: "
+                f"{', '.join(self.names())}"
+            )
+        return entry
+
+    def __contains__(self, name: str) -> bool:
+        return self.canonical(name) in self._entries
+
+    def names(self) -> list[str]:
+        """Canonical names, sorted."""
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, SpecEntry]]:
+        return sorted(self._entries.items())
+
+
+# ----------------------------------------------------------------------
+# Graph families
+# ----------------------------------------------------------------------
+
+GRAPHS = SpecRegistry("graph family")
+
+
+def _build_chain(s: int, layers: int, rng=None) -> BuiltGraph:
+    from repro.graphs.broadcast_chain import broadcast_chain
+
+    chain = broadcast_chain(s, layers, rng=rng)
+    d = chain.diameter_claim
+    return BuiltGraph(
+        graph=chain.graph,
+        source=chain.root,
+        meta={
+            "s": s,
+            "layers": layers,
+            "diameter": d,
+            "km_bound": float(d * np.log2(chain.graph.n / d)),
+        },
+    )
+
+
+def _build_grid(rows: int, cols: int | None = None) -> Graph:
+    from repro.graphs.planar import grid_2d
+
+    return grid_2d(rows, cols if cols is not None else rows)
+
+
+def _register_graphs() -> None:
+    from repro.graphs import cplus, families, planar
+
+    GRAPHS.register(
+        "chain", _build_chain, randomized=True,
+        summary="Section 5 chained-core lower-bound network: chain(s, layers)",
+    )
+    GRAPHS.register(
+        "hypercube", families.hypercube,
+        summary="d-dimensional hypercube Q_d: hypercube(d)",
+    )
+    GRAPHS.register(
+        "random_regular", families.random_regular, randomized=True,
+        summary="uniform random simple d-regular graph: random_regular(n, d)",
+    )
+    GRAPHS.register(
+        "erdos_renyi", families.erdos_renyi, randomized=True,
+        summary="G(n, p) random graph: erdos_renyi(n, p)",
+    )
+    GRAPHS.register(
+        "grid", _build_grid,
+        summary="2-D grid: grid(rows, cols) (cols defaults to rows)",
+    )
+    GRAPHS.register(
+        "cycle", families.cycle_graph, summary="cycle C_n: cycle(n)",
+    )
+    GRAPHS.register(
+        "path", families.path_graph, summary="path P_n: path(n)",
+    )
+    GRAPHS.register(
+        "complete", families.complete_graph,
+        summary="complete graph K_n: complete(n)",
+    )
+    GRAPHS.register(
+        "star", families.star_graph,
+        summary="star K_{1,n-1} centred on vertex 0: star(n)",
+    )
+    GRAPHS.register(
+        "margulis", families.margulis_expander,
+        summary="Margulis-Gabber-Galil expander on Z_m x Z_m: margulis(m)",
+    )
+    GRAPHS.register(
+        "chordal_cycle", families.chordal_cycle_graph,
+        summary="Lubotzky chordal cycle on Z_p (p prime): chordal_cycle(p)",
+    )
+    GRAPHS.register(
+        "cplus", cplus.cplus_graph,
+        summary="the paper's C+ opener (clique + weak source): cplus(clique)",
+    )
+    GRAPHS.register(
+        "tree", planar.complete_binary_tree,
+        summary="complete binary tree of a given height: tree(height)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocols
+# ----------------------------------------------------------------------
+
+PROTOCOLS = SpecRegistry("protocol")
+
+
+def _register_protocols() -> None:
+    from repro.radio.aloha import AlohaProtocol
+    from repro.radio.protocols import (
+        CollisionBackoffProtocol,
+        DecayProtocol,
+        FloodingProtocol,
+        RoundRobinProtocol,
+    )
+    from repro.radio.spokesman_broadcast import SpokesmanBroadcastProtocol
+
+    PROTOCOLS.register(
+        "decay", DecayProtocol,
+        summary="Bar-Yehuda-Goldreich-Itai Decay: decay(phase_length=...)",
+    )
+    PROTOCOLS.register(
+        "flooding", FloodingProtocol,
+        summary="every informed processor shouts every round",
+    )
+    PROTOCOLS.register(
+        "round-robin", RoundRobinProtocol,
+        summary="v transmits iff v = round mod n (slow but collision-free)",
+    )
+    PROTOCOLS.register(
+        "aloha", AlohaProtocol,
+        summary="fixed-probability slotted ALOHA: aloha(p)",
+    )
+    PROTOCOLS.register(
+        "collision-backoff", CollisionBackoffProtocol,
+        summary="AIMD backoff exploiting collision-detection feedback",
+        aliases=("backoff",),
+    )
+    PROTOCOLS.register(
+        "spokesman", SpokesmanBroadcastProtocol,
+        summary="centralized spokesman-election genie scheduler",
+    )
+
+
+_register_graphs()
+_register_protocols()

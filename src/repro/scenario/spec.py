@@ -1,0 +1,484 @@
+"""Frozen, picklable scenario specs — the repo's declarative front door.
+
+Every claim in the paper is a statement about a *configuration*: a graph
+family, a broadcast protocol, a channel model, a trial count, a seed.
+This module makes that configuration a first-class object:
+
+* :class:`GraphSpec` / :class:`ProtocolSpec` — frozen component specs
+  resolved against the :mod:`repro.scenario.registry` registries (the
+  channel side is :class:`repro.radio.channel.ChannelSpec`, promoted to
+  the same interface);
+* :class:`Scenario` — the top-level spec tying the components to
+  ``trials`` / ``seed`` / ``source`` / ``max_rounds``, with one entry
+  point, :meth:`Scenario.run`, replacing direct engine plumbing.
+
+Every spec supports four lossless views: the compact string form
+(:meth:`from_string` / :meth:`describe`), the canonical plain-data form
+(:meth:`to_dict` / :meth:`from_dict` — what cache keys hash), pickling
+(frozen dataclasses, so specs ride into
+:class:`~repro.runtime.executor.ParallelExecutor` workers as-is), and the
+live objects (:meth:`build`)::
+
+    sc = Scenario.from_string("hypercube(10) | decay | erasure(0.05) | trials=64")
+    batch = sc.run()                      # BatchBroadcastResult
+    sc.run(executor=4, cache="results/cache")   # parallel + content-addressed
+
+Seeding contract
+----------------
+For a deterministic graph family, ``Scenario(graph=g, seed=s).run()`` is
+bit-for-bit identical to ``run_broadcast_batch(graph, protocol,
+trials=..., seed=s)`` on the same graph.  For a randomized family the
+seed splits ``(protocol_seed, graph_seed) = spawn_seeds(seed, 2)`` — the
+exact discipline the legacy ``chain_broadcast_point`` task used, so
+spec-born and helper-born runs of the same configuration agree bit for
+bit (and therefore share cache entries).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro._util import format_call, parse_call, parse_value, spawn_seeds
+from repro.radio.channel import ChannelSpec
+from repro.scenario.registry import GRAPHS, PROTOCOLS, BuiltGraph, SpecRegistry
+
+__all__ = ["GraphSpec", "ProtocolSpec", "RealizedScenario", "Scenario"]
+
+
+def _freeze_kwargs(kwargs) -> tuple[tuple[str, Any], ...]:
+    """Keyword arguments as a sorted, hashable tuple of pairs."""
+    if isinstance(kwargs, Mapping):
+        items = kwargs.items()
+    else:
+        items = [(str(k), v) for k, v in kwargs]
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+class _CallSpec:
+    """Shared machinery of the two registry-backed component specs."""
+
+    #: Overridden by subclasses with their registry and discriminator.
+    _registry: SpecRegistry
+    kind: str
+
+    # Subclasses are dataclasses with fields (name-ish, args, kwargs); the
+    # first field's name differs ("family" vs "name"), hence the property.
+    @property
+    def _call_name(self) -> str:
+        raise NotImplementedError
+
+    def __post_init__(self):
+        object.__setattr__(self, "args", tuple(getattr(self, "args")))
+        object.__setattr__(
+            self, "kwargs", _freeze_kwargs(getattr(self, "kwargs"))
+        )
+
+    @classmethod
+    def make(cls, name: str, *args, **kwargs):
+        """Convenience constructor: ``GraphSpec.make("chain", 8, 4)``."""
+        return cls(cls._registry.canonical(name), tuple(args), kwargs)
+
+    @classmethod
+    def from_string(cls, text: str):
+        """Parse the compact call form against the registry."""
+        name, args, kwargs = parse_call(text)
+        name = cls._registry.canonical(name)
+        cls._registry.get(name)  # fail fast on unknown names
+        return cls(name, args, kwargs)
+
+    def describe(self) -> str:
+        """Canonical string form; ``from_string(describe())`` round-trips."""
+        return format_call(self._call_name, self.args, dict(self.kwargs))
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form (the cache-key view)."""
+        out: dict[str, Any] = {self._name_field: self._call_name}
+        if self.args:
+            out["args"] = list(self.args)
+        if self.kwargs:
+            out["kwargs"] = dict(self.kwargs)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping):
+        """Inverse of :meth:`to_dict`."""
+        extra = set(data) - {cls._name_field, "args", "kwargs"}
+        if extra:
+            raise ValueError(
+                f"unknown {cls.kind}-spec fields {sorted(extra)}"
+            )
+        return cls(
+            data[cls._name_field],
+            tuple(data.get("args", ())),
+            data.get("kwargs", {}),
+        )
+
+    @property
+    def entry(self):
+        """The resolved registry entry."""
+        return self._registry.get(self._call_name)
+
+    @property
+    def randomized(self) -> bool:
+        """Whether building this spec consumes a seed."""
+        return self.entry.randomized
+
+
+@dataclass(frozen=True)
+class GraphSpec(_CallSpec):
+    """A graph-family spec, e.g. ``hypercube(10)`` or ``chain(8, 4)``."""
+
+    family: str
+    args: tuple = ()
+    kwargs: tuple = ()
+
+    kind = "graph"
+    _registry = GRAPHS
+    _name_field = "family"
+
+    @property
+    def _call_name(self) -> str:
+        return self.family
+
+    def build(self, seed=None) -> BuiltGraph:
+        """Realize the graph (randomized families consume ``seed``)."""
+        entry = self.entry
+        kwargs = dict(self.kwargs)
+        if entry.randomized:
+            kwargs["rng"] = seed
+        built = entry.builder(*self.args, **kwargs)
+        if isinstance(built, BuiltGraph):
+            return built
+        return BuiltGraph(graph=built)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec(_CallSpec):
+    """A protocol spec, e.g. ``decay`` or ``aloha(0.25)``."""
+
+    name: str
+    args: tuple = ()
+    kwargs: tuple = ()
+
+    kind = "protocol"
+    _registry = PROTOCOLS
+    _name_field = "name"
+
+    @property
+    def _call_name(self) -> str:
+        return self.name
+
+    def build(self):
+        """A fresh protocol instance (protocols hold per-run state)."""
+        return self.entry.builder(*self.args, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class RealizedScenario:
+    """The live objects one :class:`Scenario` resolves to.
+
+    ``channel`` is ``None`` for the classic model — exactly the value the
+    legacy ``run_broadcast_batch(channel=...)`` call would receive, which
+    keeps ``Scenario.run`` bit-for-bit equal to the call it replaces.
+    """
+
+    built: BuiltGraph
+    protocol: Any
+    channel: Any
+    source: int
+    protocol_seed: Any
+
+
+_SCALAR_FIELDS = ("trials", "seed", "source", "max_rounds")
+_COMPONENT_FIELDS = ("graph", "protocol", "channel")
+_COMPONENT_TYPES = {
+    "graph": GraphSpec,
+    "protocol": ProtocolSpec,
+    "channel": ChannelSpec,
+}
+_ASSIGN_RE = re.compile(r"^([a-z_]+)\s*=\s*(.+)$", re.DOTALL)
+
+
+def _coerce_component(key: str, value):
+    cls = _COMPONENT_TYPES[key]
+    if isinstance(value, cls):
+        return value
+    if isinstance(value, str):
+        return cls.from_string(value)
+    if isinstance(value, Mapping):
+        return cls.from_dict(value)
+    raise TypeError(
+        f"scenario {key} must be a {cls.__name__}, spec string, or dict; "
+        f"got {type(value).__name__}"
+    )
+
+
+def _coerce_scalar(key: str, value):
+    if isinstance(value, str):
+        value = parse_value(value)
+    if key in ("source", "max_rounds") and value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"scenario {key} must be an integer, got {value!r}")
+    return int(value)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified experiment configuration.
+
+    Attributes
+    ----------
+    graph, protocol, channel:
+        The component specs.
+    trials:
+        Independent protocol trials, advanced together by the batched
+        engine.
+    seed:
+        Master seed; see the module docstring for the split discipline.
+    source:
+        Broadcast source vertex; ``None`` uses the graph family's default
+        (vertex 0 everywhere except the chain, whose root is the source).
+    max_rounds:
+        Round cap; ``None`` is the engine's ``50·n·log₂n``-ish default.
+    """
+
+    graph: GraphSpec
+    protocol: ProtocolSpec = ProtocolSpec("decay")
+    channel: ChannelSpec = ChannelSpec()
+    trials: int = 1
+    seed: int = 0
+    source: int | None = None
+    max_rounds: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "graph", _coerce_component("graph", self.graph)
+        )
+        object.__setattr__(
+            self, "protocol", _coerce_component("protocol", self.protocol)
+        )
+        object.__setattr__(
+            self, "channel", _coerce_component("channel", self.channel)
+        )
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+
+    # ------------------------------------------------------------------
+    # The four views
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "Scenario":
+        """Parse the compact scenario form.
+
+        ``|``-separated segments: the first three may be bare component
+        specs in graph → protocol → channel order, any segment may be a
+        ``key=value`` assignment (``graph=``, ``protocol=``, ``channel=``,
+        ``trials=``, ``seed=``, ``source=``, ``max_rounds=``)::
+
+            "hypercube(10) | decay | erasure(0.05) | trials=64 | seed=3"
+            "chain(8, 4) | trials=16"
+            "graph=cplus(12) | protocol=flooding"
+        """
+        segments = [seg.strip() for seg in text.split("|")]
+        segments = [seg for seg in segments if seg]
+        if not segments:
+            raise ValueError("empty scenario string")
+        values: dict[str, Any] = {}
+        positional = list(_COMPONENT_FIELDS)
+        for seg in segments:
+            match = _ASSIGN_RE.match(seg)
+            key = match.group(1) if match else None
+            if key in _SCALAR_FIELDS or key in _COMPONENT_FIELDS:
+                if key in values:
+                    raise ValueError(
+                        f"duplicate {key!r} in scenario string {text!r}"
+                    )
+                values[key] = match.group(2).strip()
+                if key in positional:
+                    positional.remove(key)
+            else:
+                # A bare component spec (note: "erasure(p=0.1)" has an "="
+                # but not at segment top level, so it lands here).
+                while positional and positional[0] in values:
+                    positional.pop(0)
+                if not positional:
+                    raise ValueError(
+                        f"too many component segments in scenario {text!r}"
+                    )
+                values[positional.pop(0)] = seg
+        if "graph" not in values:
+            raise ValueError(
+                f"scenario {text!r} names no graph (the first segment, "
+                "e.g. 'hypercube(10) | decay | classic')"
+            )
+        kwargs: dict[str, Any] = {}
+        for key, raw in values.items():
+            if key in _COMPONENT_FIELDS:
+                kwargs[key] = _coerce_component(key, raw)
+            else:
+                kwargs[key] = _coerce_scalar(key, raw)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """Canonical string form: the three component specs, then any
+        non-default scalar as ``key=value``.  ``from_string(describe())``
+        reconstructs an equal scenario."""
+        parts = [
+            self.graph.describe(),
+            self.protocol.describe(),
+            self.channel.describe(),
+        ]
+        if self.trials != 1:
+            parts.append(f"trials={self.trials}")
+        if self.seed != 0:
+            parts.append(f"seed={self.seed}")
+        if self.source is not None:
+            parts.append(f"source={self.source}")
+        if self.max_rounds is not None:
+            parts.append(f"max_rounds={self.max_rounds}")
+        return " | ".join(parts)
+
+    def to_dict(self) -> dict:
+        """Canonical nested plain-data form — the content-address view
+        (:meth:`repro.runtime.ResultStore.scenario_key` hashes this)."""
+        out: dict[str, Any] = {
+            "graph": self.graph.to_dict(),
+            "protocol": self.protocol.to_dict(),
+            "channel": self.channel.to_dict(),
+            "trials": int(self.trials),
+            "seed": int(self.seed),
+        }
+        if self.source is not None:
+            out["source"] = int(self.source)
+        if self.max_rounds is not None:
+            out["max_rounds"] = int(self.max_rounds)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Scenario":
+        """Inverse of :meth:`to_dict`."""
+        extra = set(data) - set(_COMPONENT_FIELDS) - set(_SCALAR_FIELDS)
+        if extra:
+            raise ValueError(f"unknown scenario fields {sorted(extra)}")
+        kwargs: dict[str, Any] = {
+            "graph": GraphSpec.from_dict(data["graph"]),
+        }
+        if "protocol" in data:
+            kwargs["protocol"] = ProtocolSpec.from_dict(data["protocol"])
+        if "channel" in data:
+            kwargs["channel"] = ChannelSpec.from_dict(data["channel"])
+        for key in _SCALAR_FIELDS:
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Overrides (the CLI's -S key=value hook and ScenarioSweep's grid)
+    # ------------------------------------------------------------------
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "Scenario":
+        """A copy with the given field overrides applied.
+
+        Keys are scenario fields (``graph``, ``protocol``, ``channel``,
+        ``trials``, ``seed``, ``source``, ``max_rounds``) or dotted paths
+        one level into a component spec (``channel.erasure_p``,
+        ``protocol.name``, ``graph.family``).  Component values may be
+        spec objects, spec strings, or canonical dicts; scalar values may
+        be ints or their string forms — exactly what ``-S key=value``
+        hands over.
+        """
+        out = self
+        for key, value in overrides.items():
+            head, dot, attr = key.partition(".")
+            if dot:
+                if head not in _COMPONENT_FIELDS:
+                    raise KeyError(
+                        f"unknown scenario override {key!r} (dotted paths "
+                        f"start with one of {', '.join(_COMPONENT_FIELDS)})"
+                    )
+                component = getattr(out, head)
+                if attr not in {f.name for f in fields(component)}:
+                    raise KeyError(
+                        f"{type(component).__name__} has no field {attr!r}"
+                    )
+                if isinstance(value, str) and attr not in (
+                    "name", "family", "faults"
+                ):
+                    value = parse_value(value)
+                component = replace(component, **{attr: value})
+                out = replace(out, **{head: component})
+            elif head in _COMPONENT_FIELDS:
+                out = replace(out, **{head: _coerce_component(head, value)})
+            elif head in _SCALAR_FIELDS:
+                out = replace(out, **{head: _coerce_scalar(head, value)})
+            else:
+                known = ", ".join(_COMPONENT_FIELDS + _SCALAR_FIELDS)
+                raise KeyError(
+                    f"unknown scenario override {key!r} (known fields: {known})"
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def seeds(self) -> tuple[Any, Any]:
+        """``(protocol_seed, graph_seed)`` under the split discipline."""
+        if self.graph.randomized:
+            protocol_seed, graph_seed = spawn_seeds(self.seed, 2)
+            return protocol_seed, graph_seed
+        return self.seed, None
+
+    def build(self) -> RealizedScenario:
+        """Resolve every spec to its live object."""
+        protocol_seed, graph_seed = self.seeds
+        built = self.graph.build(seed=graph_seed)
+        source = self.source if self.source is not None else built.source
+        channel_spec = self.channel
+        channel = (
+            None
+            if channel_spec.to_dict() == {"name": "classic"}
+            else channel_spec.build()
+        )
+        return RealizedScenario(
+            built=built,
+            protocol=self.protocol.build(),
+            channel=channel,
+            source=source,
+            protocol_seed=protocol_seed,
+        )
+
+    def run(self, executor=None, cache=None):
+        """Run the scenario through the batched engine.
+
+        Returns the :class:`~repro.radio.broadcast.BatchBroadcastResult`.
+
+        ``executor`` (an :class:`~repro.runtime.Executor` or int job
+        count) shards the trials across worker processes — bit-for-bit
+        identical to the serial run, because per-trial streams are derived
+        seeds either way.  ``cache`` (a
+        :class:`~repro.runtime.ResultStore` or cache-root path) replays a
+        spec-equal previous run and persists new ones under the
+        scenario's canonical-dict key, regardless of which helper
+        produced the entry.
+        """
+        from repro.runtime.executor import as_executor, as_store
+        from repro.scenario.tasks import run_scenario, run_scenario_sharded
+
+        store = as_store(cache) if cache is not None else None
+        if store is not None:
+            key = store.scenario_key(self)
+            try:
+                return store.get(key)
+            except KeyError:
+                pass
+        exec_ = as_executor(executor)
+        if exec_.jobs > 1 and self.trials > 1:
+            result = run_scenario_sharded(self, exec_)
+        else:
+            result = run_scenario(self)
+        if store is not None:
+            store.put(key, result, meta={"scenario": self.describe()})
+        return result

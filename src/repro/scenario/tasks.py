@@ -1,0 +1,181 @@
+"""Module-level scenario task functions — the runtime's unit of work.
+
+``ParallelExecutor`` pickles a task function plus kwargs into worker
+processes and the result store content-addresses what it computes.  With
+the scenario API both reduce to *one* canonical payload: the pickled
+:class:`~repro.scenario.spec.Scenario` itself.  No more bespoke task
+function per study — everything that runs a simulation schedules one of:
+
+* :func:`run_scenario` — the full :class:`~repro.radio.broadcast.BatchBroadcastResult`;
+* :func:`scenario_summary` — a plain-JSON dict (rounds, completion, the
+  graph family's ``meta`` facts) for tables and sidecars;
+* :func:`run_scenario_shard` — a contiguous slice of a scenario's trials
+  (the building block of :func:`run_scenario_sharded`, which splits one
+  big batch across worker processes and merges the shards back into the
+  bit-for-bit serial result).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import as_rng, spawn_seeds
+from repro.radio.broadcast import BatchBroadcastResult, run_broadcast_batch
+
+__all__ = [
+    "merge_batches",
+    "run_scenario",
+    "run_scenario_shard",
+    "run_scenario_sharded",
+    "scenario_summary",
+]
+
+
+def _as_scenario(scenario):
+    """Accept a :class:`Scenario`, spec string, or canonical dict."""
+    from repro.scenario.spec import Scenario
+
+    if isinstance(scenario, Scenario):
+        return scenario
+    if isinstance(scenario, str):
+        return Scenario.from_string(scenario)
+    if isinstance(scenario, dict):
+        return Scenario.from_dict(scenario)
+    raise TypeError(
+        f"expected a Scenario, spec string, or canonical dict; "
+        f"got {type(scenario).__name__}"
+    )
+
+
+def _run_realized(realized, scenario) -> BatchBroadcastResult:
+    """The one engine invocation every scenario view shares — so the
+    cached ``summary`` and ``result`` views of a spec can never disagree
+    about how it was run."""
+    return run_broadcast_batch(
+        realized.built.graph,
+        realized.protocol,
+        trials=scenario.trials,
+        source=realized.source,
+        max_rounds=scenario.max_rounds,
+        seed=realized.protocol_seed,
+        channel=realized.channel,
+    )
+
+
+def run_scenario(scenario) -> BatchBroadcastResult:
+    """Run one scenario inline and return the full batch result.
+
+    This is the reference evaluation: ``Scenario.run`` with any executor
+    or cache must reproduce its output bit for bit.
+    """
+    scenario = _as_scenario(scenario)
+    return _run_realized(scenario.build(), scenario)
+
+
+def run_scenario_shard(scenario, trial_seeds: Sequence[int]) -> BatchBroadcastResult:
+    """Run a contiguous slice of a scenario's trials.
+
+    ``trial_seeds`` are the per-trial children the full batch would derive
+    (``spawn_seeds(protocol_seed, trials)``); handing the engine the exact
+    children keeps every shard bit-for-bit aligned with the serial batch.
+    """
+    scenario = _as_scenario(scenario)
+    realized = scenario.build()
+    return run_broadcast_batch(
+        realized.built.graph,
+        realized.protocol,
+        trials=len(trial_seeds),
+        source=realized.source,
+        max_rounds=scenario.max_rounds,
+        trial_rngs=list(trial_seeds),
+        channel=realized.channel,
+    )
+
+
+def merge_batches(parts: Sequence[BatchBroadcastResult]) -> BatchBroadcastResult:
+    """Concatenate per-shard batch results back into one batch.
+
+    Shards may have run different numbers of rounds; shorter
+    ``informed_per_round`` matrices are padded by repeating their final
+    row, matching the engine's own semantics (rows past a trial's
+    completion hold its final informed count).
+    """
+    if not parts:
+        raise ValueError("merge_batches needs at least one shard")
+    if len(parts) == 1:
+        return parts[0]
+    rounds_cap = max(p.informed_per_round.shape[0] for p in parts)
+    padded = []
+    for p in parts:
+        have = p.informed_per_round.shape[0]
+        if have == rounds_cap:
+            padded.append(p.informed_per_round)
+        else:
+            padded.append(
+                np.pad(
+                    p.informed_per_round,
+                    ((0, rounds_cap - have), (0, 0)),
+                    mode="edge",
+                )
+            )
+    return BatchBroadcastResult(
+        trials=sum(p.trials for p in parts),
+        rounds=np.concatenate([p.rounds for p in parts]),
+        completed=np.concatenate([p.completed for p in parts]),
+        informed_per_round=np.concatenate(padded, axis=1),
+        first_informed_round=np.concatenate(
+            [p.first_informed_round for p in parts], axis=1
+        ),
+        transmissions=np.concatenate([p.transmissions for p in parts]),
+    )
+
+
+def run_scenario_sharded(scenario, executor) -> BatchBroadcastResult:
+    """Split one scenario's trials across an executor's workers.
+
+    Derives the same per-trial seed children the serial engine would,
+    chunks them contiguously (one shard per worker), and merges the shard
+    results — bit-for-bit equal to :func:`run_scenario`.
+    """
+    from repro.runtime.executor import as_executor
+
+    scenario = _as_scenario(scenario)
+    exec_ = as_executor(executor)
+    protocol_seed, _ = scenario.seeds
+    trial_seeds = spawn_seeds(as_rng(protocol_seed), scenario.trials)
+    shards = min(exec_.jobs, scenario.trials)
+    chunks = [c.tolist() for c in np.array_split(trial_seeds, shards)]
+    calls = [
+        {"scenario": scenario, "trial_seeds": chunk}
+        for chunk in chunks
+        if chunk
+    ]
+    parts = exec_.map(run_scenario_shard, calls)
+    return merge_batches(parts)
+
+
+def scenario_summary(scenario) -> dict:
+    """One scenario as a plain-JSON measurement dict.
+
+    Merges the graph family's ``meta`` facts (the chain family reports
+    ``s``, ``layers``, ``diameter``, ``km_bound``) with the batch
+    outcome — the row format the CLI tables and result sidecars consume,
+    and a drop-in superset of the legacy ``chain_broadcast_point`` dict.
+    """
+    scenario = _as_scenario(scenario)
+    realized = scenario.build()
+    batch = _run_realized(realized, scenario)
+    rounds = [int(r) for r in batch.rounds]
+    out: dict = dict(realized.built.meta)
+    out.update(
+        scenario=scenario.describe(),
+        n=realized.built.graph.n,
+        trials=scenario.trials,
+        rounds=rounds,
+        completed=[bool(c) for c in batch.completed],
+        mean_rounds=float(np.mean(rounds)),
+        completion_rate=float(batch.completion_rate),
+    )
+    return out

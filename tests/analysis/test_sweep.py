@@ -38,7 +38,7 @@ class TestSweepGrid:
 
     def test_run_sweep_validates_space_too(self):
         with pytest.raises(ValueError, match="'a' is empty"):
-            run_sweep({"a": []}, lambda a, seed: a, rng=0)
+            run_sweep({"a": []}, lambda a, seed: a, seed=0)
 
 
 class TestRunSweep:
@@ -49,7 +49,7 @@ class TestRunSweep:
             seen.append((a, seed))
             return a * 10
 
-        points = run_sweep({"a": [1, 2]}, fn, rng=0)
+        points = run_sweep({"a": [1, 2]}, fn, seed=0)
         assert [p.result for p in points] == [10, 20]
         assert all(isinstance(s, int) for _, s in seen)
 
@@ -57,15 +57,15 @@ class TestRunSweep:
         def fn(a, seed):
             return seed
 
-        p1 = run_sweep({"a": [1, 2, 3]}, fn, rng=7)
-        p2 = run_sweep({"a": [1, 2, 3]}, fn, rng=7)
+        p1 = run_sweep({"a": [1, 2, 3]}, fn, seed=7)
+        p2 = run_sweep({"a": [1, 2, 3]}, fn, seed=7)
         assert [p.result for p in p1] == [p.result for p in p2]
 
     def test_repetitions(self):
         def fn(a, seed):
             return seed
 
-        points = run_sweep({"a": [1]}, fn, rng=1, repetitions=5)
+        points = run_sweep({"a": [1]}, fn, seed=1, repetitions=5)
         assert len(points) == 5
         assert len({p.seed for p in points}) == 5
 
@@ -82,8 +82,8 @@ class TestBatchedSweep:
         def batch_fn(a, seeds):
             return [(a, s) for s in seeds]
 
-        looped = run_sweep({"a": [1, 2]}, fn, rng=5, repetitions=3)
-        batched = run_sweep({"a": [1, 2]}, rng=5, repetitions=3,
+        looped = run_sweep({"a": [1, 2]}, fn, seed=5, repetitions=3)
+        batched = run_sweep({"a": [1, 2]}, seed=5, repetitions=3,
                             batch_fn=batch_fn)
         assert [(p.params, p.seed, p.result) for p in looped] == [
             (p.params, p.seed, p.result) for p in batched
@@ -96,20 +96,20 @@ class TestBatchedSweep:
             calls.append((a, tuple(seeds)))
             return [0] * len(seeds)
 
-        run_sweep({"a": [1, 2, 3]}, rng=0, repetitions=4, batch_fn=batch_fn)
+        run_sweep({"a": [1, 2, 3]}, seed=0, repetitions=4, batch_fn=batch_fn)
         assert len(calls) == 3
         assert all(len(seeds) == 4 for _, seeds in calls)
 
     def test_wrong_result_count_rejected(self):
         with pytest.raises(ValueError):
-            run_sweep({"a": [1]}, rng=0, repetitions=2,
+            run_sweep({"a": [1]}, seed=0, repetitions=2,
                       batch_fn=lambda a, seeds: [0])
 
     def test_exactly_one_evaluator(self):
         with pytest.raises(ValueError):
-            run_sweep({"a": [1]}, rng=0)
+            run_sweep({"a": [1]}, seed=0)
         with pytest.raises(ValueError):
-            run_sweep({"a": [1]}, lambda a, seed: 0, rng=0,
+            run_sweep({"a": [1]}, lambda a, seed: 0, seed=0,
                       batch_fn=lambda a, seeds: [0])
 
 
@@ -122,7 +122,7 @@ class TestStaticParams:
             return a
 
         points = run_sweep(
-            {"a": [1, 2]}, fn, rng=0, static_params={"graph": "G"})
+            {"a": [1, 2]}, fn, seed=0, static_params={"graph": "G"})
         assert seen == ["G", "G"]
         assert all(p.params == {"a": p.result} for p in points)
 
@@ -131,7 +131,7 @@ class TestStaticParams:
             return [channel_factory() for _ in seeds]
 
         points = run_sweep(
-            {"a": [1]}, rng=0, repetitions=3, batch_fn=batch_fn,
+            {"a": [1]}, seed=0, repetitions=3, batch_fn=batch_fn,
             static_params={"channel_factory": lambda: "fresh"})
         assert [p.result for p in points] == ["fresh"] * 3
 
@@ -139,21 +139,21 @@ class TestStaticParams:
         def fn(a, seed, extra=None):
             return seed
 
-        plain = run_sweep({"a": [1, 2]}, fn, rng=9, repetitions=2)
-        static = run_sweep({"a": [1, 2]}, fn, rng=9, repetitions=2,
+        plain = run_sweep({"a": [1, 2]}, fn, seed=9, repetitions=2)
+        static = run_sweep({"a": [1, 2]}, fn, seed=9, repetitions=2,
                            static_params={"extra": "x"})
         assert [p.seed for p in plain] == [p.seed for p in static]
 
     def test_static_params_shadowing_grid_rejected(self):
         with pytest.raises(ValueError, match="shadow"):
-            run_sweep({"a": [1]}, lambda a, seed: 0, rng=0,
+            run_sweep({"a": [1]}, lambda a, seed: 0, seed=0,
                       static_params={"a": 2})
 
     def test_static_params_reserved_names_rejected(self):
         with pytest.raises(ValueError, match="reserved"):
-            run_sweep({"a": [1]}, lambda a, seed: 0, rng=0,
+            run_sweep({"a": [1]}, lambda a, seed: 0, seed=0,
                       static_params={"seed": 5})
         with pytest.raises(ValueError, match="reserved"):
-            run_sweep({"a": [1]}, rng=0,
+            run_sweep({"a": [1]}, seed=0,
                       batch_fn=lambda a, seeds: [0],
                       static_params={"seeds": [1]})

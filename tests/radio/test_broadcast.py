@@ -20,33 +20,33 @@ from repro.radio import (
 class TestRunner:
     def test_path_flooding(self):
         # On a path, flooding works: one frontier vertex per side.
-        res = run_broadcast(path_graph(6), FloodingProtocol(), source=0, rng=0)
+        res = run_broadcast(path_graph(6), FloodingProtocol(), source=0, seed=0)
         assert res.completed
         assert res.rounds == 5
         assert res.first_informed_round.tolist() == [0, 1, 2, 3, 4, 5]
 
     def test_informed_counts_monotone(self):
-        res = run_broadcast(hypercube(4), DecayProtocol(), source=0, rng=1)
+        res = run_broadcast(hypercube(4), DecayProtocol(), source=0, seed=1)
         assert (np.diff(res.informed_per_round) >= 0).all()
         assert res.completed
 
     def test_source_validation(self):
         with pytest.raises(ValueError):
-            run_broadcast(path_graph(3), FloodingProtocol(), source=5, rng=0)
+            run_broadcast(path_graph(3), FloodingProtocol(), source=5, seed=0)
 
     def test_max_rounds_cap(self):
         g = cplus_graph(5)
-        res = run_broadcast(g, FloodingProtocol(), source=0, max_rounds=10, rng=0)
+        res = run_broadcast(g, FloodingProtocol(), source=0, max_rounds=10, seed=0)
         assert not res.completed
         assert res.rounds == 10
 
     def test_transmissions_counted(self):
-        res = run_broadcast(path_graph(3), FloodingProtocol(), source=0, rng=0)
+        res = run_broadcast(path_graph(3), FloodingProtocol(), source=0, seed=0)
         # Round 1: {0} transmits; round 2: {0,1}.
         assert res.transmissions == 3
 
     def test_rounds_to_fraction(self):
-        res = run_broadcast(path_graph(8), FloodingProtocol(), source=0, rng=0)
+        res = run_broadcast(path_graph(8), FloodingProtocol(), source=0, seed=0)
         assert res.rounds_to_fraction(0.5) <= res.rounds_to_fraction(1.0)
         assert res.rounds_to_fraction(1.0) == res.rounds
 
@@ -55,7 +55,7 @@ class TestFloodingDeadlock:
     def test_cplus_stalls_at_three(self):
         # The paper's opening example: flooding C+ dies after round one.
         g = cplus_graph(10)
-        res = run_broadcast(g, FloodingProtocol(), source=0, max_rounds=60, rng=0)
+        res = run_broadcast(g, FloodingProtocol(), source=0, max_rounds=60, seed=0)
         assert not res.completed
         assert res.informed_per_round[-1] == 3
         informed = set(np.flatnonzero(res.first_informed_round >= 0))
@@ -65,21 +65,21 @@ class TestFloodingDeadlock:
 class TestDecay:
     def test_completes_on_cplus(self):
         g = cplus_graph(10)
-        res = run_broadcast(g, DecayProtocol(), source=0, rng=3)
+        res = run_broadcast(g, DecayProtocol(), source=0, seed=3)
         assert res.completed
 
     def test_completes_on_clique(self):
-        res = run_broadcast(complete_graph(16), DecayProtocol(), source=0, rng=4)
+        res = run_broadcast(complete_graph(16), DecayProtocol(), source=0, seed=4)
         assert res.completed
 
     def test_custom_phase_length(self):
         proto = DecayProtocol(phase_length=3)
-        res = run_broadcast(hypercube(3), proto, source=0, rng=5)
+        res = run_broadcast(hypercube(3), proto, source=0, seed=5)
         assert res.completed
 
     def test_seed_reproducibility(self):
-        a = run_broadcast(hypercube(4), DecayProtocol(), source=0, rng=9)
-        b = run_broadcast(hypercube(4), DecayProtocol(), source=0, rng=9)
+        a = run_broadcast(hypercube(4), DecayProtocol(), source=0, seed=9)
+        b = run_broadcast(hypercube(4), DecayProtocol(), source=0, seed=9)
         assert a.rounds == b.rounds
         assert (a.first_informed_round == b.first_informed_round).all()
 
@@ -87,13 +87,13 @@ class TestDecay:
 class TestRoundRobin:
     def test_always_completes(self):
         for g in (cplus_graph(6), hypercube(3), complete_graph(7)):
-            res = run_broadcast(g, RoundRobinProtocol(), source=0, rng=0)
+            res = run_broadcast(g, RoundRobinProtocol(), source=0, seed=0)
             assert res.completed
 
     def test_collision_free(self):
         # At most one transmitter per round -> every round with a frontier
         # transmitter informs all its uninformed neighbours.
         g = complete_graph(6)
-        res = run_broadcast(g, RoundRobinProtocol(), source=0, rng=0)
+        res = run_broadcast(g, RoundRobinProtocol(), source=0, seed=0)
         assert res.completed
         assert res.rounds <= 6  # vertex 0 transmits in round 1... n

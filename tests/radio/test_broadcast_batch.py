@@ -1,6 +1,6 @@
 """Batched engine: seeded batch/loop equivalence and result invariants.
 
-The contract under test: ``run_broadcast_batch(..., trials=T, rng=master)``
+The contract under test: ``run_broadcast_batch(..., trials=T, seed=master)``
 must be bit-for-bit identical to ``T`` standalone ``run_broadcast`` calls
 seeded with ``spawn_seeds(master, T)`` — for natively vectorized protocols
 and for legacy protocols riding the clone adapter alike.
@@ -70,36 +70,36 @@ class TestBatchLoopEquivalence:
     )
     def test_seeded_batch_matches_seeded_loop(self, factory):
         g = hypercube(5)
-        batch = run_broadcast_batch(g, factory(), trials=TRIALS, rng=MASTER)
+        batch = run_broadcast_batch(g, factory(), trials=TRIALS, seed=MASTER)
         seeds = spawn_seeds(as_rng(MASTER), TRIALS)
         for t, seed in enumerate(seeds):
-            single = run_broadcast(g, factory(), rng=seed)
+            single = run_broadcast(g, factory(), seed=seed)
             _assert_trial_equal(batch, t, single)
 
     def test_equivalence_with_incomplete_trials(self):
         # Flooding deadlocks on C+; capped runs must agree too.
         g = cplus_graph(8)
         batch = run_broadcast_batch(
-            g, FloodingProtocol(), trials=4, rng=MASTER, max_rounds=20
+            g, FloodingProtocol(), trials=4, seed=MASTER, max_rounds=20
         )
         assert not batch.completed.any()
         seeds = spawn_seeds(as_rng(MASTER), 4)
         for t, seed in enumerate(seeds):
             single = run_broadcast(
-                g, FloodingProtocol(), rng=seed, max_rounds=20
+                g, FloodingProtocol(), seed=seed, max_rounds=20
             )
             _assert_trial_equal(batch, t, single)
 
     def test_batch_reproducible(self):
         g = hypercube(4)
-        a = run_broadcast_batch(g, DecayProtocol(), trials=5, rng=7)
-        b = run_broadcast_batch(g, DecayProtocol(), trials=5, rng=7)
+        a = run_broadcast_batch(g, DecayProtocol(), trials=5, seed=7)
+        b = run_broadcast_batch(g, DecayProtocol(), trials=5, seed=7)
         assert (a.rounds == b.rounds).all()
         assert (a.first_informed_round == b.first_informed_round).all()
 
     def test_trials_are_independent(self):
         batch = run_broadcast_batch(
-            hypercube(5), DecayProtocol(), trials=16, rng=0
+            hypercube(5), DecayProtocol(), trials=16, seed=0
         )
         # Different streams -> not all trials take identical time.
         assert len(set(batch.rounds.tolist())) > 1
@@ -108,7 +108,7 @@ class TestBatchLoopEquivalence:
         # The classic contract: a T=1 run leaves its state on the protocol
         # object itself (no clone), so callers can introspect afterwards.
         proto = LegacyRandomProtocol()
-        res = run_broadcast(hypercube(4), proto, rng=0)
+        res = run_broadcast(hypercube(4), proto, seed=0)
         assert proto.calls == res.rounds
 
     def test_legacy_override_of_vectorized_builtin_is_honored(self):
@@ -123,11 +123,11 @@ class TestBatchLoopEquivalence:
 
         g = hypercube(5)
         batch = run_broadcast_batch(
-            g, EveryOtherRoundDecay(), trials=4, rng=MASTER
+            g, EveryOtherRoundDecay(), trials=4, seed=MASTER
         )
         seeds = spawn_seeds(as_rng(MASTER), 4)
         for t, seed in enumerate(seeds):
-            single = run_broadcast(g, EveryOtherRoundDecay(), rng=seed)
+            single = run_broadcast(g, EveryOtherRoundDecay(), seed=seed)
             _assert_trial_equal(batch, t, single)
         # Odd round indices are silent; transmissions in even round index
         # r land as first-informed round r + 1, so every non-source
@@ -150,7 +150,7 @@ class TestBatchLoopEquivalence:
             def transmitters_batch(self, round_index, informed, network):
                 return informed.copy()
 
-        batch = run_broadcast_batch(path_graph(5), VectorFlood(), trials=3, rng=0)
+        batch = run_broadcast_batch(path_graph(5), VectorFlood(), trials=3, seed=0)
         assert batch.completed.all()
         assert (batch.rounds == 4).all()
 
@@ -159,7 +159,7 @@ class TestBatchResultShapes:
     @pytest.fixture(scope="class")
     def batch(self):
         return run_broadcast_batch(
-            hypercube(4), DecayProtocol(), trials=TRIALS, rng=3
+            hypercube(4), DecayProtocol(), trials=TRIALS, seed=3
         )
 
     def test_shapes(self, batch):

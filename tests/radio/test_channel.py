@@ -65,9 +65,9 @@ class TestClassicEquivalence:
 
     def test_seeded_run_matches_default_channel(self):
         g = hypercube(5)
-        base = run_broadcast_batch(g, DecayProtocol(), trials=8, rng=MASTER)
+        base = run_broadcast_batch(g, DecayProtocol(), trials=8, seed=MASTER)
         classic = run_broadcast_batch(
-            g, DecayProtocol(), trials=8, rng=MASTER, channel=ClassicCollision()
+            g, DecayProtocol(), trials=8, seed=MASTER, channel=ClassicCollision()
         )
         assert (base.rounds == classic.rounds).all()
         assert (base.transmissions == classic.transmissions).all()
@@ -78,9 +78,9 @@ class TestClassicEquivalence:
 class TestErasureChannel:
     def test_p_zero_is_classic_bit_for_bit(self):
         g = hypercube(5)
-        base = run_broadcast_batch(g, DecayProtocol(), trials=8, rng=MASTER)
+        base = run_broadcast_batch(g, DecayProtocol(), trials=8, seed=MASTER)
         erased = run_broadcast_batch(
-            g, DecayProtocol(), trials=8, rng=MASTER, channel=ErasureChannel(0.0)
+            g, DecayProtocol(), trials=8, seed=MASTER, channel=ErasureChannel(0.0)
         )
         assert (base.rounds == erased.rounds).all()
         assert (base.transmissions == erased.transmissions).all()
@@ -88,7 +88,7 @@ class TestErasureChannel:
         single = run_broadcast(
             g,
             DecayProtocol(),
-            rng=spawn_seeds(as_rng(MASTER), 8)[0],
+            seed=spawn_seeds(as_rng(MASTER), 8)[0],
             channel=ErasureChannel(0.0),
         )
         assert single.rounds == int(base.rounds[0])
@@ -96,11 +96,11 @@ class TestErasureChannel:
     def test_batch_matches_seeded_loop(self):
         g = hypercube(5)
         batch = run_broadcast_batch(
-            g, DecayProtocol(), trials=6, rng=MASTER, channel=ErasureChannel(0.25)
+            g, DecayProtocol(), trials=6, seed=MASTER, channel=ErasureChannel(0.25)
         )
         for t, seed in enumerate(spawn_seeds(as_rng(MASTER), 6)):
             single = run_broadcast(
-                g, DecayProtocol(), rng=seed, channel=ErasureChannel(0.25)
+                g, DecayProtocol(), seed=seed, channel=ErasureChannel(0.25)
             )
             assert single.rounds == int(batch.rounds[t])
             assert single.transmissions == int(batch.transmissions[t])
@@ -110,9 +110,9 @@ class TestErasureChannel:
 
     def test_erasure_slows_broadcast(self):
         g = random_regular(128, 8, rng=0)
-        clean = run_broadcast_batch(g, DecayProtocol(), trials=16, rng=1)
+        clean = run_broadcast_batch(g, DecayProtocol(), trials=16, seed=1)
         lossy = run_broadcast_batch(
-            g, DecayProtocol(), trials=16, rng=1, channel=ErasureChannel(0.4)
+            g, DecayProtocol(), trials=16, seed=1, channel=ErasureChannel(0.4)
         )
         assert lossy.mean_rounds > clean.mean_rounds
 
@@ -122,7 +122,7 @@ class TestErasureChannel:
             g,
             FloodingProtocol(),
             trials=2,
-            rng=0,
+            seed=0,
             max_rounds=30,
             channel=ErasureChannel(1.0),
         )
@@ -144,9 +144,9 @@ class TestErasureChannel:
 class TestCollisionDetection:
     def test_reception_identical_for_blind_protocols(self):
         g = hypercube(5)
-        base = run_broadcast_batch(g, DecayProtocol(), trials=8, rng=MASTER)
+        base = run_broadcast_batch(g, DecayProtocol(), trials=8, seed=MASTER)
         cd = run_broadcast_batch(
-            g, DecayProtocol(), trials=8, rng=MASTER, channel=CollisionDetection()
+            g, DecayProtocol(), trials=8, seed=MASTER, channel=CollisionDetection()
         )
         assert (base.rounds == cd.rounds).all()
         assert (base.first_informed_round == cd.first_informed_round).all()
@@ -166,7 +166,7 @@ class TestCollisionDetection:
             g,
             CollisionBackoffProtocol(),
             trials=6,
-            rng=MASTER,
+            seed=MASTER,
             channel=CollisionDetection(),
             max_rounds=5000,
         )
@@ -175,7 +175,7 @@ class TestCollisionDetection:
             single = run_broadcast(
                 g,
                 CollisionBackoffProtocol(),
-                rng=seed,
+                seed=seed,
                 channel=CollisionDetection(),
                 max_rounds=5000,
             )
@@ -225,7 +225,7 @@ class TestAdversarialJamming:
             FaultSchedule(jam_windows=((0, 5, tuple(neighbours)),))
         )
         res = run_broadcast_batch(
-            g, DecayProtocol(), trials=4, rng=0, channel=channel, max_rounds=4000
+            g, DecayProtocol(), trials=4, seed=0, channel=channel, max_rounds=4000
         )
         assert res.completed.all()
         arrivals = res.first_informed_round[neighbours, :]
@@ -235,14 +235,14 @@ class TestAdversarialJamming:
         g = hypercube(5)
         channel = AdversarialJamming(FaultSchedule(crashes=((0, (31,)),)))
         res = run_broadcast_batch(
-            g, DecayProtocol(), trials=4, rng=0, channel=channel, max_rounds=4000
+            g, DecayProtocol(), trials=4, seed=0, channel=channel, max_rounds=4000
         )
         assert res.completed.all()
         assert (res.first_informed_round[31, :] == -1).all()
         # Crash the source itself in a flooding run: zero energy is spent.
         ch2 = AdversarialJamming(FaultSchedule(crashes=((0, (0,)),)))
         stuck = run_broadcast_batch(
-            g, FloodingProtocol(), trials=2, rng=0, channel=ch2, max_rounds=20
+            g, FloodingProtocol(), trials=2, seed=0, channel=ch2, max_rounds=20
         )
         assert (stuck.transmissions == 0).all()
         assert not stuck.completed.any()
@@ -253,7 +253,7 @@ class TestAdversarialJamming:
             g,
             FloodingProtocol(),
             trials=2,
-            rng=0,
+            seed=0,
             channel=AdversarialJamming("down@0:2-3"),
             max_rounds=40,
         )
@@ -262,7 +262,7 @@ class TestAdversarialJamming:
             g,
             FloodingProtocol(),
             trials=2,
-            rng=0,
+            seed=0,
             channel=AdversarialJamming("down@0:2-3;up@10:2-3"),
             max_rounds=40,
         )
@@ -271,12 +271,12 @@ class TestAdversarialJamming:
 
     def test_empty_schedule_is_classic(self):
         g = hypercube(4)
-        base = run_broadcast_batch(g, DecayProtocol(), trials=4, rng=MASTER)
+        base = run_broadcast_batch(g, DecayProtocol(), trials=4, seed=MASTER)
         faulty = run_broadcast_batch(
             g,
             DecayProtocol(),
             trials=4,
-            rng=MASTER,
+            seed=MASTER,
             channel=AdversarialJamming(FaultSchedule()),
         )
         assert (base.rounds == faulty.rounds).all()
@@ -308,7 +308,7 @@ class TestFaultValidation:
                     g,
                     FloodingProtocol(),
                     trials=2,
-                    rng=0,
+                    seed=0,
                     channel=AdversarialJamming(spec),
                     max_rounds=5,
                 )

@@ -8,7 +8,7 @@ from repro.radio import DecayProtocol, hop_time_study
 class TestHopTimeStudy:
     @pytest.fixture(scope="class")
     def study(self):
-        return hop_time_study(8, 4, DecayProtocol, repetitions=6, rng=1)
+        return hop_time_study(8, 4, DecayProtocol, repetitions=6, seed=1)
 
     def test_shapes(self, study):
         assert study.hop_times.shape == (6, 4)
@@ -26,43 +26,43 @@ class TestHopTimeStudy:
         assert 2.0 <= study.hop_mean <= 40.0
 
     def test_reproducible(self):
-        a = hop_time_study(8, 3, DecayProtocol, repetitions=4, rng=9)
-        b = hop_time_study(8, 3, DecayProtocol, repetitions=4, rng=9)
+        a = hop_time_study(8, 3, DecayProtocol, repetitions=4, seed=9)
+        b = hop_time_study(8, 3, DecayProtocol, repetitions=4, seed=9)
         assert (a.hop_times == b.hop_times).all()
 
     def test_autocorrelation_small(self):
-        study = hop_time_study(8, 6, DecayProtocol, repetitions=8, rng=2)
+        study = hop_time_study(8, 6, DecayProtocol, repetitions=8, seed=2)
         # Independent hops -> autocorrelation near 0 (generous tolerance
         # for an 8x5 sample).
         assert abs(study.hop_autocorrelation()) < 0.6
 
     def test_concentration_improves_with_layers(self):
-        short = hop_time_study(8, 2, DecayProtocol, repetitions=8, rng=3)
-        long = hop_time_study(8, 8, DecayProtocol, repetitions=8, rng=3)
+        short = hop_time_study(8, 2, DecayProtocol, repetitions=8, seed=3)
+        long = hop_time_study(8, 8, DecayProtocol, repetitions=8, seed=3)
         # Sums of more independent hops concentrate (Chernoff direction);
         # allow slack for the small sample.
         assert long.total_relative_spread <= short.total_relative_spread + 0.15
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            hop_time_study(8, 2, DecayProtocol, repetitions=1, rng=0)
+            hop_time_study(8, 2, DecayProtocol, repetitions=1, seed=0)
         with pytest.raises(ValueError):
-            hop_time_study(8, 2, DecayProtocol, repetitions=6, rng=0,
+            hop_time_study(8, 2, DecayProtocol, repetitions=6, seed=0,
                            trials_per_chain=0)
         with pytest.raises(ValueError):
-            hop_time_study(8, 2, DecayProtocol, repetitions=5, rng=0,
+            hop_time_study(8, 2, DecayProtocol, repetitions=5, seed=0,
                            trials_per_chain=2)
 
     def test_batched_chains(self):
-        study = hop_time_study(8, 3, DecayProtocol, repetitions=8, rng=4,
+        study = hop_time_study(8, 3, DecayProtocol, repetitions=8, seed=4,
                                trials_per_chain=4)
         assert study.hop_times.shape == (8, 3)
         assert (study.totals == study.hop_times.sum(axis=1)).all()
         assert (study.hop_times > 0).all()
 
     def test_batched_reproducible(self):
-        a = hop_time_study(8, 3, DecayProtocol, repetitions=6, rng=9,
+        a = hop_time_study(8, 3, DecayProtocol, repetitions=6, seed=9,
                            trials_per_chain=3)
-        b = hop_time_study(8, 3, DecayProtocol, repetitions=6, rng=9,
+        b = hop_time_study(8, 3, DecayProtocol, repetitions=6, seed=9,
                            trials_per_chain=3)
         assert (a.hop_times == b.hop_times).all()

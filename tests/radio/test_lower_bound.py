@@ -29,7 +29,7 @@ class TestRootedCoreGraph:
         # Even a full-knowledge scheduler informs ≤ 2s new N-vertices per
         # round (Lemma 4.4(5) in action).
         g, root, n_ids = rooted_core_graph(s)
-        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=0)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, seed=0)
         assert res.completed
         rounds = res.first_informed_round[n_ids]
         per_round = collections.Counter(rounds.tolist())
@@ -39,7 +39,7 @@ class TestRootedCoreGraph:
     def test_corollary_51_round_floor(self, s):
         # Reaching a 2i/log(2s) fraction of N takes ≥ 1 + i rounds.
         g, root, n_ids = rooted_core_graph(s)
-        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=0)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, seed=0)
         log2s = int(np.log2(2 * s))
         n_total = n_ids.size
         rounds_in_n = np.sort(res.first_informed_round[n_ids])
@@ -54,29 +54,29 @@ class TestRootedCoreGraph:
 
 class TestChainMeasurement:
     def test_portal_times_increasing(self):
-        m = measure_chain_broadcast(8, 4, DecayProtocol(), rng=1, chain_rng=2)
+        m = measure_chain_broadcast(8, 4, DecayProtocol(), seed=1, chain_seed=2)
         assert m.completed
         times = m.portal_rounds
         assert (np.diff(times) > 0).all()
 
     def test_per_hop_rounds_positive(self):
-        m = measure_chain_broadcast(8, 4, DecayProtocol(), rng=3, chain_rng=4)
+        m = measure_chain_broadcast(8, 4, DecayProtocol(), seed=3, chain_seed=4)
         assert (m.per_hop_rounds > 0).all()
         assert m.per_hop_rounds.sum() == m.portal_rounds[-1]
 
     def test_km_bound_formula(self):
-        m = measure_chain_broadcast(4, 2, DecayProtocol(), rng=5, chain_rng=6)
+        m = measure_chain_broadcast(4, 2, DecayProtocol(), seed=5, chain_seed=6)
         d = m.diameter_claim
         assert m.km_bound == pytest.approx(d * np.log2(m.n / d))
 
     def test_genie_respects_portal_order(self):
         m = measure_chain_broadcast(
-            8, 3, SpokesmanBroadcastProtocol(), rng=7, chain_rng=8
+            8, 3, SpokesmanBroadcastProtocol(), seed=7, chain_seed=8
         )
         assert m.completed
         assert (np.diff(m.portal_rounds) > 0).all()
 
     def test_rounds_grow_with_layers(self):
-        short = measure_chain_broadcast(8, 2, DecayProtocol(), rng=9, chain_rng=10)
-        long = measure_chain_broadcast(8, 6, DecayProtocol(), rng=9, chain_rng=10)
+        short = measure_chain_broadcast(8, 2, DecayProtocol(), seed=9, chain_seed=10)
+        long = measure_chain_broadcast(8, 6, DecayProtocol(), seed=9, chain_seed=10)
         assert long.rounds > short.rounds

@@ -103,7 +103,7 @@ class TestAloha:
 
     def test_completes_on_clique_with_good_p(self):
         g = complete_graph(16)
-        res = run_broadcast(g, AlohaProtocol(1 / 16), source=0, rng=5)
+        res = run_broadcast(g, AlohaProtocol(1 / 16), source=0, seed=5)
         assert res.completed
 
     def test_name_encodes_p(self):

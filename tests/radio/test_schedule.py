@@ -88,7 +88,7 @@ class TestBroadcastSchedule:
         schedule = synthesize_broadcast_schedule(g, source=0)
         res = run_broadcast(
             g, StaticScheduleProtocol(schedule), source=0,
-            max_rounds=schedule.length + 1, rng=0,
+            max_rounds=schedule.length + 1, seed=0,
         )
         assert res.completed
         assert res.rounds <= schedule.length
@@ -123,5 +123,5 @@ class TestBroadcastSchedule:
         schedule = synthesize_broadcast_schedule(g, source=0)
         ok, _ = schedule.verify(g)
         assert ok
-        decay = run_broadcast(g, DecayProtocol(), source=0, rng=9)
+        decay = run_broadcast(g, DecayProtocol(), source=0, seed=9)
         assert schedule.length <= decay.rounds

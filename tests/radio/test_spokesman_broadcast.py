@@ -17,40 +17,40 @@ class TestSpokesmanBroadcast:
         # Round 1: source informs {x, y}; round 2: scheduler picks one of
         # them alone and the whole clique hears it.
         g = cplus_graph(9)
-        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=0, rng=0)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=0, seed=0)
         assert res.completed
         assert res.rounds == 2
 
     def test_clique_two_rounds(self):
         res = run_broadcast(
-            complete_graph(10), SpokesmanBroadcastProtocol(), source=0, rng=0
+            complete_graph(10), SpokesmanBroadcastProtocol(), source=0, seed=0
         )
         assert res.completed and res.rounds == 1
 
     def test_hypercube_fast(self):
         res = run_broadcast(
-            hypercube(5), SpokesmanBroadcastProtocol(), source=0, rng=0
+            hypercube(5), SpokesmanBroadcastProtocol(), source=0, seed=0
         )
         assert res.completed
         assert res.rounds <= 16
 
     def test_beats_decay_on_expander(self):
         g = random_regular(64, 6, rng=10)
-        genie = run_broadcast(g, SpokesmanBroadcastProtocol(), source=0, rng=1)
-        decay = run_broadcast(g, DecayProtocol(), source=0, rng=1)
+        genie = run_broadcast(g, SpokesmanBroadcastProtocol(), source=0, seed=1)
+        decay = run_broadcast(g, DecayProtocol(), source=0, seed=1)
         assert genie.completed and decay.completed
         assert genie.rounds <= decay.rounds
 
     def test_custom_algorithm(self):
         proto = SpokesmanBroadcastProtocol(algorithm=spokesman_recursive)
         assert "recursive" in proto.name
-        res = run_broadcast(hypercube(4), proto, source=0, rng=2)
+        res = run_broadcast(hypercube(4), proto, source=0, seed=2)
         assert res.completed
 
     def test_progress_every_round(self):
         # The genie never wastes a round while a frontier exists.
         g = random_regular(32, 4, rng=11)
-        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=0, rng=3)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=0, seed=3)
         assert res.completed
         gains = np.diff(np.concatenate([[1], res.informed_per_round]))
         assert (gains >= 1).all()

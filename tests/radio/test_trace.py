@@ -15,8 +15,8 @@ from repro.radio import (
 class TestTracedRunner:
     def test_agrees_with_plain_runner(self):
         g = hypercube(4)
-        plain = run_broadcast(g, DecayProtocol(), source=0, rng=7)
-        traced = run_broadcast_traced(g, DecayProtocol(), source=0, rng=7)
+        plain = run_broadcast(g, DecayProtocol(), source=0, seed=7)
+        traced = run_broadcast_traced(g, DecayProtocol(), source=0, seed=7)
         assert traced.completed == plain.completed
         assert len(traced.rounds) == plain.rounds
         assert (
@@ -28,7 +28,7 @@ class TestTracedRunner:
         # One frontier vertex per side: flooding a path never collides at
         # the frontier... but interior nodes hear both neighbours.
         g = path_graph(5)
-        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, rng=0)
+        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, seed=0)
         assert trace.completed
         first = trace.rounds[0]
         assert first.transmitters == 1
@@ -39,7 +39,7 @@ class TestTracedRunner:
         # x and y -> all collide, nobody new is informed.
         g = cplus_graph(8)
         trace = run_broadcast_traced(
-            g, FloodingProtocol(), source=0, max_rounds=5, rng=0
+            g, FloodingProtocol(), source=0, max_rounds=5, seed=0
         )
         assert not trace.completed
         second = trace.rounds[1]
@@ -50,14 +50,14 @@ class TestTracedRunner:
     def test_spokesman_low_collisions_on_cplus(self):
         g = cplus_graph(8)
         trace = run_broadcast_traced(
-            g, SpokesmanBroadcastProtocol(), source=0, rng=0
+            g, SpokesmanBroadcastProtocol(), source=0, seed=0
         )
         assert trace.completed
         assert trace.mean_collision_rate <= 0.5
 
     def test_round_record_fields(self):
         g = path_graph(3)
-        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, rng=0)
+        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, seed=0)
         r = trace.rounds[0]
         assert r.round_index == 1
         assert r.receptions == 1
@@ -75,7 +75,7 @@ class TestTracedRunner:
 
     def test_totals(self):
         g = path_graph(4)
-        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, rng=0)
+        trace = run_broadcast_traced(g, FloodingProtocol(), source=0, seed=0)
         assert trace.total_transmissions == sum(
             r.transmitters for r in trace.rounds
         )

@@ -14,7 +14,7 @@ from repro.runtime.tasks import chain_broadcast_point
 # Tiny but real workload shared by the equivalence tests: 4 grid points
 # x 2 reps = 8 tasks of batched chain broadcast.
 SPACE = {"s": [2, 4], "layers": [2, 3]}
-SWEEP_KW = dict(rng=7, repetitions=2, static_params={"trials": 2})
+SWEEP_KW = dict(seed=7, repetitions=2, static_params={"trials": 2})
 
 
 def double(x, seed):
@@ -112,10 +112,10 @@ class TestParallelSerialEquivalence:
         def batch(a, seeds):
             return [(a, s) for s in seeds]
 
-        reference = run_sweep({"a": [1, 2]}, rng=5, repetitions=3, batch_fn=batch)
+        reference = run_sweep({"a": [1, 2]}, seed=5, repetitions=3, batch_fn=batch)
         routed = run_sweep(
             {"a": [1, 2]},
-            rng=5,
+            seed=5,
             repetitions=3,
             batch_fn=batch,
             executor=SerialExecutor(),
@@ -126,7 +126,7 @@ class TestParallelSerialEquivalence:
         with pytest.raises(ValueError, match="results for"):
             run_sweep(
                 {"a": [1]},
-                rng=0,
+                seed=0,
                 repetitions=2,
                 batch_fn=lambda a, seeds: [0],
                 executor=SerialExecutor(),

@@ -7,7 +7,7 @@ from repro.runtime import ResultStore, SweepManifest, plan_sweep
 from repro.runtime.tasks import chain_broadcast_point
 
 SPACE = {"s": [2, 4], "layers": [2, 3]}
-KW = dict(rng=7, repetitions=2, static_params={"trials": 2})
+KW = dict(seed=7, repetitions=2, static_params={"trials": 2})
 
 
 def toy(a, seed):
@@ -48,29 +48,33 @@ class TestPlanAndIdentity:
         base = plan_sweep(SPACE, chain_broadcast_point, **KW, store=store)
         other_seed = plan_sweep(
             SPACE, chain_broadcast_point,
-            rng=8, repetitions=2, static_params={"trials": 2}, store=store)
+            seed=8, repetitions=2, static_params={"trials": 2}, store=store)
         other_space = plan_sweep(
             {"s": [2], "layers": [2, 3]}, chain_broadcast_point, **KW, store=store)
         assert len({base.sweep_id, other_seed.sweep_id, other_space.sweep_id}) == 3
 
     def test_batch_mode_one_task_per_point(self):
         manifest = plan_sweep(
-            {"a": [1, 2, 3]}, batch_fn=toy, rng=0, repetitions=4)
+            {"a": [1, 2, 3]}, batch_fn=toy, seed=0, repetitions=4)
         assert manifest.mode == "batch"
         assert manifest.task_count == 3
         assert len(manifest.seeds) == 12
 
     def test_exactly_one_evaluator(self):
         with pytest.raises(ValueError, match="exactly one"):
-            plan_sweep({"a": [1]}, rng=0)
+            plan_sweep({"a": [1]}, seed=0)
 
-    def test_stateful_generator_rng_rejected(self):
+    def test_stateful_generator_seed_rejected(self):
         # Planning would consume the generator, so the subsequent run
         # could never derive the planned seeds.
         import numpy as np
 
-        with pytest.raises(TypeError, match="reusable rng"):
-            plan_sweep({"a": [1]}, toy, rng=np.random.default_rng(0))
+        with pytest.raises(TypeError, match="reusable seed"):
+            plan_sweep({"a": [1]}, toy, seed=np.random.default_rng(0))
+
+    def test_legacy_rng_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="seed="):
+            plan_sweep({"a": [1]}, toy, rng=0)
 
 
 class TestPersistence:
@@ -87,7 +91,7 @@ class TestPersistence:
             raise RuntimeError("die before any task completes")
 
         with pytest.raises(RuntimeError):
-            run_sweep({"a": [1]}, boom, rng=0, cache=store)
+            run_sweep({"a": [1]}, boom, seed=0, cache=store)
         # The crashed run still left its ledger behind for resume tooling.
         assert len(SweepManifest.list_ids(store)) == 1
 
@@ -100,7 +104,7 @@ class TestResume:
             evaluated.append(a)
             return a * 10
 
-        kw = dict(rng=3, repetitions=2)
+        kw = dict(seed=3, repetitions=2)
         reference = run_sweep({"a": [1, 2, 3]}, fn, **kw, cache=store)
         manifest = plan_sweep({"a": [1, 2, 3]}, fn, **kw, store=store)
         # Simulate an interrupted run: drop two of the six task results.
@@ -117,7 +121,7 @@ class TestResume:
         # first run dies after two completed tasks, the second resumes.
         FRAGILE_CALLS.clear()
         FRAGILE_EXPLODE_AT[0] = 3
-        kw = dict(rng=5, repetitions=1)
+        kw = dict(seed=5, repetitions=1)
         with pytest.raises(KeyboardInterrupt):
             run_sweep({"a": [1, 2, 3, 4]}, fragile_task, **kw, cache=store)
         manifest = plan_sweep({"a": [1, 2, 3, 4]}, fragile_task, **kw, store=store)
@@ -133,7 +137,7 @@ class TestResume:
         def fn(a, seed):
             return a
 
-        run_sweep({"a": [1, 2]}, fn, rng=0, cache=store)
-        other = run_sweep({"a": [9]}, fn, rng=0, cache=store)
-        again = run_sweep({"a": [9]}, fn, rng=0, cache=store)
+        run_sweep({"a": [1, 2]}, fn, seed=0, cache=store)
+        other = run_sweep({"a": [9]}, fn, seed=0, cache=store)
+        again = run_sweep({"a": [9]}, fn, seed=0, cache=store)
         assert again == other

@@ -71,7 +71,7 @@ class TestRoundTrip:
 
     def test_numpy_and_dataclass_payload(self, store):
         m = measure_chain_broadcast_batch(
-            4, 2, DecayProtocol(), trials=3, rng=0, chain_rng=1
+            4, 2, DecayProtocol(), trials=3, seed=0, chain_seed=1
         )
         key = store.key("repro.radio.lower_bound.measure_chain_broadcast_batch",
                         {"s": 4, "layers": 2}, 0)
@@ -165,7 +165,7 @@ class TestCachedSweep:
             calls.append((a, seed))
             return a * 10
 
-        kw = dict(rng=3, repetitions=2)
+        kw = dict(seed=3, repetitions=2)
         reference = run_sweep({"a": [1, 2]}, fn, **kw)
         cold = run_sweep({"a": [1, 2]}, fn, **kw, cache=store)
         assert len(calls) == 2 * len(reference)
@@ -181,7 +181,7 @@ class TestCachedSweep:
             calls.append(a)
             return a
 
-        kw = dict(rng=3, repetitions=1)
+        kw = dict(seed=3, repetitions=1)
         run_sweep({"a": [1, 2, 3]}, fn, **kw, cache=store)
         # Corrupt one of the three entries on disk.
         victim = os.listdir(store.objects_dir)[0]
@@ -198,7 +198,7 @@ class TestCachedSweep:
             return a
 
         root = tmp_path / "bypath"
-        run_sweep({"a": [5]}, fn, rng=0, cache=root)
+        run_sweep({"a": [5]}, fn, seed=0, cache=root)
         assert any(
             name.endswith(".json")
             for _, _, files in os.walk(root)
@@ -210,7 +210,7 @@ class TestCachedSweep:
             run_sweep(
                 {"a": [1]},
                 named_task,
-                rng=0,
+                seed=0,
                 static_params={"factory": lambda: 1},
                 cache=store,
             )
@@ -219,7 +219,7 @@ class TestCachedSweep:
         def batch(a, seeds):
             return [a + s for s in seeds]
 
-        kw = dict(rng=1, repetitions=3)
+        kw = dict(seed=1, repetitions=3)
         cold = run_sweep({"a": [1, 2]}, batch_fn=batch, **kw, cache=store)
         assert store.misses == 2  # one task (and entry) per grid point
         warm = run_sweep({"a": [1, 2]}, batch_fn=batch, **kw, cache=store)

@@ -114,6 +114,152 @@ class TestChannelFlags:
             )
 
 
+class TestScenarioFlags:
+    # The uniform --scenario/-S builder shared by every simulation verb.
+    def test_scenario_flags_everywhere(self):
+        parser = build_parser()
+        for cmd in ("broadcast", "hops", "channels", "sweep"):
+            args = parser.parse_args(
+                [cmd, "--scenario", "chain(4, 2)", "-S", "trials=4"])
+            assert args.scenario == "chain(4, 2)", cmd
+            assert args.scenario_set == ["trials=4"], cmd
+
+    def test_broadcast_scenario_single_run(self, capsys):
+        assert main(
+            ["broadcast", "--scenario", "hypercube(4) | decay | classic",
+             "-S", "trials=4", "-S", "seed=3", "--reps", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario broadcast" in out
+        assert "hypercube(4)" in out
+
+    def test_broadcast_preset_name(self, capsys):
+        assert main(
+            ["broadcast", "--scenario", "sweep-smoke", "--reps", "1"]
+        ) == 0
+        # The preset is a chain scenario, so the rich chain table renders.
+        out = capsys.readouterr().out
+        assert "scenario broadcast" in out
+        assert "D·log2(n/D)" in out
+
+    def test_broadcast_set_channel_override(self, capsys):
+        assert main(
+            ["broadcast", "--s", "4", "--layers", "2", "--reps", "1",
+             "-S", "channel=erasure(0.2)", "-S", "trials=4"]
+        ) == 0
+        assert "channel=erasure(0.2)" in capsys.readouterr().out
+
+    def test_hops_scenario(self, capsys):
+        assert main(
+            ["hops", "--scenario", "chain(4, 3) | decay | classic",
+             "--reps", "3"]
+        ) == 0
+        assert "per-hop rounds" in capsys.readouterr().out
+
+    def test_hops_rejects_non_chain_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["hops", "--scenario", "hypercube(4)"])
+        # A chain spec with too few arguments gets the same clean error.
+        with pytest.raises(SystemExit):
+            main(["hops", "--scenario", "chain(4)"])
+
+    def test_set_graph_override_respected_without_scenario_flag(self, capsys):
+        # -S graph=... must not be clobbered by the legacy --layers grid.
+        assert main(
+            ["broadcast", "-S", "graph=hypercube(4)", "-S", "trials=2",
+             "--reps", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario broadcast" in out
+        assert "hypercube(4)" in out
+
+    def test_explicit_seed_flag_beats_scenario_baked_seed(self, capsys):
+        argv = ["broadcast", "--scenario",
+                "chain(4, 2) | decay | classic | seed=5", "--reps", "2"]
+        assert main(argv + ["--seed", "7"]) == 0
+        explicit = capsys.readouterr().out
+        assert main(["broadcast", "--scenario", "chain(4, 2) | decay | "
+                     "classic | seed=7", "--reps", "2"]) == 0
+        baked = capsys.readouterr().out
+        assert explicit == baked
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["broadcast", "-S", "frobnicate=1"])
+        with pytest.raises(SystemExit):
+            main(["broadcast", "-S", "no-equals"])
+
+    def test_channels_scenario_family(self, capsys):
+        assert main(
+            ["channels", "--n", "64", "--trials", "4",
+             "--erasure-ps", "0.0,0.2",
+             "--scenario", "hypercube(6) | decay | classic | trials=4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hypercube" in out and "chain" in out
+
+    def test_channels_explicit_seed_beats_baked_seed(self, capsys):
+        spec = "hypercube(5) | decay | classic | trials=4"
+        assert main(["channels", "--erasure-ps", "0.2",
+                     "--scenario", f"{spec} | seed=5", "--seed", "7"]) == 0
+        explicit = capsys.readouterr().out
+        assert main(["channels", "--erasure-ps", "0.2",
+                     "--scenario", f"{spec} | seed=7"]) == 0
+        assert explicit == capsys.readouterr().out
+
+    def test_channels_rejects_channel_override(self):
+        with pytest.raises(SystemExit):
+            main(["channels", "-S", "channel=erasure(0.5)"])
+
+    def test_hops_explicit_seed_beats_baked_seed(self, capsys):
+        spec = "chain(4, 3) | decay | classic"
+        assert main(["hops", "--scenario", f"{spec} | seed=5",
+                     "--seed", "7", "--reps", "3"]) == 0
+        explicit = capsys.readouterr().out
+        assert main(["hops", "--scenario", f"{spec} | seed=7",
+                     "--reps", "3"]) == 0
+        assert explicit == capsys.readouterr().out
+
+    def test_bad_scenario_scalar_is_clean_error(self):
+        with pytest.raises(SystemExit):
+            main(["broadcast", "--scenario", "chain(4, 2) | trials=none"])
+        with pytest.raises(SystemExit):
+            main(["hops", "--scenario", "chain(4, 2) | source=1",
+                  "--reps", "2"])
+
+
+class TestScenariosCommand:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("graph families", "protocols", "channels",
+                       "named scenarios", "chain-decay", "hypercube",
+                       "experiment-bound"):
+            assert marker in out, marker
+
+    def test_show_preset(self, capsys):
+        assert main(["scenarios", "show", "sweep-smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "chain(4, 2) | decay | classic | trials=4" in out
+        assert "cache key:" in out
+
+    def test_show_spec_string(self, capsys):
+        assert main(
+            ["scenarios", "show", "hypercube(4) | decay | erasure(0.1)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "n=16" in out
+        assert "deterministic graph" in out
+
+    def test_show_experiment_id(self, capsys):
+        assert main(["scenarios", "show", "E15"]) == 0
+        assert "random_regular(256, 8)" in capsys.readouterr().out
+
+    def test_show_unknown(self, capsys):
+        assert main(["scenarios", "show", "no-such-thing("]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestUniformExecFlags:
     # Every simulation subcommand exposes the same --seed/--jobs pair.
     COMMANDS = {

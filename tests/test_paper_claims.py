@@ -256,14 +256,14 @@ class TestSection421Spokesman:
 
 class TestSection5Broadcast:
     def test_observation_52_portal_order(self):
-        m = measure_chain_broadcast(8, 4, DecayProtocol(), rng=1, chain_rng=2)
+        m = measure_chain_broadcast(8, 4, DecayProtocol(), seed=1, chain_seed=2)
         assert m.completed
         assert (np.diff(m.portal_rounds) > 0).all()
 
     def test_corollary_51_cap(self):
         s = 16
         g, root, n_ids = rooted_core_graph(s)
-        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, rng=3)
+        res = run_broadcast(g, SpokesmanBroadcastProtocol(), source=root, seed=3)
         rounds = res.first_informed_round[n_ids]
         per_round = collections.Counter(rounds.tolist())
         assert max(per_round.values()) <= 2 * s
@@ -273,7 +273,7 @@ class TestSection5Broadcast:
         rounds = []
         for layers in (2, 4, 8):
             m = measure_chain_broadcast(
-                8, layers, DecayProtocol(), rng=4, chain_rng=5
+                8, layers, DecayProtocol(), seed=4, chain_seed=5
             )
             assert m.completed
             rounds.append(m.rounds)

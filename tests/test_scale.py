@@ -58,7 +58,7 @@ class TestCoreGraphScale:
 class TestRadioScale:
     def test_decay_on_2000_vertex_expander(self):
         g = random_regular(2000, 8, rng=1)
-        res = run_broadcast(g, DecayProtocol(), source=0, rng=2)
+        res = run_broadcast(g, DecayProtocol(), source=0, seed=2)
         assert res.completed
         # O(log² n)-ish rounds, far below the n-round trivial bound.
         assert res.rounds < 500
@@ -68,7 +68,7 @@ class TestRadioScale:
         # Each layer holds s + s·log2(2s) = 16 + 16·5 vertices.
         assert chain.graph.n == 1 + 24 * (16 + 16 * 5)
         res = run_broadcast(
-            chain.graph, DecayProtocol(), source=chain.root, rng=4
+            chain.graph, DecayProtocol(), source=chain.root, seed=4
         )
         assert res.completed
         portal_rounds = res.first_informed_round[chain.portals]
