@@ -1,6 +1,6 @@
 """Experiment registry: the canonical index of reproduction targets.
 
-A single table mapping experiment ids (E1–E16) to the paper statement they
+A single table mapping experiment ids (E1–E17) to the paper statement they
 reproduce, the modules that implement the pieces, and the benchmark file
 that regenerates the table.  DESIGN.md and EXPERIMENTS.md mirror this
 registry; a consistency test (``tests/analysis/test_experiments.py``)
@@ -171,6 +171,17 @@ EXPERIMENTS: tuple[Experiment, ...] = (
          "repro.runtime.manifest"),
         "bench_runtime_scaling.py", ("E16_runtime_scaling.txt",),
         scenario=Scenario.from_string("chain(4, 2) | decay | classic | trials=4"),
+    ),
+    Experiment(
+        "E17", "Sections 2 + 5 empirics",
+        "batched βw estimation at scale: (expansion, broadcast rounds) "
+        "pairs across graph families; batched pipeline ≥ 10× over the "
+        "serial estimator, bit-for-bit identical",
+        ("repro.expansion.pipeline", "repro.expansion.spec",
+         "repro.scenario.tasks"),
+        "bench_expansion_scaling.py",
+        ("E17_expansion_vs_broadcast.txt", "E17_expansion_speedup.txt"),
+        scenario=Scenario.from_string("margulis(6) | decay | classic | trials=8"),
     ),
 )
 

@@ -13,7 +13,9 @@ Commands
 ``hops``        Per-hop timing distribution (concentration check).
 ``worstcase``   Corollary 4.11 planted bad set.
 ``channels``    Broadcast degradation across channel/fault models (E15).
-``run``         Regenerate a registered experiment (E1–E16) via its bench.
+``expansion``   Batched wireless-expansion estimation (βw) of a
+                scenario's graph, cached and executor-sharded (E17).
+``run``         Regenerate a registered experiment (E1–E17) via its bench.
 ``sweep``       Cached, resumable scenario grid sweep (runtime demo).
 ``cache``       Inspect (``stats``) or wipe (``clear``) the result cache.
 ``scenarios``   Discover the spec registries (``list``) or inspect one
@@ -168,6 +170,12 @@ def _resolve_scenario(args: argparse.Namespace, default):
             base = base.with_overrides(overrides)
         except (KeyError, ValueError, TypeError) as exc:
             raise SystemExit(f"bad -S override: {exc}") from None
+    try:
+        # Fail fast on out-of-domain component parameters (a bad -S
+        # graph=... would otherwise only surface at build time, mid-sweep).
+        base.validate()
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"bad scenario: {exc}") from None
     return base, overrides
 
 
@@ -469,6 +477,60 @@ def _cmd_channels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_expansion(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.expansion.spec import ExpansionSpec
+    from repro.runtime import ResultStore
+    from repro.scenario import GraphSpec, Scenario
+    from repro.scenario.tasks import expansion_summary
+
+    default = Scenario(
+        graph=GraphSpec.make("random_regular", args.n, args.delta),
+        seed=_seed(args),
+    )
+    base, overrides = _resolve_scenario(args, default)
+    try:
+        specs = [
+            ExpansionSpec.from_string(text)
+            for text in (args.estimators or ["sampled"])
+        ]
+    except ValueError as exc:
+        raise SystemExit(f"bad --estimator: {exc}") from None
+    store = ResultStore(args.cache_dir)
+    executor = _executor(args)
+    seed = _master_seed(args, base, overrides)
+    rows = []
+    for spec in specs:
+        key = store.expansion_key(base.graph, spec, seed)
+        try:
+            summary = store.get(key)
+        except KeyError:
+            try:
+                summary = expansion_summary(
+                    base.graph, expansion=spec, seed=seed, executor=executor
+                )
+            except ValueError as exc:
+                # e.g. exact on a graph wider than max_set_bits, or an
+                # alpha admitting no candidate sets.
+                raise SystemExit(
+                    f"estimator {spec.describe()!r} cannot run on "
+                    f"{base.graph.describe()!r}: {exc}"
+                ) from None
+            store.put(key, summary, meta={"graph": base.graph.describe(),
+                                          "expansion": spec.describe()})
+        rows.append(
+            [summary["expansion"], summary["n"], round(summary["beta_w"], 4),
+             summary["bound"], summary["subset_size"], summary["candidates"]]
+        )
+    print(render_table(
+        ["estimator", "n", "beta_w", "bound", "|S|", "candidates"], rows,
+        title=f"wireless expansion of {base.graph.describe()} "
+              f"[seed={seed}, jobs={args.jobs}]"))
+    print(f"cache: {store.hits} hits, {store.misses} misses over "
+          f"{len(specs)} estimators")
+    return 0
+
+
 def _cmd_worstcase(args: argparse.Namespace) -> int:
     from repro.expansion import expansion_of_set
     from repro.graphs import random_regular, worst_case_expander
@@ -570,6 +632,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
+    from repro.expansion.spec import ESTIMATORS
     from repro.radio import CHANNELS
     from repro.scenario import GRAPHS, PROTOCOLS, SCENARIOS
 
@@ -584,6 +647,9 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     print("\nchannels (ChannelSpec):")
     for name in sorted(CHANNELS):
         print(f"  {name:16s} {CHANNELS[name]}")
+    print("\nexpansion estimators (ExpansionSpec, `repro expansion -E`):")
+    for name in sorted(ESTIMATORS):
+        print(f"  {name:16s} {ESTIMATORS[name]}")
     print("\nnamed scenarios:")
     for name in sorted(SCENARIOS):
         scenario, summary = SCENARIOS[name]
@@ -734,6 +800,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(p)
     p.set_defaults(fn=_cmd_schedule)
 
+    p = sub.add_parser(
+        "expansion",
+        help="batched wireless-expansion (βw) estimation of a scenario's "
+             "graph (E17)")
+    p.add_argument("--n", type=int, default=64,
+                   help="default random-regular instance size")
+    p.add_argument("--delta", type=int, default=6,
+                   help="default random-regular degree")
+    p.add_argument(
+        "-E", "--estimator", dest="estimators", action="append", default=[],
+        metavar="SPEC",
+        help="estimator spec (repeatable): sampled(samples=..., alpha=...), "
+             "exact(max_set_bits=...), portfolio(...); default 'sampled'")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-store root (default: results/cache)")
+    _add_exec_flags(p)
+    _add_scenario_flags(p)
+    p.set_defaults(fn=_cmd_expansion)
+
     p = sub.add_parser("worstcase", help="Corollary 4.11 planted bad set")
     p.add_argument("--n", type=int, default=512)
     p.add_argument("--delta", type=int, default=128)
@@ -743,8 +828,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_worstcase)
 
     p = sub.add_parser(
-        "run", help="regenerate a registered experiment (E1-E16) via its bench")
-    p.add_argument("experiment", help="registry id, e.g. E16")
+        "run", help="regenerate a registered experiment (E1-E17) via its bench")
+    p.add_argument("experiment", help="registry id, e.g. E17")
     p.add_argument("--smoke", action="store_true",
                    help="tiny-scale run (sets REPRO_BENCH_SMOKE=1)")
     _add_exec_flags(p, seed=False)

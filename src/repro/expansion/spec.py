@@ -1,0 +1,251 @@
+"""Declarative expansion-estimator specs — the measurement-side spec layer.
+
+The scenario API made every *simulation* a frozen, picklable, string-round-
+trippable spec; this module does the same for the paper's measurement side.
+An :class:`ExpansionSpec` names a βw estimator and its knobs, speaks the
+shared :mod:`repro._util.specstr` grammar (like
+:class:`~repro.radio.channel.ChannelSpec`), and resolves against the
+:data:`ESTIMATORS` registry::
+
+    ExpansionSpec.from_string("sampled(samples=200, alpha=0.4)")
+    ExpansionSpec.from_string("exact(max_set_bits=14)")
+    ExpansionSpec.from_string("portfolio(max_set_bits=64)").describe()
+
+Estimators
+----------
+``sampled``
+    Batched candidate-set search (:mod:`repro.expansion.pipeline`); every
+    candidate is scored *exactly*, so the minimum is a certified **upper**
+    bound on ``βw(G)``.
+``exact``
+    The full vectorized min-max sweep
+    (:func:`~repro.expansion.wireless.wireless_expansion_exact`) —
+    feasible for ``n ≤ max_set_bits``.
+``portfolio``
+    The same candidate search scored by the polynomial-time spokesman
+    portfolio (Corollary A.16) instead of exact enumeration — the
+    large-``n`` arm, so ``max_set_bits`` may far exceed the exact
+    enumeration width.  Each per-set payoff certifies that *set's*
+    expansion from below, so the reported minimum lower-bounds the
+    **candidate minimum** (the ``sampled`` arm's value on the same
+    candidate sequence) — it is *not* a bound on ``βw(G)`` itself,
+    which is a minimum over all sets; the bound tag is therefore
+    ``candidate-lower``.
+
+Like the other spec layers, :meth:`to_dict` carries only the parameters
+the named estimator consumes, so spec-equal measurements always share one
+content address (:meth:`repro.runtime.ResultStore.expansion_key`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro._util import (
+    as_rng,
+    check_fraction,
+    format_call,
+    parse_call,
+    spawn_seeds,
+)
+from repro.graphs.graph import Graph
+
+__all__ = ["ESTIMATORS", "ExpansionEstimate", "ExpansionSpec", "as_expansion_spec"]
+
+#: Estimator name → one-line summary (the CLI discovery surface, mirroring
+#: ``repro.radio.CHANNELS``).
+ESTIMATORS: dict[str, str] = {
+    "sampled": "batched candidate-set search, exact per set (upper bound)",
+    "exact": "full vectorized min-max sweep (n <= max_set_bits)",
+    "portfolio": "candidate search scored by the spokesman portfolio "
+    "(lower-bounds the candidate minimum; no 2^k blow-up)",
+}
+
+#: Which spec fields each estimator actually consumes (the to_dict view).
+_CONSUMES: dict[str, tuple[str, ...]] = {
+    "sampled": ("alpha", "samples", "max_set_bits", "include_balls"),
+    "exact": ("alpha", "max_set_bits"),
+    "portfolio": ("alpha", "samples", "max_set_bits", "include_balls"),
+}
+
+_DEFAULTS = {"alpha": 0.5, "samples": 100, "max_set_bits": 20, "include_balls": True}
+
+
+@dataclass(frozen=True)
+class ExpansionEstimate:
+    """One βw estimate: the value, its certification tag (``upper`` —
+    certified upper bound on βw; ``exact``; ``candidate-lower`` — a
+    lower bound on the *candidate minimum* only, see the module
+    docstring), the minimizing set, and how many candidate sets were
+    examined."""
+
+    value: float
+    bound: str
+    subset: np.ndarray
+    estimator: str
+    candidates: int
+
+
+@dataclass(frozen=True)
+class ExpansionSpec:
+    """A picklable, content-addressable βw-estimator configuration."""
+
+    estimator: str = "sampled"
+    alpha: float = 0.5
+    samples: int = 100
+    max_set_bits: int = 20
+    include_balls: bool = True
+
+    #: Spec-interface discriminator (mirrors the other spec classes).
+    kind = "expansion"
+
+    def __post_init__(self):
+        object.__setattr__(self, "estimator", self._canonical_name(self.estimator))
+        check_fraction(self.alpha, "alpha")
+        if self.samples < 0:
+            raise ValueError(f"samples must be >= 0, got {self.samples}")
+        if self.max_set_bits < 1:
+            raise ValueError(
+                f"max_set_bits must be >= 1, got {self.max_set_bits}"
+            )
+
+    @staticmethod
+    def _canonical_name(name: str) -> str:
+        key = str(name).strip().lower()
+        if key not in ESTIMATORS:
+            raise ValueError(
+                f"unknown expansion estimator {name!r}; registered "
+                f"estimators: {', '.join(sorted(ESTIMATORS))}"
+            )
+        return key
+
+    # ------------------------------------------------------------------
+    # The spec views (string / dict; pickling is free on a frozen
+    # dataclass)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "ExpansionSpec":
+        """Parse ``sampled``, ``exact(max_set_bits=14)``,
+        ``portfolio(samples=50, max_set_bits=64)``, …"""
+        name, args, kwargs = parse_call(text)
+        name = cls._canonical_name(name)
+        if args:
+            raise ValueError(
+                f"expansion estimators take keyword arguments only "
+                f"({', '.join(_CONSUMES[name])}), got {text!r}"
+            )
+        extra = set(kwargs) - set(_CONSUMES[name])
+        if extra:
+            raise ValueError(
+                f"estimator {name!r} does not take {sorted(extra)}; known "
+                f"fields: {', '.join(_CONSUMES[name])}"
+            )
+        return cls(estimator=name, **kwargs)
+
+    def describe(self) -> str:
+        """Canonical string: the estimator plus its non-default consumed
+        fields; ``from_string(describe())`` round-trips canonical specs."""
+        kwargs = {
+            field: getattr(self, field)
+            for field in _CONSUMES[self.estimator]
+            if getattr(self, field) != _DEFAULTS[field]
+        }
+        return format_call(self.estimator, (), kwargs)
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form — only consumed parameters, so
+        spec-equal estimators always encode (and cache) alike."""
+        out: dict[str, Any] = {"estimator": self.estimator}
+        for field in _CONSUMES[self.estimator]:
+            out[field] = getattr(self, field)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExpansionSpec":
+        """Inverse of :meth:`to_dict`."""
+        name = cls._canonical_name(data.get("estimator", "sampled"))
+        extra = set(data) - {"estimator"} - set(_CONSUMES[name])
+        if extra:
+            raise ValueError(f"unknown expansion-spec fields {sorted(extra)}")
+        return cls(
+            estimator=name,
+            **{k: data[k] for k in _CONSUMES[name] if k in data},
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def estimate(self, graph: Graph, rng=None, executor=None) -> ExpansionEstimate:
+        """Run the configured estimator on ``graph``.
+
+        ``rng`` follows the repo-wide seeding discipline (``None`` / int
+        seed / Generator); ``executor`` shards candidate batches across
+        worker processes with results bit-for-bit equal to serial.
+        """
+        from repro.expansion.pipeline import (
+            enumerate_candidates,
+            evaluate_candidates,
+            portfolio_candidate_values,
+            select_minimum,
+        )
+        from repro.expansion.wireless import wireless_expansion_exact
+
+        if self.estimator == "exact":
+            value, subset = wireless_expansion_exact(
+                graph, self.alpha, max_bits=self.max_set_bits
+            )
+            limit = int(np.floor(self.alpha * graph.n))
+            examined = sum(math.comb(graph.n, k) for k in range(1, limit + 1))
+            return ExpansionEstimate(
+                value=value,
+                bound="exact",
+                subset=subset,
+                estimator="exact",
+                candidates=examined,
+            )
+        gen = as_rng(rng)
+        candidates, size_cap = enumerate_candidates(
+            graph,
+            alpha=self.alpha,
+            samples=self.samples,
+            rng=gen,
+            include_balls=self.include_balls,
+            max_set_bits=self.max_set_bits,
+        )
+        if self.estimator == "sampled":
+            values = evaluate_candidates(
+                graph, candidates, size_cap, executor=executor
+            )
+            bound = "upper"
+        else:
+            seeds = spawn_seeds(gen, len(candidates))
+            values = portfolio_candidate_values(
+                graph, candidates, seeds, size_cap, executor=executor
+            )
+            bound = "candidate-lower"
+        value, subset = select_minimum(values, candidates)
+        return ExpansionEstimate(
+            value=value,
+            bound=bound,
+            subset=subset,
+            estimator=self.estimator,
+            candidates=len(candidates),
+        )
+
+
+def as_expansion_spec(value) -> ExpansionSpec:
+    """Coerce an :class:`ExpansionSpec`, spec string, or canonical dict."""
+    if isinstance(value, ExpansionSpec):
+        return value
+    if isinstance(value, str):
+        return ExpansionSpec.from_string(value)
+    if isinstance(value, Mapping):
+        return ExpansionSpec.from_dict(value)
+    raise TypeError(
+        f"expected an ExpansionSpec, spec string, or canonical dict; "
+        f"got {type(value).__name__}"
+    )

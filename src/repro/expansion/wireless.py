@@ -9,9 +9,19 @@
 exactly where feasible:
 
 * per-set: ``max_{S'}`` by the all-subsets bipartite profile (``|S| ≤ ~22``);
-* graph-level: the full min-max by combining the subset-lattice profile with
-  sub-subset enumeration (``n ≤ ~14``; the 3^n pairs are walked with the
-  standard submask trick).
+* graph-level: the full min-max by combining the subset-lattice profile
+  with sub-subset enumeration.  The ``Θ(3^n)`` submask pairs are swept
+  **vectorized**: admissible sets are grouped by size, each group's
+  submasks materialize through one bit-value × selector matrix product,
+  and the covered-once counts fall out of array gathers into the
+  :func:`~repro.expansion.subsets.graph_subset_profile` arrays — no
+  Python-level submask walk (``n ≤ ~16`` is now comfortable).
+* sampled: the candidate-set search is batched through
+  :mod:`repro.expansion.pipeline` — candidates are enumerated up front,
+  grouped by size, and scored by a chunked subset-lattice DP, optionally
+  sharded across :class:`~repro.runtime.executor.ParallelExecutor`
+  workers — bit-for-bit identical to the retired serial loop (kept as
+  :func:`wireless_expansion_sampled_serial`, the equivalence yardstick).
 
 Algorithmic *lower bounds* for large instances come from the spokesman
 algorithms (:mod:`repro.spokesman`), which are guaranteed approximations by
@@ -22,7 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import check_fraction
+from repro._util import check_fraction, popcount_u64
 from repro.expansion.subsets import bipartite_subset_profile, graph_subset_profile
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph
@@ -32,7 +42,11 @@ __all__ = [
     "wireless_expansion_exact",
     "wireless_expansion_of_set_exact",
     "wireless_expansion_sampled",
+    "wireless_expansion_sampled_serial",
 ]
+
+#: Submask-sweep chunk budget (elements of the per-chunk gather matrix).
+_SWEEP_BUDGET = 1 << 22
 
 
 def max_unique_coverage_exact(
@@ -75,6 +89,7 @@ def wireless_expansion_sampled(
     rng=None,
     include_balls: bool = True,
     max_set_bits: int = 20,
+    executor=None,
 ) -> tuple[float, np.ndarray]:
     """Adversarial *upper bound* on ``βw(G)`` by candidate-set search.
 
@@ -85,9 +100,46 @@ def wireless_expansion_sampled(
     candidate's value upper-bounds it.  Candidates wider than
     ``max_set_bits`` are skipped (their exact value is unavailable and a
     lower bound would not be a valid upper bound for ``βw``).
+
+    Candidates are enumerated up front and evaluated in size-grouped
+    vectorized passes (:mod:`repro.expansion.pipeline`); ``executor`` (an
+    :class:`~repro.runtime.executor.Executor` or int job count) shards the
+    candidate batches across worker processes.  Serial, batched, and
+    parallel evaluations agree bit for bit at a fixed seed.
+    """
+    from repro.expansion.pipeline import (
+        enumerate_candidates,
+        evaluate_candidates,
+        select_minimum,
+    )
+
+    candidates, size_cap = enumerate_candidates(
+        graph,
+        alpha=alpha,
+        samples=samples,
+        rng=rng,
+        include_balls=include_balls,
+        max_set_bits=max_set_bits,
+    )
+    values = evaluate_candidates(graph, candidates, size_cap, executor=executor)
+    return select_minimum(values, candidates)
+
+
+def wireless_expansion_sampled_serial(
+    graph: Graph,
+    alpha: float = 0.5,
+    samples: int = 100,
+    rng=None,
+    include_balls: bool = True,
+    max_set_bits: int = 20,
+) -> tuple[float, np.ndarray]:
+    """The retired one-candidate-at-a-time estimator.
+
+    Kept as the reference implementation the batched pipeline is pinned
+    against (equivalence tests and ``bench_expansion_scaling.py``); new
+    code should call :func:`wireless_expansion_sampled`.
     """
     from repro._util import as_rng
-    from repro._util.validation import check_fraction
 
     check_fraction(alpha, "alpha")
     gen = as_rng(rng)
@@ -129,7 +181,68 @@ def wireless_expansion_exact(
     """Exact ``βw(G)`` (min over ``S``, max over ``S' ⊆ S``) with the
     minimizing ``S`` as witness.
 
-    Cost is ``Θ(3^n)`` submask pairs; keep ``n ≤ max_bits`` (default 14).
+    Cost is ``Θ(3^n)`` submask pairs, swept as vectorized per-size passes
+    over the :func:`~repro.expansion.subsets.graph_subset_profile`
+    arrays: every admissible set's submasks come from one bit-value ×
+    selector product, their covered-once masks from one gather into the
+    profile's ``once`` array.  ``max_bits`` (default 14, the historical
+    Python-walk ceiling) guards the ``2^n`` profile allocation.
+    """
+    check_fraction(alpha, "alpha")
+    n = graph.n
+    if n > max_bits:
+        raise ValueError(
+            f"exact wireless expansion supports n <= {max_bits}, got {n}"
+        )
+    profile = graph_subset_profile(graph, max_bits=max_bits)
+    limit = int(np.floor(alpha * n))
+    if limit < 1:
+        raise ValueError(f"alpha={alpha} admits no non-empty subsets")
+    once = profile.once
+    sizes = profile.sizes
+    full = np.uint64((1 << n) - 1)
+
+    all_masks = np.arange(1 << n, dtype=np.int64)
+    best_ratio = np.inf
+    best_set = 0
+    for k in range(1, limit + 1):
+        group = all_masks[sizes == k]  # ascending mask order
+        # Bit positions of each mask, as a (R, k) matrix; row-major
+        # np.nonzero keeps them grouped per mask, ascending.
+        member = ((group[:, None] >> np.arange(n)) & 1).astype(bool)
+        positions = np.nonzero(member)[1].reshape(group.size, k)
+        bit_values = np.int64(1) << positions
+        selectors = ((np.arange(1 << k)[:, None] >> np.arange(k)) & 1).astype(
+            np.int64
+        )
+        outside = (~group.astype(np.uint64)) & full
+        rows_per_chunk = max(1, _SWEEP_BUDGET >> k)
+        for lo in range(0, group.size, rows_per_chunk):
+            hi = min(lo + rows_per_chunk, group.size)
+            submasks = bit_values[lo:hi] @ selectors.T  # (rows, 2^k)
+            covered = once[submasks] & outside[lo:hi, None]
+            best_cover = popcount_u64(covered).max(axis=1)
+            ratio = best_cover / k
+            arg = int(np.argmin(ratio))  # first (smallest) mask on ties
+            candidate = int(group[lo + arg])
+            if ratio[arg] < best_ratio or (
+                ratio[arg] == best_ratio and candidate < best_set
+            ):
+                best_ratio = float(ratio[arg])
+                best_set = candidate
+    witness = np.flatnonzero(
+        (np.uint64(best_set) >> np.arange(n, dtype=np.uint64)) & np.uint64(1)
+    )
+    return float(best_ratio), witness
+
+
+def _wireless_expansion_exact_walk(
+    graph: Graph, alpha: float = 0.5, max_bits: int = 14
+) -> tuple[float, np.ndarray]:
+    """The retired Python submask walk — the vectorized sweep's reference.
+
+    Kept (module-private) so equivalence tests and the E17 bench can pin
+    the vectorized :func:`wireless_expansion_exact` against it bit for bit.
     """
     check_fraction(alpha, "alpha")
     n = graph.n

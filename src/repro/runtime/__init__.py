@@ -54,6 +54,7 @@ from repro.runtime.store import (
     ResultStore,
     canonical_dumps,
     code_salt,
+    expansion_key,
     scenario_key,
     task_key,
     write_json_payload,
@@ -72,6 +73,7 @@ __all__ = [
     "canonical_dumps",
     "code_salt",
     "default_jobs",
+    "expansion_key",
     "plan_sweep",
     "scenario_key",
     "task_key",

@@ -37,6 +37,7 @@ __all__ = [
     "ResultStore",
     "canonical_dumps",
     "code_salt",
+    "expansion_key",
     "scenario_key",
     "task_key",
     "write_json_payload",
@@ -236,6 +237,26 @@ def scenario_key(scenario, view: str = "result", salt: str | None = None) -> str
     return hashlib.sha256(canonical_dumps(identity).encode()).hexdigest()
 
 
+def expansion_key(graph, expansion, seed: int, salt: str | None = None) -> str:
+    """The content address of one wireless-expansion measurement.
+
+    Identity is the canonical ``(graph spec, expansion spec, seed)``
+    triple under the ``"expansion"`` view — the measurement analogue of
+    :func:`scenario_key`, so spec-equal estimates share one entry whether
+    they came from ``repro expansion``, a sweep, or the E17 bench.
+    ``graph`` / ``expansion`` may be spec objects (``to_dict`` is taken)
+    or already-canonical dicts.
+    """
+    canonical = {
+        "graph": graph.to_dict() if hasattr(graph, "to_dict") else graph,
+        "expansion": (
+            expansion.to_dict() if hasattr(expansion, "to_dict") else expansion
+        ),
+        "seed": int(seed),
+    }
+    return scenario_key(canonical, view="expansion", salt=salt)
+
+
 def _atomic_write_bytes(path: str, data: bytes) -> None:
     os.makedirs(os.path.dirname(path), exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
@@ -302,6 +323,11 @@ class ResultStore:
     def scenario_key(self, scenario, view: str = "result") -> str:
         """Scenario key under this store's salt (see :func:`scenario_key`)."""
         return scenario_key(scenario, view, self.salt)
+
+    def expansion_key(self, graph, expansion, seed: int) -> str:
+        """Expansion-measurement key under this store's salt (see
+        :func:`expansion_key`)."""
+        return expansion_key(graph, expansion, seed, self.salt)
 
     def _paths(self, key: str) -> tuple[str, str]:
         shard = os.path.join(self.objects_dir, key[:2])

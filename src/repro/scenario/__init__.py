@@ -40,6 +40,7 @@ from repro.scenario.spec import (
 )
 from repro.scenario.sweep import ScenarioPoint, ScenarioSweep
 from repro.scenario.tasks import (
+    expansion_summary,
     merge_batches,
     run_scenario,
     run_scenario_shard,
@@ -61,6 +62,7 @@ __all__ = [
     "ScenarioSweep",
     "SpecEntry",
     "SpecRegistry",
+    "expansion_summary",
     "get_scenario",
     "merge_batches",
     "register_scenario",

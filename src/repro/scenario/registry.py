@@ -30,7 +30,13 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 
-__all__ = ["BuiltGraph", "GRAPHS", "PROTOCOLS", "SpecEntry", "SpecRegistry"]
+__all__ = [
+    "BuiltGraph",
+    "GRAPHS",
+    "PROTOCOLS",
+    "SpecEntry",
+    "SpecRegistry",
+]
 
 
 @dataclass(frozen=True)
@@ -48,20 +54,31 @@ class BuiltGraph:
 
 @dataclass(frozen=True)
 class SpecEntry:
-    """One registry row: a named, documented builder."""
+    """One registry row: a named, documented builder.
+
+    ``check`` is an optional eager parameter validator with the builder's
+    signature (minus any heavy work): it raises on out-of-domain
+    parameters without constructing anything, which is what lets
+    :meth:`repro.scenario.spec.Scenario.validate` fail a bad sweep grid
+    fast instead of mid-run.
+    """
 
     name: str
     builder: Callable[..., Any]
     summary: str = ""
     randomized: bool = False
     aliases: tuple[str, ...] = ()
+    check: Callable[..., Any] | None = None
 
 
 class SpecRegistry:
     """Name → :class:`SpecEntry` mapping with aliases and helpful errors."""
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str, plural: str | None = None):
         self.kind = kind
+        # Irregular plurals are passed explicitly ("graph family" →
+        # "graph families"); the default only appends an "s".
+        self.plural = plural if plural is not None else kind + "s"
         self._entries: dict[str, SpecEntry] = {}
         self._aliases: dict[str, str] = {}
 
@@ -72,6 +89,7 @@ class SpecRegistry:
         summary: str = "",
         randomized: bool = False,
         aliases: tuple[str, ...] = (),
+        check: Callable[..., Any] | None = None,
     ) -> SpecEntry:
         """Add (or replace) an entry; returns it for chaining."""
         entry = SpecEntry(
@@ -80,6 +98,7 @@ class SpecRegistry:
             summary=summary,
             randomized=randomized,
             aliases=tuple(aliases),
+            check=check,
         )
         self._entries[name] = entry
         for alias in entry.aliases:
@@ -96,7 +115,7 @@ class SpecRegistry:
         entry = self._entries.get(key)
         if entry is None:
             raise ValueError(
-                f"unknown {self.kind} {name!r}; registered {self.kind}s: "
+                f"unknown {self.kind} {name!r}; registered {self.plural}: "
                 f"{', '.join(self.names())}"
             )
         return entry
@@ -116,7 +135,7 @@ class SpecRegistry:
 # Graph families
 # ----------------------------------------------------------------------
 
-GRAPHS = SpecRegistry("graph family")
+GRAPHS = SpecRegistry("graph family", plural="graph families")
 
 
 def _build_chain(s: int, layers: int, rng=None) -> BuiltGraph:
@@ -142,58 +161,141 @@ def _build_grid(rows: int, cols: int | None = None) -> Graph:
     return grid_2d(rows, cols if cols is not None else rows)
 
 
+# ----------------------------------------------------------------------
+# Eager parameter checks (SpecEntry.check) — each mirrors its builder's
+# own cheap validation, minus the construction work, so a bad spec fails
+# at Scenario.validate() time instead of mid-sweep.  The regression tests
+# in tests/scenario/test_scenario_validation.py pin check and builder
+# together.  Checks receive the builder-normalized arguments (see
+# _CallSpec.validate), so their parameter names need not match.
+# ----------------------------------------------------------------------
+
+
+def _check_chain(s: int, layers: int, rng=None) -> None:
+    from repro._util import check_positive_int
+    from repro.graphs.core_graph import core_graph_layout
+
+    core_graph_layout(s)  # positive power of two
+    check_positive_int(layers, "num_layers")
+
+
+def _check_random_regular(n: int, d: int, rng=None) -> None:
+    from repro._util import check_positive_int
+
+    check_positive_int(n, "n")
+    check_positive_int(d, "d")
+    if (n * d) % 2 != 0:
+        raise ValueError("n*d must be even for a d-regular graph")
+    if d >= n:
+        raise ValueError("need d < n")
+
+
+def _check_erdos_renyi(n: int, p: float, rng=None) -> None:
+    from repro._util import check_positive_int
+
+    check_positive_int(n, "n")
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+
+
+def _check_grid(rows: int, cols: int | None = None) -> None:
+    from repro._util import check_positive_int
+
+    check_positive_int(rows, "rows")
+    if cols is not None:
+        check_positive_int(cols, "cols")
+
+
+def _check_positive(name: str, minimum: int = 1):
+    def check(value: int) -> None:
+        from repro._util import check_positive_int
+
+        check_positive_int(value, name)
+        if value < minimum:
+            raise ValueError(f"{name} must be >= {minimum}, got {value}")
+
+    return check
+
+
+def _check_chordal_cycle(p: int) -> None:
+    from repro._util import check_positive_int
+
+    check_positive_int(p, "p")
+    if p < 3 or any(p % q == 0 for q in range(2, int(p**0.5) + 1)):
+        raise ValueError("chordal_cycle_graph requires a prime p >= 3")
+
+
+def _check_tree(height: int) -> None:
+    from repro._util import check_positive_int
+
+    check_positive_int(height + 1, "height + 1")
+
+
 def _register_graphs() -> None:
     from repro.graphs import cplus, families, planar
 
     GRAPHS.register(
         "chain", _build_chain, randomized=True,
         summary="Section 5 chained-core lower-bound network: chain(s, layers)",
+        check=_check_chain,
     )
     GRAPHS.register(
         "hypercube", families.hypercube,
         summary="d-dimensional hypercube Q_d: hypercube(d)",
+        check=_check_positive("dimension"),
     )
     GRAPHS.register(
         "random_regular", families.random_regular, randomized=True,
         summary="uniform random simple d-regular graph: random_regular(n, d)",
+        check=_check_random_regular,
     )
     GRAPHS.register(
         "erdos_renyi", families.erdos_renyi, randomized=True,
         summary="G(n, p) random graph: erdos_renyi(n, p)",
+        check=_check_erdos_renyi,
     )
     GRAPHS.register(
         "grid", _build_grid,
         summary="2-D grid: grid(rows, cols) (cols defaults to rows)",
+        check=_check_grid,
     )
     GRAPHS.register(
         "cycle", families.cycle_graph, summary="cycle C_n: cycle(n)",
+        check=_check_positive("n", minimum=3),
     )
     GRAPHS.register(
         "path", families.path_graph, summary="path P_n: path(n)",
+        check=_check_positive("n"),
     )
     GRAPHS.register(
         "complete", families.complete_graph,
         summary="complete graph K_n: complete(n)",
+        check=_check_positive("n"),
     )
     GRAPHS.register(
         "star", families.star_graph,
         summary="star K_{1,n-1} centred on vertex 0: star(n)",
+        check=_check_positive("n", minimum=2),
     )
     GRAPHS.register(
         "margulis", families.margulis_expander,
         summary="Margulis-Gabber-Galil expander on Z_m x Z_m: margulis(m)",
+        check=_check_positive("side", minimum=2),
     )
     GRAPHS.register(
         "chordal_cycle", families.chordal_cycle_graph,
         summary="Lubotzky chordal cycle on Z_p (p prime): chordal_cycle(p)",
+        check=_check_chordal_cycle,
     )
     GRAPHS.register(
         "cplus", cplus.cplus_graph,
         summary="the paper's C+ opener (clique + weak source): cplus(clique)",
+        check=_check_positive("clique_size", minimum=3),
     )
     GRAPHS.register(
         "tree", planar.complete_binary_tree,
         summary="complete binary tree of a given height: tree(height)",
+        check=_check_tree,
     )
 
 

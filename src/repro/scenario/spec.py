@@ -36,8 +36,10 @@ bit (and therefore share cache entries).
 
 from __future__ import annotations
 
+import inspect
 import re
 from dataclasses import dataclass, fields, replace
+from functools import lru_cache
 from typing import Any, Mapping
 
 from repro._util import format_call, parse_call, parse_value, spawn_seeds
@@ -45,6 +47,12 @@ from repro.radio.channel import ChannelSpec
 from repro.scenario.registry import GRAPHS, PROTOCOLS, BuiltGraph, SpecRegistry
 
 __all__ = ["GraphSpec", "ProtocolSpec", "RealizedScenario", "Scenario"]
+
+
+@lru_cache(maxsize=None)
+def _builder_signature(builder) -> inspect.Signature:
+    """Cached builder signature (validate runs per sweep point)."""
+    return inspect.signature(builder)
 
 
 def _freeze_kwargs(kwargs) -> tuple[tuple[str, Any], ...]:
@@ -125,6 +133,36 @@ class _CallSpec:
         """Whether building this spec consumes a seed."""
         return self.entry.randomized
 
+    def validate(self):
+        """Eagerly check this spec without building anything heavy.
+
+        Resolves the registry entry (unknown names fail here), binds the
+        arguments against the builder's signature (arity and unknown
+        keywords fail here), and runs the entry's registered parameter
+        ``check`` if it has one (out-of-domain values fail here).
+        Returns ``self`` so call sites can chain.
+        """
+        entry = self.entry
+        try:
+            bound = _builder_signature(entry.builder).bind(
+                *self.args, **dict(self.kwargs)
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"bad {self.kind} spec {self.describe()!r}: {exc}"
+            ) from None
+        if entry.check is not None:
+            try:
+                # Hand the check the builder-normalized arguments, so
+                # keyword-form specs (``hypercube(dimension=3)``) validate
+                # regardless of the check function's own parameter names.
+                entry.check(*bound.args, **bound.kwargs)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"bad {self.kind} spec {self.describe()!r}: {exc}"
+                ) from None
+        return self
+
 
 @dataclass(frozen=True)
 class GraphSpec(_CallSpec):
@@ -201,6 +239,31 @@ _COMPONENT_TYPES = {
 _ASSIGN_RE = re.compile(r"^([a-z_]+)\s*=\s*(.+)$", re.DOTALL)
 
 
+def _extra_segment_error(seg: str, text: str, values: Mapping[str, Any]) -> str:
+    """Diagnose a bare segment arriving after all three component slots
+    are taken: a *duplicate* of an already-assigned component kind gets a
+    message saying so (``... | erasure(0.1) | erasure(0.9)``), anything
+    else keeps the generic too-many-segments error."""
+    try:
+        name = parse_call(seg)[0]
+    except ValueError:
+        return f"too many component segments in scenario {text!r}"
+    if name in GRAPHS:
+        kind = "graph"
+    elif name in PROTOCOLS:
+        kind = "protocol"
+    else:
+        try:
+            ChannelSpec._canonical_name(name)
+        except ValueError:
+            return f"too many component segments in scenario {text!r}"
+        kind = "channel"
+    return (
+        f"duplicate {kind} segment {seg!r} in scenario {text!r} "
+        f"({kind} already set to {str(values.get(kind))!r})"
+    )
+
+
 def _coerce_component(key: str, value):
     cls = _COMPONENT_TYPES[key]
     if isinstance(value, cls):
@@ -265,6 +328,20 @@ class Scenario:
         )
         if self.trials < 1:
             raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.seed < 0:
+            # numpy would reject this only at run() with an opaque
+            # "expected non-negative integer" — name the field here.
+            raise ValueError(
+                f"seed must be a non-negative integer, got {self.seed}"
+            )
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.source is not None and self.source < 0:
+            # The upper range needs the realized graph's n and is checked
+            # at build time; negative ids are never valid for any family.
+            raise ValueError(
+                f"source must be a vertex id (>= 0), got {self.source}"
+            )
 
     # ------------------------------------------------------------------
     # The four views
@@ -305,9 +382,7 @@ class Scenario:
                 while positional and positional[0] in values:
                     positional.pop(0)
                 if not positional:
-                    raise ValueError(
-                        f"too many component segments in scenario {text!r}"
-                    )
+                    raise ValueError(_extra_segment_error(seg, text, values))
                 values[positional.pop(0)] = seg
         if "graph" not in values:
             raise ValueError(
@@ -320,7 +395,7 @@ class Scenario:
                 kwargs[key] = _coerce_component(key, raw)
             else:
                 kwargs[key] = _coerce_scalar(key, raw)
-        return cls(**kwargs)
+        return cls(**kwargs).validate()
 
     def describe(self) -> str:
         """Canonical string form: the three component specs, then any
@@ -374,6 +449,27 @@ class Scenario:
             if key in data:
                 kwargs[key] = data[key]
         return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Eager validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "Scenario":
+        """Eagerly check every component spec without building the graph.
+
+        The graph spec's parameters are checked against its family's
+        registered domain (:attr:`~repro.scenario.registry.SpecEntry.check`)
+        and builder signature; the protocol and channel specs are cheap,
+        so they are simply built and discarded.  Invoked by
+        :meth:`from_string`, the CLI's scenario resolution, and
+        :meth:`ScenarioSweep.points <repro.scenario.sweep.ScenarioSweep.points>`
+        so a bad grid fails before any simulation runs, not mid-sweep.
+        Returns ``self`` so call sites can chain.
+        """
+        self.graph.validate()
+        self.protocol.validate()
+        self.protocol.build()
+        self.channel.build()
+        return self
 
     # ------------------------------------------------------------------
     # Overrides (the CLI's -S key=value hook and ScenarioSweep's grid)

@@ -126,12 +126,18 @@ class ScenarioSweep:
 
     def points(self) -> list[tuple[dict[str, Any], Scenario]]:
         """The concrete ``(overrides, scenario)`` schedule, grid-major with
-        repetitions innermost — seed-expanded and deterministic."""
+        repetitions innermost — seed-expanded and deterministic.
+
+        Every scheduled scenario is eagerly validated
+        (:meth:`Scenario.validate`), so a grid containing an
+        out-of-domain spec fails here — before any task runs — rather
+        than mid-sweep.
+        """
         if self.explicit is not None:
-            pairs = [({}, sc) for sc in self.explicit]
+            pairs = [({}, sc.validate()) for sc in self.explicit]
         else:
             pairs = [
-                (overrides, self.base.with_overrides(overrides))
+                (overrides, self.base.with_overrides(overrides).validate())
                 for overrides in self._grid_points()
             ]
         if self.seed is None and self.repetitions == 1:

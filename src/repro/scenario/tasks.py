@@ -25,6 +25,7 @@ from repro._util import as_rng, spawn_seeds
 from repro.radio.broadcast import BatchBroadcastResult, run_broadcast_batch
 
 __all__ = [
+    "expansion_summary",
     "merge_batches",
     "run_scenario",
     "run_scenario_shard",
@@ -154,6 +155,66 @@ def run_scenario_sharded(scenario, executor) -> BatchBroadcastResult:
     ]
     parts = exec_.map(run_scenario_shard, calls)
     return merge_batches(parts)
+
+
+def _as_graph_spec(graph):
+    """Accept a :class:`GraphSpec`, spec string, or canonical dict."""
+    from repro.scenario.spec import GraphSpec
+
+    if isinstance(graph, GraphSpec):
+        return graph
+    if isinstance(graph, str):
+        return GraphSpec.from_string(graph)
+    if isinstance(graph, dict):
+        return GraphSpec.from_dict(graph)
+    raise TypeError(
+        f"expected a GraphSpec, spec string, or canonical dict; "
+        f"got {type(graph).__name__}"
+    )
+
+
+def expansion_summary(graph, expansion="sampled", seed: int = 0, executor=None) -> dict:
+    """One wireless-expansion measurement as a plain-JSON dict.
+
+    The measurement-side sibling of :func:`scenario_summary`: ``graph`` is
+    a :class:`~repro.scenario.spec.GraphSpec` (or spec string / canonical
+    dict), ``expansion`` an
+    :class:`~repro.expansion.spec.ExpansionSpec` (or its string / dict
+    form).  ``seed`` follows the scenario split discipline — a randomized
+    family consumes the second child of ``spawn_seeds(seed, 2)`` for
+    graph construction and the estimator the first, exactly as
+    :attr:`Scenario.seeds <repro.scenario.spec.Scenario.seeds>` splits —
+    so one ``(graph, expansion, seed)`` triple is one reproducible
+    measurement, content-addressed by
+    :meth:`~repro.runtime.store.ResultStore.expansion_key`.
+
+    ``executor`` shards candidate batches inside the estimator (results
+    are bit-for-bit identical to serial, so it is not part of the
+    identity).
+    """
+    from repro.expansion.spec import as_expansion_spec
+
+    gspec = _as_graph_spec(graph)
+    gspec.validate()
+    espec = as_expansion_spec(expansion)
+    if gspec.randomized:
+        estimator_seed, graph_seed = spawn_seeds(seed, 2)
+    else:
+        estimator_seed, graph_seed = seed, None
+    built = gspec.build(seed=graph_seed)
+    estimate = espec.estimate(built.graph, rng=estimator_seed, executor=executor)
+    out: dict = dict(built.meta)
+    out.update(
+        graph=gspec.describe(),
+        expansion=espec.describe(),
+        seed=int(seed),
+        n=built.graph.n,
+        beta_w=float(estimate.value),
+        bound=estimate.bound,
+        subset_size=int(estimate.subset.size),
+        candidates=int(estimate.candidates),
+    )
+    return out
 
 
 def scenario_summary(scenario) -> dict:

@@ -28,6 +28,7 @@ from repro.spokesman.portfolio import (
     RANDOMIZED_ALGORITHMS,
     spokesman_portfolio,
     wireless_lower_bound_of_set,
+    wireless_lower_bounds_of_sets,
 )
 from repro.spokesman.recursive import spokesman_recursive
 from repro.spokesman.sampling import (
@@ -67,4 +68,5 @@ __all__ = [
     "spokesman_threshold_sweep",
     "threshold_population",
     "wireless_lower_bound_of_set",
+    "wireless_lower_bounds_of_sets",
 ]

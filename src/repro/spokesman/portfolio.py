@@ -13,6 +13,7 @@ throughout the experiments (any algorithm's payoff on ``G_S`` certifies
 
 from __future__ import annotations
 
+import numpy as np
 
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.graph import Graph
@@ -30,6 +31,7 @@ __all__ = [
     "RANDOMIZED_ALGORITHMS",
     "spokesman_portfolio",
     "wireless_lower_bound_of_set",
+    "wireless_lower_bounds_of_sets",
 ]
 
 #: Name → callable(gs) for the deterministic algorithms.
@@ -96,3 +98,33 @@ def wireless_lower_bound_of_set(
         algorithm=best.algorithm,
     )
     return best.unique_count / size, translated
+
+
+def wireless_lower_bounds_of_sets(
+    graph: Graph,
+    subsets,
+    seeds=None,
+    size_cap: int | None = None,
+    include: list[str] | None = None,
+) -> np.ndarray:
+    """Certified per-set lower bounds for a batch of candidate sets.
+
+    The batched-pipeline arm of :func:`wireless_lower_bound_of_set`:
+    module-level and plain-data so candidate shards can ride into
+    :class:`~repro.runtime.executor.ParallelExecutor` workers.  ``seeds``
+    supplies one pre-derived seed per candidate (so sharding can never
+    perturb the randomized algorithms' streams); candidates outside
+    ``1..size_cap`` score ``inf`` (skipped), matching the exact
+    evaluator's skip rule.
+    """
+    values = np.full(len(subsets), np.inf)
+    for i, subset in enumerate(subsets):
+        subset = np.asarray(subset, dtype=np.int64)
+        if subset.size < 1 or (size_cap is not None and subset.size > size_cap):
+            continue
+        seed = None if seeds is None else seeds[i]
+        value, _ = wireless_lower_bound_of_set(
+            graph, subset, rng=seed, include=include
+        )
+        values[i] = value
+    return values

@@ -1,0 +1,210 @@
+"""Batched expansion pipeline ≡ legacy serial estimator, bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.expansion import (
+    enumerate_candidates,
+    evaluate_candidates,
+    max_unique_coverage_lattice,
+    wireless_expansion_exact,
+    wireless_expansion_of_set_exact,
+    wireless_expansion_sampled,
+    wireless_expansion_sampled_serial,
+)
+from repro.expansion.pipeline import select_minimum
+from repro.expansion.wireless import _wireless_expansion_exact_walk
+from repro.graphs import (
+    cycle_graph,
+    erdos_renyi,
+    hypercube,
+    random_regular,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def _assert_same(batched, serial):
+    assert batched[0] == serial[0]
+    assert np.array_equal(batched[1], serial[1])
+
+
+class TestBatchedEqualsSerial:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(30, 0.2, rng=seed)
+        _assert_same(
+            wireless_expansion_sampled(g, 0.5, samples=25, rng=seed),
+            wireless_expansion_sampled_serial(g, 0.5, samples=25, rng=seed),
+        )
+
+    def test_regular_expander_no_balls(self):
+        g = random_regular(64, 6, rng=0)
+        _assert_same(
+            wireless_expansion_sampled(
+                g, 0.5, samples=40, rng=3, include_balls=False
+            ),
+            wireless_expansion_sampled_serial(
+                g, 0.5, samples=40, rng=3, include_balls=False
+            ),
+        )
+
+    @pytest.mark.parametrize("graph_fn", [cycle_graph, star_graph])
+    def test_structured_families(self, graph_fn):
+        g = graph_fn(15)
+        _assert_same(
+            wireless_expansion_sampled(g, 0.5, samples=20, rng=1),
+            wireless_expansion_sampled_serial(g, 0.5, samples=20, rng=1),
+        )
+
+    def test_size_cap_respected(self):
+        g = cycle_graph(30)
+        batched = wireless_expansion_sampled(
+            g, 0.5, samples=20, rng=3, max_set_bits=6
+        )
+        _assert_same(
+            batched,
+            wireless_expansion_sampled_serial(
+                g, 0.5, samples=20, rng=3, max_set_bits=6
+            ),
+        )
+        assert batched[1].size <= 6
+
+    def test_parallel_sharding_identical(self):
+        from repro.runtime import ParallelExecutor
+
+        g = random_regular(48, 4, rng=1)
+        serial = wireless_expansion_sampled(g, 0.5, samples=30, rng=2)
+        parallel = wireless_expansion_sampled(
+            g, 0.5, samples=30, rng=2, executor=ParallelExecutor(3)
+        )
+        _assert_same(parallel, serial)
+
+    def test_int_executor_accepted(self):
+        g = hypercube(4)
+        _assert_same(
+            wireless_expansion_sampled(g, 0.5, samples=10, rng=0, executor=2),
+            wireless_expansion_sampled_serial(g, 0.5, samples=10, rng=0),
+        )
+
+
+class TestDegenerateGraphs:
+    def test_isolated_vertex(self):
+        # Vertex 5 is isolated: candidate sets containing it have an
+        # empty boundary contribution; a set of only isolated vertices
+        # has wireless expansion 0.
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        for seed in range(4):
+            _assert_same(
+                wireless_expansion_sampled(g, 0.5, samples=15, rng=seed),
+                wireless_expansion_sampled_serial(g, 0.5, samples=15, rng=seed),
+            )
+        value, _ = wireless_expansion_sampled(g, 0.5, samples=40, rng=0)
+        assert value == 0.0  # {5} alone certifies βw = 0
+
+    def test_disconnected_graph(self):
+        g = Graph(9, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3), (6, 7)])
+        for seed in range(4):
+            _assert_same(
+                wireless_expansion_sampled(g, 0.5, samples=15, rng=seed),
+                wireless_expansion_sampled_serial(g, 0.5, samples=15, rng=seed),
+            )
+
+    def test_alpha_admitting_no_sets(self):
+        g = cycle_graph(8)
+        with pytest.raises(ValueError, match="admits no non-empty subsets"):
+            wireless_expansion_sampled(g, 0.01, rng=0)
+        with pytest.raises(ValueError, match="admits no non-empty subsets"):
+            wireless_expansion_sampled_serial(g, 0.01, rng=0)
+        with pytest.raises(ValueError, match="admits no non-empty subsets"):
+            enumerate_candidates(g, alpha=0.01, rng=0)
+
+    def test_no_candidates_at_all(self):
+        g = cycle_graph(8)
+        batched = wireless_expansion_sampled(
+            g, 0.5, samples=0, rng=0, include_balls=False
+        )
+        serial = wireless_expansion_sampled_serial(
+            g, 0.5, samples=0, rng=0, include_balls=False
+        )
+        _assert_same(batched, serial)
+        assert batched[0] == np.inf
+
+
+class TestLatticeKernel:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_per_set_exact(self, seed):
+        # The lattice DP must reproduce the bipartite-profile optimum for
+        # arbitrary candidate sets.
+        g = erdos_renyi(20, 0.25, rng=seed)
+        gen = np.random.default_rng(seed)
+        cand = gen.choice(20, size=int(gen.integers(1, 9)), replace=False)
+        values = evaluate_candidates(g, [cand], size_cap=10)
+        expected, _ = wireless_expansion_of_set_exact(g, cand)
+        assert values[0] == expected
+
+    def test_empty_masks(self):
+        assert max_unique_coverage_lattice(3, np.array([], dtype=np.uint64),
+                                           np.array([], dtype=np.int64)) == 0
+
+    def test_singleton_and_multi_mix(self):
+        # masks over 3 candidate bits: two singletons (weights 2, 5) and
+        # one pair-mask {0,1} (weight 3).  Best S' = {0}: 2 + 3 unique.
+        masks = np.array([0b001, 0b010, 0b011], dtype=np.uint64)
+        weights = np.array([2, 5, 3], dtype=np.int64)
+        # S'={1}: 5+3=8; S'={0}: 2+3=5; S'={0,1}: 2+5=7; S'={0,1,2}: 7.
+        assert max_unique_coverage_lattice(3, masks, weights) == 8
+
+    def test_select_minimum_tie_keeps_first(self):
+        candidates = [np.array([1]), np.array([2]), np.array([3])]
+        values = np.array([0.5, 0.25, 0.25])
+        value, subset = select_minimum(values, candidates)
+        assert value == 0.25
+        assert np.array_equal(subset, np.array([2]))
+
+
+class TestVectorizedExact:
+    def test_size_guard_and_alpha_guard(self):
+        g = cycle_graph(16)
+        with pytest.raises(ValueError, match="supports n <="):
+            wireless_expansion_exact(g, 0.5, max_bits=14)
+        with pytest.raises(ValueError, match="supports n <="):
+            _wireless_expansion_exact_walk(g, 0.5, max_bits=14)
+        with pytest.raises(ValueError, match="admits no non-empty"):
+            wireless_expansion_exact(cycle_graph(8), 0.01)
+        with pytest.raises(ValueError, match="admits no non-empty"):
+            _wireless_expansion_exact_walk(cycle_graph(8), 0.01)
+
+    def test_serial_sampled_skips_oversized_ball_seeds(self):
+        # The serial reference's consider() guard: candidate sets wider
+        # than the cap contribute nothing on either path.
+        g = star_graph(12)  # radius-1 ball of the centre is the whole graph
+        _assert_same(
+            wireless_expansion_sampled(g, 1.0, samples=5, rng=0,
+                                       max_set_bits=4),
+            wireless_expansion_sampled_serial(g, 1.0, samples=5, rng=0,
+                                              max_set_bits=4),
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_submask_walk(self, seed):
+        g = erdos_renyi(9, 0.4, rng=seed)
+        vec = wireless_expansion_exact(g, 0.5)
+        walk = _wireless_expansion_exact_walk(g, 0.5)
+        assert vec[0] == walk[0]
+        assert np.array_equal(vec[1], walk[1])
+
+    @pytest.mark.parametrize("alpha", [0.25, 0.5, 1.0])
+    def test_alpha_sweep(self, alpha):
+        g = erdos_renyi(8, 0.35, rng=11)
+        vec = wireless_expansion_exact(g, alpha)
+        walk = _wireless_expansion_exact_walk(g, alpha)
+        assert vec[0] == walk[0]
+        assert np.array_equal(vec[1], walk[1])
+
+    def test_disconnected_with_isolated_vertex(self):
+        g = Graph(8, [(0, 1), (1, 2), (3, 4), (5, 6)])
+        vec = wireless_expansion_exact(g, 0.5)
+        walk = _wireless_expansion_exact_walk(g, 0.5)
+        assert vec[0] == walk[0] == 0.0  # any set containing vertex 7
+        assert np.array_equal(vec[1], walk[1])

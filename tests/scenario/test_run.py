@@ -172,7 +172,9 @@ class TestSummary:
         from repro.analysis import EXPERIMENTS
 
         bound = [e for e in EXPERIMENTS if e.scenario is not None]
-        assert {e.id for e in bound} == {"E7", "E12", "E13", "E14", "E15", "E16"}
+        assert {e.id for e in bound} == {
+            "E7", "E12", "E13", "E14", "E15", "E16", "E17",
+        }
         smoke = bound[0].scenario.with_overrides({"trials": 2})
         batch = smoke.run()
         assert batch.trials == 2

@@ -181,9 +181,19 @@ class TestScenarioRoundTrips:
         with pytest.raises(ValueError, match="names no graph"):
             Scenario.from_string("protocol=decay")
 
-    def test_too_many_components_rejected(self):
-        with pytest.raises(ValueError, match="too many component"):
+    def test_duplicate_component_segment_named(self):
+        # A fourth bare segment that re-spells an already-assigned
+        # component kind is a *duplicate*, not "too many components".
+        with pytest.raises(ValueError, match="duplicate protocol segment"):
             Scenario.from_string("hypercube(4) | decay | classic | decay")
+
+    def test_too_many_components_rejected(self):
+        # A fourth segment that matches no registry keeps the generic
+        # too-many-segments diagnosis.
+        with pytest.raises(ValueError, match="too many component"):
+            Scenario.from_string(
+                "hypercube(4) | decay | classic | not-a-component"
+            )
 
 
 class TestOverrides:

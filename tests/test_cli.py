@@ -118,7 +118,7 @@ class TestScenarioFlags:
     # The uniform --scenario/-S builder shared by every simulation verb.
     def test_scenario_flags_everywhere(self):
         parser = build_parser()
-        for cmd in ("broadcast", "hops", "channels", "sweep"):
+        for cmd in ("broadcast", "hops", "channels", "sweep", "expansion"):
             args = parser.parse_args(
                 [cmd, "--scenario", "chain(4, 2)", "-S", "trials=4"])
             assert args.scenario == "chain(4, 2)", cmd
@@ -227,14 +227,70 @@ class TestScenarioFlags:
             main(["hops", "--scenario", "chain(4, 2) | source=1",
                   "--reps", "2"])
 
+    def test_bad_graph_override_fails_before_running(self):
+        # Eager Scenario.validate: the out-of-domain family parameter is a
+        # clean SystemExit at resolution time, not a mid-sweep crash.
+        with pytest.raises(SystemExit):
+            main(["broadcast", "-S", "graph=erdos_renyi(10, 1.5)"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "-S", "graph=chain(0, 3)"])
+
+
+class TestExpansionCommand:
+    def test_table_and_cache_counters(self, capsys, tmp_path):
+        argv = ["expansion", "-S", "graph=margulis(3)",
+                "-E", "sampled(samples=10)", "--seed", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "wireless expansion of margulis(3)" in cold
+        assert "beta_w" in cold
+        assert "cache: 0 hits, 1 misses" in cold
+        # Warm rerun must be a pure replay with identical numbers.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 1 hits, 0 misses" in warm
+        assert cold.splitlines()[:-1] == warm.splitlines()[:-1]
+
+    def test_multiple_estimators(self, capsys, tmp_path):
+        assert main(
+            ["expansion", "-S", "graph=hypercube(4)",
+             "-E", "sampled(samples=10)", "-E", "exact(max_set_bits=16)",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "upper" in out and "exact" in out
+
+    def test_jobs_matches_serial(self, capsys, tmp_path):
+        argv = ["expansion", "-S", "graph=margulis(3)",
+                "-E", "sampled(samples=10)"]
+        assert main(argv + ["--cache-dir", str(tmp_path / "a")]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--cache-dir", str(tmp_path / "b"),
+                            "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Same table rows; only the jobs= banner differs.
+        assert serial.splitlines()[1:-1] == parallel.splitlines()[1:-1]
+
+    def test_bad_estimator_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["expansion", "-E", "magic"])
+
+    def test_estimator_domain_error_is_clean(self, tmp_path):
+        # exact on a graph wider than max_set_bits must be a clean
+        # SystemExit, not a raw ValueError traceback.
+        with pytest.raises(SystemExit, match="cannot run"):
+            main(["expansion", "-E", "exact",
+                  "--cache-dir", str(tmp_path)])
+
 
 class TestScenariosCommand:
     def test_list(self, capsys):
         assert main(["scenarios", "list"]) == 0
         out = capsys.readouterr().out
         for marker in ("graph families", "protocols", "channels",
-                       "named scenarios", "chain-decay", "hypercube",
-                       "experiment-bound"):
+                       "expansion estimators", "named scenarios",
+                       "chain-decay", "hypercube", "experiment-bound"):
             assert marker in out, marker
 
     def test_show_preset(self, capsys):
@@ -268,6 +324,7 @@ class TestUniformExecFlags:
         "schedule": [],
         "channels": [],
         "sweep": [],
+        "expansion": [],
         "spokesman": [],  # --seed only (single-instance election)
         "worstcase": [],  # --seed only
     }
@@ -280,7 +337,8 @@ class TestUniformExecFlags:
 
     def test_jobs_flag_on_runtime_commands(self):
         parser = build_parser()
-        for cmd in ("broadcast", "hops", "schedule", "channels", "sweep"):
+        for cmd in ("broadcast", "hops", "schedule", "channels", "sweep",
+                    "expansion"):
             args = parser.parse_args([cmd, "--jobs", "3"])
             assert args.jobs == 3, cmd
         assert parser.parse_args(["run", "E16", "--jobs", "2"]).jobs == 2
