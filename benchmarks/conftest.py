@@ -16,6 +16,7 @@ worker count for benches that schedule through the runtime executor.
 from __future__ import annotations
 
 import os
+import sys
 
 import pytest
 
@@ -52,10 +53,28 @@ def results_dir() -> str:
     return RESULTS_DIR
 
 
-def emit(results_dir: str, name: str, text: str, data=None) -> None:
+def peak_rss_bytes() -> int | None:
+    """The process's lifetime peak resident set size in bytes.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; ``None`` where the
+    ``resource`` module is unavailable (non-POSIX platforms).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only CI
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def emit(results_dir: str, name: str, text: str, data=None, engine=None) -> None:
     """Print a table, archive it for EXPERIMENTS.md, and write the
     machine-readable ``.json`` sidecar (``data`` carries structured rows;
-    the rendered table always rides along)."""
+    the rendered table always rides along).  ``engine`` records which
+    broadcast backend produced the numbers (``None`` for benches where the
+    distinction doesn't apply); ``peak_rss_bytes`` snapshots the process
+    peak RSS at emit time so memory regressions are visible in archived
+    sidecars."""
     print("\n" + text)
     with open(os.path.join(results_dir, name), "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
@@ -67,6 +86,8 @@ def emit(results_dir: str, name: str, text: str, data=None) -> None:
             "experiment": stem.split("_")[0],
             "smoke": SMOKE,
             "jobs": JOBS,
+            "engine": engine,
+            "peak_rss_bytes": peak_rss_bytes(),
             "table": text.splitlines(),
             "data": data,
         },

@@ -12,11 +12,13 @@ from repro._util.intmath import (
     is_power_of_two,
     log2_real,
     next_power_of_two,
+    parse_byte_size,
 )
 from repro._util.popcount import POPCOUNT16, popcount_u32, popcount_u64
 from repro._util.specstr import format_call, format_value, parse_call, parse_value
 from repro._util.rng import (
     as_rng,
+    counter_coin_blocks,
     counter_coins,
     counter_uniforms,
     derive_keys,
@@ -37,6 +39,7 @@ __all__ = [
     "check_fraction",
     "check_positive",
     "check_positive_int",
+    "counter_coin_blocks",
     "counter_coins",
     "counter_uniforms",
     "derive_keys",
@@ -46,6 +49,7 @@ __all__ = [
     "is_power_of_two",
     "log2_real",
     "next_power_of_two",
+    "parse_byte_size",
     "parse_call",
     "parse_value",
     "popcount_u32",

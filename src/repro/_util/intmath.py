@@ -10,6 +10,7 @@ floats.
 from __future__ import annotations
 
 import math
+import re
 
 __all__ = [
     "ceil_div",
@@ -18,6 +19,7 @@ __all__ = [
     "is_power_of_two",
     "log2_real",
     "next_power_of_two",
+    "parse_byte_size",
 ]
 
 
@@ -56,6 +58,56 @@ def ceil_div(a: int, b: int) -> int:
     if b <= 0:
         raise ValueError(f"ceil_div requires positive divisor, got {b!r}")
     return -(-a // b)
+
+
+#: Byte-size suffixes: binary (KiB = 2**10) and decimal (KB = 10**3),
+#: case-insensitive, with a bare "B" and no suffix both meaning bytes.
+_BYTE_UNITS = {
+    "": 1,
+    "b": 1,
+    "kib": 2**10, "mib": 2**20, "gib": 2**30, "tib": 2**40,
+    "kb": 10**3, "mb": 10**6, "gb": 10**9, "tb": 10**12,
+    # Bare "K"/"M"/... follow the binary convention (ulimit, /proc).
+    "k": 2**10, "m": 2**20, "g": 2**30, "t": 2**40,
+}
+
+_BYTE_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([A-Za-z]*)\s*$")
+
+
+def parse_byte_size(text: str | int) -> int:
+    """A human byte size as an exact integer byte count.
+
+    Accepts plain integers (``2147483648``), binary suffixes
+    (``"2GiB"``, ``"512MiB"``, ``"64K"``), and decimal suffixes
+    (``"2GB"``); fractions are allowed with a suffix (``"1.5GiB"``).
+
+    Raises
+    ------
+    ValueError
+        On unknown suffixes, non-positive sizes, or fractional bytes.
+    """
+    if isinstance(text, int) and not isinstance(text, bool):
+        size = text
+    else:
+        match = _BYTE_SIZE_RE.match(str(text))
+        if match is None or match.group(2).lower() not in _BYTE_UNITS:
+            raise ValueError(
+                f"bad byte size {text!r}: expected an integer with an "
+                "optional KiB/MiB/GiB/TiB (or KB/MB/GB/TB) suffix"
+            )
+        number, unit = match.group(1), _BYTE_UNITS[match.group(2).lower()]
+        if "." in number:
+            exact = float(number) * unit
+            size = int(exact)
+            if size != exact:
+                raise ValueError(
+                    f"bad byte size {text!r}: fractional byte count"
+                )
+        else:
+            size = int(number) * unit
+    if size < 1:
+        raise ValueError(f"byte size must be >= 1, got {text!r}")
+    return size
 
 
 def log2_real(x: float) -> float:

@@ -1,6 +1,6 @@
 """Experiment registry: the canonical index of reproduction targets.
 
-A single table mapping experiment ids (E1–E17) to the paper statement they
+A single table mapping experiment ids (E1–E18) to the paper statement they
 reproduce, the modules that implement the pieces, and the benchmark file
 that regenerates the table.  DESIGN.md and EXPERIMENTS.md mirror this
 registry; a consistency test (``tests/analysis/test_experiments.py``)
@@ -182,6 +182,20 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "bench_expansion_scaling.py",
         ("E17_expansion_vs_broadcast.txt", "E17_expansion_speedup.txt"),
         scenario=Scenario.from_string("margulis(6) | decay | classic | trials=8"),
+    ),
+    Experiment(
+        "E18", "engine",
+        "datacenter-scale broadcast: packed-bitset frontier engine (CSR "
+        "neighbour-word gathers + popcount reception) vs dense; ≥ 5× less "
+        "working memory and ≥ 3× reception-step throughput at n = 10^5, "
+        "bit-for-bit identical, with MemoryBudget column sharding",
+        ("repro.radio.bitset", "repro.radio.broadcast",
+         "repro.graphs.graph"),
+        "bench_datacenter_scale.py", ("E18_datacenter_scale.txt",),
+        scenario=Scenario.from_string(
+            "random_regular(100000, 16) | decay | classic | trials=64 "
+            "| engine=bitset"
+        ),
     ),
 )
 

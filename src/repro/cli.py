@@ -164,6 +164,20 @@ def _resolve_scenario(args: argparse.Namespace, default):
             base = get_scenario(args.scenario)
         except (KeyError, ValueError, TypeError) as exc:
             raise SystemExit(f"bad --scenario: {exc}") from None
+    # Explicit flags override a --scenario-baked value (their parser
+    # defaults are None so explicitness is observable); -S still wins.
+    flags: dict[str, object] = {}
+    if getattr(args, "trials", None) is not None:
+        flags["trials"] = args.trials
+    if getattr(args, "engine", None) is not None:
+        flags["engine"] = args.engine
+    if getattr(args, "memory_budget", None) is not None:
+        flags["memory_budget"] = args.memory_budget
+    if flags:
+        try:
+            base = base.with_overrides(flags)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SystemExit(f"bad flag value: {exc}") from None
     overrides = _parse_overrides(args)
     if overrides:
         try:
@@ -196,6 +210,14 @@ def _seed(args: argparse.Namespace) -> int:
     observable; unset means 0)."""
     value = getattr(args, "seed", None)
     return 0 if value is None else value
+
+
+def _trials(args: argparse.Namespace, default: int) -> int:
+    """The --trials value (its parser default is None so an explicit flag
+    can override a --scenario-baked trial count); unset means the verb's
+    own default."""
+    value = getattr(args, "trials", None)
+    return default if value is None else value
 
 
 def _graph_overridden(args: argparse.Namespace, overrides) -> bool:
@@ -297,8 +319,19 @@ def _add_scenario_flags(p: "argparse.ArgumentParser") -> None:
         "-S", "--set", dest="scenario_set", action="append", default=[],
         metavar="KEY=VALUE",
         help="scenario field override (repeatable): graph/protocol/channel/"
-             "trials/seed/source/max_rounds or dotted spec fields such as "
-             "channel.erasure_p")
+             "trials/seed/source/max_rounds/engine/memory_budget or dotted "
+             "spec fields such as channel.erasure_p")
+    p.add_argument(
+        "--engine", choices=["auto", "dense", "bitset"], default=None,
+        help="simulation backend: dense (sparse mat-mat counts), bitset "
+             "(packed-word CSR gathers; large-n memory-lean path), or auto "
+             "(default); sugar for -S engine=...")
+    p.add_argument(
+        "--memory-budget", dest="memory_budget", default=None,
+        metavar="BYTES",
+        help="peak working-set budget — trials are sharded into column "
+             "chunks that fit, e.g. '2GiB' or '512MiB'; sugar for "
+             "-S memory_budget=...")
 
 
 def _rep_groups(points, reps: int):
@@ -324,7 +357,7 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
     default = Scenario(
         graph=GraphSpec.make("chain", args.s, args.layers[0]),
         channel=_channel_spec(args),
-        trials=args.trials,
+        trials=_trials(args, 1),
         seed=_seed(args),
     )
     base, overrides = _resolve_scenario(args, default)
@@ -370,7 +403,7 @@ def _cmd_hops(args: argparse.Namespace) -> int:
     default = Scenario(
         graph=GraphSpec.make("chain", args.s, args.layers[0]),
         channel=_channel_spec(args),
-        trials=args.trials,
+        trials=_trials(args, 1),
         seed=_seed(args),
     )
     base, overrides = _resolve_scenario(args, default)
@@ -446,7 +479,7 @@ def _cmd_channels(args: argparse.Namespace) -> int:
 
     default = Scenario(
         graph=GraphSpec.make("random_regular", args.n, args.delta),
-        trials=args.trials,
+        trials=_trials(args, 32),
         seed=_seed(args),
     )
     base, overrides = _resolve_scenario(args, default)
@@ -567,7 +600,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     default = Scenario(
         graph=GraphSpec.make("chain", args.s_values[0], args.layers[0]),
         channel=_channel_spec(args),
-        trials=args.trials,
+        trials=_trials(args, 4),
         seed=_seed(args),
     )
     base, overrides = _resolve_scenario(args, default)
@@ -760,8 +793,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=_int_list, default=[2, 4, 8])
     p.add_argument("--reps", type=int, default=3,
                    help="independent chains per grid point")
-    p.add_argument("--trials", type=int, default=1,
-                   help="batched protocol trials per chain")
+    p.add_argument("--trials", type=int, default=None,
+                   help="batched protocol trials per chain (default 1; "
+                        "overrides a --scenario-baked count)")
     _add_exec_flags(p)
     _add_channel_flags(p)
     _add_scenario_flags(p)
@@ -772,8 +806,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=_int_list, default=[6])
     p.add_argument("--reps", type=int, default=10,
                    help="independent chains")
-    p.add_argument("--trials", type=int, default=1,
-                   help="batched protocol trials per chain")
+    p.add_argument("--trials", type=int, default=None,
+                   help="batched protocol trials per chain (default 1)")
     _add_exec_flags(p)
     _add_channel_flags(p)
     _add_scenario_flags(p)
@@ -784,7 +818,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=256)
     p.add_argument("--delta", type=int, default=8)
     p.add_argument("--s", type=int, default=8)
-    p.add_argument("--trials", type=int, default=32)
+    p.add_argument("--trials", type=int, default=None,
+                   help="batched protocol trials per point (default 32)")
     p.add_argument("--erasure-ps", type=_float_list,
                    default=[0.0, 0.1, 0.2, 0.3])
     _add_exec_flags(p)
@@ -843,8 +878,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=_int_list, default=[2, 4])
     p.add_argument("--reps", type=int, default=2,
                    help="independent chains per grid point")
-    p.add_argument("--trials", type=int, default=4,
-                   help="batched protocol trials per chain")
+    p.add_argument("--trials", type=int, default=None,
+                   help="batched protocol trials per chain (default 4)")
     p.add_argument("--cache-dir", default=None,
                    help="result-store root (default: results/cache)")
     p.add_argument("--resume", action="store_true",

@@ -29,6 +29,84 @@ __all__ = [
     "star_graph",
 ]
 
+#: Above this vertex count the randomized/explicit expander builders go
+#: straight to CSR (:meth:`Graph.from_csr`) instead of routing through
+#: networkx or edge-list canonicalization — the datacenter-scale path.
+#: Below it, the legacy constructions are kept verbatim so existing seeds
+#: keep producing bit-identical graphs.
+_DIRECT_SAMPLER_MIN_N = 50_000
+
+
+def _csr_from_pairs(n: int, u: np.ndarray, v: np.ndarray) -> Graph:
+    """Symmetric, deduplicated CSR straight from directed edge endpoints.
+
+    ``(u[i], v[i])`` are simple edges (no self-loops), possibly repeated;
+    both directions are emitted, sorted, and deduplicated in vectorized
+    numpy — no per-edge Python tuples and no duplicate-scanning
+    :class:`Graph` constructor pass.
+    """
+    rows = np.concatenate([u, v])
+    cols = np.concatenate([v, u])
+    order = np.lexsort((cols, rows))
+    rows = rows[order]
+    cols = cols[order]
+    if rows.shape[0]:
+        keep = np.ones(rows.shape[0], dtype=bool)
+        keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        rows = rows[keep]
+        cols = cols[keep]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+    return Graph.from_csr(n, indptr, cols, validate=False)
+
+
+def _random_regular_direct(n: int, d: int, gen: np.random.Generator) -> Graph:
+    """Configuration-model pairing with vectorized repair.
+
+    Pairs the ``n·d`` half-edge stubs uniformly, then repeatedly reshuffles
+    the stubs of self-loops and duplicate edges until the graph is simple.
+    When the repair pool stops shrinking (bad stubs sharing endpoints), an
+    equal number of random good edges is broken up to re-open the mixing.
+    For ``d ≪ n`` this converges in a handful of rounds w.h.p.
+    """
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    gen.shuffle(stubs)
+    u, v = stubs[0::2].copy(), stubs[1::2].copy()
+    stall, last_bad = 0, u.shape[0] + 1
+    for _ in range(1000):
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        key = lo * n + hi
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        bad = u == v
+        # Mark every repeat of an unordered pair past its first occurrence.
+        repeats = np.zeros(key.shape[0], dtype=bool)
+        repeats[order[1:]] = sorted_key[1:] == sorted_key[:-1]
+        bad |= repeats
+        n_bad = int(bad.sum())
+        if n_bad == 0:
+            return _csr_from_pairs(n, u, v)
+        stall = stall + 1 if n_bad >= last_bad else 0
+        last_bad = n_bad
+        if stall >= 10:
+            good = np.flatnonzero(~bad)
+            release = gen.choice(
+                good, size=min(good.size, n_bad), replace=False
+            )
+            bad[release] = True
+            stall = 0
+        pool = np.concatenate([u[bad], v[bad]])
+        gen.shuffle(pool)
+        keep = ~bad
+        u = np.concatenate([u[keep], pool[0::2]])
+        v = np.concatenate([v[keep], pool[1::2]])
+    raise RuntimeError(
+        f"random_regular pairing failed to mix for n={n}, d={d}; "
+        "this regime (d close to n) needs the exact sampler — "
+        f"use n < {_DIRECT_SAMPLER_MIN_N} to route through networkx"
+    )
+
 
 def complete_graph(n: int) -> Graph:
     """``K_n`` — the extreme (and degenerate) expander."""
@@ -82,15 +160,17 @@ def hypercube(dimension: int) -> Graph:
 
 
 def random_regular(n: int, d: int, rng=None) -> Graph:
-    """Uniform random simple ``d``-regular graph.
+    """Random simple ``d``-regular graph.
 
-    Delegates to networkx's pairing-with-repair sampler (Steger–Wormald
-    style), which stays efficient for the moderate degrees the experiment
-    sweeps use.  Random regular graphs are near-Ramanujan w.h.p. (Friedman),
-    so they serve as the generic good expander throughout.
+    Below ``n = 50,000`` this delegates to networkx's pairing-with-repair
+    sampler (Steger–Wormald style) — kept verbatim so existing seeds keep
+    producing bit-identical graphs.  At datacenter scale it switches to a
+    vectorized configuration-model pairing that builds the CSR directly
+    (:func:`_random_regular_direct`): no networkx node objects, no Python
+    edge tuples — a few ``n·d``-length numpy passes.  Random regular
+    graphs are near-Ramanujan w.h.p. (Friedman), so they serve as the
+    generic good expander throughout.
     """
-    import networkx as nx
-
     check_positive_int(n, "n")
     check_positive_int(d, "d")
     if (n * d) % 2 != 0:
@@ -98,6 +178,10 @@ def random_regular(n: int, d: int, rng=None) -> Graph:
     if d >= n:
         raise ValueError("need d < n")
     gen = as_rng(rng)
+    if n >= _DIRECT_SAMPLER_MIN_N:
+        return _random_regular_direct(n, d, gen)
+    import networkx as nx
+
     seed = int(gen.integers(0, 2**32 - 1))
     g = nx.random_regular_graph(d, n, seed=seed)
     return Graph(n, np.array(sorted((min(a, b), max(a, b)) for a, b in g.edges())))
@@ -136,6 +220,12 @@ def margulis_expander(side: int) -> Graph:
         [np.column_stack([vid, t]) for t in targets]
     )
     pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    if m * m >= _DIRECT_SAMPLER_MIN_N:
+        # The generator set is closed under inverse, so the directed pair
+        # list is already symmetric — straight to CSR, skipping the
+        # canonical-edge unique pass and the Graph constructor's
+        # duplicate scan.
+        return _csr_from_pairs(m * m, pairs[:, 0], pairs[:, 1])
     lo = np.minimum(pairs[:, 0], pairs[:, 1])
     hi = np.maximum(pairs[:, 0], pairs[:, 1])
     uniq = np.unique(np.column_stack([lo, hi]), axis=0)

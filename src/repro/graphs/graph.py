@@ -1,9 +1,15 @@
 """General undirected graph wrapper with the paper's neighbourhood operators.
 
-A thin, immutable adjacency-CSR wrapper (``scipy.sparse``) exposing exactly
-the operators Section 2.1 defines — ``Γ(S)``, ``Γ⁻(S)``, ``Γ¹(S)``,
-``Γ_S(S')``, ``Γ¹_S(S')`` — plus extraction of the boundary bipartite graph
+A thin, immutable adjacency wrapper exposing exactly the operators
+Section 2.1 defines — ``Γ(S)``, ``Γ⁻(S)``, ``Γ¹(S)``, ``Γ_S(S')``,
+``Γ¹_S(S')`` — plus extraction of the boundary bipartite graph
 ``G_S = (S, Γ⁻(S))`` that Section 4.1 reduces every expansion question to.
+
+The canonical storage is a plain-numpy CSR (:class:`CSRAdjacency`) with
+indptr/indices in the narrowest safe uint dtype; the ``scipy.sparse``
+matrix behind the dense neighbourhood operators is built lazily on first
+use, so large-n paths that only need CSR gathers (the bitset broadcast
+engine) never materialize scipy structures at all.
 
 All neighbourhood operators are one sparse mat-vec plus vectorized masking.
 """
@@ -13,21 +19,112 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.graphs.bipartite import BipartiteGraph
 
-__all__ = ["Graph"]
+__all__ = ["CSRAdjacency", "Graph"]
+
+
+def _narrow_uint(values: np.ndarray, max_value: int) -> np.ndarray:
+    """Cast an index array to the narrowest uint dtype holding ``max_value``."""
+    dtype = np.min_scalar_type(max(int(max_value), 0))
+    return values.astype(dtype, copy=False)
+
+
+class CSRAdjacency:
+    """Plain-numpy CSR view of a symmetric adjacency (no scipy).
+
+    ``indptr``/``indices`` are stored in the narrowest safe uint dtype.
+    ``gather_plan`` precomputes (and caches) the degree-slot schedule the
+    bitset engine's exactly-one kernel iterates: for a d-regular graph the
+    slot-major ``(d, n)`` transpose of the ``indices`` reshape (each
+    slot's gather indices contiguous); in general a degree-descending
+    stable ordering with int64 row starts, so slot ``k`` touches exactly
+    the vertices whose degree exceeds ``k``.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "degrees", "_plan")
+
+    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.n = int(n)
+        self.indptr = _narrow_uint(
+            np.asarray(indptr), int(indptr[-1]) if len(indptr) else 0
+        )
+        self.indices = _narrow_uint(np.asarray(indices), self.n - 1)
+        self.degrees = np.diff(self.indptr.astype(np.int64))
+        self._plan = None
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (directed) entries — twice the edge count."""
+        return int(self.indices.shape[0])
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max()) if self.n else 0
+
+    def row(self, v: int) -> np.ndarray:
+        """Sorted neighbours of ``v`` (int64)."""
+        lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+        return self.indices[lo:hi].astype(np.int64)
+
+    def gather_plan(self):
+        """The cached degree-slot gather schedule.
+
+        Returns either ``("regular", slots)`` with ``slots`` the
+        slot-major ``(d, n)`` contiguous transpose of the ``(n, d)``
+        ``indices`` reshape (valid because rows are sorted and equal
+        length; slot-major so each slot's gather indices are one
+        contiguous row), or ``("general", order, starts, slot_counts)``
+        where ``order`` lists vertices by descending degree (stable),
+        ``starts = indptr[order]`` as int64, and ``slot_counts[k]`` is the
+        number of vertices with degree > ``k`` — the prefix of ``order``
+        participating in slot ``k``.
+        """
+        if self._plan is None:
+            n = self.n
+            degrees = self.degrees
+            max_d = self.max_degree
+            if n and degrees.min() == max_d:
+                # intp (not the narrow stored dtype): fancy indexing casts
+                # non-intp index arrays on every gather, so the hot kernel
+                # would pay the conversion once per slot per round.
+                self._plan = (
+                    "regular",
+                    np.ascontiguousarray(self.indices.reshape(n, max_d).T).astype(
+                        np.intp
+                    ),
+                )
+            else:
+                order = np.argsort(-degrees, kind="stable")
+                starts = self.indptr.astype(np.int64)[order]
+                counts = np.bincount(degrees, minlength=max_d + 1)
+                # slot_counts[k] = #vertices with degree > k, k in 0..max_d-1.
+                slot_counts = n - np.cumsum(counts)[:max_d]
+                self._plan = ("general", order, starts, slot_counts)
+        return self._plan
+
+
+def _build_csr(n: int, canon: np.ndarray) -> CSRAdjacency:
+    """Symmetrize canonical (u < v) edges into a sorted-row CSR."""
+    rows = np.concatenate([canon[:, 0], canon[:, 1]])
+    cols = np.concatenate([canon[:, 1], canon[:, 0]])
+    order = np.lexsort((cols, rows))
+    counts = np.bincount(rows, minlength=n) if n else np.zeros(0, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRAdjacency(n, indptr, cols[order])
 
 
 class Graph:
     """Simple undirected graph on vertices ``0..n-1`` (no self-loops).
 
-    Immutable; constructed from an edge list, a networkx graph, or a
-    symmetric sparse adjacency matrix.
+    Immutable; constructed from an edge list, a prebuilt CSR
+    (:meth:`from_csr`), a networkx graph, or a symmetric sparse adjacency
+    matrix.
     """
 
-    __slots__ = ("n", "_adj", "_degrees")
+    __slots__ = ("n", "_csr", "_adj", "_degrees")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] | np.ndarray) -> None:
         if n < 0:
@@ -51,17 +148,67 @@ class Graph:
         canon = np.unique(np.column_stack([u, v]), axis=0)
         if canon.shape[0] != edge_array.shape[0]:
             raise ValueError("duplicate edges are not allowed")
-        rows = np.concatenate([canon[:, 0], canon[:, 1]])
-        cols = np.concatenate([canon[:, 1], canon[:, 0]])
-        self._adj = sp.csr_matrix(
-            (np.ones(rows.shape[0], dtype=np.int32), (rows, cols)),
-            shape=(self.n, self.n),
-        )
-        self._degrees = np.asarray(self._adj.sum(axis=1)).ravel().astype(np.int64)
+        self._csr = _build_csr(self.n, canon)
+        self._degrees = self._csr.degrees
+        self._adj = None
 
     # ------------------------------------------------------------------
     # Constructors / converters
     # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        n: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        validate: bool = True,
+    ) -> "Graph":
+        """Build directly from symmetric CSR arrays (rows must be sorted).
+
+        The large-n constructor: no edge-list materialization, no scipy.
+        ``validate`` checks structural invariants (monotone indptr, index
+        range, strictly increasing rows — hence simple and loop-free —
+        and symmetry); pass ``False`` only for arrays a trusted builder
+        just produced.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        n = int(n)
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        if indptr.ndim != 1 or indptr.shape[0] != n + 1:
+            raise ValueError(f"indptr must have shape ({n + 1},)")
+        if indices.ndim != 1:
+            raise ValueError("indices must be one-dimensional")
+        if validate:
+            ptr = indptr.astype(np.int64)
+            idx = indices.astype(np.int64)
+            if ptr[0] != 0 or ptr[-1] != idx.shape[0]:
+                raise ValueError("indptr must start at 0 and end at len(indices)")
+            if (np.diff(ptr) < 0).any():
+                raise ValueError("indptr must be non-decreasing")
+            if idx.size and (idx.min() < 0 or idx.max() >= n):
+                raise ValueError("vertex index out of range")
+            rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(ptr))
+            if (rows == idx).any():
+                raise ValueError("self-loops are not allowed")
+            if idx.size > 1:
+                same_row = rows[1:] == rows[:-1]
+                if (same_row & (np.diff(idx) <= 0)).any():
+                    raise ValueError(
+                        "row neighbour lists must be strictly increasing"
+                    )
+            if not np.array_equal(
+                np.sort(rows * n + idx), np.sort(idx * n + rows)
+            ):
+                raise ValueError("adjacency must be symmetric")
+        graph = cls.__new__(cls)
+        graph.n = n
+        graph._csr = CSRAdjacency(n, indptr, indices)
+        graph._degrees = graph._csr.degrees
+        graph._adj = None
+        return graph
+
     @classmethod
     def from_networkx(cls, g) -> "Graph":
         """Build from a networkx graph; nodes are relabelled ``0..n-1`` in
@@ -72,8 +219,10 @@ class Graph:
         return cls(len(nodes), edges)
 
     @classmethod
-    def from_adjacency(cls, matrix: np.ndarray | sp.spmatrix) -> "Graph":
+    def from_adjacency(cls, matrix) -> "Graph":
         """Build from a symmetric 0/1 adjacency matrix."""
+        import scipy.sparse as sp
+
         coo = sp.coo_matrix(matrix)
         if coo.shape[0] != coo.shape[1]:
             raise ValueError("adjacency matrix must be square")
@@ -94,14 +243,34 @@ class Graph:
     # Basic accessors
     # ------------------------------------------------------------------
     @property
-    def adjacency(self) -> sp.csr_matrix:
-        """The ``n × n`` symmetric 0/1 adjacency matrix (CSR, int32)."""
+    def csr(self) -> CSRAdjacency:
+        """The plain-numpy CSR adjacency (always materialized, scipy-free)."""
+        return self._csr
+
+    @property
+    def adjacency(self):
+        """The ``n × n`` symmetric 0/1 adjacency matrix (scipy CSR, int32).
+
+        Built lazily on first access and cached; the CSR-only paths (the
+        bitset engine, neighbour iteration) never trigger it.
+        """
+        if self._adj is None:
+            import scipy.sparse as sp
+
+            self._adj = sp.csr_matrix(
+                (
+                    np.ones(self._csr.nnz, dtype=np.int32),
+                    self._csr.indices.astype(np.int64),
+                    self._csr.indptr.astype(np.int64),
+                ),
+                shape=(self.n, self.n),
+            )
         return self._adj
 
     @property
     def n_edges(self) -> int:
         """Number of undirected edges ``|E|``."""
-        return int(self._adj.nnz // 2)
+        return self._csr.nnz // 2
 
     @property
     def degrees(self) -> np.ndarray:
@@ -120,18 +289,22 @@ class Graph:
 
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbours of ``v``."""
-        lo, hi = self._adj.indptr[v], self._adj.indptr[v + 1]
-        return self._adj.indices[lo:hi].astype(np.int64)
+        return self._csr.row(v)
 
     def edges(self) -> np.ndarray:
         """All edges as an ``(m, 2)`` array with ``u < v``."""
-        coo = self._adj.tocoo()
-        mask = coo.row < coo.col
-        return np.column_stack([coo.row[mask], coo.col[mask]]).astype(np.int64)
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self._degrees)
+        cols = self._csr.indices.astype(np.int64)
+        mask = rows < cols
+        return np.column_stack([rows[mask], cols[mask]])
 
     def has_edge(self, u: int, v: int) -> bool:
         """True iff ``{u, v}`` is an edge."""
-        return bool(self._adj[u, v] != 0)
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            return False
+        row = self._csr.row(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < row.shape[0] and int(row[pos]) == v
 
     # ------------------------------------------------------------------
     # Masks
@@ -155,7 +328,7 @@ class Graph:
     def neighbor_counts(self, subset: np.ndarray | Sequence[int]) -> np.ndarray:
         """For each vertex ``v``, ``|Γ(v) ∩ S|`` (the radio collision count)."""
         mask = self._as_mask(subset)
-        return self._adj @ mask.astype(np.int32)
+        return self.adjacency @ mask.astype(np.int32)
 
     def gamma(self, subset: np.ndarray | Sequence[int]) -> np.ndarray:
         """``Γ(S)``: mask of vertices with at least one neighbour in ``S``
@@ -248,9 +421,10 @@ class Graph:
         dist[source] = 0
         level = 0
         visited = frontier.copy()
+        adj = self.adjacency
         while frontier.any():
             level += 1
-            nxt = (self._adj @ frontier.astype(np.int32)) >= 1
+            nxt = (adj @ frontier.astype(np.int32)) >= 1
             nxt &= ~visited
             dist[nxt] = level
             visited |= nxt

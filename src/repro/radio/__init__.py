@@ -37,6 +37,8 @@ from repro.radio.aloha import AlohaProtocol
 from repro.radio.broadcast import (
     BatchBroadcastResult,
     BroadcastResult,
+    MemoryBudget,
+    merge_batches,
     run_broadcast,
     run_broadcast_batch,
 )
@@ -99,6 +101,8 @@ __all__ = [
     "ErasureChannel",
     "FaultSchedule",
     "FloodingProtocol",
+    "MemoryBudget",
+    "merge_batches",
     "RadioNetwork",
     "RoundRobinProtocol",
     "make_channel",

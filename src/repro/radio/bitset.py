@@ -1,0 +1,386 @@
+"""Packed-bitset kernels for the memory-lean broadcast engine.
+
+The dense batch engine carries trial state as ``(n, T)`` bool matrices and
+pays one sparse ``(n, T)`` integer product per round.  At datacenter scale
+(``n = 10^5 .. 10^6``) that working set — and the scipy cast behind it —
+dominates memory.  This module provides the word-packed alternative: trial
+``t`` lives in bit ``t % 64`` of word column ``t // 64``, so transmit /
+informed / received state is an ``(n, ceil(T/64))`` uint64 matrix, 8× the
+trial density of a bool matrix, and reception is computed by *gathering
+neighbour words over CSR* — no per-neighbour integer count matrix is ever
+materialized.
+
+Exactly-one detection uses the classic ``x & (x - 1)`` saturating-
+accumulator trick in vectorized form: fold neighbour words into ``once``
+(seen at least once) and ``twice`` (seen at least twice) via
+``twice |= once & w; once |= w``; exactly-one is ``once & ~twice``.  The
+fold iterates *degree slots* — slot ``k`` gathers the ``k``-th neighbour
+of every vertex whose degree exceeds ``k`` (precomputed by
+:meth:`repro.graphs.graph.CSRAdjacency.gather_plan`) — so the kernel runs
+``max_degree`` vectorized gathers, not ``n`` Python loops.
+
+Per-trial column counts (informed sizes, transmission energy) come from a
+vectorized 64×64 bit transpose plus :func:`repro._util.popcount_u64`
+(:func:`word_column_counts`), keeping per-round transients at ``O(n·W)``
+words instead of an ``(n, T)`` unpack.
+
+All functions are pure and layout-stable: ``pack_bool_matrix`` /
+``unpack_words`` round-trip bit for bit on any platform (packing goes
+through little-endian bytes explicitly).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import ceil_div, popcount_u64
+from repro._util.rng import _GOLDEN, _MURMUR_A, _MURMUR_B, _node_hashes, _splitmix
+
+__all__ = [
+    "TransmissionTally",
+    "exactly_one_words",
+    "full_mask_words",
+    "pack_bool_matrix",
+    "packed_counter_coins",
+    "unpack_words",
+    "word_column_counts",
+    "word_count",
+]
+
+
+def word_count(trials: int) -> int:
+    """Words needed for ``trials`` trial bits: ``ceil(trials / 64)``."""
+    return ceil_div(int(trials), 64)
+
+
+def full_mask_words(trials: int) -> np.ndarray:
+    """``(W,)`` uint64 with exactly the first ``trials`` bits set."""
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    w = word_count(trials)
+    mask = np.full(w, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    rem = trials % 64
+    if w and rem:
+        mask[-1] = np.uint64((1 << rem) - 1)
+    return mask
+
+
+def pack_bool_matrix(mat: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, T)`` bool matrix into ``(n, ceil(T/64))`` uint64 words.
+
+    Bit ``t % 64`` of word ``[v, t // 64]`` is ``mat[v, t]``; tail bits
+    beyond ``T`` are zero.
+    """
+    mat = np.ascontiguousarray(mat, dtype=bool)
+    if mat.ndim != 2:
+        raise ValueError("expected an (n, T) bool matrix")
+    n, trials = mat.shape
+    w = word_count(trials)
+    packed = np.packbits(mat, axis=1, bitorder="little")
+    if packed.shape[1] != w * 8:
+        packed = np.concatenate(
+            [packed, np.zeros((n, w * 8 - packed.shape[1]), dtype=np.uint8)],
+            axis=1,
+        )
+    # Little-endian byte view → native uint64 (no copy on LE platforms).
+    return np.ascontiguousarray(packed).view("<u8").astype(np.uint64, copy=False)
+
+
+def unpack_words(words: np.ndarray, trials: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix`: ``(n, W)`` words → ``(n, trials)``
+    bool."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError("expected an (n, W) uint64 word matrix")
+    n, w = words.shape
+    if trials > w * 64:
+        raise ValueError(f"cannot unpack {trials} trials from {w} words")
+    as_bytes = words.astype("<u8", copy=False).view(np.uint8).reshape(n, w * 8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :trials].astype(bool)
+
+
+# Hacker's Delight bit-matrix transpose, vectorized over leading axes: at
+# step j the mask selects the bit positions i with (i & j) == 0, and word
+# pairs (k, k+j) with (k & j) == 0 swap their off-diagonal j-blocks.
+_TRANSPOSE_STEPS = [
+    (np.uint64(_j), np.uint64(sum(1 << i for i in range(64) if not (i & _j))))
+    for _j in (32, 16, 8, 4, 2, 1)
+]
+
+
+def _transpose64(blocks: np.ndarray) -> None:
+    """In-place bit-transpose of each trailing 64-word block.
+
+    ``blocks[..., i]`` holds row ``i`` of a 64×64 bit matrix; afterwards
+    ``blocks[..., t]`` holds column ``t`` of the original.  ``blocks``
+    must be contiguous: the word pairs ``(k, k + j)`` with ``(k & j) == 0``
+    are addressed as reshape *views* ``(..., 64/(2j), 2, j)``, so the
+    swaps run in place with no index arrays and no gather copies.
+    """
+    lead = blocks.shape[:-1]
+    for j, mask in _TRANSPOSE_STEPS:
+        step = int(j)
+        v = blocks.reshape(lead + (64 // (2 * step), 2, step))
+        a = v[..., 0, :]
+        b = v[..., 1, :]
+        # LSB-first mirror of the textbook (MSB-first) swap: exchange
+        # (word k, bit i+j) with (word k+j, bit i) for (i & j) == 0.
+        t = ((a >> j) ^ b) & mask
+        a ^= t << j
+        b ^= t
+
+
+def word_column_counts(words: np.ndarray) -> np.ndarray:
+    """Per-trial-bit set counts of an ``(n, W)`` word matrix.
+
+    Returns a ``(64 * W,)`` int64 vector: entry ``64*w + t`` is the number
+    of rows whose word ``w`` has bit ``t`` set — i.e. the per-trial column
+    sum, without ever unpacking an ``(n, T)`` bool matrix.  Implemented as
+    a vectorized 64×64 bit transpose over ``ceil(n/64)`` row blocks
+    followed by one :func:`repro._util.popcount_u64` pass.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError("expected an (n, W) uint64 word matrix")
+    n, w = words.shape
+    if n == 0 or w == 0:
+        return np.zeros(64 * w, dtype=np.int64)
+    blocks = ceil_div(n, 64)
+    padded = np.zeros((blocks * 64, w), dtype=np.uint64)
+    padded[:n] = words
+    # arr[b, w, i] = word w of row 64b+i; transpose turns bit t into the
+    # per-trial word whose bit i marks row 64b+i.
+    arr = np.ascontiguousarray(padded.reshape(blocks, 64, w).transpose(0, 2, 1))
+    _transpose64(arr)
+    counts = popcount_u64(arr).sum(axis=0, dtype=np.int64)  # (w, 64)
+    return counts.reshape(w * 64)
+
+
+#: Node rows per murmur-finalizer chunk: the chunk's uint32 lattice and
+#: its shift/multiply temporaries stay L2-resident across the six passes.
+_COIN_ROW_BLOCK = 1024
+
+#: Node rows per packbits super-block (a multiple of the hash chunk):
+#: comparisons land in one reused bool buffer and the byte-packing /
+#: word-store dispatch overhead is paid once per super-block, not once
+#: per cache chunk.
+_COIN_PACK_BLOCK = 8192
+
+
+def packed_counter_coins(
+    keys: np.ndarray,
+    round_index: int,
+    n: int,
+    p: float,
+    rows: np.ndarray | None = None,
+    active: np.ndarray | None = None,
+) -> np.ndarray:
+    """Counter-based Bernoulli coins, packed: ``(n, ceil(T/64))`` words.
+
+    Bit ``t`` of row ``v`` equals
+    ``counter_coins(keys[t:t+1], round_index, n, p)[v]`` exactly — the
+    packed face of the engine's counter-randomness discipline.  Rows are
+    consumed in small chunks so no ``(n, T)`` transient is ever
+    materialized.
+
+    ``rows`` (int node ids) and ``active`` (bool ``(T,)`` trial mask)
+    restrict which bits are computed; the rest stay zero.  Callers use
+    them when the skipped bits are masked away anyway (only informed nodes
+    transmit, completed trials are frozen) — the computed bits are
+    unchanged, the hash being a pure function of ``(key, round, node)``.
+
+    Implementation is the fused face of
+    :func:`repro._util.rng.counter_coin_blocks`: the same murmur
+    finalizer runs over L2-sized row chunks (sharing the private mixing
+    primitives of :mod:`repro._util.rng` — drift between the two would
+    break the dense/bitset bit-identity), comparisons land in a reused
+    bool buffer, and byte-packing is amortized over
+    :data:`_COIN_PACK_BLOCK`-row super-blocks.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    trials = keys.shape[0]
+    w = word_count(trials)
+    out = np.zeros((n, w), dtype=np.uint64)
+    threshold = math.ceil(p * 2.0**32)
+    if threshold <= 0 or n == 0 or trials == 0:
+        return out
+    cols = None
+    act_keys = keys
+    if active is not None:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (trials,):
+            raise ValueError(
+                f"active mask has shape {active.shape} for {trials} trials"
+            )
+        if active.all():
+            active = None
+        else:
+            cols = np.flatnonzero(active)
+            act_keys = keys[cols]
+            if cols.size == 0:
+                return out
+    if rows is not None:
+        rows = np.asarray(rows)
+        if rows.size == n:
+            rows = None  # full node set: slices beat gathers
+        elif rows.size == 0:
+            return out
+    count = n if rows is None else rows.size
+    # Inactive trials' bit columns stay zero: comparisons only ever write
+    # the active columns of the reused buffer.
+    coins = np.zeros((min(_COIN_PACK_BLOCK, count), trials), dtype=bool)
+    sure = threshold >= 2**32
+    if sure:
+        if cols is None:
+            coins[:] = True
+        else:
+            coins[:, cols] = True
+    else:
+        thr = np.uint32(threshold)
+        nh = _node_hashes(n)
+        if rows is not None:
+            nh = nh[rows]
+        with np.errstate(over="ignore"):
+            ctr = np.full(1, round_index + 1, dtype=np.uint64) * _GOLDEN
+            kr = (_splitmix(act_keys + ctr) >> np.uint64(32)).astype(np.uint32)
+        hbuf = np.empty(
+            (min(_COIN_ROW_BLOCK, count), kr.shape[0]), dtype=np.uint32
+        )
+    for ps in range(0, count, _COIN_PACK_BLOCK):
+        pm = min(_COIN_PACK_BLOCK, count - ps)
+        if not sure:
+            # Murmur passes wrap silently on arrays, so no errstate is
+            # needed in the hot loop (matching counter_coin_blocks).
+            for s in range(ps, ps + pm, _COIN_ROW_BLOCK):
+                hi = min(s + _COIN_ROW_BLOCK, ps + pm)
+                z = np.bitwise_xor(nh[s:hi], kr[None, :], out=hbuf[: hi - s])
+                z ^= z >> np.uint32(16)
+                z *= _MURMUR_A
+                z ^= z >> np.uint32(13)
+                z *= _MURMUR_B
+                z ^= z >> np.uint32(16)
+                if cols is None:
+                    np.less(z, thr, out=coins[s - ps : hi - ps])
+                else:
+                    coins[s - ps : hi - ps, cols] = z < thr
+        # Inlined pack_bool_matrix: the buffer is C-contiguous bool, so
+        # the validation/copy branches would only add per-block overhead.
+        # Same bit layout (little-endian bytes → uint64 words).
+        pb = np.packbits(coins[:pm], axis=1, bitorder="little")
+        if pb.shape[1] != w * 8:
+            padded = np.zeros((pm, w * 8), dtype=np.uint8)
+            padded[:, : pb.shape[1]] = pb
+            pb = padded
+        packed = pb.view("<u8")
+        if rows is None:
+            out[ps : ps + pm] = packed
+        else:
+            out[rows[ps : ps + pm]] = packed
+    return out
+
+
+class TransmissionTally:
+    """Bit-sliced per-(node, trial) tallies over packed transmit rounds.
+
+    Summing transmission energy per trial needs, per round, the column
+    popcounts of the ``(n, W)`` transmit words — but only their *total*
+    over the run is reported, so the per-round 64×64 transpose is wasted
+    work.  This tally instead accumulates each round's words into binary
+    counter planes (``planes[i]`` holds bit ``i`` of every ``(node,
+    trial)`` cell's round count) with a vectorized ripple-carry add —
+    three word ops per touched plane, and amortized O(1) planes touched
+    per round since plane ``i`` only carries every ``2^i`` rounds.  The
+    transpose/popcount reduction runs once per :meth:`drain` (every few
+    dozen rounds, and at the end) over ``log2`` many planes instead of
+    once per round.
+    """
+
+    def __init__(self) -> None:
+        self._planes: list[np.ndarray] = []
+
+    def add(self, words: np.ndarray) -> None:
+        """Ripple-carry ``words`` (an ``(n, W)`` 0/1-bit layer) into the
+        counter planes.  ``words`` itself is never mutated."""
+        carry = words
+        for plane in self._planes:
+            nxt = plane & carry
+            plane ^= carry
+            carry = nxt
+            if not carry.any():
+                return
+        if carry.any():
+            self._planes.append(carry.copy() if carry is words else carry)
+
+    def drain(self, trials: int) -> np.ndarray | None:
+        """Per-trial totals accrued since the last drain (``(trials,)``
+        int64), resetting the planes; ``None`` if nothing accrued."""
+        if not self._planes:
+            return None
+        total = word_column_counts(self._planes[0])[:trials]
+        for i, plane in enumerate(self._planes[1:], start=1):
+            total = total + (word_column_counts(plane)[:trials] << np.int64(i))
+        self._planes.clear()
+        return total
+
+
+def exactly_one_words(csr, transmit_words: np.ndarray) -> np.ndarray:
+    """Per-vertex words marking trials with *exactly one* transmitting
+    neighbour.
+
+    ``csr`` is a :class:`repro.graphs.graph.CSRAdjacency`;
+    ``transmit_words`` is the packed ``(n, W)`` transmit state.  Folds
+    neighbour words through the ``once``/``twice`` saturating accumulators
+    over the CSR gather plan — the bitset engine's reception kernel.
+    """
+    transmit_words = np.asarray(transmit_words, dtype=np.uint64)
+    n, w = transmit_words.shape
+    if n != csr.n:
+        raise ValueError(f"word matrix has {n} rows for an {csr.n}-vertex graph")
+    plan = csr.gather_plan()
+    if plan[0] == "regular":
+        slots = plan[1]
+        if w == 1:
+            # Single-word batches (T ≤ 64) fold flat 1-D gathers — the
+            # fancy-indexing fast path, ~2× the 2-D column gathers.
+            flat = np.ascontiguousarray(transmit_words[:, 0])
+            once = np.zeros(n, dtype=np.uint64)
+            twice = np.zeros(n, dtype=np.uint64)
+            buf = np.empty(n, dtype=np.uint64)
+            tmp = np.empty(n, dtype=np.uint64)
+            for k in range(slots.shape[0]):
+                # take(out=, mode="clip") skips the allocation and bounds
+                # branch of fancy indexing (plan indices are always valid,
+                # so clip semantics never engage), and the explicit out=
+                # accumulator ops keep the fold allocation-free.
+                nbr_words = np.take(flat, slots[k], out=buf, mode="clip")
+                np.bitwise_and(once, nbr_words, out=tmp)
+                np.bitwise_or(twice, tmp, out=twice)
+                np.bitwise_or(once, nbr_words, out=once)
+            np.invert(twice, out=twice)
+            np.bitwise_and(once, twice, out=twice)
+            return twice[:, None]
+        once = np.zeros((n, w), dtype=np.uint64)
+        twice = np.zeros((n, w), dtype=np.uint64)
+        buf = np.empty((n, w), dtype=np.uint64)
+        tmp = np.empty((n, w), dtype=np.uint64)
+        for k in range(slots.shape[0]):
+            nbr_words = np.take(transmit_words, slots[k], axis=0, out=buf, mode="clip")
+            np.bitwise_and(once, nbr_words, out=tmp)
+            np.bitwise_or(twice, tmp, out=twice)
+            np.bitwise_or(once, nbr_words, out=once)
+    else:
+        once = np.zeros((n, w), dtype=np.uint64)
+        twice = np.zeros((n, w), dtype=np.uint64)
+        _, order, starts, slot_counts = plan
+        indices = csr.indices
+        for k, m in enumerate(slot_counts):
+            rows = order[:m]
+            nbr = indices[starts[:m] + np.int64(k)]
+            nbr_words = transmit_words[nbr]
+            seen = once[rows]
+            twice[rows] |= seen & nbr_words
+            once[rows] = seen | nbr_words
+    return once & ~twice

@@ -5,11 +5,28 @@ first-informed times).
 Two entry points share one engine:
 
 * :func:`run_broadcast_batch` — the trial-vectorized engine.  ``T``
-  independent trials advance together, one sparse ``(n, T)`` product per
-  round, and come back as a :class:`BatchBroadcastResult` (per-trial
-  rounds/completion/energy plus aggregate quantiles).
+  independent trials advance together and come back as a
+  :class:`BatchBroadcastResult` (per-trial rounds/completion/energy plus
+  aggregate quantiles).
 * :func:`run_broadcast` — the classic single-run API, now the ``T = 1``
   special case of the batch engine.
+
+Two interchangeable backends sit behind them, selected by ``engine``:
+
+* ``dense`` — trial state as ``(n, T)`` bool matrices, one sparse integer
+  product per round, completed trials compacted out of the working set.
+* ``bitset`` — trial state packed 64-to-a-word (``(n, ceil(T/64))``
+  uint64), reception via CSR neighbour-word gathers with popcount-based
+  counting (:mod:`repro.radio.bitset`), no scipy and no ``(n, T)``
+  transients — the datacenter-scale path.  Completed trials are frozen by
+  a packed ``running`` mask instead of compaction (counter-based
+  randomness makes the remaining trials' streams independent of it).
+* ``auto`` — bitset when the channel and protocol support it natively and
+  the graph is large enough to benefit; dense otherwise.
+
+Both backends are bit-for-bit identical on every channel/protocol the
+bitset path supports — the property ``tests/radio/test_bitset_engine.py``
+pins across families, channels and word-boundary trial counts.
 
 Seeding contract: ``run_broadcast_batch(..., trials=T, seed=master)``
 derives per-trial seeds with :func:`repro._util.spawn_seeds` and is
@@ -18,11 +35,15 @@ with those children — the property the equivalence tests pin down.  The
 contract extends to channel models (:mod:`repro.radio.channel`): the
 runner resets the active channel with the same per-trial generators right
 after the protocol, so randomized channels (erasure) follow the same
-counter-based discipline.
+counter-based discipline.  :class:`MemoryBudget` leans on the same
+anchor: a budgeted run derives the full per-trial generator list once and
+slices it into column shards, so shard boundaries cannot perturb any
+trial's stream and the merged result is bit-for-bit the unsharded one.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -30,16 +51,35 @@ import numpy as np
 
 from repro._util import UNSET, as_rng, resolve_seed, spawn_seeds
 from repro.graphs.graph import Graph
-from repro.radio.channel import ChannelModel
+from repro.radio.channel import ChannelModel, ClassicCollision
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import BroadcastProtocol, legacy_hooks_specialized
 
 __all__ = [
     "BatchBroadcastResult",
     "BroadcastResult",
+    "MemoryBudget",
+    "merge_batches",
     "run_broadcast",
     "run_broadcast_batch",
 ]
+
+#: Recognized engine selectors.
+_ENGINES = ("auto", "dense", "bitset")
+
+#: ``engine="auto"`` switches to the bitset backend at this vertex count.
+#: Below it the dense engine's trial compaction usually wins; above it the
+#: packed working set and CSR gathers dominate.
+_AUTO_BITSET_MIN_N = 32768
+
+#: Fresh-bit rows per first-informed scatter chunk in the bitset loop:
+#: keeps the unpacked bool and nonzero index transients bounded by the
+#: chunk, not by the frontier width.
+_SCATTER_ROW_BLOCK = 2048
+
+#: Rounds between drains of the bitset engine's transmission tally: caps
+#: its counter-plane stack at ``log2`` of this many ``(n, W)`` layers.
+_TALLY_DRAIN_ROUNDS = 32
 
 
 @dataclass(frozen=True)
@@ -142,6 +182,133 @@ class BatchBroadcastResult:
         )
 
 
+def merge_batches(parts: Sequence[BatchBroadcastResult]) -> BatchBroadcastResult:
+    """Concatenate per-shard batch results back into one batch.
+
+    Shards may have run different numbers of rounds; shorter
+    ``informed_per_round`` matrices are padded by repeating their final
+    row, matching the engine's own semantics (rows past a trial's
+    completion hold its final informed count).  Used by both the
+    process-parallel scenario sharder
+    (:func:`repro.scenario.tasks.run_scenario_sharded`) and the
+    :class:`MemoryBudget` column sharder below.
+    """
+    if not parts:
+        raise ValueError("merge_batches needs at least one shard")
+    if len(parts) == 1:
+        return parts[0]
+    rounds_cap = max(p.informed_per_round.shape[0] for p in parts)
+    padded = []
+    for p in parts:
+        have = p.informed_per_round.shape[0]
+        if have == rounds_cap:
+            padded.append(p.informed_per_round)
+        else:
+            padded.append(
+                np.pad(
+                    p.informed_per_round,
+                    ((0, rounds_cap - have), (0, 0)),
+                    mode="edge",
+                )
+            )
+    return BatchBroadcastResult(
+        trials=sum(p.trials for p in parts),
+        rounds=np.concatenate([p.rounds for p in parts]),
+        completed=np.concatenate([p.completed for p in parts]),
+        informed_per_round=np.concatenate(padded, axis=1),
+        first_informed_round=np.concatenate(
+            [p.first_informed_round for p in parts], axis=1
+        ),
+        transmissions=np.concatenate([p.transmissions for p in parts]),
+    )
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Byte ceiling for one batch run's trial working set.
+
+    The engine's per-round working set scales as ``trials × n``:
+    roughly 18 bytes per (trial, node) on the dense backend (bool state
+    matrices, integer count matrix, int64 first-informed output) and
+    roughly 10 on the bitset backend (the int64 first-informed output
+    dominates; packed state adds ~0.5).  :meth:`max_trials` inverts that
+    estimate, and :func:`run_broadcast_batch` splits any larger batch into
+    sequential column shards of at most that many trials, merging the
+    shard results with :func:`merge_batches` — bit-for-bit equal to the
+    unsharded run, because the per-trial generator list is derived once
+    and sliced.
+    """
+
+    limit_bytes: int
+
+    # Working-set estimates, bytes per (trial, node); deliberately coarse —
+    # the budget is a planning ceiling, not an allocator.
+    _PER_TRIAL_NODE_BYTES = {"dense": 18, "bitset": 10}
+
+    def __post_init__(self) -> None:
+        if int(self.limit_bytes) < 1:
+            raise ValueError(
+                f"memory budget must be >= 1 byte, got {self.limit_bytes}"
+            )
+
+    def max_trials(self, n: int, engine: str = "dense") -> int:
+        """Largest trial-shard width fitting the budget on ``engine``
+        (always at least 1 — a single trial must be allowed to run)."""
+        per = self._PER_TRIAL_NODE_BYTES.get(
+            engine, self._PER_TRIAL_NODE_BYTES["dense"]
+        )
+        return max(1, int(self.limit_bytes) // (per * max(1, int(n))))
+
+
+def _as_memory_budget(value) -> MemoryBudget | None:
+    if value is None or isinstance(value, MemoryBudget):
+        return value
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return MemoryBudget(int(value))
+    raise TypeError(
+        "memory_budget must be None, an int byte count, or a MemoryBudget; "
+        f"got {type(value).__name__}"
+    )
+
+
+def _resolve_engine(
+    engine: str, protocol, channel_model: ChannelModel, n: int
+) -> str:
+    """Resolve ``auto`` and validate explicit engine requests.
+
+    An explicit ``bitset`` request on a channel without packed-word
+    support falls back to dense with a warning (the result is identical,
+    only the working-set shape differs).  ``auto`` picks bitset only when
+    both the channel and the protocol run natively on words and the graph
+    is large enough for the packed path to pay off.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"engine must be one of {', '.join(_ENGINES)}; got {engine!r}"
+        )
+    supported = bool(getattr(channel_model, "supports_bitset", False))
+    if engine == "bitset":
+        if not supported:
+            warnings.warn(
+                f"channel {channel_model.name!r} does not support the "
+                "packed-bitset engine; falling back to dense",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "dense"
+        return "bitset"
+    if engine == "dense":
+        return "dense"
+    if (
+        supported
+        and not legacy_hooks_specialized(protocol)
+        and bool(getattr(type(protocol), "words_native", False))
+        and n >= _AUTO_BITSET_MIN_N
+    ):
+        return "bitset"
+    return "dense"
+
+
 def _default_max_rounds(n: int) -> int:
     return max(1000, 50 * n * max(1, int(np.log2(max(2, n)))))
 
@@ -155,16 +322,18 @@ def run_broadcast_batch(
     seed=None,
     trial_rngs: Sequence | None = None,
     channel: ChannelModel | None = None,
+    engine: str = "auto",
+    memory_budget: MemoryBudget | int | None = None,
     rng=UNSET,
 ) -> BatchBroadcastResult:
     """Run ``trials`` independent broadcasts of ``protocol`` on ``graph``,
     advanced together round by round.
 
-    Per round, the protocol produces an ``(n, T)`` transmit matrix and one
-    sparse product applies the channel semantics to every trial at once;
-    trials that already completed are frozen (they stop transmitting and
-    stop accruing rounds).  The global loop ends when all trials complete
-    or the round cap is hit.
+    Per round, the protocol produces the trial transmit state and one
+    vectorized kernel applies the channel semantics to every trial at
+    once; trials that already completed are frozen (they stop transmitting
+    and stop accruing rounds).  The global loop ends when all trials
+    complete or the round cap is hit.
 
     Parameters
     ----------
@@ -183,6 +352,15 @@ def run_broadcast_batch(
         the protocol's ``channel_feedback`` hooks, and measures completion
         against the channel's coverage targets (crashed processors are
         not waited for).
+    engine:
+        ``"dense"``, ``"bitset"``, or ``"auto"`` (see the module
+        docstring).  Explicit ``bitset`` on an unsupported channel warns
+        and runs dense.
+    memory_budget:
+        Optional byte ceiling (:class:`MemoryBudget` or a plain int of
+        bytes).  Batches whose working set would exceed it are split into
+        sequential trial-column shards and merged back — bit-for-bit
+        identical to the unbudgeted run.
     """
     seed = resolve_seed("run_broadcast_batch", seed, rng)
     if not 0 <= source < graph.n:
@@ -200,7 +378,7 @@ def run_broadcast_batch(
     if max_rounds is None:
         max_rounds = _default_max_rounds(graph.n)
 
-    network = RadioNetwork(graph, channel=channel)
+    channel_model = channel if channel is not None else ClassicCollision()
     # A protocol whose class specializes the legacy single-run hooks more
     # deeply than the batch hooks (e.g. a DecayProtocol subclass overriding
     # only `transmitters`) must run through the per-trial clone adapter, or
@@ -210,6 +388,39 @@ def run_broadcast_batch(
         BroadcastProtocol if legacy_hooks_specialized(protocol) else
         type(protocol)
     )
+    resolved = _resolve_engine(engine, protocol, channel_model, graph.n)
+
+    budget = _as_memory_budget(memory_budget)
+    if budget is not None:
+        shard = budget.max_trials(graph.n, resolved)
+        if shard < trials:
+            parts = [
+                _run_resolved(
+                    resolved, graph, protocol, face, channel_model,
+                    source, max_rounds, trial_rngs[start : start + shard],
+                )
+                for start in range(0, trials, shard)
+            ]
+            return merge_batches(parts)
+    return _run_resolved(
+        resolved, graph, protocol, face, channel_model,
+        source, max_rounds, trial_rngs,
+    )
+
+
+def _run_resolved(
+    resolved, graph, protocol, face, channel_model, source, max_rounds, trial_rngs
+) -> BatchBroadcastResult:
+    run = _run_bitset if resolved == "bitset" else _run_dense
+    return run(graph, protocol, face, channel_model, source, max_rounds, trial_rngs)
+
+
+def _run_dense(
+    graph, protocol, face, channel_model, source, max_rounds, trial_rngs
+) -> BatchBroadcastResult:
+    """The ``(n, T)`` bool-matrix backend with trial compaction."""
+    trials = len(trial_rngs)
+    network = RadioNetwork(graph, channel=channel_model)
     face.reset_batch(protocol, network, source, trial_rngs)
     # Channel after protocol: both may draw per-trial counter keys from the
     # same generators, and standalone runs use the same order.
@@ -291,6 +502,145 @@ def run_broadcast_batch(
     )
 
 
+def _run_bitset(
+    graph, protocol, face, channel_model, source, max_rounds, trial_rngs
+) -> BatchBroadcastResult:
+    """The packed-word backend: trial state 64-to-a-word, CSR gathers.
+
+    Instead of compacting completed trials, their bits are cleared from
+    the packed ``running`` mask: they stop transmitting (so other trials'
+    reception is unaffected — exactly what dense compaction achieves) and
+    their frozen informed words keep contributing their final counts to
+    ``informed_per_round``, matching the dense engine's row-fill
+    semantics.  Counter-based randomness means never-compacted per-trial
+    keys index the same streams either way — the bit-for-bit anchor.
+    """
+    from repro.radio.bitset import (
+        TransmissionTally,
+        full_mask_words,
+        pack_bool_matrix,
+        unpack_words,
+        word_column_counts,
+    )
+
+    trials = len(trial_rngs)
+    network = RadioNetwork(graph, channel=channel_model)
+    face.reset_batch(protocol, network, source, trial_rngs)
+    network.channel.reset(network, trial_rngs)
+    targets = network.channel.coverage_targets(network)
+    need = graph.n if targets is None else int(np.count_nonzero(targets))
+    words_native = bool(getattr(face, "words_native", False))
+
+    n, T = graph.n, trials
+    trial_mask = full_mask_words(T)
+    informed_words = np.zeros((n, trial_mask.shape[0]), dtype=np.uint64)
+    informed_words[source, :] = trial_mask
+    running = trial_mask.copy()
+    active_mask = np.ones(T, dtype=bool)
+    # Rows with any informed bit, maintained incrementally: the engine's
+    # hint to the protocol's word face (uninformed rows cannot transmit)
+    # and the restriction for the popcount passes below.
+    informed_any = np.zeros(n, dtype=bool)
+    informed_any[source] = True
+
+    first_round = np.full((n, T), -1, dtype=np.int64)
+    first_round[source, :] = 0
+    completed = np.zeros(T, dtype=bool)
+    rounds = np.zeros(T, dtype=np.int64)
+    transmissions = np.zeros(T, dtype=np.int64)
+    count_rows: list[np.ndarray] = []
+    # Informed counts are maintained incrementally — informed state is
+    # monotone, so each round adds exactly the popcount of its fresh bits
+    # (restricted to the touched rows) instead of re-counting (n, W).
+    counts = word_column_counts(informed_words[[source]])[:T]
+    covered = (
+        counts
+        if targets is None
+        else word_column_counts(informed_words[targets])[:T]
+    )
+
+    source_covers = 1 if targets is None or targets[source] else 0
+    if source_covers >= need:
+        completed[:] = True
+        active_mask[:] = False
+        running[:] = 0
+
+    # Energy totals accrue through bit-sliced counter planes, drained
+    # (transposed + popcounted) every few dozen rounds instead of paying a
+    # 64×64 transpose per round.
+    tally = TransmissionTally()
+    round_index = 0
+    informed_rows = np.flatnonzero(informed_any)
+    while round_index < max_rounds and active_mask.any():
+        if words_native:
+            tw = face.transmitters_words(
+                protocol, round_index, informed_words, network,
+                rows=informed_rows, active=active_mask,
+            )
+            tw &= informed_words
+        else:
+            # Pack/unpack adapter for protocols without a word face: the
+            # adapter drives completed trials too, but their columns are
+            # masked out below and per-trial state keeps them independent.
+            informed = unpack_words(informed_words, T)
+            mask = face.transmitters_batch(protocol, round_index, informed, network)
+            tw = pack_bool_matrix(mask & informed)
+        tw &= running
+        tally.add(tw)
+        if round_index % _TALLY_DRAIN_ROUNDS == _TALLY_DRAIN_ROUNDS - 1:
+            drained = tally.drain(T)
+            if drained is not None:
+                transmissions += drained
+        received_words = network.step_words(tw, round_index)
+        fresh = received_words & ~informed_words
+        round_index += 1
+        rounds[active_mask] += 1
+        informed_words |= fresh
+        touched = np.flatnonzero(fresh.any(axis=1))
+        if touched.size:
+            informed_any[touched] = True
+            # Row-blocked scatter: bounds the unpack/nonzero transients to
+            # a few MiB however wide the frontier gets.
+            for s in range(0, touched.size, _SCATTER_ROW_BLOCK):
+                blk = touched[s : s + _SCATTER_ROW_BLOCK]
+                rr, tt = np.nonzero(unpack_words(fresh[blk], T))
+                first_round[blk[rr], tt] = round_index
+            fresh_touched = fresh[touched]
+            counts = counts + word_column_counts(fresh_touched)[:T]
+            if targets is not None:
+                covered = covered + word_column_counts(
+                    fresh_touched[targets[touched]]
+                )[:T]
+            if informed_rows.size < n:
+                informed_rows = np.flatnonzero(informed_any)
+        count_rows.append(counts)
+        if targets is None:
+            covered = counts
+        done = (covered >= need) & active_mask
+        if done.any():
+            completed |= done
+            active_mask &= ~done
+            running = pack_bool_matrix(active_mask[None, :])[0]
+
+    drained = tally.drain(T)
+    if drained is not None:
+        transmissions += drained
+    informed_per_round = (
+        np.stack(count_rows)
+        if count_rows
+        else np.zeros((0, T), dtype=np.int64)
+    )
+
+    return BatchBroadcastResult(
+        trials=T,
+        rounds=rounds,
+        completed=completed,
+        informed_per_round=informed_per_round,
+        first_informed_round=first_round,
+        transmissions=transmissions,
+    )
+
+
 def run_broadcast(
     graph: Graph,
     protocol: BroadcastProtocol,
@@ -298,6 +648,7 @@ def run_broadcast(
     max_rounds: int | None = None,
     seed=None,
     channel: ChannelModel | None = None,
+    engine: str = "auto",
     rng=UNSET,
 ) -> BroadcastResult:
     """Run ``protocol`` on ``graph`` from ``source`` until full coverage or
@@ -318,5 +669,6 @@ def run_broadcast(
         max_rounds=max_rounds,
         trial_rngs=[as_rng(seed)],
         channel=channel,
+        engine=engine,
     )
     return batch.trial(0)

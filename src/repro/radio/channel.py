@@ -78,6 +78,12 @@ class ChannelModel(ABC):
     #: Registry name (used by the CLI and experiment tables).
     name: str = "abstract"
 
+    #: Whether :meth:`deliver_words` implements this channel's semantics on
+    #: packed uint64 trial words.  Channels that need per-trial feedback or
+    #: per-round structure rewrites (collision detection, jamming) leave
+    #: this ``False`` and the engine falls back to the dense path.
+    supports_bitset: bool = False
+
     #: Per-round feedback published to protocols (``None`` when the
     #: channel provides no feedback beyond reception, as in the classic
     #: model).  Channels that do provide it (collision detection) store a
@@ -129,6 +135,20 @@ class ChannelModel(ABC):
         must equal what a standalone trial ``t`` would receive.
         """
 
+    def deliver_words(
+        self, round_index: int, transmit_words: np.ndarray, network
+    ) -> np.ndarray:
+        """Packed-word face of :meth:`deliver` for the bitset engine.
+
+        ``transmit_words`` is an ``(n, W)`` uint64 matrix with trial ``t``
+        in bit ``t % 64`` of word column ``t // 64``; the result has the
+        same layout and must agree bit for bit with :meth:`deliver` on the
+        unpacked matrix.  Only implemented when :attr:`supports_bitset`.
+        """
+        raise NotImplementedError(
+            f"channel {self.name!r} does not support the bitset engine"
+        )
+
 
 class ClassicCollision(ChannelModel):
     """Section 1.1 semantics: receive iff silent with exactly one
@@ -139,12 +159,18 @@ class ClassicCollision(ChannelModel):
     """
 
     name = "classic"
+    supports_bitset = True
 
     def deliver(
         self, round_index: int, transmitting: np.ndarray, network
     ) -> np.ndarray:
         counts = network.transmit_counts(transmitting)
         return (counts == 1) & ~transmitting
+
+    def deliver_words(
+        self, round_index: int, transmit_words: np.ndarray, network
+    ) -> np.ndarray:
+        return network.exactly_one_words(transmit_words) & ~transmit_words
 
 
 class CollisionDetection(ChannelModel):
@@ -178,6 +204,7 @@ class ErasureChannel(ChannelModel):
     """
 
     name = "erasure"
+    supports_bitset = True
 
     def __init__(self, p: float) -> None:
         if not 0.0 <= p <= 1.0:
@@ -212,6 +239,34 @@ class ErasureChannel(ChannelModel):
         if transmitting.ndim == 1:
             dropped = dropped[:, 0]
         return received & ~dropped
+
+    def deliver_words(
+        self, round_index: int, transmit_words: np.ndarray, network
+    ) -> np.ndarray:
+        from repro.radio.bitset import packed_counter_coins, word_count
+
+        if self._keys is None:
+            raise RuntimeError(
+                "ErasureChannel must be reset with per-trial generators "
+                "before stepping (the broadcast engine does this; direct "
+                "users call channel.reset(network, [rng]))"
+            )
+        if word_count(self._keys.shape[0]) != transmit_words.shape[1]:
+            raise ValueError(
+                f"channel was reset for {self._keys.shape[0]} trials but "
+                f"stepped with {transmit_words.shape[1]} word columns"
+            )
+        received = network.exactly_one_words(transmit_words) & ~transmit_words
+        # Erasure coins only matter where something was received — restrict
+        # the hash to those rows (identical bits, less work).
+        rows = np.flatnonzero(received.any(axis=1))
+        if rows.size:
+            dropped = packed_counter_coins(
+                self._keys, round_index, transmit_words.shape[0], self.p,
+                rows=rows,
+            )
+            received &= ~dropped
+        return received
 
 
 @dataclass(frozen=True)

@@ -56,7 +56,9 @@ class RadioNetwork:
             self._count_dtype = np.int16
         else:
             self._count_dtype = np.int32
-        self._adj_cast = graph.adjacency.astype(self._count_dtype, copy=False)
+        # Built lazily on the first dense step: bitset-engine runs gather
+        # over the graph's plain-numpy CSR and never materialize scipy.
+        self._adj_cast = None
 
     @property
     def n(self) -> int:
@@ -72,7 +74,19 @@ class RadioNetwork:
     def transmit_counts(self, transmitting: np.ndarray) -> np.ndarray:
         """Transmitting-neighbour counts — the shared sparse kernel every
         channel's reception rule is built from."""
+        if self._adj_cast is None:
+            self._adj_cast = self.graph.adjacency.astype(
+                self._count_dtype, copy=False
+            )
         return self._adj_cast @ transmitting.astype(self._count_dtype)
+
+    def exactly_one_words(self, transmit_words: np.ndarray) -> np.ndarray:
+        """Packed-word sibling of ``transmit_counts(...) == 1``: per-vertex
+        words marking trials with exactly one transmitting neighbour,
+        gathered over the graph's CSR (no scipy, no count matrix)."""
+        from repro.radio.bitset import exactly_one_words
+
+        return exactly_one_words(self.graph.csr, transmit_words)
 
     def step(self, transmitting: np.ndarray, round_index: int = 0) -> np.ndarray:
         """One synchronous round, for one trial or a whole batch.
@@ -107,6 +121,28 @@ class RadioNetwork:
                 f"with n = {self.n}"
             )
         return self.channel.deliver(round_index, transmitting, self)
+
+    def step_words(
+        self, transmit_words: np.ndarray, round_index: int = 0
+    ) -> np.ndarray:
+        """Packed-bitset sibling of :meth:`step`.
+
+        ``transmit_words`` is an ``(n, W)`` uint64 matrix holding 64 trial
+        bits per word column (trial ``t`` in bit ``t % 64`` of column
+        ``t // 64``); the returned received words have the same layout.
+        Requires a channel with
+        :attr:`~repro.radio.channel.ChannelModel.supports_bitset`.
+        """
+        transmit_words = np.asarray(transmit_words)
+        if (
+            transmit_words.dtype != np.uint64
+            or transmit_words.ndim != 2
+            or transmit_words.shape[0] != self.n
+        ):
+            raise ValueError(
+                f"transmit_words must be a uint64 (n, W) matrix with n = {self.n}"
+            )
+        return self.channel.deliver_words(round_index, transmit_words, self)
 
     def step_naive(self, transmitting: np.ndarray) -> np.ndarray:
         """Pure-Python reference of the *classic* :meth:`step` (used by

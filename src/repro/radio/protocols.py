@@ -87,6 +87,11 @@ class BroadcastProtocol(ABC):
     #: Human-readable protocol name (used in experiment tables).
     name: str = "abstract"
 
+    #: Whether :meth:`transmitters_words` natively implements this protocol
+    #: on packed uint64 trial words.  Protocols without a native word face
+    #: still run under the bitset engine through a pack/unpack adapter.
+    words_native: bool = False
+
     def reset(self, network: RadioNetwork, source: int, rng) -> None:
         """Prepare per-run state.  Default: store the rng."""
         self._rng = as_rng(rng)
@@ -142,6 +147,30 @@ class BroadcastProtocol(ABC):
                 for t, clone in enumerate(self._batch_clones)
             ],
             axis=1,
+        )
+
+    def transmitters_words(
+        self,
+        round_index: int,
+        informed_words: np.ndarray,
+        network: RadioNetwork,
+        rows: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``(n, W)`` packed transmit words for the bitset engine.
+
+        Bit ``t % 64`` of word column ``t // 64`` must equal column ``t``
+        of :meth:`transmitters_batch` on the unpacked informed matrix —
+        except where the engine masks anyway: ``rows`` (int node ids) and
+        ``active`` (bool ``(T,)`` trial mask) are the engine's guarantee
+        that bits outside ``rows × active`` will be ANDed away (only
+        informed nodes transmit; completed trials are frozen), so a
+        protocol may leave them zero and skip the work.  Only called when
+        :attr:`words_native`; the engine routes other protocols through a
+        pack/unpack adapter instead.
+        """
+        raise NotImplementedError(
+            f"protocol {self.name!r} has no native packed-word face"
         )
 
     def select_trials(self, keep: np.ndarray) -> None:
@@ -201,6 +230,7 @@ class FloodingProtocol(BroadcastProtocol):
     """
 
     name = "flooding"
+    words_native = True
 
     def transmitters(
         self, round_index: int, informed: np.ndarray, network: RadioNetwork
@@ -215,6 +245,16 @@ class FloodingProtocol(BroadcastProtocol):
     ) -> np.ndarray:
         return informed.copy()
 
+    def transmitters_words(
+        self,
+        round_index: int,
+        informed_words: np.ndarray,
+        network: RadioNetwork,
+        rows: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return informed_words.copy()
+
 
 class RoundRobinProtocol(BroadcastProtocol):
     """Processor ``v`` transmits iff ``v ≡ round (mod n)``.
@@ -224,6 +264,7 @@ class RoundRobinProtocol(BroadcastProtocol):
     """
 
     name = "round-robin"
+    words_native = True
 
     def transmitters(
         self, round_index: int, informed: np.ndarray, network: RadioNetwork
@@ -242,6 +283,19 @@ class RoundRobinProtocol(BroadcastProtocol):
         mask[round_index % network.n, :] = True
         return mask & informed
 
+    def transmitters_words(
+        self,
+        round_index: int,
+        informed_words: np.ndarray,
+        network: RadioNetwork,
+        rows: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        mask = np.zeros_like(informed_words)
+        v = round_index % network.n
+        mask[v, :] = informed_words[v, :]
+        return mask
+
 
 class CounterCoinProtocol(BroadcastProtocol):
     """Base for protocols whose transmitters are independent Bernoulli
@@ -254,6 +308,8 @@ class CounterCoinProtocol(BroadcastProtocol):
     while agreeing bit for bit with per-trial standalone runs.  Subclasses
     implement :meth:`transmission_probability`.
     """
+
+    words_native = True
 
     def reset(self, network: RadioNetwork, source: int, rng) -> None:
         super().reset(network, source, rng)
@@ -289,6 +345,30 @@ class CounterCoinProtocol(BroadcastProtocol):
         self, round_index: int, informed: np.ndarray, network: RadioNetwork
     ) -> np.ndarray:
         return self._draw(round_index, informed)
+
+    def transmitters_words(
+        self,
+        round_index: int,
+        informed_words: np.ndarray,
+        network: RadioNetwork,
+        rows: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        from repro.radio.bitset import packed_counter_coins
+
+        if rows is None:
+            # Only informed nodes can transmit — skip the hash elsewhere.
+            rows = np.flatnonzero(informed_words.any(axis=1))
+        coins = packed_counter_coins(
+            self._keys,
+            round_index,
+            informed_words.shape[0],
+            self.transmission_probability(round_index),
+            rows=rows,
+            active=active,
+        )
+        coins &= informed_words
+        return coins
 
 
 class DecayProtocol(CounterCoinProtocol):

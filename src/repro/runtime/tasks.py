@@ -95,6 +95,8 @@ def broadcast_rounds_point(
     source: int = 0,
     channel=None,
     max_rounds: int | None = None,
+    engine: str = "auto",
+    memory_budget: int | None = None,
 ) -> dict[str, Any]:
     """Batched Decay broadcast rounds on an arbitrary ``graph``.
 
@@ -123,6 +125,8 @@ def broadcast_rounds_point(
                 seed=seed,
                 source=source,
                 max_rounds=max_rounds,
+                engine=engine,
+                memory_budget=memory_budget,
             )
         )
     from repro.radio import DecayProtocol, run_broadcast_batch
@@ -135,6 +139,8 @@ def broadcast_rounds_point(
         seed=seed,
         max_rounds=max_rounds,
         channel=channel() if channel is not None else None,
+        engine=engine,
+        memory_budget=memory_budget,
     )
     rounds = [int(r) for r in batch.rounds]
     return {

@@ -42,7 +42,13 @@ from dataclasses import dataclass, fields, replace
 from functools import lru_cache
 from typing import Any, Mapping
 
-from repro._util import format_call, parse_call, parse_value, spawn_seeds
+from repro._util import (
+    format_call,
+    parse_byte_size,
+    parse_call,
+    parse_value,
+    spawn_seeds,
+)
 from repro.radio.channel import ChannelSpec
 from repro.scenario.registry import GRAPHS, PROTOCOLS, BuiltGraph, SpecRegistry
 
@@ -229,7 +235,10 @@ class RealizedScenario:
     protocol_seed: Any
 
 
-_SCALAR_FIELDS = ("trials", "seed", "source", "max_rounds")
+_SCALAR_FIELDS = (
+    "trials", "seed", "source", "max_rounds", "engine", "memory_budget"
+)
+_ENGINE_CHOICES = ("auto", "dense", "bitset")
 _COMPONENT_FIELDS = ("graph", "protocol", "channel")
 _COMPONENT_TYPES = {
     "graph": GraphSpec,
@@ -279,9 +288,30 @@ def _coerce_component(key: str, value):
 
 
 def _coerce_scalar(key: str, value):
-    if isinstance(value, str):
+    if key == "engine":
+        # The one non-numeric scalar: keep the string, validate membership
+        # (parse_value would hand "bitset" back unchanged anyway, but a
+        # quoted form or a stray literal must not slip through as an int).
+        if isinstance(value, str):
+            value = parse_value(value)
+        if value not in _ENGINE_CHOICES:
+            raise ValueError(
+                f"scenario engine must be one of "
+                f"{', '.join(_ENGINE_CHOICES)}; got {value!r}"
+            )
+        return value
+    if key == "memory_budget" and isinstance(value, str):
+        # Accept human byte sizes ("2GiB", "512MB") wherever the grammar
+        # accepts the field — spec strings and -S overrides alike.
+        parsed = parse_value(value)
+        if parsed is None:
+            return None
+        if isinstance(parsed, str):
+            return parse_byte_size(parsed)
+        value = parsed
+    elif isinstance(value, str):
         value = parse_value(value)
-    if key in ("source", "max_rounds") and value is None:
+    if key in ("source", "max_rounds", "memory_budget") and value is None:
         return None
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         raise TypeError(f"scenario {key} must be an integer, got {value!r}")
@@ -306,6 +336,15 @@ class Scenario:
         (vertex 0 everywhere except the chain, whose root is the source).
     max_rounds:
         Round cap; ``None`` is the engine's ``50·n·log₂n``-ish default.
+    engine:
+        Simulation backend: ``"dense"`` (sparse mat-mat counts),
+        ``"bitset"`` (packed-word CSR gathers), or ``"auto"`` (the
+        default — pick per run; see
+        :func:`repro.radio.broadcast.run_broadcast_batch`).
+    memory_budget:
+        Peak per-run working-set budget in bytes; the engine shards the
+        trial batch into column chunks that fit (``None`` = unbounded).
+        Spec strings accept human sizes: ``memory_budget=2GiB``.
     """
 
     graph: GraphSpec
@@ -315,6 +354,8 @@ class Scenario:
     seed: int = 0
     source: int | None = None
     max_rounds: int | None = None
+    engine: str = "auto"
+    memory_budget: int | None = None
 
     def __post_init__(self):
         object.__setattr__(
@@ -342,6 +383,15 @@ class Scenario:
             raise ValueError(
                 f"source must be a vertex id (>= 0), got {self.source}"
             )
+        if self.engine not in _ENGINE_CHOICES:
+            raise ValueError(
+                f"engine must be one of {', '.join(_ENGINE_CHOICES)}, "
+                f"got {self.engine!r}"
+            )
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be >= 1 byte, got {self.memory_budget}"
+            )
 
     # ------------------------------------------------------------------
     # The four views
@@ -353,7 +403,8 @@ class Scenario:
         ``|``-separated segments: the first three may be bare component
         specs in graph → protocol → channel order, any segment may be a
         ``key=value`` assignment (``graph=``, ``protocol=``, ``channel=``,
-        ``trials=``, ``seed=``, ``source=``, ``max_rounds=``)::
+        ``trials=``, ``seed=``, ``source=``, ``max_rounds=``,
+        ``engine=``, ``memory_budget=``)::
 
             "hypercube(10) | decay | erasure(0.05) | trials=64 | seed=3"
             "chain(8, 4) | trials=16"
@@ -414,6 +465,10 @@ class Scenario:
             parts.append(f"source={self.source}")
         if self.max_rounds is not None:
             parts.append(f"max_rounds={self.max_rounds}")
+        if self.engine != "auto":
+            parts.append(f"engine={self.engine}")
+        if self.memory_budget is not None:
+            parts.append(f"memory_budget={self.memory_budget}")
         return " | ".join(parts)
 
     def to_dict(self) -> dict:
@@ -430,6 +485,12 @@ class Scenario:
             out["source"] = int(self.source)
         if self.max_rounds is not None:
             out["max_rounds"] = int(self.max_rounds)
+        # Emitted only when non-default so pre-engine scenarios hash to
+        # the same content-address key they always did.
+        if self.engine != "auto":
+            out["engine"] = str(self.engine)
+        if self.memory_budget is not None:
+            out["memory_budget"] = int(self.memory_budget)
         return out
 
     @classmethod
@@ -478,7 +539,8 @@ class Scenario:
         """A copy with the given field overrides applied.
 
         Keys are scenario fields (``graph``, ``protocol``, ``channel``,
-        ``trials``, ``seed``, ``source``, ``max_rounds``) or dotted paths
+        ``trials``, ``seed``, ``source``, ``max_rounds``, ``engine``,
+        ``memory_budget``) or dotted paths
         one level into a component spec (``channel.erasure_p``,
         ``protocol.name``, ``graph.family``).  Component values may be
         spec objects, spec strings, or canonical dicts; scalar values may

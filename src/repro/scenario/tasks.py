@@ -22,7 +22,11 @@ from typing import Sequence
 import numpy as np
 
 from repro._util import as_rng, spawn_seeds
-from repro.radio.broadcast import BatchBroadcastResult, run_broadcast_batch
+from repro.radio.broadcast import (
+    BatchBroadcastResult,
+    merge_batches,
+    run_broadcast_batch,
+)
 
 __all__ = [
     "expansion_summary",
@@ -62,6 +66,8 @@ def _run_realized(realized, scenario) -> BatchBroadcastResult:
         max_rounds=scenario.max_rounds,
         seed=realized.protocol_seed,
         channel=realized.channel,
+        engine=scenario.engine,
+        memory_budget=scenario.memory_budget,
     )
 
 
@@ -92,45 +98,14 @@ def run_scenario_shard(scenario, trial_seeds: Sequence[int]) -> BatchBroadcastRe
         max_rounds=scenario.max_rounds,
         trial_rngs=list(trial_seeds),
         channel=realized.channel,
+        engine=scenario.engine,
+        memory_budget=scenario.memory_budget,
     )
 
 
-def merge_batches(parts: Sequence[BatchBroadcastResult]) -> BatchBroadcastResult:
-    """Concatenate per-shard batch results back into one batch.
-
-    Shards may have run different numbers of rounds; shorter
-    ``informed_per_round`` matrices are padded by repeating their final
-    row, matching the engine's own semantics (rows past a trial's
-    completion hold its final informed count).
-    """
-    if not parts:
-        raise ValueError("merge_batches needs at least one shard")
-    if len(parts) == 1:
-        return parts[0]
-    rounds_cap = max(p.informed_per_round.shape[0] for p in parts)
-    padded = []
-    for p in parts:
-        have = p.informed_per_round.shape[0]
-        if have == rounds_cap:
-            padded.append(p.informed_per_round)
-        else:
-            padded.append(
-                np.pad(
-                    p.informed_per_round,
-                    ((0, rounds_cap - have), (0, 0)),
-                    mode="edge",
-                )
-            )
-    return BatchBroadcastResult(
-        trials=sum(p.trials for p in parts),
-        rounds=np.concatenate([p.rounds for p in parts]),
-        completed=np.concatenate([p.completed for p in parts]),
-        informed_per_round=np.concatenate(padded, axis=1),
-        first_informed_round=np.concatenate(
-            [p.first_informed_round for p in parts], axis=1
-        ),
-        transmissions=np.concatenate([p.transmissions for p in parts]),
-    )
+# merge_batches grew a second caller (the MemoryBudget column sharder) and
+# now lives next to the engine in repro.radio.broadcast; re-exported here
+# because this module has always been its public home.
 
 
 def run_scenario_sharded(scenario, executor) -> BatchBroadcastResult:

@@ -14,9 +14,9 @@ class TestRegistry:
     def test_registry_is_clean(self):
         assert validate_registry(BENCH_DIR) == []
 
-    def test_seventeen_experiments(self):
-        assert len(EXPERIMENTS) == 17
-        assert [e.id for e in EXPERIMENTS] == [f"E{i}" for i in range(1, 18)]
+    def test_eighteen_experiments(self):
+        assert len(EXPERIMENTS) == 18
+        assert [e.id for e in EXPERIMENTS] == [f"E{i}" for i in range(1, 19)]
 
     def test_every_bench_file_registered(self):
         registered = {e.bench_file for e in EXPERIMENTS}

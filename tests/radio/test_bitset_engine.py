@@ -1,0 +1,416 @@
+"""Packed-bitset engine: dense equivalence, kernels, budget sharding.
+
+The headline contract: for every supported channel and protocol the
+``bitset`` backend of :func:`repro.radio.run_broadcast_batch` is
+bit-for-bit identical to ``dense`` — same rounds, same per-trial
+trajectories, same first-informed matrix, same energy totals.  The
+property is pinned across all registered graph families, both packed
+channels, and word-boundary trial counts, then the packed kernels and
+the :class:`MemoryBudget` column sharder are unit-tested on their own.
+"""
+
+import numpy as np
+import pytest
+
+from repro._util import counter_coin_blocks, counter_coins, parse_byte_size
+from repro.graphs import random_regular
+from repro.graphs.graph import CSRAdjacency, Graph
+from repro.radio import (
+    DecayProtocol,
+    FloodingProtocol,
+    MemoryBudget,
+    run_broadcast_batch,
+)
+from repro.radio.bitset import (
+    TransmissionTally,
+    exactly_one_words,
+    full_mask_words,
+    pack_bool_matrix,
+    packed_counter_coins,
+    unpack_words,
+    word_column_counts,
+    word_count,
+)
+from repro.radio.broadcast import _resolve_engine
+from repro.radio.channel import ClassicCollision, CollisionDetection
+from repro.radio.network import RadioNetwork
+from repro.scenario import Scenario
+
+RESULT_FIELDS = (
+    "rounds",
+    "completed",
+    "informed_per_round",
+    "first_informed_round",
+    "transmissions",
+)
+
+#: One small instance of every registered graph family (13 at present —
+#: the parametrization below asserts the list stays in sync with the
+#: registry, so a newly registered family must join the equivalence net).
+FAMILY_SPECS = {
+    "chain": "chain(4, 2)",
+    "chordal_cycle": "chordal_cycle(11)",
+    "complete": "complete(24)",
+    "cplus": "cplus(8)",
+    "cycle": "cycle(25)",
+    "erdos_renyi": "erdos_renyi(40, 0.1)",
+    "grid": "grid(5)",
+    "hypercube": "hypercube(4)",
+    "margulis": "margulis(3)",
+    "path": "path(20)",
+    "random_regular": "random_regular(40, 4)",
+    "star": "star(20)",
+    "tree": "tree(3)",
+}
+
+#: Word-boundary trial counts: below/at/above one word, and multi-word.
+BOUNDARY_TRIALS = (1, 63, 64, 65, 257)
+
+
+def assert_batches_equal(a, b, context=""):
+    for field in RESULT_FIELDS:
+        assert np.array_equal(getattr(a, field), getattr(b, field)), (
+            f"{context}: field {field} diverged between engines"
+        )
+
+
+def test_family_specs_cover_registry():
+    from repro.scenario import GRAPHS
+
+    assert sorted(FAMILY_SPECS) == GRAPHS.names()
+
+
+@pytest.mark.parametrize("channel", ["classic", "erasure(0.3)"])
+@pytest.mark.parametrize("family", sorted(FAMILY_SPECS))
+def test_bitset_equals_dense_across_families(family, channel):
+    for trials in BOUNDARY_TRIALS:
+        spec = (
+            f"{FAMILY_SPECS[family]} | decay | {channel} "
+            f"| trials={trials} | seed=17"
+        )
+        dense = Scenario.from_string(f"{spec} | engine=dense").run()
+        bitset = Scenario.from_string(f"{spec} | engine=bitset").run()
+        assert_batches_equal(dense, bitset, f"{family}/{channel}/T={trials}")
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        Graph(1, []),  # single vertex, nothing to inform
+        Graph(3, [(0, 1)]),  # isolated vertex 2
+        Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)]),  # disconnected halves
+        Graph(4, []),  # no edges at all
+    ],
+    ids=["n1", "isolated", "disconnected", "edgeless"],
+)
+def test_bitset_equals_dense_on_degenerate_graphs(graph):
+    for proto in (DecayProtocol(), FloodingProtocol()):
+        for trials in (1, 64, 65):
+            dense = run_broadcast_batch(
+                graph, proto, trials=trials, seed=5,
+                max_rounds=64, engine="dense",
+            )
+            bitset = run_broadcast_batch(
+                graph, proto, trials=trials, seed=5,
+                max_rounds=64, engine="bitset",
+            )
+            assert_batches_equal(dense, bitset, f"degenerate n={graph.n}")
+            if graph.n > 1:
+                assert not dense.completed.any()
+
+
+# ----------------------------------------------------------------------
+# Packed kernels
+# ----------------------------------------------------------------------
+
+
+def test_word_count_and_full_mask():
+    assert [word_count(t) for t in (0, 1, 63, 64, 65, 257)] == [0, 1, 1, 1, 2, 5]
+    mask = full_mask_words(65)
+    assert mask.shape == (2,)
+    assert mask[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+    assert mask[1] == np.uint64(1)
+    assert full_mask_words(0).shape == (0,)
+    with pytest.raises(ValueError, match="non-negative"):
+        full_mask_words(-1)
+
+
+@pytest.mark.parametrize("trials", BOUNDARY_TRIALS)
+def test_pack_unpack_round_trip(trials):
+    rng = np.random.default_rng(trials)
+    mat = rng.random((37, trials)) < 0.4
+    words = pack_bool_matrix(mat)
+    assert words.shape == (37, word_count(trials))
+    assert words.dtype == np.uint64
+    assert np.array_equal(unpack_words(words, trials), mat)
+    # Tail bits beyond `trials` must be zero (the running-mask invariant).
+    tail = unpack_words(words, word_count(trials) * 64)[:, trials:]
+    assert not tail.any()
+
+
+def test_pack_bool_matrix_validates_shape():
+    with pytest.raises(ValueError, match="bool matrix"):
+        pack_bool_matrix(np.zeros(8, dtype=bool))
+    with pytest.raises(ValueError, match="cannot unpack"):
+        unpack_words(np.zeros((4, 1), dtype=np.uint64), 65)
+
+
+@pytest.mark.parametrize("shape", [(64, 3), (1, 1), (130, 2)])
+def test_word_column_counts_matches_unpacked_sum(shape):
+    rng = np.random.default_rng(7)
+    words = rng.integers(0, 2**63, size=shape, dtype=np.uint64)
+    counts = word_column_counts(words)
+    expect = unpack_words(words, shape[1] * 64).sum(axis=0)
+    assert np.array_equal(counts, expect)
+    assert word_column_counts(np.zeros((0, 2), dtype=np.uint64)).sum() == 0
+
+
+@pytest.mark.parametrize("trials", (1, 64, 65, 130))
+def test_packed_counter_coins_matches_dense_coins(trials):
+    rng = np.random.default_rng(3)
+    n = 57
+    keys = rng.integers(0, 2**64, size=trials, dtype=np.uint64)
+    for p in (0.0, 1e-9, 0.35, 0.999, 1.0):
+        for rows in (None, rng.choice(n, size=19, replace=False)):
+            for active in (None, rng.random(trials) < 0.6):
+                packed = packed_counter_coins(
+                    keys, 4, n, p, rows=rows, active=active
+                )
+                ref = counter_coins(keys, 4, n, p)
+                if active is not None:
+                    ref = ref & active[None, :]
+                if rows is not None:
+                    keep = np.zeros(n, dtype=bool)
+                    keep[rows] = True
+                    ref = ref & keep[:, None]
+                assert np.array_equal(packed, pack_bool_matrix(ref)), (
+                    f"p={p} rows={rows is not None} active={active is not None}"
+                )
+
+
+def test_counter_coin_blocks_matches_sliced_counter_coins():
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 2**64, size=9, dtype=np.uint64)
+    rows = rng.choice(100, size=41, replace=False)
+    for p in (0.0, 0.4, 1.0):
+        full = counter_coins(keys, 2, 100, p, rows=rows)
+        rebuilt = np.empty_like(full)
+        for start, chunk in counter_coin_blocks(
+            keys, 2, 100, p, rows=rows, block=16
+        ):
+            rebuilt[start : start + chunk.shape[0]] = chunk
+        assert np.array_equal(rebuilt, full), f"p={p}"
+
+
+def test_transmission_tally_matches_direct_counts():
+    rng = np.random.default_rng(13)
+    tally = TransmissionTally()
+    expect = np.zeros(64 * 2, dtype=np.int64)
+    for _ in range(75):  # > one word of rounds → multi-plane carries
+        layer = rng.integers(0, 2**63, size=(23, 2), dtype=np.uint64)
+        tally.add(layer)
+        expect += word_column_counts(layer)
+    assert np.array_equal(tally.drain(128), expect)
+    assert tally.drain(128) is None  # drained planes reset
+
+
+@pytest.mark.parametrize("regular", [True, False], ids=["regular", "irregular"])
+def test_exactly_one_words_matches_neighbor_counts(regular):
+    rng = np.random.default_rng(5)
+    if regular:
+        graph = random_regular(48, 4, rng=2)
+    else:
+        graph = Graph(
+            30, [(u, v) for u in range(30) for v in range(u + 1, 30)
+                 if rng.random() < 0.15]
+        )
+    plan_kind = graph.csr.gather_plan()[0]
+    assert plan_kind == ("regular" if regular else "general")
+    network = RadioNetwork(graph)
+    for trials in (1, 64, 129):
+        mask = rng.random((graph.n, trials)) < 0.3
+        words = pack_bool_matrix(mask)
+        got = exactly_one_words(graph.csr, words)
+        counts = network.transmit_counts(mask)
+        assert np.array_equal(unpack_words(got, trials), counts == 1)
+
+
+# ----------------------------------------------------------------------
+# Memory budget sharding
+# ----------------------------------------------------------------------
+
+
+def test_memory_budget_max_trials():
+    budget = MemoryBudget(10 * 1000 * 4)
+    assert budget.max_trials(1000, "bitset") == 4
+    assert budget.max_trials(1000, "dense") == 2
+    assert MemoryBudget(1).max_trials(10**9) == 1  # always at least one
+    with pytest.raises(ValueError, match=">= 1 byte"):
+        MemoryBudget(0)
+
+
+@pytest.mark.parametrize("engine", ["dense", "bitset"])
+def test_memory_budget_sharding_is_bit_identical(engine):
+    graph = random_regular(128, 4, rng=3)
+    whole = run_broadcast_batch(
+        graph, DecayProtocol(), trials=20, seed=9, engine=engine
+    )
+    budget = MemoryBudget(
+        MemoryBudget._PER_TRIAL_NODE_BYTES[engine] * graph.n * 3
+    )
+    assert budget.max_trials(graph.n, engine) == 3  # 7 column shards
+    sharded = run_broadcast_batch(
+        graph, DecayProtocol(), trials=20, seed=9,
+        engine=engine, memory_budget=budget,
+    )
+    assert_batches_equal(whole, sharded, f"{engine} budget sharding")
+
+
+def test_memory_budget_accepts_plain_bytes():
+    graph = random_regular(64, 4, rng=1)
+    plain = run_broadcast_batch(
+        graph, DecayProtocol(), trials=8, seed=2, engine="bitset",
+        memory_budget=10 * graph.n * 2,
+    )
+    rich = run_broadcast_batch(
+        graph, DecayProtocol(), trials=8, seed=2, engine="bitset",
+        memory_budget=MemoryBudget(10 * graph.n * 2),
+    )
+    assert_batches_equal(plain, rich, "int vs MemoryBudget")
+    with pytest.raises(TypeError, match="memory_budget"):
+        run_broadcast_batch(
+            graph, DecayProtocol(), trials=2, seed=2, memory_budget=1.5
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+
+
+def test_explicit_bitset_on_unsupported_channel_warns_and_runs_dense():
+    graph = random_regular(48, 4, rng=0)
+    with pytest.warns(RuntimeWarning, match="does not support"):
+        forced = run_broadcast_batch(
+            graph, DecayProtocol(), trials=6, seed=4,
+            channel=CollisionDetection(), engine="bitset",
+        )
+    dense = run_broadcast_batch(
+        graph, DecayProtocol(), trials=6, seed=4,
+        channel=CollisionDetection(), engine="dense",
+    )
+    assert_batches_equal(forced, dense, "unsupported-channel fallback")
+
+
+def test_resolve_engine_auto_rules():
+    proto = DecayProtocol()
+    classic, detect = ClassicCollision(), CollisionDetection()
+    assert _resolve_engine("auto", proto, classic, 100_000) == "bitset"
+    assert _resolve_engine("auto", proto, classic, 1_000) == "dense"
+    assert _resolve_engine("auto", proto, detect, 100_000) == "dense"
+    assert _resolve_engine("dense", proto, classic, 100_000) == "dense"
+    with pytest.raises(ValueError, match="engine must be one of"):
+        _resolve_engine("gpu", proto, classic, 10)
+
+
+def test_invalid_engine_value_rejected():
+    graph = random_regular(16, 4, rng=0)
+    with pytest.raises(ValueError, match="engine must be one of"):
+        run_broadcast_batch(
+            graph, DecayProtocol(), trials=2, seed=1, engine="sparse"
+        )
+
+
+# ----------------------------------------------------------------------
+# Scenario / spec / CLI threading
+# ----------------------------------------------------------------------
+
+
+def test_scenario_engine_round_trip_and_default_omission():
+    s = Scenario.from_string(
+        "star(12) | decay | classic | trials=3 | seed=2 | engine=bitset"
+    )
+    assert s.engine == "bitset"
+    assert "engine=bitset" in s.describe()
+    assert Scenario.from_string(s.describe()) == s
+    # Default engine stays out of describe() and to_dict() so pre-engine
+    # scenario strings and cache keys are unchanged.
+    auto = Scenario.from_string("star(12) | decay | classic | trials=3")
+    assert auto.engine == "auto"
+    assert "engine" not in auto.describe()
+    assert "engine" not in auto.to_dict()
+    with pytest.raises(ValueError, match="engine"):
+        Scenario.from_string("star(12) | decay | classic | engine=warp")
+
+
+def test_scenario_memory_budget_parses_byte_sizes():
+    s = Scenario.from_string(
+        "star(12) | decay | classic | trials=3 | memory_budget=1MiB"
+    )
+    assert s.memory_budget == 2**20
+    assert parse_byte_size("2GiB") == 2 * 2**30
+    assert parse_byte_size("512") == 512
+    with pytest.raises(ValueError):
+        parse_byte_size("twelve parsecs")
+
+
+def test_cli_broadcast_engine_flag(capsys):
+    from repro.cli import build_parser, main
+
+    args = build_parser().parse_args(
+        ["broadcast", "--scenario", "star(16) | decay", "--engine", "bitset"]
+    )
+    assert args.engine == "bitset"
+    code = main(
+        ["broadcast", "--scenario", "star(16) | decay | classic",
+         "--trials", "4", "--seed", "3", "--engine", "bitset"]
+    )
+    assert code == 0
+    assert "broadcast" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# CSR adjacency and direct-CSR samplers
+# ----------------------------------------------------------------------
+
+
+def test_csr_adjacency_views_and_narrow_dtypes():
+    graph = random_regular(200, 6, rng=4)
+    csr = graph.csr
+    assert isinstance(csr, CSRAdjacency)
+    assert csr.n == 200 and csr.nnz == 200 * 6
+    assert csr.max_degree == 6
+    assert csr.indices.dtype == np.uint8  # narrowest dtype for n=200
+    degrees = np.diff(csr.indptr)
+    assert (degrees == 6).all()
+    assert np.array_equal(np.sort(csr.row(0)), np.sort(graph.neighbors(0)))
+
+
+def test_graph_from_csr_round_trip_and_validation():
+    g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    csr = g.csr
+    again = Graph.from_csr(g.n, csr.indptr, csr.indices)
+    assert again == g
+    with pytest.raises(ValueError, match="indptr"):
+        Graph.from_csr(3, np.array([0, 1]), np.array([1]))
+    with pytest.raises(ValueError, match="out of range"):
+        Graph.from_csr(2, np.array([0, 1, 2]), np.array([5, 0]))
+
+
+def test_random_regular_builds_direct_csr_at_scale():
+    graph = random_regular(5000, 4, rng=0)
+    assert (graph.degrees == 4).all()
+    assert graph.csr.gather_plan()[0] == "regular"
+    with pytest.raises(ValueError, match="even"):
+        random_regular(5, 3)
+    with pytest.raises(ValueError, match="d < n"):
+        random_regular(4, 5)
+
+
+def test_margulis_expander_is_regular_csr():
+    from repro.graphs import margulis_expander
+
+    graph = margulis_expander(20)  # n = 400
+    assert graph.n == 400
+    assert graph.max_degree <= 8
+    assert graph.is_connected()

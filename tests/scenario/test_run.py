@@ -173,7 +173,7 @@ class TestSummary:
 
         bound = [e for e in EXPERIMENTS if e.scenario is not None]
         assert {e.id for e in bound} == {
-            "E7", "E12", "E13", "E14", "E15", "E16", "E17",
+            "E7", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
         }
         smoke = bound[0].scenario.with_overrides({"trials": 2})
         batch = smoke.run()
