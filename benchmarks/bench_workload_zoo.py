@@ -1,0 +1,215 @@
+"""E19 — the workload zoo: expansion advantage beyond one-to-all broadcast.
+
+The paper's (αw, βw)-wireless-expansion guarantee bounds how fast *any*
+informed set grows, so its round-complexity consequences are not specific
+to single-source broadcast.  This bench runs the workload layer's tasks —
+``gossip(k)`` (k random rumor sources per trial) and ``aggregate``
+(in-network max / Flajolet–Martin count) — over expander families and the
+Section 5 chain through one spec grammar::
+
+    random_regular(256, 8) | decay | classic | gossip(k=16) | trials=32
+    chain(16, 4)           | decay | classic | gossip(k=16) | trials=32
+
+Pinned claims (full scale only unless noted):
+
+* **separation** — at ``k=1`` both expander families finish gossip well
+  ahead of the chain (the lower-bound topology, despite the chain's
+  smaller per-hop width), and in-network aggregation — which must absorb
+  *every* node's value — keeps a >= 2x expander advantage;
+* **k-damping** — extra sources substitute for expansion: the
+  chain/expander separation ratio shrinks as ``k`` grows, because k
+  random sources chop the chain's diameter into short segments while
+  an expander's frontier was never diameter-bound to begin with;
+* **k-monotonicity** — on every family, mean gossip rounds are
+  non-increasing in ``k`` (more sources ⇒ shorter worst frontier);
+* **equivalence** — ``gossip`` is bit-for-bit identical on the dense and
+  bitset engines, and the ``broadcast`` workload is bit-for-bit the
+  engine's classic single-source semantics (always asserted, smoke
+  included).
+"""
+
+import numpy as np
+from conftest import SMOKE, emit, scaled
+
+from repro.analysis import render_table
+from repro.scenario import Scenario
+
+TRIALS = scaled(32, 8)
+SEED = 3
+KS = scaled((1, 4, 16), (1, 4))
+
+#: (label, graph segment) — two expander families against the chain.
+FAMILIES = (
+    ("random_regular", "random_regular(256, 8)"),
+    ("margulis", "margulis(16)"),
+    ("chain", "chain(16, 4)"),
+)
+
+HEADERS = ["family", "n", "workload", "mean rounds", "max", "completion"]
+
+_RESULT_FIELDS = (
+    "rounds",
+    "completed",
+    "informed_per_round",
+    "first_informed_round",
+    "transmissions",
+)
+
+
+def _batches_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, f), getattr(b, f)) for f in _RESULT_FIELDS
+    )
+
+
+def _spec(graph_seg: str, workload_seg: str) -> Scenario:
+    return Scenario.from_string(
+        f"{graph_seg} | decay | classic | {workload_seg} "
+        f"| trials={TRIALS} | seed={SEED}"
+    )
+
+
+def _point(graph_seg: str, workload_seg: str):
+    sc = _spec(graph_seg, workload_seg)
+    batch = sc.run()
+    return sc, batch
+
+
+def _row(label, sc, batch):
+    n = sc.build().built.graph.n
+    return [
+        label,
+        n,
+        sc.workload.describe(),
+        round(float(batch.rounds.mean()), 1),
+        int(batch.rounds.max()),
+        round(float(batch.completion_rate), 3),
+    ]
+
+
+def test_e19_workload_zoo(benchmark, results_dir):
+    workloads = [f"gossip(k={k})" for k in KS] + ["aggregate(op=max)"]
+
+    def run_zoo():
+        table = {}
+        for label, graph_seg in FAMILIES:
+            for wl in workloads:
+                table[(label, wl)] = _point(graph_seg, wl)
+        return table
+
+    table = benchmark.pedantic(run_zoo, rounds=1, iterations=1)
+
+    rows = [
+        _row(label, *table[(label, wl)])
+        for label, _ in FAMILIES
+        for wl in workloads
+    ]
+    means = {
+        key: float(batch.rounds.mean()) for key, (_, batch) in table.items()
+    }
+    # Separation: expanders vs the chain, per workload (ratios > 1).
+    separation = {
+        wl: {
+            label: round(means[("chain", wl)] / means[(label, wl)], 2)
+            for label, _ in FAMILIES
+            if label != "chain"
+        }
+        for wl in workloads
+    }
+    emit(
+        results_dir,
+        "E19_workload_zoo.txt",
+        render_table(
+            HEADERS, rows,
+            title=(
+                f"E19 / workload zoo: Decay, T={TRIALS} "
+                "[chain/expander gossip(k=1) separation: "
+                + ", ".join(
+                    f"{lbl} {r}x"
+                    for lbl, r in separation["gossip(k=1)"].items()
+                )
+                + "]"
+            ),
+        ),
+        data={
+            "headers": HEADERS,
+            "rows": rows,
+            "mean_rounds": {f"{l}|{w}": m for (l, w), m in means.items()},
+            "chain_over_expander": separation,
+        },
+    )
+    # Everything completes under the default round cap.
+    for (label, wl), (_, batch) in table.items():
+        assert batch.completion_rate == 1.0, (label, wl)
+    # k-monotonicity: more sources never slow a family down (means over
+    # the same per-trial seed streams, so this is tight even at T=8).
+    for label, _ in FAMILIES:
+        k_means = [means[(label, f"gossip(k={k})")] for k in KS]
+        assert all(a >= b for a, b in zip(k_means, k_means[1:])), (
+            label, k_means,
+        )
+    if not SMOKE:
+        for label, _ in FAMILIES:
+            if label == "chain":
+                continue
+            # Headline separation at k=1: the chain lags both expanders
+            # by a wide margin even though it fields 50% more nodes.
+            assert separation["gossip(k=1)"][label] >= 1.5, (
+                label, separation["gossip(k=1)"])
+            # k-damping: extra sources substitute for expansion, so the
+            # chain closes (but never fully erases) the gap as k grows.
+            assert (
+                separation["gossip(k=1)"][label]
+                > separation[f"gossip(k={KS[-1]})"][label]
+            ), (label, separation)
+            # Aggregation must hear from every node, so the full
+            # broadcast-like separation survives any source count.
+            assert separation["aggregate(op=max)"][label] >= 2.0, (
+                label, separation["aggregate(op=max)"])
+
+
+def test_e19_engine_and_broadcast_equivalence():
+    """The workload layer's two bit-for-bit contracts (smoke included)."""
+    from repro.graphs import random_regular
+    from repro.radio import DecayProtocol, run_broadcast_batch
+
+    # gossip: dense == bitset, extras included.
+    base = _spec("random_regular(256, 8)", f"gossip(k={KS[-1]})")
+    dense = base.with_overrides({"engine": "dense"}).run()
+    bitset = base.with_overrides({"engine": "bitset"}).run()
+    assert _batches_equal(dense, bitset), "gossip engines diverged"
+    assert np.array_equal(dense.extras["sources"], bitset.extras["sources"])
+
+    # broadcast workload == the pre-workload engine call, every field.
+    graph = random_regular(256, 8, rng=0)
+    legacy = run_broadcast_batch(
+        graph, DecayProtocol(), trials=TRIALS, seed=SEED
+    )
+    via_workload = run_broadcast_batch(
+        graph, DecayProtocol(), trials=TRIALS, seed=SEED,
+        workload="broadcast",
+    )
+    assert _batches_equal(legacy, via_workload), "broadcast drifted"
+
+    # gossip(k=1, source-pinned) reduces to broadcast exactly.
+    pinned = run_broadcast_batch(
+        graph, DecayProtocol(), trials=TRIALS, seed=SEED,
+        workload="gossip(k=1, source=0)",
+    )
+    assert _batches_equal(legacy, pinned), "gossip(k=1) != broadcast"
+
+
+def test_e19_count_aggregation_accuracy():
+    """Flajolet–Martin count sketches land within the classic 2x-ish
+    band on the expander (order-of-magnitude check, full scale only)."""
+    sc = _spec("random_regular(256, 8)", "aggregate(op=count)")
+    batch = sc.run()
+    assert batch.completion_rate == 1.0
+    estimate = batch.extras["estimate"]
+    truth = batch.extras["truth"]
+    assert (truth == 256).all()
+    if not SMOKE:
+        # Median of T=32 single-sketch estimates: within 4x of n (an FM
+        # sketch without stochastic averaging has ~2x typical error).
+        med = float(np.median(estimate))
+        assert 256 / 4 <= med <= 256 * 4, med

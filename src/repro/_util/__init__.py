@@ -4,7 +4,6 @@ Nothing here is part of the public API; downstream users should import from
 :mod:`repro` or its documented subpackages instead.
 """
 
-from repro._util.deprecation import UNSET, resolve_seed, warn_legacy_kwarg
 from repro._util.intmath import (
     ceil_div,
     ceil_log2,
@@ -32,7 +31,6 @@ from repro._util.validation import (
 
 __all__ = [
     "POPCOUNT16",
-    "UNSET",
     "as_rng",
     "ceil_div",
     "ceil_log2",
@@ -54,7 +52,5 @@ __all__ = [
     "parse_value",
     "popcount_u32",
     "popcount_u64",
-    "resolve_seed",
     "spawn_seeds",
-    "warn_legacy_kwarg",
 ]

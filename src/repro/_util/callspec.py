@@ -1,0 +1,218 @@
+"""Registry-backed call-spec machinery shared across spec layers.
+
+The declarative grammar's component segments (``"hypercube(10)"``,
+``"decay"``, ``"gossip(k=4)"``) all behave the same way: a name resolved
+against a :class:`SpecRegistry`, positional/keyword arguments bound
+against the registered builder, four lossless views (string, dict,
+pickle, live object).  This module holds that machinery so every layer —
+``repro.scenario`` (graphs, protocols), ``repro.workload`` (workloads),
+``repro.expansion`` — can define its spec without importing the others
+(``repro.workload`` in particular must not import ``repro.scenario``:
+the scenario package imports the workload package to form its fourth
+segment).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Mapping
+
+from repro._util.specstr import format_call, parse_call
+
+__all__ = ["CallSpec", "SpecEntry", "SpecRegistry"]
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One registry row: a named, documented builder.
+
+    ``check`` is an optional eager parameter validator with the builder's
+    signature (minus any heavy work): it raises on out-of-domain
+    parameters without constructing anything, which is what lets
+    :meth:`repro.scenario.spec.Scenario.validate` fail a bad sweep grid
+    fast instead of mid-run.
+    """
+
+    name: str
+    builder: Callable[..., Any]
+    summary: str = ""
+    randomized: bool = False
+    aliases: tuple[str, ...] = ()
+    check: Callable[..., Any] | None = None
+
+
+class SpecRegistry:
+    """Name → :class:`SpecEntry` mapping with aliases and helpful errors."""
+
+    def __init__(self, kind: str, plural: str | None = None):
+        self.kind = kind
+        # Irregular plurals are passed explicitly ("graph family" →
+        # "graph families"); the default only appends an "s".
+        self.plural = plural if plural is not None else kind + "s"
+        self._entries: dict[str, SpecEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        builder: Callable[..., Any],
+        summary: str = "",
+        randomized: bool = False,
+        aliases: tuple[str, ...] = (),
+        check: Callable[..., Any] | None = None,
+    ) -> SpecEntry:
+        """Add (or replace) an entry; returns it for chaining."""
+        entry = SpecEntry(
+            name=name,
+            builder=builder,
+            summary=summary,
+            randomized=randomized,
+            aliases=tuple(aliases),
+            check=check,
+        )
+        self._entries[name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = name
+        return entry
+
+    def canonical(self, name: str) -> str:
+        """Resolve aliases to the canonical registry name."""
+        key = name.strip().lower()
+        return self._aliases.get(key, key)
+
+    def get(self, name: str) -> SpecEntry:
+        key = self.canonical(name)
+        entry = self._entries.get(key)
+        if entry is None:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; registered {self.plural}: "
+                f"{', '.join(self.names())}"
+            )
+        return entry
+
+    def __contains__(self, name: str) -> bool:
+        return self.canonical(name) in self._entries
+
+    def names(self) -> list[str]:
+        """Canonical names, sorted."""
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, SpecEntry]]:
+        return sorted(self._entries.items())
+
+
+@lru_cache(maxsize=None)
+def _builder_signature(builder) -> inspect.Signature:
+    """Cached builder signature (validate runs per sweep point)."""
+    return inspect.signature(builder)
+
+
+def _freeze_kwargs(kwargs) -> tuple[tuple[str, Any], ...]:
+    """Keyword arguments as a sorted, hashable tuple of pairs."""
+    if isinstance(kwargs, Mapping):
+        items = kwargs.items()
+    else:
+        items = [(str(k), v) for k, v in kwargs]
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+class CallSpec:
+    """Shared machinery of the registry-backed component specs."""
+
+    #: Overridden by subclasses with their registry and discriminator.
+    _registry: SpecRegistry
+    kind: str
+
+    # Subclasses are dataclasses with fields (name-ish, args, kwargs); the
+    # first field's name differs ("family" vs "name"), hence the property.
+    @property
+    def _call_name(self) -> str:
+        raise NotImplementedError
+
+    def __post_init__(self):
+        object.__setattr__(self, "args", tuple(getattr(self, "args")))
+        object.__setattr__(
+            self, "kwargs", _freeze_kwargs(getattr(self, "kwargs"))
+        )
+
+    @classmethod
+    def make(cls, name: str, *args, **kwargs):
+        """Convenience constructor: ``GraphSpec.make("chain", 8, 4)``."""
+        return cls(cls._registry.canonical(name), tuple(args), kwargs)
+
+    @classmethod
+    def from_string(cls, text: str):
+        """Parse the compact call form against the registry."""
+        name, args, kwargs = parse_call(text)
+        name = cls._registry.canonical(name)
+        cls._registry.get(name)  # fail fast on unknown names
+        return cls(name, args, kwargs)
+
+    def describe(self) -> str:
+        """Canonical string form; ``from_string(describe())`` round-trips."""
+        return format_call(self._call_name, self.args, dict(self.kwargs))
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form (the cache-key view)."""
+        out: dict[str, Any] = {self._name_field: self._call_name}
+        if self.args:
+            out["args"] = list(self.args)
+        if self.kwargs:
+            out["kwargs"] = dict(self.kwargs)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping):
+        """Inverse of :meth:`to_dict`."""
+        extra = set(data) - {cls._name_field, "args", "kwargs"}
+        if extra:
+            raise ValueError(
+                f"unknown {cls.kind}-spec fields {sorted(extra)}"
+            )
+        return cls(
+            data[cls._name_field],
+            tuple(data.get("args", ())),
+            data.get("kwargs", {}),
+        )
+
+    @property
+    def entry(self):
+        """The resolved registry entry."""
+        return self._registry.get(self._call_name)
+
+    @property
+    def randomized(self) -> bool:
+        """Whether building this spec consumes a seed."""
+        return self.entry.randomized
+
+    def validate(self):
+        """Eagerly check this spec without building anything heavy.
+
+        Resolves the registry entry (unknown names fail here), binds the
+        arguments against the builder's signature (arity and unknown
+        keywords fail here), and runs the entry's registered parameter
+        ``check`` if it has one (out-of-domain values fail here).
+        Returns ``self`` so call sites can chain.
+        """
+        entry = self.entry
+        try:
+            bound = _builder_signature(entry.builder).bind(
+                *self.args, **dict(self.kwargs)
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"bad {self.kind} spec {self.describe()!r}: {exc}"
+            ) from None
+        if entry.check is not None:
+            try:
+                # Hand the check the builder-normalized arguments, so
+                # keyword-form specs (``hypercube(dimension=3)``) validate
+                # regardless of the check function's own parameter names.
+                entry.check(*bound.args, **bound.kwargs)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"bad {self.kind} spec {self.describe()!r}: {exc}"
+                ) from None
+        return self

@@ -1,6 +1,6 @@
 """Experiment registry: the canonical index of reproduction targets.
 
-A single table mapping experiment ids (E1–E18) to the paper statement they
+A single table mapping experiment ids (E1–E19) to the paper statement they
 reproduce, the modules that implement the pieces, and the benchmark file
 that regenerates the table.  DESIGN.md and EXPERIMENTS.md mirror this
 registry; a consistency test (``tests/analysis/test_experiments.py``)
@@ -195,6 +195,19 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         scenario=Scenario.from_string(
             "random_regular(100000, 16) | decay | classic | trials=64 "
             "| engine=bitset"
+        ),
+    ),
+    Experiment(
+        "E19", "workload zoo",
+        "beyond one-to-all broadcast: expander vs non-expander families "
+        "under k-source gossip and in-network aggregation — the "
+        "(αw, βw)-expansion advantage persists across tasks, with "
+        "gossip(k) closing the gap as sources multiply",
+        ("repro.workload", "repro.radio.broadcast", "repro.scenario.spec"),
+        "bench_workload_zoo.py", ("E19_workload_zoo.txt",),
+        scenario=Scenario.from_string(
+            "random_regular(256, 8) | decay | classic | gossip(k=16) "
+            "| trials=32"
         ),
     ),
 )

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro._util import UNSET, resolve_seed
 
 ERASURE_HEADERS = [
     "family",
@@ -100,7 +99,6 @@ def erasure_degradation(
     max_rounds: int | None = None,
     executor=None,
     protocol="decay",
-    rng=UNSET,
 ) -> list[ErasurePoint]:
     """Measure broadcast degradation of each family across erasure
     probabilities, against a classic-channel baseline with the same seed.
@@ -120,8 +118,7 @@ def erasure_degradation(
     worker processes; every batch is seeded identically either way, so the
     point list is bit-for-bit the serial one.  Parallel scheduling
     re-seeds every batch from ``seed``, so it requires a reusable seed (an
-    int or ``None``), not a stateful generator.  (``rng=`` is the
-    deprecated spelling of ``seed=``.)
+    int or ``None``), not a stateful generator.
     """
     import numpy as np
 
@@ -129,7 +126,6 @@ def erasure_degradation(
     from repro.scenario import GraphSpec, ProtocolSpec
     from repro.scenario.tasks import run_scenario
 
-    seed = resolve_seed("erasure_degradation", seed, rng)
     if executor is not None and isinstance(seed, np.random.Generator):
         raise TypeError(
             "erasure_degradation(executor=...) needs an int (or None) seed: "

@@ -21,7 +21,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
-from repro._util import UNSET, as_rng, resolve_seed, spawn_seeds
+from repro._util import as_rng, spawn_seeds
 
 __all__ = ["SweepPoint", "run_sweep", "sweep_grid"]
 
@@ -81,7 +81,6 @@ def run_sweep(
     executor=None,
     cache=None,
     scenario=None,
-    rng=UNSET,
 ) -> list[SweepPoint]:
     """Evaluate a callable — or a :class:`~repro.scenario.Scenario` — over
     the grid, one seed per repetition.
@@ -137,11 +136,7 @@ def run_sweep(
     evaluators and picklable parameters; caching additionally requires
     content-addressable ones (plain data or dataclass specs such as
     :class:`repro.radio.ChannelSpec`).
-
-    The old ``rng=`` spelling of the master seed still works but emits a
-    ``DeprecationWarning``.
     """
-    seed = resolve_seed("run_sweep", seed, rng)
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
     if scenario is not None:

@@ -15,11 +15,13 @@ Commands
 ``channels``    Broadcast degradation across channel/fault models (E15).
 ``expansion``   Batched wireless-expansion estimation (βw) of a
                 scenario's graph, cached and executor-sharded (E17).
-``run``         Regenerate a registered experiment (E1–E17) via its bench.
+``run``         Regenerate a registered experiment (E1–E19) via its bench.
 ``sweep``       Cached, resumable scenario grid sweep (runtime demo).
 ``cache``       Inspect (``stats``) or wipe (``clear``) the result cache.
 ``scenarios``   Discover the spec registries (``list``) or inspect one
                 scenario's string/dict/key forms (``show``).
+``workloads``   Discover the workload registry (``list``) or inspect one
+                workload's signature and engine support (``show``).
 
 Every simulation verb routes through the declarative scenario layer
 (:mod:`repro.scenario`) and shares one spec builder: ``--scenario SPEC``
@@ -319,8 +321,9 @@ def _add_scenario_flags(p: "argparse.ArgumentParser") -> None:
         "-S", "--set", dest="scenario_set", action="append", default=[],
         metavar="KEY=VALUE",
         help="scenario field override (repeatable): graph/protocol/channel/"
-             "trials/seed/source/max_rounds/engine/memory_budget or dotted "
-             "spec fields such as channel.erasure_p")
+             "workload/trials/seed/source/max_rounds/engine/memory_budget "
+             "or dotted spec fields such as channel.erasure_p; e.g. "
+             "-S workload='gossip(k=4)'")
     p.add_argument(
         "--engine", choices=["auto", "dense", "bitset"], default=None,
         help="simulation backend: dense (sparse mat-mat counts), bitset "
@@ -386,6 +389,9 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
         if not _graph_overridden(args, overrides)
         else f"scenario broadcast: {proto} rounds"
     )
+    # Name the task when it is not the default single-source broadcast.
+    if base.workload.to_dict() != {"name": "broadcast"}:
+        title = f"{title} [workload={base.workload.describe()}]"
     print(render_table(
         headers, rows,
         title=f"{title} [channel={_channel_label(args, base, overrides)}]"))
@@ -667,7 +673,7 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
     from repro.expansion.spec import ESTIMATORS
     from repro.radio import CHANNELS
-    from repro.scenario import GRAPHS, PROTOCOLS, SCENARIOS
+    from repro.scenario import GRAPHS, PROTOCOLS, SCENARIOS, WORKLOADS
 
     print("graph families (GraphSpec):")
     for name, entry in GRAPHS.items():
@@ -680,6 +686,10 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
     print("\nchannels (ChannelSpec):")
     for name in sorted(CHANNELS):
         print(f"  {name:16s} {CHANNELS[name]}")
+    print("\nworkloads (WorkloadSpec, `repro workloads show <name>`):")
+    for name, entry in WORKLOADS.items():
+        tag = "  [seeded]" if entry.randomized else ""
+        print(f"  {name:16s} {entry.summary}{tag}")
     print("\nexpansion estimators (ExpansionSpec, `repro expansion -E`):")
     for name in sorted(ESTIMATORS):
         print(f"  {name:16s} {ESTIMATORS[name]}")
@@ -694,9 +704,54 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
         print("\nexperiment-bound scenarios (repro scenarios show E<k>):")
         for exp in bound:
             print(f"  {exp.id:16s} {exp.scenario.describe()}")
-    print("\nspec form: 'graph | protocol | channel | trials=T | seed=K'"
-          " — e.g. repro broadcast --scenario"
-          " 'chain(8, 4) | decay | erasure(0.1)' -S trials=64")
+    print("\nspec form: 'graph | protocol | channel | workload | trials=T"
+          " | seed=K' — e.g. repro broadcast --scenario"
+          " 'chain(8, 4) | decay | erasure(0.1)' -S workload='gossip(k=4)'")
+    return 0
+
+
+def _cmd_workloads_list(args: argparse.Namespace) -> int:
+    from repro.scenario import WORKLOADS
+
+    print("workloads (WorkloadSpec — the fourth scenario segment):")
+    for name, entry in WORKLOADS.items():
+        tag = "  [seeded]" if entry.randomized else ""
+        print(f"  {name:16s} {entry.summary}{tag}")
+    print("\nspec form: 'graph | protocol | channel | workload' — e.g."
+          " repro broadcast --scenario"
+          " 'chain(8, 4) | decay | classic | gossip(k=4)'")
+    return 0
+
+
+def _cmd_workloads_show(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.scenario import WORKLOADS, WorkloadSpec
+
+    name = args.name.strip()
+    try:
+        spec = WorkloadSpec.from_string(name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    entry = spec.entry
+    params = ", ".join(
+        p.name if p.default is inspect.Parameter.empty
+        else f"{p.name}={p.default!r}"
+        for p in inspect.signature(entry.builder).parameters.values()
+    )
+    workload = spec.build()
+    engines = "dense, bitset" if workload.set_semantics else (
+        "dense only (folds per-cell values the packed engine cannot pack)"
+    )
+    print(f"workload:  {spec.describe()}")
+    print(f"summary:   {entry.summary}")
+    print(f"signature: {entry.name}({params})")
+    print(f"engines:   {engines}")
+    if entry.randomized:
+        print("seeding:   draws from the per-trial generators after the "
+              "protocol/channel resets")
+    print(f"example:   repro broadcast -S workload='{spec.describe()}'")
     return 0
 
 
@@ -726,6 +781,7 @@ def _cmd_scenarios_show(args: argparse.Namespace) -> int:
     realized = scenario.build()
     graph = realized.built.graph
     print(f"graph:     n={graph.n}, source={realized.source}")
+    print(f"workload:  {scenario.workload.describe()}")
     for key, value in sorted(realized.built.meta.items()):
         print(f"  {key} = {value}")
     protocol_seed, graph_seed = scenario.seeds
@@ -863,7 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_worstcase)
 
     p = sub.add_parser(
-        "run", help="regenerate a registered experiment (E1-E17) via its bench")
+        "run", help="regenerate a registered experiment (E1-E19) via its bench")
     p.add_argument("experiment", help="registry id, e.g. E17")
     p.add_argument("--smoke", action="store_true",
                    help="tiny-scale run (sets REPRO_BENCH_SMOKE=1)")
@@ -906,6 +962,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache-dir", default=None,
                     help="result-store root used for the cache key")
     sp.set_defaults(fn=_cmd_scenarios_show)
+
+    p = sub.add_parser(
+        "workloads",
+        help="workload registry: list tasks or inspect one")
+    wl_sub = p.add_subparsers(dest="workloads_command", required=True)
+    wlp = wl_sub.add_parser(
+        "list", help="registered workloads (the fourth scenario segment)")
+    wlp.set_defaults(fn=_cmd_workloads_list)
+    wsp = wl_sub.add_parser(
+        "show", help="one workload's summary, signature, and engine support")
+    wsp.add_argument("name",
+                     help="workload name or spec string, e.g. gossip(k=4)")
+    wsp.set_defaults(fn=_cmd_workloads_show)
 
     p = sub.add_parser("cache", help="inspect or wipe the runtime result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -44,16 +44,17 @@ trial's stream and the merged result is bit-for-bit the unsharded one.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro._util import UNSET, as_rng, resolve_seed, spawn_seeds
+from repro._util import as_rng, spawn_seeds
 from repro.graphs.graph import Graph
 from repro.radio.channel import ChannelModel, ClassicCollision
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import BroadcastProtocol, legacy_hooks_specialized
+from repro.workload import BroadcastWorkload, as_workload
 
 __all__ = [
     "BatchBroadcastResult",
@@ -142,6 +143,9 @@ class BatchBroadcastResult:
         (``0`` for the source, ``-1`` if never).
     transmissions:
         ``(T,)`` int64 — per-trial total (node, round) transmissions.
+    extras:
+        Workload-specific result arrays (trial axis last), e.g. gossip's
+        ``sources`` or aggregate's ``estimate``; empty for broadcast.
     """
 
     trials: int
@@ -150,6 +154,7 @@ class BatchBroadcastResult:
     informed_per_round: np.ndarray
     first_informed_round: np.ndarray
     transmissions: np.ndarray
+    extras: dict = field(default_factory=dict)
 
     @property
     def completion_rate(self) -> float:
@@ -211,6 +216,15 @@ def merge_batches(parts: Sequence[BatchBroadcastResult]) -> BatchBroadcastResult
                     mode="edge",
                 )
             )
+    keys = set().union(*(p.extras.keys() for p in parts))
+    if any(set(p.extras) != keys for p in parts):
+        raise ValueError("shards carry mismatched extras keys")
+    extras = {
+        # Extras arrays put the trial axis last by convention, so shards
+        # concatenate the same way the per-trial result vectors do.
+        key: np.concatenate([np.asarray(p.extras[key]) for p in parts], axis=-1)
+        for key in sorted(keys)
+    }
     return BatchBroadcastResult(
         trials=sum(p.trials for p in parts),
         rounds=np.concatenate([p.rounds for p in parts]),
@@ -220,6 +234,7 @@ def merge_batches(parts: Sequence[BatchBroadcastResult]) -> BatchBroadcastResult
             [p.first_informed_round for p in parts], axis=1
         ),
         transmissions=np.concatenate([p.transmissions for p in parts]),
+        extras=extras,
     )
 
 
@@ -272,15 +287,17 @@ def _as_memory_budget(value) -> MemoryBudget | None:
 
 
 def _resolve_engine(
-    engine: str, protocol, channel_model: ChannelModel, n: int
+    engine: str, protocol, channel_model: ChannelModel, n: int, workload
 ) -> str:
     """Resolve ``auto`` and validate explicit engine requests.
 
     An explicit ``bitset`` request on a channel without packed-word
-    support falls back to dense with a warning (the result is identical,
-    only the working-set shape differs).  ``auto`` picks bitset only when
-    both the channel and the protocol run natively on words and the graph
-    is large enough for the packed path to pay off.
+    support — or on a value workload, whose per-cell integers have no
+    packed representation — falls back to dense with a warning (the
+    result is identical, only the working-set shape differs).  ``auto``
+    picks bitset only when the workload is set-semantics, the channel and
+    the protocol run natively on words, and the graph is large enough for
+    the packed path to pay off.
     """
     if engine not in _ENGINES:
         raise ValueError(
@@ -288,6 +305,14 @@ def _resolve_engine(
         )
     supported = bool(getattr(channel_model, "supports_bitset", False))
     if engine == "bitset":
+        if not workload.set_semantics:
+            warnings.warn(
+                f"workload {workload.name!r} folds per-cell values and "
+                "cannot run packed; falling back to dense",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "dense"
         if not supported:
             warnings.warn(
                 f"channel {channel_model.name!r} does not support the "
@@ -300,7 +325,8 @@ def _resolve_engine(
     if engine == "dense":
         return "dense"
     if (
-        supported
+        workload.set_semantics
+        and supported
         and not legacy_hooks_specialized(protocol)
         and bool(getattr(type(protocol), "words_native", False))
         and n >= _AUTO_BITSET_MIN_N
@@ -324,23 +350,23 @@ def run_broadcast_batch(
     channel: ChannelModel | None = None,
     engine: str = "auto",
     memory_budget: MemoryBudget | int | None = None,
-    rng=UNSET,
+    workload=None,
 ) -> BatchBroadcastResult:
-    """Run ``trials`` independent broadcasts of ``protocol`` on ``graph``,
-    advanced together round by round.
+    """Run ``trials`` independent executions of ``workload`` under
+    ``protocol`` on ``graph``, advanced together round by round.
 
-    Per round, the protocol produces the trial transmit state and one
-    vectorized kernel applies the channel semantics to every trial at
-    once; trials that already completed are frozen (they stop transmitting
-    and stop accruing rounds).  The global loop ends when all trials
-    complete or the round cap is hit.
+    Per round, the protocol produces the trial transmit state (gated by
+    the workload's eligibility), one vectorized kernel applies the
+    channel semantics to every trial at once, and the workload folds the
+    deliveries into newly-satisfied cells; trials that already completed
+    are frozen (they stop transmitting and stop accruing rounds).  The
+    global loop ends when all trials complete or the round cap is hit.
 
     Parameters
     ----------
     seed:
         Master seed/generator; ``trials`` child seeds are derived from it
-        via :func:`repro._util.spawn_seeds`, one per trial.  (The old
-        ``rng=`` spelling still works but emits a ``DeprecationWarning``.)
+        via :func:`repro._util.spawn_seeds`, one per trial.
     trial_rngs:
         Explicit per-trial seeds/generators (overrides ``seed``) — the hook
         :func:`run_broadcast` uses to be the ``T = 1`` special case.
@@ -354,17 +380,32 @@ def run_broadcast_batch(
         not waited for).
     engine:
         ``"dense"``, ``"bitset"``, or ``"auto"`` (see the module
-        docstring).  Explicit ``bitset`` on an unsupported channel warns
-        and runs dense.
+        docstring).  Explicit ``bitset`` on an unsupported channel or a
+        value workload warns and runs dense.
     memory_budget:
         Optional byte ceiling (:class:`MemoryBudget` or a plain int of
         bytes).  Batches whose working set would exceed it are split into
         sequential trial-column shards and merged back — bit-for-bit
         identical to the unbudgeted run.
+    workload:
+        The task to run (:mod:`repro.workload`): an instance, a
+        :class:`~repro.workload.WorkloadSpec`, a spec string
+        (``"gossip(k=4)"``), or ``None`` for single-source broadcast from
+        ``source`` — the latter is bit-for-bit the pre-workload engine.
+        ``source`` applies only to that default; other workloads pin
+        their own sources (``broadcast(source=3)``, ``gossip(source=0)``).
     """
-    seed = resolve_seed("run_broadcast_batch", seed, rng)
-    if not 0 <= source < graph.n:
-        raise ValueError(f"source {source} out of range")
+    if workload is None:
+        workload = BroadcastWorkload(source=source)
+    else:
+        if source != 0:
+            raise ValueError(
+                "source= applies only to the default broadcast workload; "
+                "pin the source on the workload itself "
+                "(e.g. broadcast(source=3))"
+            )
+        workload = as_workload(workload)
+    workload.check_graph(graph)
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     if trial_rngs is None:
@@ -379,6 +420,7 @@ def run_broadcast_batch(
         max_rounds = _default_max_rounds(graph.n)
 
     channel_model = channel if channel is not None else ClassicCollision()
+    workload.check_channel(channel_model)
     # A protocol whose class specializes the legacy single-run hooks more
     # deeply than the batch hooks (e.g. a DecayProtocol subclass overriding
     # only `transmitters`) must run through the per-trial clone adapter, or
@@ -388,7 +430,7 @@ def run_broadcast_batch(
         BroadcastProtocol if legacy_hooks_specialized(protocol) else
         type(protocol)
     )
-    resolved = _resolve_engine(engine, protocol, channel_model, graph.n)
+    resolved = _resolve_engine(engine, protocol, channel_model, graph.n, workload)
 
     budget = _as_memory_budget(memory_budget)
     if budget is not None:
@@ -397,46 +439,51 @@ def run_broadcast_batch(
             parts = [
                 _run_resolved(
                     resolved, graph, protocol, face, channel_model,
-                    source, max_rounds, trial_rngs[start : start + shard],
+                    workload, max_rounds, trial_rngs[start : start + shard],
                 )
                 for start in range(0, trials, shard)
             ]
             return merge_batches(parts)
     return _run_resolved(
         resolved, graph, protocol, face, channel_model,
-        source, max_rounds, trial_rngs,
+        workload, max_rounds, trial_rngs,
     )
 
 
 def _run_resolved(
-    resolved, graph, protocol, face, channel_model, source, max_rounds, trial_rngs
+    resolved, graph, protocol, face, channel_model, workload, max_rounds, trial_rngs
 ) -> BatchBroadcastResult:
     run = _run_bitset if resolved == "bitset" else _run_dense
-    return run(graph, protocol, face, channel_model, source, max_rounds, trial_rngs)
+    return run(graph, protocol, face, channel_model, workload, max_rounds, trial_rngs)
 
 
 def _run_dense(
-    graph, protocol, face, channel_model, source, max_rounds, trial_rngs
+    graph, protocol, face, channel_model, workload, max_rounds, trial_rngs
 ) -> BatchBroadcastResult:
     """The ``(n, T)`` bool-matrix backend with trial compaction."""
     trials = len(trial_rngs)
     network = RadioNetwork(graph, channel=channel_model)
-    face.reset_batch(protocol, network, source, trial_rngs)
+    face.reset_batch(protocol, network, workload.protocol_source, trial_rngs)
     # Channel after protocol: both may draw per-trial counter keys from the
     # same generators, and standalone runs use the same order.
     network.channel.reset(network, trial_rngs)
+    # Workload last: its per-trial draws (gossip sources, sketch levels)
+    # come after the resets', and the broadcast workload draws nothing —
+    # keeping every pre-workload stream untouched.
+    state = workload.make_state(network, trial_rngs)
     # Crash faults remove processors from the coverage requirement — they
     # can never receive, so waiting for them would always hit the cap.
     targets = network.channel.coverage_targets(network)
     need = graph.n if targets is None else int(np.count_nonzero(targets))
 
     n, T = graph.n, trials
+    satisfied = state.initial_satisfied()
     first_round = np.full((n, T), -1, dtype=np.int64)
-    first_round[source, :] = 0
+    first_round[satisfied] = 0
     completed = np.zeros(T, dtype=bool)
     rounds = np.zeros(T, dtype=np.int64)
     transmissions = np.zeros(T, dtype=np.int64)
-    # Per round: (still-active trial ids, their informed counts) — assembled
+    # Per round: (still-active trial ids, their satisfied counts) — assembled
     # into the dense (R, T) matrix at the end.
     count_log: list[tuple[np.ndarray, np.ndarray]] = []
 
@@ -444,17 +491,28 @@ def _run_dense(
     # (only the slowest trials still running) cost proportionally less —
     # the batch pays the mean trial length, not T times the max.
     active = np.arange(T)
-    informed = np.zeros((n, T), dtype=bool)
-    informed[source, :] = True
-    source_covers = 1 if targets is None or targets[source] else 0
-    if source_covers >= need:
-        completed[:] = True
-        active = active[:0]
+    counts0 = satisfied.sum(axis=0).astype(np.int64)
+    covered0 = (
+        counts0
+        if targets is None
+        else satisfied[targets, :].sum(axis=0).astype(np.int64)
+    )
+    done0 = covered0 >= need
+    if done0.any():
+        completed[done0] = True
+        keep = ~done0
+        active = active[keep]
+        satisfied = satisfied[:, keep]
+        if active.size:
+            face.select_trials(protocol, keep)
+            network.channel.select_trials(keep)
+            state.select_trials(keep)
 
     round_index = 0
     while round_index < max_rounds and active.size:
-        mask = face.transmitters_batch(protocol, round_index, informed, network)
-        mask = mask & informed
+        eligible = state.transmit_eligible(satisfied)
+        mask = face.transmitters_batch(protocol, round_index, eligible, network)
+        mask = mask & eligible
         mask = network.channel.effective_transmitters(round_index, mask)
         transmissions[active] += mask.sum(axis=0)
         received = network.step(mask, round_index)
@@ -463,33 +521,39 @@ def _run_dense(
             face.channel_feedback_batch(
                 protocol, round_index, feedback, network
             )
-        fresh = received & ~informed
+        fresh = state.fold(round_index, mask, received, satisfied, network)
         round_index += 1
         rounds[active] += 1
-        informed |= fresh
+        satisfied |= fresh
         rows, cols = np.nonzero(fresh)
         first_round[rows, active[cols]] = round_index
-        counts = informed.sum(axis=0).astype(np.int64)
+        counts = satisfied.sum(axis=0).astype(np.int64)
         count_log.append((active, counts))
         if targets is None:
             covered = counts
         else:
-            covered = informed[targets, :].sum(axis=0).astype(np.int64)
+            covered = satisfied[targets, :].sum(axis=0).astype(np.int64)
         keep = covered < need
         if not keep.all():
             completed[active[~keep]] = True
             active = active[keep]
-            informed = informed[:, keep]
+            satisfied = satisfied[:, keep]
             face.select_trials(protocol, keep)
             network.channel.select_trials(keep)
+            state.select_trials(keep)
 
-    # Rows past a trial's completion hold its final informed count (= n for
+    # Rows past a trial's completion hold its final satisfied count (= n for
     # full-coverage channels); holes only appear after a trial leaves the
     # working set, so a running maximum fills them.
     informed_per_round = np.full((round_index, T), -1, dtype=np.int64)
     for r, (idx, counts) in enumerate(count_log):
         informed_per_round[r, idx] = counts
     if round_index:
+        # Trials done before round 1 never enter the count log; their
+        # columns hold the initial count throughout (broadcast never hits
+        # this — its initial coverage is all-or-nothing across trials).
+        if done0.any():
+            informed_per_round[0, done0] = counts0[done0]
         np.maximum.accumulate(informed_per_round, axis=0, out=informed_per_round)
 
     return BatchBroadcastResult(
@@ -499,11 +563,12 @@ def _run_dense(
         informed_per_round=informed_per_round,
         first_informed_round=first_round,
         transmissions=transmissions,
+        extras=state.extras,
     )
 
 
 def _run_bitset(
-    graph, protocol, face, channel_model, source, max_rounds, trial_rngs
+    graph, protocol, face, channel_model, workload, max_rounds, trial_rngs
 ) -> BatchBroadcastResult:
     """The packed-word backend: trial state 64-to-a-word, CSR gathers.
 
@@ -514,6 +579,11 @@ def _run_bitset(
     ``informed_per_round``, matching the dense engine's row-fill
     semantics.  Counter-based randomness means never-compacted per-trial
     keys index the same streams either way — the bit-for-bit anchor.
+
+    Only set-semantics workloads run here (``_resolve_engine`` guarantees
+    it): satisfaction is a bit, so the workload's whole contribution is
+    the packed initial matrix — the fold is the engine's own
+    ``received & ~informed``.
     """
     from repro.radio.bitset import (
         TransmissionTally,
@@ -525,26 +595,28 @@ def _run_bitset(
 
     trials = len(trial_rngs)
     network = RadioNetwork(graph, channel=channel_model)
-    face.reset_batch(protocol, network, source, trial_rngs)
+    face.reset_batch(protocol, network, workload.protocol_source, trial_rngs)
     network.channel.reset(network, trial_rngs)
+    # Workload last — the same draw order as the dense engine, which is
+    # what makes gossip's random sources engine-independent.
+    state = workload.make_state(network, trial_rngs)
     targets = network.channel.coverage_targets(network)
     need = graph.n if targets is None else int(np.count_nonzero(targets))
     words_native = bool(getattr(face, "words_native", False))
 
     n, T = graph.n, trials
     trial_mask = full_mask_words(T)
-    informed_words = np.zeros((n, trial_mask.shape[0]), dtype=np.uint64)
-    informed_words[source, :] = trial_mask
+    initial = state.initial_satisfied()
+    informed_words = pack_bool_matrix(initial)
     running = trial_mask.copy()
     active_mask = np.ones(T, dtype=bool)
     # Rows with any informed bit, maintained incrementally: the engine's
     # hint to the protocol's word face (uninformed rows cannot transmit)
     # and the restriction for the popcount passes below.
-    informed_any = np.zeros(n, dtype=bool)
-    informed_any[source] = True
+    informed_any = initial.any(axis=1)
 
     first_round = np.full((n, T), -1, dtype=np.int64)
-    first_round[source, :] = 0
+    first_round[initial] = 0
     completed = np.zeros(T, dtype=bool)
     rounds = np.zeros(T, dtype=np.int64)
     transmissions = np.zeros(T, dtype=np.int64)
@@ -552,18 +624,18 @@ def _run_bitset(
     # Informed counts are maintained incrementally — informed state is
     # monotone, so each round adds exactly the popcount of its fresh bits
     # (restricted to the touched rows) instead of re-counting (n, W).
-    counts = word_column_counts(informed_words[[source]])[:T]
+    counts = word_column_counts(informed_words[np.flatnonzero(informed_any)])[:T]
     covered = (
         counts
         if targets is None
         else word_column_counts(informed_words[targets])[:T]
     )
 
-    source_covers = 1 if targets is None or targets[source] else 0
-    if source_covers >= need:
-        completed[:] = True
-        active_mask[:] = False
-        running[:] = 0
+    done0 = covered >= need
+    if done0.any():
+        completed[done0] = True
+        active_mask &= ~done0
+        running = pack_bool_matrix(active_mask[None, :])[0]
 
     # Energy totals accrue through bit-sliced counter planes, drained
     # (transposed + popcounted) every few dozen rounds instead of paying a
@@ -638,6 +710,7 @@ def _run_bitset(
         informed_per_round=informed_per_round,
         first_informed_round=first_round,
         transmissions=transmissions,
+        extras=state.extras,
     )
 
 
@@ -649,7 +722,6 @@ def run_broadcast(
     seed=None,
     channel: ChannelModel | None = None,
     engine: str = "auto",
-    rng=UNSET,
 ) -> BroadcastResult:
     """Run ``protocol`` on ``graph`` from ``source`` until full coverage or
     ``max_rounds`` (default ``50·n·log₂n``-ish safety cap).
@@ -658,9 +730,8 @@ def run_broadcast(
     transmit, and reception follows the active ``channel`` (default: the
     classic exactly-one-transmitting-neighbour collision model).  This is
     the ``T = 1`` special case of :func:`run_broadcast_batch`; the ``seed``
-    seeds the single trial directly (``rng=`` is the deprecated spelling).
+    seeds the single trial directly.
     """
-    seed = resolve_seed("run_broadcast", seed, rng)
     batch = run_broadcast_batch(
         graph,
         protocol,

@@ -23,13 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import (
-    UNSET,
-    as_rng,
-    resolve_seed,
-    spawn_seeds,
-    warn_legacy_kwarg,
-)
+from repro._util import as_rng, spawn_seeds
 from repro.radio.lower_bound import measure_chain_broadcast_batch
 
 __all__ = ["HopTimeStudy", "hop_time_study"]
@@ -89,9 +83,9 @@ def _measure_chain(
     num_layers: int,
     protocol_factory,
     trials: int,
-    rng: int,
-    chain_rng: int,
-    channel_factory,
+    seed: int,
+    chain_seed: int,
+    channel,
     max_rounds: int | None = None,
 ):
     """One chain's batched measurement — module-level (and hence picklable)
@@ -101,9 +95,9 @@ def _measure_chain(
         num_layers,
         protocol_factory(),
         trials=trials,
-        seed=rng,
-        chain_seed=chain_rng,
-        channel=channel_factory() if channel_factory is not None else None,
+        seed=seed,
+        chain_seed=chain_seed,
+        channel=channel() if channel is not None else None,
         max_rounds=max_rounds,
     )
 
@@ -119,8 +113,6 @@ def hop_time_study(
     executor=None,
     scenario=None,
     max_rounds: int | None = None,
-    rng=UNSET,
-    channel_factory=UNSET,
 ) -> HopTimeStudy:
     """Run ``repetitions`` chain broadcasts and collect hop times.
 
@@ -144,8 +136,7 @@ def hop_time_study(
     ``trials_per_chain=1`` matches the proof's probability space exactly
     (every repetition an independent chain).  ``channel`` (a
     :class:`~repro.radio.ChannelSpec` or other zero-argument factory)
-    selects the reception model per chain; the old ``channel_factory=``
-    and ``rng=`` spellings still work behind ``DeprecationWarning`` shims.
+    selects the reception model per chain.
 
     ``executor`` (a :class:`repro.runtime.Executor` or int job count)
     schedules chains across worker processes; every chain owns derived
@@ -153,20 +144,6 @@ def hop_time_study(
     run.  Parallel execution needs picklable factories — a protocol class
     and e.g. :class:`repro.radio.ChannelSpec` rather than closures.
     """
-    seed = resolve_seed("hop_time_study", seed, rng)
-    if channel_factory is not UNSET:
-        warn_legacy_kwarg(
-            "hop_time_study",
-            "channel_factory",
-            "channel=ChannelSpec(...) or scenario=Scenario.from_string("
-            "'chain(8, 6) | decay | erasure(0.1)')",
-        )
-        if channel is not None:
-            raise TypeError(
-                "hop_time_study() got both channel= and the deprecated "
-                "channel_factory="
-            )
-        channel = channel_factory
     if scenario is not None:
         if s is not None or num_layers is not None or protocol_factory is not None:
             raise TypeError(
@@ -179,10 +156,12 @@ def hop_time_study(
                 "'chain(8, 6) | decay | classic'; got "
                 f"{scenario.graph.describe()!r}"
             )
-        if scenario.source is not None:
+        if scenario.workload.to_dict() != {"name": "broadcast"}:
+            # A bare source= canonicalizes into broadcast(source=...), so
+            # this one check rejects both spellings and every other task.
             raise ValueError(
                 "hop_time_study always broadcasts from the chain root; "
-                "drop the scenario's source= field"
+                "drop the scenario's source=/workload field"
             )
         s, num_layers = (int(a) for a in scenario.graph.args[:2])
         protocol_factory = scenario.protocol.build
@@ -218,9 +197,9 @@ def hop_time_study(
             num_layers=num_layers,
             protocol_factory=protocol_factory,
             trials=trials_per_chain,
-            rng=seeds[2 * c],
-            chain_rng=seeds[2 * c + 1],
-            channel_factory=channel,
+            seed=seeds[2 * c],
+            chain_seed=seeds[2 * c + 1],
+            channel=channel,
             max_rounds=max_rounds,
         )
         for c in range(chains)

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import UNSET, resolve_seed, warn_legacy_kwarg
 from repro.graphs.broadcast_chain import BroadcastChain, broadcast_chain
 from repro.graphs.core_graph import core_graph, core_graph_layout
 from repro.graphs.graph import Graph
@@ -100,17 +99,6 @@ class ChainMeasurement:
         return np.diff(np.concatenate([[0], valid]))
 
 
-def _resolve_chain_seed(fn_name: str, chain_seed, chain_rng):
-    if chain_rng is UNSET:
-        return chain_seed
-    warn_legacy_kwarg(fn_name, "chain_rng", "chain_seed=<int>")
-    if chain_seed is not None:
-        raise TypeError(
-            f"{fn_name}() got both chain_seed= and the deprecated chain_rng="
-        )
-    return chain_rng
-
-
 def measure_chain_broadcast(
     s: int,
     num_layers: int,
@@ -119,20 +107,13 @@ def measure_chain_broadcast(
     chain_seed=None,
     max_rounds: int | None = None,
     channel: ChannelModel | None = None,
-    rng=UNSET,
-    chain_rng=UNSET,
 ) -> ChainMeasurement:
     """Build a chain, broadcast over it, and package the measurement.
 
     ``seed`` drives the protocol, ``chain_seed`` the chain's portal
-    choices (the deprecated ``rng=`` / ``chain_rng=`` spellings still
-    work); ``channel`` selects the reception model (default: classic
+    choices; ``channel`` selects the reception model (default: classic
     collision).
     """
-    seed = resolve_seed("measure_chain_broadcast", seed, rng)
-    chain_seed = _resolve_chain_seed(
-        "measure_chain_broadcast", chain_seed, chain_rng
-    )
     chain = broadcast_chain(s, num_layers, rng=chain_seed)
     result = run_broadcast(
         chain.graph,
@@ -157,7 +138,7 @@ def measure_chain_broadcast(
 class BatchChainMeasurement:
     """``T`` protocol trials on one shared chain, run as a batch.
 
-    The chain (portal choices) is sampled once from ``chain_rng``; only the
+    The chain (portal choices) is sampled once from ``chain_seed``; only the
     protocol's randomness varies across trials — the conditional law the
     per-hop concentration statistics average over.
     """
@@ -207,20 +188,13 @@ def measure_chain_broadcast_batch(
     chain_seed=None,
     max_rounds: int | None = None,
     channel: ChannelModel | None = None,
-    rng=UNSET,
-    chain_rng=UNSET,
 ) -> BatchChainMeasurement:
     """Build one chain and broadcast ``trials`` independent protocol runs
     over it through the batched engine (one sparse product per round for
     all trials).  ``seed`` is the master seed for the per-trial streams
-    and ``chain_seed`` drives the portal choices (``rng=`` / ``chain_rng=``
-    are the deprecated spellings); ``channel`` selects the reception model
-    (default: classic collision).
+    and ``chain_seed`` drives the portal choices; ``channel`` selects the
+    reception model (default: classic collision).
     """
-    seed = resolve_seed("measure_chain_broadcast_batch", seed, rng)
-    chain_seed = _resolve_chain_seed(
-        "measure_chain_broadcast_batch", chain_seed, chain_rng
-    )
     chain = broadcast_chain(s, num_layers, rng=chain_seed)
     result: BatchBroadcastResult = run_broadcast_batch(
         chain.graph,

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._util import UNSET, as_rng, resolve_seed
+from repro._util import as_rng
 from repro.graphs.graph import Graph
 from repro.radio.broadcast import _default_max_rounds
 from repro.radio.channel import ChannelModel, ClassicCollision
@@ -87,17 +87,14 @@ def run_broadcast_traced(
     max_rounds: int | None = None,
     seed=None,
     channel: ChannelModel | None = None,
-    rng=UNSET,
 ) -> DetailedTrace:
     """Like :func:`repro.radio.broadcast.run_broadcast` but with per-round
     collision accounting.
 
     ``channel`` selects the reception model; collision-victim counts are
     always computed against the *base* adjacency (the classic collision
-    picture), so lossy channels show as receptions < contacts.  (``rng=``
-    is the deprecated spelling of ``seed=``.)
+    picture), so lossy channels show as receptions < contacts.
     """
-    seed = resolve_seed("run_broadcast_traced", seed, rng)
     if not 0 <= source < graph.n:
         raise ValueError(f"source {source} out of range")
     network = RadioNetwork(graph, channel=channel)

@@ -24,8 +24,6 @@ from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
-from repro._util.deprecation import UNSET as _UNSET
-
 __all__ = [
     "Executor",
     "ParallelExecutor",
@@ -149,7 +147,6 @@ def plan_sweep(
     batch_fn: Callable | None = None,
     static_params: Mapping[str, Any] | None = None,
     store=None,
-    rng=_UNSET,
 ):
     """The :class:`~repro.runtime.manifest.SweepManifest` a ``run_sweep``
     call with these arguments would execute, without evaluating anything.
@@ -158,18 +155,16 @@ def plan_sweep(
     keys are the ones the run will hit — which is only possible from a
     *reusable* ``seed`` (an int or ``None``); a stateful Generator would
     be consumed by the plan and derive different seeds in the run, so it
-    is rejected.  (``rng=`` is the deprecated spelling of ``seed=``.)
-    ``store`` (a :class:`~repro.runtime.store.ResultStore` or cache-root
+    is rejected.  ``store`` (a :class:`~repro.runtime.store.ResultStore` or cache-root
     path) supplies the key salt; ``None`` uses the default salt.
     """
     import numpy as np
 
-    from repro._util import as_rng, resolve_seed, spawn_seeds
+    from repro._util import as_rng, spawn_seeds
     from repro.analysis.sweep import sweep_grid
     from repro.runtime.manifest import build_manifest
     from repro.runtime.store import code_salt
 
-    seed = resolve_seed("plan_sweep", seed, rng)
     if (fn is None) == (batch_fn is None):
         raise ValueError("provide exactly one of fn and batch_fn")
     if isinstance(seed, np.random.Generator):

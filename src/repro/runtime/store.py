@@ -52,7 +52,7 @@ _KIND = "__kind__"
 #: Key-schema revision, mixed into the salt alongside the package version.
 #: Bumped whenever how keys are derived changes — ``k2``: scenario-canonical
 #: keys (spec-equal runs share an address regardless of producing helper).
-_KEY_SCHEMA = "k2"
+_KEY_SCHEMA = "k3"
 
 
 def code_salt() -> str:

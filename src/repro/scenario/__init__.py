@@ -1,8 +1,9 @@
 """repro.scenario — the declarative scenario API.
 
-One picklable spec layer from graph → protocol → channel → runtime: a
-:class:`Scenario` names a graph family, a broadcast protocol, a channel
-model, a trial count, and a seed — everything one of the paper's claims
+One picklable spec layer from graph → protocol → channel → workload →
+runtime: a :class:`Scenario` names a graph family, a broadcast protocol,
+a channel model, a workload (broadcast/gossip/aggregate/pipeline), a
+trial count, and a seed — everything one of the paper's claims
 quantifies over — and is constructible from a compact string::
 
     from repro.scenario import Scenario
@@ -39,6 +40,7 @@ from repro.scenario.spec import (
     Scenario,
 )
 from repro.scenario.sweep import ScenarioPoint, ScenarioSweep
+from repro.workload import WORKLOADS, WorkloadSpec
 from repro.scenario.tasks import (
     expansion_summary,
     merge_batches,
@@ -62,6 +64,8 @@ __all__ = [
     "ScenarioSweep",
     "SpecEntry",
     "SpecRegistry",
+    "WORKLOADS",
+    "WorkloadSpec",
     "expansion_summary",
     "get_scenario",
     "merge_batches",

@@ -74,3 +74,8 @@ register_scenario(
     "chain(4, 2) | decay | classic | trials=4",
     "tiny cached-sweep instance (CI smoke and E16)",
 )
+register_scenario(
+    "expander-gossip",
+    "random_regular(256, 8) | decay | classic | gossip(k=16) | trials=32",
+    "k-source gossip on an expander (E19's headline point)",
+)

@@ -24,10 +24,13 @@ graph seed so a spec plus a seed is always one reproducible instance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 import numpy as np
 
+# Shared with repro.workload's WORKLOADS registry — the machinery lives
+# in repro._util.callspec; re-exported here for existing importers.
+from repro._util.callspec import SpecEntry, SpecRegistry
 from repro.graphs.graph import Graph
 
 __all__ = [
@@ -50,85 +53,6 @@ class BuiltGraph:
     graph: Graph
     source: int = 0
     meta: dict[str, Any] = field(default_factory=dict)
-
-
-@dataclass(frozen=True)
-class SpecEntry:
-    """One registry row: a named, documented builder.
-
-    ``check`` is an optional eager parameter validator with the builder's
-    signature (minus any heavy work): it raises on out-of-domain
-    parameters without constructing anything, which is what lets
-    :meth:`repro.scenario.spec.Scenario.validate` fail a bad sweep grid
-    fast instead of mid-run.
-    """
-
-    name: str
-    builder: Callable[..., Any]
-    summary: str = ""
-    randomized: bool = False
-    aliases: tuple[str, ...] = ()
-    check: Callable[..., Any] | None = None
-
-
-class SpecRegistry:
-    """Name → :class:`SpecEntry` mapping with aliases and helpful errors."""
-
-    def __init__(self, kind: str, plural: str | None = None):
-        self.kind = kind
-        # Irregular plurals are passed explicitly ("graph family" →
-        # "graph families"); the default only appends an "s".
-        self.plural = plural if plural is not None else kind + "s"
-        self._entries: dict[str, SpecEntry] = {}
-        self._aliases: dict[str, str] = {}
-
-    def register(
-        self,
-        name: str,
-        builder: Callable[..., Any],
-        summary: str = "",
-        randomized: bool = False,
-        aliases: tuple[str, ...] = (),
-        check: Callable[..., Any] | None = None,
-    ) -> SpecEntry:
-        """Add (or replace) an entry; returns it for chaining."""
-        entry = SpecEntry(
-            name=name,
-            builder=builder,
-            summary=summary,
-            randomized=randomized,
-            aliases=tuple(aliases),
-            check=check,
-        )
-        self._entries[name] = entry
-        for alias in entry.aliases:
-            self._aliases[alias] = name
-        return entry
-
-    def canonical(self, name: str) -> str:
-        """Resolve aliases to the canonical registry name."""
-        key = name.strip().lower()
-        return self._aliases.get(key, key)
-
-    def get(self, name: str) -> SpecEntry:
-        key = self.canonical(name)
-        entry = self._entries.get(key)
-        if entry is None:
-            raise ValueError(
-                f"unknown {self.kind} {name!r}; registered {self.plural}: "
-                f"{', '.join(self.names())}"
-            )
-        return entry
-
-    def __contains__(self, name: str) -> bool:
-        return self.canonical(name) in self._entries
-
-    def names(self) -> list[str]:
-        """Canonical names, sorted."""
-        return sorted(self._entries)
-
-    def items(self) -> list[tuple[str, SpecEntry]]:
-        return sorted(self._entries.items())
 
 
 # ----------------------------------------------------------------------

@@ -36,138 +36,28 @@ bit (and therefore share cache entries).
 
 from __future__ import annotations
 
-import inspect
 import re
 from dataclasses import dataclass, fields, replace
-from functools import lru_cache
 from typing import Any, Mapping
 
 from repro._util import (
-    format_call,
     parse_byte_size,
     parse_call,
     parse_value,
     spawn_seeds,
 )
+from repro._util.callspec import CallSpec as _CallSpec
 from repro.radio.channel import ChannelSpec
-from repro.scenario.registry import GRAPHS, PROTOCOLS, BuiltGraph, SpecRegistry
+from repro.scenario.registry import GRAPHS, PROTOCOLS, BuiltGraph
+from repro.workload import WORKLOADS, WorkloadSpec
 
-__all__ = ["GraphSpec", "ProtocolSpec", "RealizedScenario", "Scenario"]
-
-
-@lru_cache(maxsize=None)
-def _builder_signature(builder) -> inspect.Signature:
-    """Cached builder signature (validate runs per sweep point)."""
-    return inspect.signature(builder)
-
-
-def _freeze_kwargs(kwargs) -> tuple[tuple[str, Any], ...]:
-    """Keyword arguments as a sorted, hashable tuple of pairs."""
-    if isinstance(kwargs, Mapping):
-        items = kwargs.items()
-    else:
-        items = [(str(k), v) for k, v in kwargs]
-    return tuple(sorted((str(k), v) for k, v in items))
-
-
-class _CallSpec:
-    """Shared machinery of the two registry-backed component specs."""
-
-    #: Overridden by subclasses with their registry and discriminator.
-    _registry: SpecRegistry
-    kind: str
-
-    # Subclasses are dataclasses with fields (name-ish, args, kwargs); the
-    # first field's name differs ("family" vs "name"), hence the property.
-    @property
-    def _call_name(self) -> str:
-        raise NotImplementedError
-
-    def __post_init__(self):
-        object.__setattr__(self, "args", tuple(getattr(self, "args")))
-        object.__setattr__(
-            self, "kwargs", _freeze_kwargs(getattr(self, "kwargs"))
-        )
-
-    @classmethod
-    def make(cls, name: str, *args, **kwargs):
-        """Convenience constructor: ``GraphSpec.make("chain", 8, 4)``."""
-        return cls(cls._registry.canonical(name), tuple(args), kwargs)
-
-    @classmethod
-    def from_string(cls, text: str):
-        """Parse the compact call form against the registry."""
-        name, args, kwargs = parse_call(text)
-        name = cls._registry.canonical(name)
-        cls._registry.get(name)  # fail fast on unknown names
-        return cls(name, args, kwargs)
-
-    def describe(self) -> str:
-        """Canonical string form; ``from_string(describe())`` round-trips."""
-        return format_call(self._call_name, self.args, dict(self.kwargs))
-
-    def to_dict(self) -> dict:
-        """Canonical plain-data form (the cache-key view)."""
-        out: dict[str, Any] = {self._name_field: self._call_name}
-        if self.args:
-            out["args"] = list(self.args)
-        if self.kwargs:
-            out["kwargs"] = dict(self.kwargs)
-        return out
-
-    @classmethod
-    def from_dict(cls, data: Mapping):
-        """Inverse of :meth:`to_dict`."""
-        extra = set(data) - {cls._name_field, "args", "kwargs"}
-        if extra:
-            raise ValueError(
-                f"unknown {cls.kind}-spec fields {sorted(extra)}"
-            )
-        return cls(
-            data[cls._name_field],
-            tuple(data.get("args", ())),
-            data.get("kwargs", {}),
-        )
-
-    @property
-    def entry(self):
-        """The resolved registry entry."""
-        return self._registry.get(self._call_name)
-
-    @property
-    def randomized(self) -> bool:
-        """Whether building this spec consumes a seed."""
-        return self.entry.randomized
-
-    def validate(self):
-        """Eagerly check this spec without building anything heavy.
-
-        Resolves the registry entry (unknown names fail here), binds the
-        arguments against the builder's signature (arity and unknown
-        keywords fail here), and runs the entry's registered parameter
-        ``check`` if it has one (out-of-domain values fail here).
-        Returns ``self`` so call sites can chain.
-        """
-        entry = self.entry
-        try:
-            bound = _builder_signature(entry.builder).bind(
-                *self.args, **dict(self.kwargs)
-            )
-        except TypeError as exc:
-            raise ValueError(
-                f"bad {self.kind} spec {self.describe()!r}: {exc}"
-            ) from None
-        if entry.check is not None:
-            try:
-                # Hand the check the builder-normalized arguments, so
-                # keyword-form specs (``hypercube(dimension=3)``) validate
-                # regardless of the check function's own parameter names.
-                entry.check(*bound.args, **bound.kwargs)
-            except (TypeError, ValueError) as exc:
-                raise ValueError(
-                    f"bad {self.kind} spec {self.describe()!r}: {exc}"
-                ) from None
-        return self
+__all__ = [
+    "GraphSpec",
+    "ProtocolSpec",
+    "RealizedScenario",
+    "Scenario",
+    "WorkloadSpec",
+]
 
 
 @dataclass(frozen=True)
@@ -226,6 +116,8 @@ class RealizedScenario:
     ``channel`` is ``None`` for the classic model — exactly the value the
     legacy ``run_broadcast_batch(channel=...)`` call would receive, which
     keeps ``Scenario.run`` bit-for-bit equal to the call it replaces.
+    ``source`` is the workload's nominal source (what the protocol's
+    ``reset_batch`` receives); multi-source workloads draw their own.
     """
 
     built: BuiltGraph
@@ -233,23 +125,29 @@ class RealizedScenario:
     channel: Any
     source: int
     protocol_seed: Any
+    workload: Any = None
 
 
 _SCALAR_FIELDS = (
     "trials", "seed", "source", "max_rounds", "engine", "memory_budget"
 )
 _ENGINE_CHOICES = ("auto", "dense", "bitset")
-_COMPONENT_FIELDS = ("graph", "protocol", "channel")
+_COMPONENT_FIELDS = ("graph", "protocol", "channel", "workload")
 _COMPONENT_TYPES = {
     "graph": GraphSpec,
     "protocol": ProtocolSpec,
     "channel": ChannelSpec,
+    "workload": WorkloadSpec,
 }
+#: The canonical dict of the default workload — scenarios carrying it
+#: serialize without a workload entry, so broadcast specs keep hashing
+#: (and reading) exactly as they did before the workload layer.
+_DEFAULT_WORKLOAD_DICT = {"name": "broadcast"}
 _ASSIGN_RE = re.compile(r"^([a-z_]+)\s*=\s*(.+)$", re.DOTALL)
 
 
 def _extra_segment_error(seg: str, text: str, values: Mapping[str, Any]) -> str:
-    """Diagnose a bare segment arriving after all three component slots
+    """Diagnose a bare segment arriving after all four component slots
     are taken: a *duplicate* of an already-assigned component kind gets a
     message saying so (``... | erasure(0.1) | erasure(0.9)``), anything
     else keeps the generic too-many-segments error."""
@@ -261,6 +159,8 @@ def _extra_segment_error(seg: str, text: str, values: Mapping[str, Any]) -> str:
         kind = "graph"
     elif name in PROTOCOLS:
         kind = "protocol"
+    elif name in WORKLOADS:
+        kind = "workload"
     else:
         try:
             ChannelSpec._canonical_name(name)
@@ -270,6 +170,34 @@ def _extra_segment_error(seg: str, text: str, values: Mapping[str, Any]) -> str:
     return (
         f"duplicate {kind} segment {seg!r} in scenario {text!r} "
         f"({kind} already set to {str(values.get(kind))!r})"
+    )
+
+
+def _segment_kinds(name: str) -> set:
+    """Which component registries claim a bare segment's call name."""
+    kinds = set()
+    if name in GRAPHS:
+        kinds.add("graph")
+    if name in PROTOCOLS:
+        kinds.add("protocol")
+    if name in WORKLOADS:
+        kinds.add("workload")
+    try:
+        ChannelSpec._canonical_name(name)
+    except ValueError:
+        pass
+    else:
+        kinds.add("channel")
+    return kinds
+
+
+def _source_only_broadcast(spec: WorkloadSpec) -> bool:
+    """Is ``spec`` the canonical form a bare ``source=`` folds into —
+    ``broadcast`` with at most a ``source`` keyword and nothing else?"""
+    return (
+        spec.name == "broadcast"
+        and not spec.args
+        and set(dict(spec.kwargs)) <= {"source"}
     )
 
 
@@ -324,16 +252,23 @@ class Scenario:
 
     Attributes
     ----------
-    graph, protocol, channel:
-        The component specs.
+    graph, protocol, channel, workload:
+        The component specs.  ``workload`` defaults to single-source
+        ``broadcast`` — the classic task — and is omitted from the
+        string/dict views when default, so pre-workload scenarios
+        serialize (and hash) exactly as they always did.
     trials:
         Independent protocol trials, advanced together by the batched
         engine.
     seed:
         Master seed; see the module docstring for the split discipline.
     source:
-        Broadcast source vertex; ``None`` uses the graph family's default
-        (vertex 0 everywhere except the chain, whose root is the source).
+        Deprecated alias for ``workload=broadcast(source=...)``: a
+        non-``None`` value is canonicalized into the workload segment at
+        construction (and rejected eagerly if the workload defines its
+        own sources).  ``None`` — the default — uses the graph family's
+        default source (vertex 0 everywhere except the chain, whose root
+        is the source).
     max_rounds:
         Round cap; ``None`` is the engine's ``50·n·log₂n``-ish default.
     engine:
@@ -350,6 +285,7 @@ class Scenario:
     graph: GraphSpec
     protocol: ProtocolSpec = ProtocolSpec("decay")
     channel: ChannelSpec = ChannelSpec()
+    workload: WorkloadSpec = WorkloadSpec("broadcast")
     trials: int = 1
     seed: int = 0
     source: int | None = None
@@ -366,6 +302,9 @@ class Scenario:
         )
         object.__setattr__(
             self, "channel", _coerce_component("channel", self.channel)
+        )
+        object.__setattr__(
+            self, "workload", _coerce_component("workload", self.workload)
         )
         if self.trials < 1:
             raise ValueError(f"trials must be >= 1, got {self.trials}")
@@ -392,6 +331,34 @@ class Scenario:
             raise ValueError(
                 f"memory_budget must be >= 1 byte, got {self.memory_budget}"
             )
+        # `source` is a deprecated alias of the broadcast workload's own
+        # parameter: canonicalize it into the workload segment so every
+        # view (string/dict/pickle) has one spelling and spec-equal
+        # scenarios hash to one cache key.  A non-broadcast workload
+        # defines its own sources, so combining the two fields is an
+        # eager error naming both.
+        if self.source is not None:
+            wd = self.workload.to_dict()
+            if wd.get("name") != "broadcast":
+                raise ValueError(
+                    f"scenario field source={self.source} applies only to "
+                    f"the broadcast workload, but workload="
+                    f"{self.workload.describe()!r} defines its own sources; "
+                    "set one of the two fields, not both"
+                )
+            if len(wd) > 1:
+                raise ValueError(
+                    f"scenario field source={self.source} conflicts with "
+                    f"the workload's own parameters in "
+                    f"{self.workload.describe()!r}; set the source in one "
+                    "place, not both"
+                )
+            object.__setattr__(
+                self,
+                "workload",
+                WorkloadSpec("broadcast", (), {"source": int(self.source)}),
+            )
+            object.__setattr__(self, "source", None)
 
     # ------------------------------------------------------------------
     # The four views
@@ -400,13 +367,17 @@ class Scenario:
     def from_string(cls, text: str) -> "Scenario":
         """Parse the compact scenario form.
 
-        ``|``-separated segments: the first three may be bare component
-        specs in graph → protocol → channel order, any segment may be a
-        ``key=value`` assignment (``graph=``, ``protocol=``, ``channel=``,
-        ``trials=``, ``seed=``, ``source=``, ``max_rounds=``,
-        ``engine=``, ``memory_budget=``)::
+        ``|``-separated segments: bare component specs fill the
+        graph → protocol → channel → workload slots in order (a bare
+        segment whose name belongs to a *later* registry skips ahead, so
+        ``"chain(4, 2) | gossip(k=2)"`` works without naming a protocol),
+        and any segment may be a ``key=value`` assignment (``graph=``,
+        ``protocol=``, ``channel=``, ``workload=``, ``trials=``,
+        ``seed=``, ``source=``, ``max_rounds=``, ``engine=``,
+        ``memory_budget=``)::
 
             "hypercube(10) | decay | erasure(0.05) | trials=64 | seed=3"
+            "margulis(8) | decay | erasure(0.1) | gossip(k=16)"
             "chain(8, 4) | trials=16"
             "graph=cplus(12) | protocol=flooding"
         """
@@ -434,7 +405,24 @@ class Scenario:
                     positional.pop(0)
                 if not positional:
                     raise ValueError(_extra_segment_error(seg, text, values))
-                values[positional.pop(0)] = seg
+                slot = positional[0]
+                try:
+                    kinds = _segment_kinds(parse_call(seg)[0])
+                except ValueError:
+                    kinds = set()
+                if kinds and slot not in kinds:
+                    # A recognizable name out of positional order: route
+                    # it to the first open slot of its own kind, or fall
+                    # through to the duplicate/too-many diagnosis when
+                    # every slot of its kind is already taken.
+                    open_kinds = [k for k in positional if k in kinds]
+                    if not open_kinds:
+                        raise ValueError(
+                            _extra_segment_error(seg, text, values)
+                        )
+                    slot = open_kinds[0]
+                positional.remove(slot)
+                values[slot] = seg
         if "graph" not in values:
             raise ValueError(
                 f"scenario {text!r} names no graph (the first segment, "
@@ -449,20 +437,23 @@ class Scenario:
         return cls(**kwargs).validate()
 
     def describe(self) -> str:
-        """Canonical string form: the three component specs, then any
+        """Canonical string form: the component specs, then any
         non-default scalar as ``key=value``.  ``from_string(describe())``
-        reconstructs an equal scenario."""
+        reconstructs an equal scenario.  The workload segment appears
+        only when non-default, so broadcast scenarios read as they always
+        did (a plain ``source=`` is canonicalized into
+        ``broadcast(source=...)`` at construction)."""
         parts = [
             self.graph.describe(),
             self.protocol.describe(),
             self.channel.describe(),
         ]
+        if self.workload.to_dict() != _DEFAULT_WORKLOAD_DICT:
+            parts.append(self.workload.describe())
         if self.trials != 1:
             parts.append(f"trials={self.trials}")
         if self.seed != 0:
             parts.append(f"seed={self.seed}")
-        if self.source is not None:
-            parts.append(f"source={self.source}")
         if self.max_rounds is not None:
             parts.append(f"max_rounds={self.max_rounds}")
         if self.engine != "auto":
@@ -481,12 +472,13 @@ class Scenario:
             "trials": int(self.trials),
             "seed": int(self.seed),
         }
-        if self.source is not None:
-            out["source"] = int(self.source)
+        # Emitted only when non-default so plain broadcast scenarios hash
+        # to the same content-address key shape they always did (the
+        # canonicalized `source` rides inside the workload entry).
+        if self.workload.to_dict() != _DEFAULT_WORKLOAD_DICT:
+            out["workload"] = self.workload.to_dict()
         if self.max_rounds is not None:
             out["max_rounds"] = int(self.max_rounds)
-        # Emitted only when non-default so pre-engine scenarios hash to
-        # the same content-address key they always did.
         if self.engine != "auto":
             out["engine"] = str(self.engine)
         if self.memory_budget is not None:
@@ -495,7 +487,8 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Scenario":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (also accepts the legacy ``source``
+        scalar, which canonicalizes into the workload entry)."""
         extra = set(data) - set(_COMPONENT_FIELDS) - set(_SCALAR_FIELDS)
         if extra:
             raise ValueError(f"unknown scenario fields {sorted(extra)}")
@@ -506,6 +499,8 @@ class Scenario:
             kwargs["protocol"] = ProtocolSpec.from_dict(data["protocol"])
         if "channel" in data:
             kwargs["channel"] = ChannelSpec.from_dict(data["channel"])
+        if "workload" in data:
+            kwargs["workload"] = WorkloadSpec.from_dict(data["workload"])
         for key in _SCALAR_FIELDS:
             if key in data:
                 kwargs[key] = data[key]
@@ -528,8 +523,13 @@ class Scenario:
         """
         self.graph.validate()
         self.protocol.validate()
+        self.workload.validate()
         self.protocol.build()
-        self.channel.build()
+        channel_model = self.channel.build()
+        # Workload x channel compatibility (value workloads need
+        # exactly-one-neighbour reception semantics) fails here, before
+        # any graph is built or simulation runs.
+        self.workload.build().check_channel(channel_model)
         return self
 
     # ------------------------------------------------------------------
@@ -539,8 +539,8 @@ class Scenario:
         """A copy with the given field overrides applied.
 
         Keys are scenario fields (``graph``, ``protocol``, ``channel``,
-        ``trials``, ``seed``, ``source``, ``max_rounds``, ``engine``,
-        ``memory_budget``) or dotted paths
+        ``workload``, ``trials``, ``seed``, ``source``, ``max_rounds``,
+        ``engine``, ``memory_budget``) or dotted paths
         one level into a component spec (``channel.erasure_p``,
         ``protocol.name``, ``graph.family``).  Component values may be
         spec objects, spec strings, or canonical dicts; scalar values may
@@ -570,7 +570,17 @@ class Scenario:
             elif head in _COMPONENT_FIELDS:
                 out = replace(out, **{head: _coerce_component(head, value)})
             elif head in _SCALAR_FIELDS:
-                out = replace(out, **{head: _coerce_scalar(head, value)})
+                updates = {head: _coerce_scalar(head, value)}
+                if (
+                    head == "source"
+                    and updates[head] is not None
+                    and _source_only_broadcast(out.workload)
+                ):
+                    # The constructor folded an earlier `source=` into the
+                    # workload segment; the override replaces it, so reset
+                    # the workload and let __post_init__ re-canonicalize.
+                    updates["workload"] = WorkloadSpec("broadcast")
+                out = replace(out, **updates)
             else:
                 known = ", ".join(_COMPONENT_FIELDS + _SCALAR_FIELDS)
                 raise KeyError(
@@ -593,7 +603,16 @@ class Scenario:
         """Resolve every spec to its live object."""
         protocol_seed, graph_seed = self.seeds
         built = self.graph.build(seed=graph_seed)
-        source = self.source if self.source is not None else built.source
+        workload_spec = self.workload
+        if workload_spec.to_dict() == _DEFAULT_WORKLOAD_DICT and built.source:
+            # The graph family's default source (the chain's root) only
+            # exists once the graph is realized — pin it on the default
+            # broadcast workload here, exactly where `source=None` used
+            # to resolve.
+            workload_spec = WorkloadSpec(
+                "broadcast", (), {"source": int(built.source)}
+            )
+        workload = workload_spec.build()
         channel_spec = self.channel
         channel = (
             None
@@ -604,8 +623,9 @@ class Scenario:
             built=built,
             protocol=self.protocol.build(),
             channel=channel,
-            source=source,
+            source=workload.protocol_source,
             protocol_seed=protocol_seed,
+            workload=workload,
         )
 
     def run(self, executor=None, cache=None):

@@ -62,12 +62,12 @@ def _run_realized(realized, scenario) -> BatchBroadcastResult:
         realized.built.graph,
         realized.protocol,
         trials=scenario.trials,
-        source=realized.source,
         max_rounds=scenario.max_rounds,
         seed=realized.protocol_seed,
         channel=realized.channel,
         engine=scenario.engine,
         memory_budget=scenario.memory_budget,
+        workload=realized.workload,
     )
 
 
@@ -94,12 +94,12 @@ def run_scenario_shard(scenario, trial_seeds: Sequence[int]) -> BatchBroadcastRe
         realized.built.graph,
         realized.protocol,
         trials=len(trial_seeds),
-        source=realized.source,
         max_rounds=scenario.max_rounds,
         trial_rngs=list(trial_seeds),
         channel=realized.channel,
         engine=scenario.engine,
         memory_budget=scenario.memory_budget,
+        workload=realized.workload,
     )
 
 

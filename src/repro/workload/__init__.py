@@ -1,0 +1,37 @@
+"""repro.workload — the workload zoo on the scenario grammar.
+
+The paper's (αw, βw)-wireless-expansion guarantee is a statement about
+information dissemination in general, not just one-to-all broadcast.
+This package makes the *task* a first-class, declarative component — the
+fourth segment of the scenario grammar::
+
+    "margulis(8) | decay | erasure(0.1) | gossip(k=16)"
+
+:class:`WorkloadSpec` resolves against the extensible :data:`WORKLOADS`
+registry; the engine boundary (init / fold / done) is the
+:class:`Workload` / :class:`WorkloadState` contract in
+:mod:`repro.workload.base`, and the batched implementations (broadcast,
+gossip, aggregate, pipeline) live in :mod:`repro.workload.zoo`.
+"""
+
+from repro.workload.base import SetWorkloadState, Workload, WorkloadState
+from repro.workload.spec import WORKLOADS, WorkloadSpec, as_workload
+from repro.workload.zoo import (
+    AggregateWorkload,
+    BroadcastWorkload,
+    GossipWorkload,
+    PipelineWorkload,
+)
+
+__all__ = [
+    "AggregateWorkload",
+    "BroadcastWorkload",
+    "GossipWorkload",
+    "PipelineWorkload",
+    "SetWorkloadState",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadSpec",
+    "WorkloadState",
+    "as_workload",
+]

@@ -1,0 +1,138 @@
+"""``WorkloadSpec`` — the fourth first-class segment of the spec grammar.
+
+A workload spec names an entry of the :data:`WORKLOADS` registry plus its
+parameters, with the same four lossless views as every other component
+(``"gossip(k=16)"`` ↔ ``{"name": "gossip", "kwargs": {"k": 16}}`` ↔
+pickle ↔ :meth:`WorkloadSpec.build`)::
+
+    from repro.scenario import Scenario
+
+    Scenario.from_string("margulis(8) | decay | erasure(0.1) | gossip(k=16)")
+
+This module deliberately imports nothing from :mod:`repro.scenario` (the
+scenario package imports *it*); the shared registry machinery lives in
+:mod:`repro._util.callspec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro._util import check_positive_int
+from repro._util.callspec import CallSpec, SpecRegistry
+from repro.workload.base import Workload
+from repro.workload.zoo import (
+    AggregateWorkload,
+    BroadcastWorkload,
+    GossipWorkload,
+    PipelineWorkload,
+)
+
+__all__ = ["WORKLOADS", "WorkloadSpec", "as_workload"]
+
+WORKLOADS = SpecRegistry("workload")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec(CallSpec):
+    """A workload spec, e.g. ``gossip(k=16)`` or ``aggregate(op=count)``."""
+
+    name: str = "broadcast"
+    args: tuple = ()
+    kwargs: tuple = ()
+
+    kind = "workload"
+    _registry = WORKLOADS
+    _name_field = "name"
+
+    @property
+    def _call_name(self) -> str:
+        return self.name
+
+    def build(self) -> Workload:
+        """A fresh workload instance (workload state is per-run)."""
+        return self.entry.builder(*self.args, **dict(self.kwargs))
+
+
+def as_workload(value) -> Workload:
+    """Coerce a workload instance / spec / string / dict to an instance."""
+    if isinstance(value, Workload):
+        return value
+    if isinstance(value, WorkloadSpec):
+        return value.build()
+    if isinstance(value, str):
+        return WorkloadSpec.from_string(value).build()
+    if isinstance(value, Mapping):
+        return WorkloadSpec.from_dict(value).build()
+    raise TypeError(
+        "workload must be a Workload, WorkloadSpec, spec string, or dict; "
+        f"got {type(value).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Eager parameter checks (SpecEntry.check): each mirrors its workload's
+# constructor validation without building anything, so bad specs fail at
+# Scenario.validate() / parse time.
+# ----------------------------------------------------------------------
+
+
+def _check_source(source) -> None:
+    if source is not None and (not isinstance(source, int) or source < 0):
+        raise ValueError(f"source must be a vertex id (>= 0), got {source}")
+
+
+def _check_broadcast(source: int = 0) -> None:
+    _check_source(source)
+
+
+def _check_gossip(k: int = 2, source=None) -> None:
+    check_positive_int(k, "k")
+    _check_source(source)
+    if source is not None and k != 1:
+        raise ValueError(
+            "gossip(source=...) pins the rumor set and is only supported "
+            f"at k=1; got k={k}"
+        )
+
+
+def _check_aggregate(op: str = "max") -> None:
+    if op not in ("count", "max"):
+        raise ValueError(
+            f"aggregate op must be one of count, max; got {op!r}"
+        )
+
+
+def _check_pipeline(m: int = 2, source: int = 0) -> None:
+    check_positive_int(m, "m")
+    _check_source(source)
+
+
+def _register_workloads() -> None:
+    WORKLOADS.register(
+        "broadcast", BroadcastWorkload,
+        summary="single-source rumor spreading (the classic task): "
+                "broadcast(source=0)",
+        check=_check_broadcast,
+    )
+    WORKLOADS.register(
+        "gossip", GossipWorkload, randomized=True,
+        summary="k random rumor sources per trial, spread to everyone: "
+                "gossip(k=2)",
+        check=_check_gossip,
+    )
+    WORKLOADS.register(
+        "aggregate", AggregateWorkload,
+        summary="in-network aggregation under collisions: "
+                "aggregate(op=max|count)",
+        check=_check_aggregate,
+    )
+    WORKLOADS.register(
+        "pipeline", PipelineWorkload,
+        summary="m-message streaming from one source: pipeline(m=2)",
+        check=_check_pipeline,
+    )
+
+
+_register_workloads()

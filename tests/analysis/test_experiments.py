@@ -14,9 +14,9 @@ class TestRegistry:
     def test_registry_is_clean(self):
         assert validate_registry(BENCH_DIR) == []
 
-    def test_eighteen_experiments(self):
-        assert len(EXPERIMENTS) == 18
-        assert [e.id for e in EXPERIMENTS] == [f"E{i}" for i in range(1, 19)]
+    def test_nineteen_experiments(self):
+        assert len(EXPERIMENTS) == 19
+        assert [e.id for e in EXPERIMENTS] == [f"E{i}" for i in range(1, 20)]
 
     def test_every_bench_file_registered(self):
         registered = {e.bench_file for e in EXPERIMENTS}

@@ -303,14 +303,24 @@ def test_explicit_bitset_on_unsupported_channel_warns_and_runs_dense():
 
 
 def test_resolve_engine_auto_rules():
+    from repro.workload import AggregateWorkload, BroadcastWorkload
+
     proto = DecayProtocol()
     classic, detect = ClassicCollision(), CollisionDetection()
-    assert _resolve_engine("auto", proto, classic, 100_000) == "bitset"
-    assert _resolve_engine("auto", proto, classic, 1_000) == "dense"
-    assert _resolve_engine("auto", proto, detect, 100_000) == "dense"
-    assert _resolve_engine("dense", proto, classic, 100_000) == "dense"
+    bcast, agg = BroadcastWorkload(), AggregateWorkload()
+    assert _resolve_engine("auto", proto, classic, 100_000, bcast) == "bitset"
+    assert _resolve_engine("auto", proto, classic, 1_000, bcast) == "dense"
+    assert _resolve_engine("auto", proto, detect, 100_000, bcast) == "dense"
+    assert _resolve_engine("dense", proto, classic, 100_000, bcast) == "dense"
+    # Value workloads fold per-cell payloads the packed engine cannot
+    # represent: auto picks dense, explicit bitset warns and falls back.
+    assert _resolve_engine("auto", proto, classic, 100_000, agg) == "dense"
+    with pytest.warns(RuntimeWarning, match="falling back to dense"):
+        assert (
+            _resolve_engine("bitset", proto, classic, 100_000, agg) == "dense"
+        )
     with pytest.raises(ValueError, match="engine must be one of"):
-        _resolve_engine("gpu", proto, classic, 10)
+        _resolve_engine("gpu", proto, classic, 10, bcast)
 
 
 def test_invalid_engine_value_rejected():

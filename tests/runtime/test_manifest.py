@@ -72,8 +72,8 @@ class TestPlanAndIdentity:
         with pytest.raises(TypeError, match="reusable seed"):
             plan_sweep({"a": [1]}, toy, seed=np.random.default_rng(0))
 
-    def test_legacy_rng_kwarg_warns(self):
-        with pytest.warns(DeprecationWarning, match="seed="):
+    def test_legacy_rng_kwarg_removed(self):
+        with pytest.raises(TypeError, match="rng"):
             plan_sweep({"a": [1]}, toy, rng=0)
 
 

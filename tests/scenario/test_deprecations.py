@@ -1,7 +1,6 @@
-"""Every legacy-kwarg shim fires a DeprecationWarning naming the
-replacement syntax — the one-release migration contract."""
-
-import warnings
+"""The legacy ``rng=`` / ``chain_rng=`` / ``channel_factory=`` kwargs
+completed their one-release DeprecationWarning migration and are gone;
+the spec-first front doors they pointed at are the only spellings."""
 
 import pytest
 
@@ -9,10 +8,7 @@ from repro.analysis import erasure_degradation, run_sweep
 from repro.graphs import hypercube
 from repro.radio import DecayProtocol, run_broadcast, run_broadcast_batch
 from repro.radio.hop_analysis import hop_time_study
-from repro.radio.lower_bound import (
-    measure_chain_broadcast,
-    measure_chain_broadcast_batch,
-)
+from repro.radio.lower_bound import measure_chain_broadcast
 from repro.radio.trace import run_broadcast_traced
 from repro.runtime import plan_sweep
 
@@ -21,83 +17,31 @@ def _noop(seed):
     return seed
 
 
-class TestRngShims:
-    def test_run_broadcast(self):
+class TestLegacyKwargsRemoved:
+    """The shims were one-release bridges; the old spellings now fail
+    loudly as unknown keywords instead of silently re-seeding."""
+
+    def test_rng_gone_everywhere(self):
         g = hypercube(3)
-        with pytest.warns(DeprecationWarning, match="seed="):
-            legacy = run_broadcast(g, DecayProtocol(), rng=0)
-        new = run_broadcast(g, DecayProtocol(), seed=0)
-        assert legacy.rounds == new.rounds
+        with pytest.raises(TypeError, match="rng"):
+            run_broadcast(g, DecayProtocol(), rng=0)
+        with pytest.raises(TypeError, match="rng"):
+            run_broadcast_batch(g, DecayProtocol(), trials=2, rng=0)
+        with pytest.raises(TypeError, match="rng"):
+            run_broadcast_traced(g, DecayProtocol(), rng=0)
+        with pytest.raises(TypeError, match="rng"):
+            run_sweep({"a": [1]}, _noop, rng=0)
+        with pytest.raises(TypeError, match="rng"):
+            plan_sweep({"a": [1]}, _noop, rng=0)
+        with pytest.raises(TypeError, match="rng"):
+            erasure_degradation([("h", hypercube(3))], [0.1], trials=1, rng=0)
 
-    def test_run_broadcast_batch(self):
-        g = hypercube(3)
-        with pytest.warns(DeprecationWarning, match="seed="):
-            legacy = run_broadcast_batch(g, DecayProtocol(), trials=2, rng=0)
-        new = run_broadcast_batch(g, DecayProtocol(), trials=2, seed=0)
-        assert (legacy.rounds == new.rounds).all()
-
-    def test_run_broadcast_traced(self):
-        with pytest.warns(DeprecationWarning, match="seed="):
-            run_broadcast_traced(hypercube(3), DecayProtocol(), rng=0)
-
-    def test_measure_chain_broadcast(self):
-        with pytest.warns(DeprecationWarning, match="seed="):
-            measure_chain_broadcast(2, 2, DecayProtocol(), rng=0, chain_seed=1)
-        with pytest.warns(DeprecationWarning, match="chain_seed="):
+    def test_chain_rng_gone(self):
+        with pytest.raises(TypeError, match="chain_rng"):
             measure_chain_broadcast(2, 2, DecayProtocol(), seed=0, chain_rng=1)
 
-    def test_measure_chain_broadcast_batch_equivalent(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = measure_chain_broadcast_batch(
-                2, 2, DecayProtocol(), trials=2, rng=3, chain_rng=4)
-        new = measure_chain_broadcast_batch(
-            2, 2, DecayProtocol(), trials=2, seed=3, chain_seed=4)
-        assert (legacy.rounds == new.rounds).all()
-
-    def test_run_sweep(self):
-        with pytest.warns(DeprecationWarning, match="seed="):
-            legacy = run_sweep({"seed_offset": [1]},
-                               lambda seed_offset, seed: seed, rng=0)
-        new = run_sweep({"seed_offset": [1]},
-                        lambda seed_offset, seed: seed, seed=0)
-        assert [p.result for p in legacy] == [p.result for p in new]
-
-    def test_plan_sweep(self):
-        with pytest.warns(DeprecationWarning, match="seed="):
-            plan_sweep({"a": [1]}, _noop, rng=0)
-
-    def test_erasure_degradation(self):
-        with pytest.warns(DeprecationWarning, match="seed="):
-            erasure_degradation(
-                [("h", hypercube(3))], [0.1], trials=1, rng=0)
-
-    def test_hop_time_study_rng(self):
-        with pytest.warns(DeprecationWarning, match="seed="):
-            hop_time_study(2, 2, DecayProtocol, repetitions=2, rng=0)
-
-    def test_both_spellings_rejected(self):
-        with pytest.raises(TypeError, match="both"):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore")
-                run_broadcast(hypercube(3), DecayProtocol(), seed=0, rng=1)
-
-
-class TestChannelFactoryShim:
-    def test_warns_and_honours_value(self):
-        from repro.radio import ChannelSpec
-
-        with pytest.warns(DeprecationWarning, match="scenario"):
-            legacy = hop_time_study(
-                2, 2, DecayProtocol, repetitions=2, seed=0,
-                channel_factory=ChannelSpec(name="erasure", erasure_p=0.2))
-        new = hop_time_study(
-            2, 2, DecayProtocol, repetitions=2, seed=0,
-            channel=ChannelSpec(name="erasure", erasure_p=0.2))
-        assert (legacy.hop_times == new.hop_times).all()
-
-    def test_message_names_spec_syntax(self):
-        with pytest.warns(DeprecationWarning,
-                          match=r"erasure\(0\.1\)"):
+    def test_channel_factory_gone(self):
+        with pytest.raises(TypeError, match="channel_factory"):
             hop_time_study(
                 2, 2, DecayProtocol, repetitions=2, seed=0,
                 channel_factory=None)
@@ -142,6 +86,13 @@ class TestScenarioFrontDoors:
         from repro.scenario import Scenario
 
         sc = Scenario.from_string("chain(2, 2) | decay | classic | source=1")
+        with pytest.raises(ValueError, match="chain root"):
+            hop_time_study(scenario=sc, repetitions=2)
+
+    def test_hop_time_study_rejects_scenario_workload(self):
+        from repro.scenario import Scenario
+
+        sc = Scenario.from_string("chain(2, 2) | decay | gossip(k=2)")
         with pytest.raises(ValueError, match="chain root"):
             hop_time_study(scenario=sc, repetitions=2)
 

@@ -65,8 +65,13 @@ class TestSourceValidation:
             Scenario.from_string("hypercube(3) | decay | source=-1")
 
     def test_valid_source_accepted(self):
+        # A bare source= canonicalizes into the broadcast workload segment.
         sc = Scenario.from_string("hypercube(3) | decay | source=2")
-        assert sc.source == 2
+        assert sc.source is None
+        assert sc.workload.to_dict() == {
+            "name": "broadcast", "kwargs": {"source": 2}
+        }
+        assert sc.build().source == 2
 
 
 class TestEagerGraphValidation:
@@ -155,6 +160,14 @@ class TestDuplicateSegmentDiagnosis:
 
     def test_unrecognized_extra_segment_keeps_generic_error(self):
         with pytest.raises(ValueError, match="too many component segments"):
+            Scenario.from_string(
+                "hypercube(3) | decay | classic | broadcast | mystery(1)"
+            )
+
+    def test_unrecognized_fourth_segment_names_workload_slot(self):
+        # With all four slots open in order, an unknown fourth bare
+        # segment lands in the workload slot and names the registry.
+        with pytest.raises(ValueError, match="registered workloads"):
             Scenario.from_string(
                 "hypercube(3) | decay | classic | mystery(1)"
             )

@@ -154,7 +154,11 @@ class TestScenarioRoundTrips:
                 "| source=1 | max_rounds=500")
         sc = Scenario.from_string(text)
         assert sc.trials == 16 and sc.seed == 7
-        assert sc.source == 1 and sc.max_rounds == 500
+        # source= is a deprecated alias: it canonicalizes into the
+        # workload segment, so every view has one spelling.
+        assert sc.source is None
+        assert sc.workload.describe() == "broadcast(source=1)"
+        assert sc.max_rounds == 500
         assert Scenario.from_string(sc.describe()) == sc
 
     def test_dict_round_trip_lossless(self):
@@ -188,11 +192,12 @@ class TestScenarioRoundTrips:
             Scenario.from_string("hypercube(4) | decay | classic | decay")
 
     def test_too_many_components_rejected(self):
-        # A fourth segment that matches no registry keeps the generic
-        # too-many-segments diagnosis.
+        # A fifth segment that matches no registry keeps the generic
+        # too-many-segments diagnosis (a *fourth* unknown bare segment
+        # lands in the open workload slot and names that registry).
         with pytest.raises(ValueError, match="too many component"):
             Scenario.from_string(
-                "hypercube(4) | decay | classic | not-a-component"
+                "hypercube(4) | decay | classic | broadcast | not-a-component"
             )
 
 

@@ -1,0 +1,174 @@
+"""Engine-level workload semantics: equivalences, extras, and fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import hypercube, random_regular
+from repro.radio import DecayProtocol, run_broadcast_batch
+from repro.scenario import Scenario
+
+FIELDS = (
+    "rounds",
+    "completed",
+    "informed_per_round",
+    "first_informed_round",
+    "transmissions",
+)
+
+
+def batches_equal(a, b):
+    return all(np.array_equal(getattr(a, f), getattr(b, f)) for f in FIELDS)
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return hypercube(5)
+
+
+class TestBroadcastEquivalence:
+    """The `broadcast` workload IS the pre-workload engine, bit for bit."""
+
+    @pytest.mark.parametrize("engine", ["dense", "bitset"])
+    def test_workload_matches_legacy(self, cube, engine):
+        legacy = run_broadcast_batch(
+            cube, DecayProtocol(), trials=8, seed=7, engine=engine)
+        via = run_broadcast_batch(
+            cube, DecayProtocol(), trials=8, seed=7, engine=engine,
+            workload="broadcast")
+        assert batches_equal(legacy, via)
+        assert via.extras == {}
+
+    def test_pinned_source_matches_legacy_source(self, cube):
+        legacy = run_broadcast_batch(
+            cube, DecayProtocol(), trials=4, seed=7, source=5)
+        via = run_broadcast_batch(
+            cube, DecayProtocol(), trials=4, seed=7,
+            workload="broadcast(source=5)")
+        assert batches_equal(legacy, via)
+
+    def test_source_kwarg_rejected_with_explicit_workload(self, cube):
+        with pytest.raises(ValueError, match="broadcast\\(source=3\\)"):
+            run_broadcast_batch(
+                cube, DecayProtocol(), trials=2, seed=0, source=3,
+                workload="gossip(k=2)")
+
+
+class TestGossip:
+    def test_dense_bitset_identical_with_extras(self):
+        g = random_regular(128, 8, rng=0)
+        dense = run_broadcast_batch(
+            g, DecayProtocol(), trials=8, seed=3, engine="dense",
+            workload="gossip(k=4)")
+        bitset = run_broadcast_batch(
+            g, DecayProtocol(), trials=8, seed=3, engine="bitset",
+            workload="gossip(k=4)")
+        assert batches_equal(dense, bitset)
+        assert np.array_equal(
+            dense.extras["sources"], bitset.extras["sources"])
+        assert dense.extras["sources"].shape == (4, 8)
+
+    def test_k1_pinned_reduces_to_broadcast(self, cube):
+        broadcast = run_broadcast_batch(
+            cube, DecayProtocol(), trials=6, seed=11)
+        gossip = run_broadcast_batch(
+            cube, DecayProtocol(), trials=6, seed=11,
+            workload="gossip(k=1, source=0)")
+        assert batches_equal(broadcast, gossip)
+
+    def test_all_sources_finish_instantly(self, cube):
+        n = cube.n
+        batch = run_broadcast_batch(
+            cube, DecayProtocol(), trials=3, seed=0,
+            workload=f"gossip(k={n})")
+        assert (batch.rounds == 0).all()
+        assert batch.completed.all()
+        assert (batch.first_informed_round == 0).all()
+
+    def test_sources_are_distinct_per_trial(self, cube):
+        batch = run_broadcast_batch(
+            cube, DecayProtocol(), trials=16, seed=5,
+            workload="gossip(k=6)")
+        src = batch.extras["sources"]
+        for t in range(src.shape[1]):
+            assert len(set(src[:, t].tolist())) == 6
+
+    def test_sharded_run_identical_including_extras(self, cube):
+        kwargs = dict(trials=12, seed=9, workload="gossip(k=3)")
+        whole = run_broadcast_batch(cube, DecayProtocol(), **kwargs)
+        sharded = run_broadcast_batch(
+            cube, DecayProtocol(), memory_budget=40_000, **kwargs)
+        assert batches_equal(whole, sharded)
+        assert np.array_equal(
+            whole.extras["sources"], sharded.extras["sources"])
+
+
+class TestAggregate:
+    def test_max_converges_exactly(self, cube):
+        batch = run_broadcast_batch(
+            cube, DecayProtocol(), trials=4, seed=2,
+            workload="aggregate(op=max)")
+        assert batch.completed.all()
+        assert (batch.extras["truth"] == cube.n - 1).all()
+        assert (batch.extras["estimate"] == float(cube.n - 1)).all()
+
+    def test_count_sketch_estimates_n(self, cube):
+        batch = run_broadcast_batch(
+            cube, DecayProtocol(), trials=8, seed=2,
+            workload="aggregate(op=count)")
+        assert batch.completed.all()
+        assert (batch.extras["truth"] == cube.n).all()
+        est = batch.extras["estimate"]
+        # Every estimate is a power of two (2**max_level) and positive.
+        assert (est > 0).all()
+        assert (np.exp2(np.round(np.log2(est))) == est).all()
+
+    def test_bitset_request_falls_back_to_dense(self, cube):
+        with pytest.warns(RuntimeWarning, match="falling back to dense"):
+            batch = run_broadcast_batch(
+                cube, DecayProtocol(), trials=2, seed=0, engine="bitset",
+                workload="aggregate(op=max)")
+        assert batch.completed.all()
+
+    def test_jamming_rejected_at_engine(self, cube):
+        from repro.radio.channel import AdversarialJamming
+
+        with pytest.raises(ValueError, match="exactly-one-neighbour"):
+            run_broadcast_batch(
+                cube, DecayProtocol(), trials=2, seed=0,
+                channel=AdversarialJamming("jam@0-9:0,1"),
+                workload="aggregate(op=max)")
+
+
+class TestPipeline:
+    def test_m1_is_broadcast(self, cube):
+        broadcast = run_broadcast_batch(
+            cube, DecayProtocol(), trials=6, seed=13)
+        pipe = run_broadcast_batch(
+            cube, DecayProtocol(), trials=6, seed=13,
+            workload="pipeline(m=1)")
+        assert batches_equal(broadcast, pipe)
+
+    def test_streaming_costs_more_rounds_than_one_message(self, cube):
+        one = run_broadcast_batch(
+            cube, DecayProtocol(), trials=4, seed=13,
+            workload="pipeline(m=1)")
+        four = run_broadcast_batch(
+            cube, DecayProtocol(), trials=4, seed=13,
+            workload="pipeline(m=4)")
+        assert four.completed.all()
+        assert (four.rounds >= one.rounds).all()
+        assert (four.rounds > one.rounds).any()
+
+
+class TestScenarioFrontDoor:
+    def test_spec_run_matches_engine_call(self):
+        sc = Scenario.from_string(
+            "hypercube(5) | decay | classic | gossip(k=4) "
+            "| trials=6 | seed=3")
+        via_spec = sc.run()
+        direct = run_broadcast_batch(
+            hypercube(5), DecayProtocol(), trials=6, seed=3,
+            workload="gossip(k=4)")
+        assert batches_equal(via_spec, direct)
+        assert np.array_equal(
+            via_spec.extras["sources"], direct.extras["sources"])
