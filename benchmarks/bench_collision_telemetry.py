@@ -1,0 +1,203 @@
+"""E20 — collision anatomy at scale via batched per-round telemetry.
+
+The paper's round-complexity bounds are collision arguments: Decay makes
+progress *because* its thinning schedule limits how often a silent node
+hears two transmitters at once, and the Section 5 lower-bound topologies
+are exactly the graphs where that cannot be arranged.  This bench turns
+the observability layer's batched telemetry (``telemetry=on``) into the
+reproduction table those arguments predict::
+
+    random_regular(10000, 16) | decay | classic  | trials=64 | engine=bitset | telemetry=on
+    chain(32, 8)              | decay | erasure(0.1) | ...
+    cplus(512)                | flooding | classic | max_rounds=64 | ...
+
+Pinned claims:
+
+* **decay survives its own collisions** — on every family × channel the
+  Decay scenarios complete, with a collision rate strictly between 0 and
+  1 (the schedule pays collisions but is never starved by them);
+* **flooding anatomy** — flooding on C⁺ is the collision catastrophe the
+  protocol comparison predicts: once the clique is informed every round
+  collides at the spokesman's neighbours, completion stays 0 and the
+  pooled collision rate is near 1;
+* **telemetry invariants** — per round and trial, newly-informed counts
+  never exceed receptions and wasted transmissions never exceed
+  transmitters (checked on every cell of every scenario);
+* **equivalence** — on a small shared-support scenario the five
+  ``telemetry_`` extras are bit-for-bit identical between the dense and
+  bitset engines (always asserted, smoke included).
+
+The per-round pooled trajectories (collision and wasted rates summed
+across trials) land in the ``.json`` sidecar, and the same rounds are
+mirrored as JSONL telemetry events next to the table — the ``repro obs
+summary`` sink format, which CI greps for ``collision``.
+"""
+
+import os
+
+import numpy as np
+from conftest import SMOKE, emit, scaled
+
+from repro.analysis import render_table
+from repro.obs.telemetry import (
+    TELEMETRY_FIELDS,
+    RoundTelemetry,
+    telemetry_events,
+)
+from repro.obs.tracing import write_jsonl
+from repro.scenario import Scenario
+
+TRIALS = scaled(64, 8)
+SEED = 7
+
+#: (label, graph segment) — the expander against the Section 5 topologies.
+FAMILIES = (
+    ("random_regular", scaled("random_regular(10000, 16)",
+                              "random_regular(256, 8)")),
+    ("chain", scaled("chain(32, 8)", "chain(8, 2)")),
+    ("cplus", scaled("cplus(512)", "cplus(12)")),
+)
+
+CHANNELS = (("classic", "classic"), ("erasure", "erasure(0.1)"))
+
+#: Flooding on C⁺: the all-collide anatomy row (bounded — it never ends).
+ANATOMY_MAX_ROUNDS = 64
+
+HEADERS = [
+    "family", "channel", "protocol", "mean rounds", "collision rate",
+    "wasted frac", "completion",
+]
+
+
+def _scenario(graph_seg, protocol, channel_seg, extra=""):
+    return Scenario.from_string(
+        f"{graph_seg} | {protocol} | {channel_seg} | trials={TRIALS} "
+        f"| seed={SEED} | engine=bitset | telemetry=on{extra}"
+    )
+
+
+def _point(sc):
+    batch = sc.run()
+    return batch, RoundTelemetry.from_batch(batch)
+
+
+def _wasted_fraction(tel):
+    sent = float(tel.transmitters.sum())
+    return float(tel.wasted_transmissions.sum()) / sent if sent else 0.0
+
+
+def _row(family, channel, protocol, batch, tel):
+    return [
+        family, channel, protocol,
+        round(float(batch.rounds.mean()), 1),
+        round(tel.mean_collision_rate(), 3),
+        round(_wasted_fraction(tel), 3),
+        round(float(batch.completion_rate), 3),
+    ]
+
+
+def _pooled_trajectories(tel):
+    """Per-round counts pooled across trials, plus pooled rates."""
+    pooled = {
+        name: getattr(tel, name).sum(axis=1).tolist()
+        for name in TELEMETRY_FIELDS
+    }
+    contacted = tel.contacted.sum(axis=1)
+    victims = tel.collision_victims.sum(axis=1)
+    sent = tel.transmitters.sum(axis=1)
+    wasted = tel.wasted_transmissions.sum(axis=1)
+    pooled["collision_rate"] = np.divide(
+        victims, contacted, out=np.zeros(len(victims)), where=contacted > 0
+    ).round(4).tolist()
+    pooled["wasted_rate"] = np.divide(
+        wasted, sent, out=np.zeros(len(sent)), where=sent > 0
+    ).round(4).tolist()
+    return pooled
+
+
+def test_e20_collision_telemetry(benchmark, results_dir):
+    def run_anatomy():
+        table = {}
+        for family, graph_seg in FAMILIES:
+            for ch_label, ch_seg in CHANNELS:
+                sc = _scenario(graph_seg, "decay", ch_seg)
+                table[(family, ch_label, "decay")] = _point(sc)
+        anatomy = _scenario(
+            FAMILIES[-1][1], "flooding", "classic",
+            extra=f" | max_rounds={ANATOMY_MAX_ROUNDS}",
+        )
+        table[("cplus", "classic", "flooding")] = _point(anatomy)
+        return table
+
+    table = benchmark.pedantic(run_anatomy, rounds=1, iterations=1)
+
+    rows = [_row(*key, *table[key]) for key in table]
+    flood_batch, flood_tel = table[("cplus", "classic", "flooding")]
+    emit(
+        results_dir,
+        "E20_collision_telemetry.txt",
+        render_table(
+            HEADERS, rows,
+            title=(
+                f"E20 / collision anatomy: T={TRIALS}, bitset telemetry "
+                f"[flooding-on-C⁺ collision rate "
+                f"{flood_tel.mean_collision_rate():.3f}, "
+                f"completion {flood_batch.completion_rate:.0%}]"
+            ),
+        ),
+        data={
+            "headers": HEADERS,
+            "rows": rows,
+            "trajectories": {
+                "|".join(key): _pooled_trajectories(tel)
+                for key, (_, tel) in table.items()
+            },
+        },
+        engine="bitset",
+    )
+    # Mirror the rounds as JSONL telemetry events — the same records the
+    # tracing sinks and `repro obs summary` consume (CI greps this file).
+    events = []
+    for key, (_, tel) in table.items():
+        events.extend(telemetry_events(tel, scenario="|".join(key)))
+    write_jsonl(
+        os.path.join(results_dir, "E20_collision_telemetry.jsonl"), events
+    )
+
+    for key, (batch, tel) in table.items():
+        # Structural invariants, every round × trial cell of every run.
+        assert (tel.newly_informed <= tel.receptions).all(), key
+        assert (tel.wasted_transmissions <= tel.transmitters).all(), key
+    # Decay completes everywhere, paying a real but non-fatal collision
+    # toll (0 < rate < 1 on the classic expander at full scale).
+    for key, (batch, tel) in table.items():
+        if key[2] != "decay":
+            continue
+        assert batch.completion_rate == 1.0, key
+        assert tel.mean_collision_rate() < 1.0, key
+    if not SMOKE:
+        expander = table[("random_regular", "classic", "decay")][1]
+        assert expander.mean_collision_rate() > 0.0
+        # Flooding on C⁺: everyone transmits, the spokesman's side always
+        # collides — completion 0 with a near-total collision rate.
+        assert flood_batch.completion_rate == 0.0
+        assert flood_tel.mean_collision_rate() >= 0.9, (
+            flood_tel.mean_collision_rate()
+        )
+        # And almost every clique transmission reaches nobody new: the
+        # wasted fraction is the energy-cost face of the same anatomy.
+        assert _wasted_fraction(flood_tel) >= 0.9
+
+
+def test_e20_engine_equivalence():
+    """Dense and bitset telemetry agree bit for bit (smoke included)."""
+    base = Scenario.from_string(
+        "random_regular(256, 8) | decay | classic | trials=16 "
+        f"| seed={SEED} | telemetry=on"
+    )
+    dense = base.with_overrides({"engine": "dense"}).run()
+    bitset = base.with_overrides({"engine": "bitset"}).run()
+    for name in TELEMETRY_FIELDS:
+        key = "telemetry_" + name
+        assert np.array_equal(dense.extras[key], bitset.extras[key]), name
+    assert np.array_equal(dense.transmissions, bitset.transmissions)

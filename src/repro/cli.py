@@ -15,8 +15,12 @@ Commands
 ``channels``    Broadcast degradation across channel/fault models (E15).
 ``expansion``   Batched wireless-expansion estimation (βw) of a
                 scenario's graph, cached and executor-sharded (E17).
-``run``         Regenerate a registered experiment (E1–E19) via its bench.
+``run``         Regenerate a registered experiment (E1–E20) via its bench.
 ``sweep``       Cached, resumable scenario grid sweep (runtime demo).
+``trace``       Per-round collision telemetry of one scenario (E20's
+                anatomy view): transmitters, receptions, victims, wasted.
+``obs``         Observability: ``summary`` aggregates a ``--trace-out``
+                JSONL file (span totals, task latency, cache hit rate).
 ``cache``       Inspect (``stats``) or wipe (``clear``) the result cache.
 ``scenarios``   Discover the spec registries (``list``) or inspect one
                 scenario's string/dict/key forms (``show``).
@@ -38,6 +42,11 @@ Simulation commands also uniformly take ``--seed`` (master seed) and
 :class:`repro.runtime.ParallelExecutor`, with results bit-for-bit identical
 to serial runs).  The legacy ``--channel`` / ``--erasure-p`` / ``--faults``
 flags remain as spelling sugar for ``-S channel=...``.
+
+``run``, ``sweep``, ``expansion``, and ``trace`` take ``--trace-out FILE``:
+the whole command executes under a :func:`repro.obs.tracing.recording`
+whose spans, cache counters, and telemetry events land in ``FILE`` as JSON
+Lines — ``repro obs summary FILE`` aggregates them.
 """
 
 from __future__ import annotations
@@ -321,9 +330,9 @@ def _add_scenario_flags(p: "argparse.ArgumentParser") -> None:
         "-S", "--set", dest="scenario_set", action="append", default=[],
         metavar="KEY=VALUE",
         help="scenario field override (repeatable): graph/protocol/channel/"
-             "workload/trials/seed/source/max_rounds/engine/memory_budget "
-             "or dotted spec fields such as channel.erasure_p; e.g. "
-             "-S workload='gossip(k=4)'")
+             "workload/trials/seed/source/max_rounds/engine/memory_budget/"
+             "telemetry or dotted spec fields such as channel.erasure_p; "
+             "e.g. -S workload='gossip(k=4)' or -S telemetry=on")
     p.add_argument(
         "--engine", choices=["auto", "dense", "bitset"], default=None,
         help="simulation backend: dense (sparse mat-mat counts), bitset "
@@ -664,8 +673,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         title=f"runtime sweep: {base.protocol.describe().capitalize()} rounds "
               f"[channel={_channel_label(args, base, overrides)}, "
               f"jobs={args.jobs}]"))
-    print(f"cache: {store.hits} hits, {store.misses} misses over "
-          f"{manifest.task_count} tasks (manifest {manifest.sweep_id})")
+    cache_line = (f"cache: {store.hits} hits, {store.misses} misses over "
+                  f"{manifest.task_count} tasks (manifest {manifest.sweep_id})")
+    if store.time_saved > 0:
+        cache_line += f"; replay saved ~{store.time_saved:.2f}s of compute"
+    print(cache_line)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.obs.telemetry import RoundTelemetry, telemetry_events
+    from repro.obs.tracing import active_recorder
+    from repro.scenario import GraphSpec, Scenario
+
+    default = Scenario(
+        graph=GraphSpec.make("chain", args.s, args.layers),
+        channel=_channel_spec(args),
+        trials=_trials(args, 1),
+        seed=_seed(args),
+    )
+    base, overrides = _resolve_scenario(args, default)
+    # The whole point of the verb is the per-round anatomy, so telemetry
+    # is forced on (the spec serializes it only when on, so a plain
+    # --scenario string needs no telemetry= segment here).
+    scenario = base if base.telemetry else base.with_overrides(
+        {"telemetry": True}
+    )
+    batch = scenario.run(executor=_executor(args))
+    tel = RoundTelemetry.from_batch(batch)
+    rec = active_recorder()
+    if rec is not None:
+        for event in telemetry_events(tel, scenario=scenario.describe()):
+            rec.record(event)
+    rows = []
+    for r in range(tel.rounds):
+        receptions = int(tel.receptions[r].sum())
+        victims = int(tel.collision_victims[r].sum())
+        contacted = receptions + victims
+        rows.append([
+            r + 1,
+            int(tel.transmitters[r].sum()),
+            receptions,
+            victims,
+            int(tel.newly_informed[r].sum()),
+            int(tel.wasted_transmissions[r].sum()),
+            f"{victims / contacted:.1%}" if contacted else "-",
+        ])
+    if len(rows) > 40:
+        # A round-capped run can log thousands of identical stall rounds;
+        # keep the opening anatomy and the tail, elide the middle.
+        elided = len(rows) - 36
+        rows = rows[:28] + [["…"] * 7] + rows[-8:]
+        rows[28][1] = f"({elided} rounds elided)"
+    print(render_table(
+        ["round", "tx", "recv", "victims", "newly", "wasted", "coll.rate"],
+        rows,
+        title=f"collision trace: {scenario.describe()}"))
+    totals = {k: int(v.sum()) for k, v in tel.totals().items()}
+    print(f"totals: {totals['transmitters']} transmissions, "
+          f"{totals['collision_victims']} collision victims, "
+          f"{totals['wasted_transmissions']} wasted; "
+          f"mean collision rate {tel.mean_collision_rate():.1%}; "
+          f"completion {batch.completion_rate:.0%}")
+    return 0
+
+
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import format_summary, read_jsonl, summarize_events
+
+    try:
+        events = read_jsonl(args.file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.file!r}: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(
+            f"{args.file!r} is not a JSONL trace: {exc}"
+        ) from None
+    print(format_summary(summarize_events(events)))
     return 0
 
 
@@ -796,11 +881,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     store = ResultStore(args.cache_dir)
     if args.cache_command == "stats":
+        from repro.obs.metrics import METRICS
+
         st = store.stats()
         print(f"cache root: {st.root}")
         print(f"  entries:   {st.entries}")
         print(f"  manifests: {st.manifests}")
         print(f"  size:      {st.bytes / 1024:.1f} KiB")
+        # Live counters cover this process (every ResultStore feeds the
+        # process-wide metrics registry) — nonzero when the stats call
+        # shares a process with the runs it measures.
+        hits = METRICS.get("cache.hits")
+        misses = METRICS.get("cache.misses")
+        print(f"  live:      {hits:g} hits, {misses:g} misses"
+              f" (get {METRICS.get('cache.get_seconds') * 1e3:.1f} ms,"
+              f" put {METRICS.get('cache.put_seconds') * 1e3:.1f} ms)")
+        saved = METRICS.get("cache.time_saved_seconds")
+        if saved:
+            print(f"  saved:     {saved:.2f} s of compute replayed")
         for sid in SweepManifest.list_ids(store):
             m = SweepManifest.load(store, sid)
             done, total = m.progress(store)
@@ -810,6 +908,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"cleared {removed.entries} cached results and "
           f"{removed.manifests} manifests from {removed.root}")
     return 0
+
+
+def _add_trace_out(p: "argparse.ArgumentParser") -> None:
+    p.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="FILE",
+        help="record a JSONL runtime trace (spans, cache counters, "
+             "telemetry events) to FILE; aggregate with "
+             "`repro obs summary FILE`")
 
 
 def _int_list(text: str) -> list[int]:
@@ -908,6 +1014,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-store root (default: results/cache)")
     _add_exec_flags(p)
     _add_scenario_flags(p)
+    _add_trace_out(p)
     p.set_defaults(fn=_cmd_expansion)
 
     p = sub.add_parser("worstcase", help="Corollary 4.11 planted bad set")
@@ -919,11 +1026,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_worstcase)
 
     p = sub.add_parser(
-        "run", help="regenerate a registered experiment (E1-E19) via its bench")
+        "run", help="regenerate a registered experiment (E1-E20) via its bench")
     p.add_argument("experiment", help="registry id, e.g. E17")
     p.add_argument("--smoke", action="store_true",
                    help="tiny-scale run (sets REPRO_BENCH_SMOKE=1)")
     _add_exec_flags(p, seed=False)
+    _add_trace_out(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -944,7 +1052,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(p)
     _add_channel_flags(p)
     _add_scenario_flags(p)
+    _add_trace_out(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="per-round collision telemetry of one scenario "
+             "(transmitters, receptions, victims, newly informed, wasted)")
+    p.add_argument("--s", type=int, default=8,
+                   help="default chain width (ignored under --scenario)")
+    p.add_argument("--layers", type=int, default=4,
+                   help="default chain layers (ignored under --scenario)")
+    p.add_argument("--trials", type=int, default=None,
+                   help="batched protocol trials; counts are summed "
+                        "across trials (default 1)")
+    _add_exec_flags(p)
+    _add_channel_flags(p)
+    _add_scenario_flags(p)
+    _add_trace_out(p)
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "obs", help="observability: aggregate a --trace-out JSONL file")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    op = obs_sub.add_parser(
+        "summary", help="per-span totals, task latency percentiles, cache "
+                        "hit rate, telemetry totals")
+    op.add_argument("file", help="JSONL trace file written by --trace-out")
+    op.set_defaults(fn=_cmd_obs_summary)
 
     p = sub.add_parser(
         "scenarios",
@@ -993,6 +1128,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs.tracing import recording
+
+        # The whole command runs under one recording; the sink is written
+        # on exit even when the command raises, so crashed runs keep their
+        # partial trace.
+        with recording(sink=trace_out):
+            code = int(args.fn(args))
+        print(f"trace written to {trace_out}")
+        return code
     return int(args.fn(args))
 
 

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro._util import as_rng, check_fraction
 from repro.graphs.graph import Graph
+from repro.obs.tracing import traced
 
 __all__ = [
     "enumerate_candidates",
@@ -70,6 +71,7 @@ def _weight_table(weights: np.ndarray) -> np.ndarray:
     return table
 
 
+@traced("expansion.enumerate_candidates")
 def enumerate_candidates(
     graph: Graph,
     alpha: float = 0.5,
@@ -213,6 +215,7 @@ def _group_best_unique(adjacency, n: int, group: np.ndarray) -> list[int]:
     ]
 
 
+@traced("expansion.evaluate_candidate_shard")
 def evaluate_candidate_shard(
     graph: Graph, candidates, size_cap: int
 ) -> np.ndarray:
@@ -269,6 +272,7 @@ def _map_shards(fn, make_call, count: int, executor) -> np.ndarray:
     return np.concatenate(parts)
 
 
+@traced("expansion.evaluate_candidates")
 def evaluate_candidates(
     graph: Graph, candidates, size_cap: int, executor=None
 ) -> np.ndarray:
@@ -291,6 +295,7 @@ def evaluate_candidates(
     )
 
 
+@traced("expansion.portfolio_candidate_values")
 def portfolio_candidate_values(
     graph: Graph, candidates, seeds, size_cap: int, executor=None
 ) -> np.ndarray:

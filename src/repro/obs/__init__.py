@@ -1,0 +1,57 @@
+"""Unified observability: batched collision telemetry + runtime tracing.
+
+Two halves, one import surface:
+
+* :mod:`repro.obs.telemetry` — per round × per trial collision accounting
+  emitted by both broadcast engines (``run_broadcast_batch(...,
+  telemetry=True)``), riding ``BatchBroadcastResult.extras`` bit-for-bit
+  identically on the dense and bitset paths.
+* :mod:`repro.obs.tracing` — monotonic-clock spans and counters recorded
+  across the executor, the result cache, scenario sharding, and the
+  expansion pipeline, written as JSONL and aggregated by
+  ``repro obs summary``.
+
+:mod:`repro.obs.metrics` holds the process-local counter registry the
+cache reports through ``repro cache stats``.
+"""
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.telemetry import (
+    TELEMETRY_FIELDS,
+    TELEMETRY_PREFIX,
+    RoundTelemetry,
+    TelemetryAccumulator,
+    telemetry_events,
+)
+from repro.obs.tracing import (
+    Span,
+    TraceRecorder,
+    active_recorder,
+    format_summary,
+    maybe_span,
+    read_jsonl,
+    recording,
+    summarize_events,
+    traced,
+    write_jsonl,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "RoundTelemetry",
+    "Span",
+    "TELEMETRY_FIELDS",
+    "TELEMETRY_PREFIX",
+    "TelemetryAccumulator",
+    "TraceRecorder",
+    "active_recorder",
+    "format_summary",
+    "maybe_span",
+    "read_jsonl",
+    "recording",
+    "summarize_events",
+    "telemetry_events",
+    "traced",
+    "write_jsonl",
+]

@@ -1,0 +1,36 @@
+"""A tiny process-local metrics registry.
+
+Long-lived counters that outlive any single :func:`~repro.obs.tracing.recording`
+window — currently the cache's live hit/miss/latency tallies, surfaced by
+``repro cache stats``.  Deliberately minimal: named float accumulators, no
+labels, no export machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricsRegistry", "METRICS"]
+
+
+class MetricsRegistry:
+    """Named monotonically-increasing float counters."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        self._values[name] = self._values.get(name, 0.0) + float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> dict[str, float]:
+        """A copy of every counter, for display or assertion."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Clear all counters (test isolation)."""
+        self._values.clear()
+
+
+#: The process-wide registry instrumented call sites write to.
+METRICS = MetricsRegistry()

@@ -40,10 +40,14 @@ from repro._util.rng import _GOLDEN, _MURMUR_A, _MURMUR_B, _node_hashes, _splitm
 
 __all__ = [
     "TransmissionTally",
+    "any_neighbor_words",
+    "any_neighbor_words_at",
     "exactly_one_words",
     "full_mask_words",
+    "neighbor_fold_words",
     "pack_bool_matrix",
     "packed_counter_coins",
+    "scatter_neighbor_words",
     "unpack_words",
     "word_column_counts",
     "word_count",
@@ -133,14 +137,26 @@ def _transpose64(blocks: np.ndarray) -> None:
         b ^= t
 
 
+#: ``_BYTE_BIT_COUNTS[b, i]`` is bit ``i`` of byte value ``b`` — one
+#: 256×8 table turns a byte-value histogram into per-bit set counts.
+_BYTE_BIT_COUNTS = ((np.arange(256, dtype=np.int64)[:, None] >> np.arange(8)) & 1)
+
+#: Row threshold above which the byte-histogram path beats the bit
+#: transpose (histogram cost is O(n) per byte column with no padding or
+#: transpose shuffles; below this the 256-bin bincounts dominate).
+_BINCOUNT_MIN_ROWS = 2048
+
+
 def word_column_counts(words: np.ndarray) -> np.ndarray:
     """Per-trial-bit set counts of an ``(n, W)`` word matrix.
 
     Returns a ``(64 * W,)`` int64 vector: entry ``64*w + t`` is the number
     of rows whose word ``w`` has bit ``t`` set — i.e. the per-trial column
-    sum, without ever unpacking an ``(n, T)`` bool matrix.  Implemented as
-    a vectorized 64×64 bit transpose over ``ceil(n/64)`` row blocks
-    followed by one :func:`repro._util.popcount_u64` pass.
+    sum, without ever unpacking an ``(n, T)`` bool matrix.  Small inputs
+    run a vectorized 64×64 bit transpose over ``ceil(n/64)`` row blocks
+    followed by one :func:`repro._util.popcount_u64` pass; large inputs
+    histogram each little-endian byte column and contract the histogram
+    against the byte→bit table (same counts, no padding or transpose).
     """
     words = np.asarray(words, dtype=np.uint64)
     if words.ndim != 2:
@@ -148,6 +164,14 @@ def word_column_counts(words: np.ndarray) -> np.ndarray:
     n, w = words.shape
     if n == 0 or w == 0:
         return np.zeros(64 * w, dtype=np.int64)
+    if n >= _BINCOUNT_MIN_ROWS:
+        as_bytes = np.ascontiguousarray(
+            words.astype("<u8", copy=False)
+        ).view(np.uint8).reshape(n, w * 8)
+        counts = np.empty((w * 8, 8), dtype=np.int64)
+        for j in range(w * 8):
+            counts[j] = np.bincount(as_bytes[:, j], minlength=256) @ _BYTE_BIT_COUNTS
+        return counts.reshape(w * 64)
     blocks = ceil_div(n, 64)
     padded = np.zeros((blocks * 64, w), dtype=np.uint64)
     padded[:n] = words
@@ -384,3 +408,184 @@ def exactly_one_words(csr, transmit_words: np.ndarray) -> np.ndarray:
             twice[rows] |= seen & nbr_words
             once[rows] = seen | nbr_words
     return once & ~twice
+
+
+def neighbor_fold_words(
+    csr, transmit_words: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(once, twice)`` saturating accumulators of the exactly-one
+    fold, returned unreduced.
+
+    Same gather plan and fold as :func:`exactly_one_words`, but both
+    ``(n, W)`` planes come back: bit ``t`` of ``once[v]`` marks ≥ 1
+    transmitting neighbour, of ``twice[v]`` ≥ 2 — so exactly-one is
+    ``once & ~twice`` and the collision-victim mask is ``twice & ~tw``.
+    Telemetry uses this to get reception *and* collision structure from
+    one fold (the engine re-derives exactly-one from the pair, so the
+    channel's own fold is skipped on telemetry rounds).
+    """
+    transmit_words = np.asarray(transmit_words, dtype=np.uint64)
+    n, w = transmit_words.shape
+    if n != csr.n:
+        raise ValueError(f"word matrix has {n} rows for an {csr.n}-vertex graph")
+    plan = csr.gather_plan()
+    if plan[0] == "regular":
+        slots = plan[1]
+        if w == 1:
+            flat = np.ascontiguousarray(transmit_words[:, 0])
+            once = np.zeros(n, dtype=np.uint64)
+            twice = np.zeros(n, dtype=np.uint64)
+            buf = np.empty(n, dtype=np.uint64)
+            tmp = np.empty(n, dtype=np.uint64)
+            for k in range(slots.shape[0]):
+                nbr_words = np.take(flat, slots[k], out=buf, mode="clip")
+                np.bitwise_and(once, nbr_words, out=tmp)
+                np.bitwise_or(twice, tmp, out=twice)
+                np.bitwise_or(once, nbr_words, out=once)
+            return once[:, None], twice[:, None]
+        once = np.zeros((n, w), dtype=np.uint64)
+        twice = np.zeros((n, w), dtype=np.uint64)
+        buf = np.empty((n, w), dtype=np.uint64)
+        tmp = np.empty((n, w), dtype=np.uint64)
+        for k in range(slots.shape[0]):
+            nbr_words = np.take(
+                transmit_words, slots[k], axis=0, out=buf, mode="clip"
+            )
+            np.bitwise_and(once, nbr_words, out=tmp)
+            np.bitwise_or(twice, tmp, out=twice)
+            np.bitwise_or(once, nbr_words, out=once)
+        return once, twice
+    once = np.zeros((n, w), dtype=np.uint64)
+    twice = np.zeros((n, w), dtype=np.uint64)
+    _, order, starts, slot_counts = plan
+    indices = csr.indices
+    for k, m in enumerate(slot_counts):
+        rows = order[:m]
+        nbr = indices[starts[:m] + np.int64(k)]
+        nbr_words = transmit_words[nbr]
+        seen = once[rows]
+        twice[rows] |= seen & nbr_words
+        once[rows] = seen | nbr_words
+    return once, twice
+
+
+def any_neighbor_words(csr, words: np.ndarray) -> np.ndarray:
+    """Per-vertex OR over neighbour words: bit ``t`` of row ``v`` is set
+    iff some neighbour of ``v`` has bit ``t`` set in ``words``.
+
+    The packed face of ``(A @ x) > 0`` — a single OR-only fold over the
+    CSR gather plan, one accumulator instead of the exactly-one pair.
+    Telemetry uses it on the *received* words: a transmitter with no
+    receiving neighbour is a wasted transmission.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    n, w = words.shape
+    if n != csr.n:
+        raise ValueError(f"word matrix has {n} rows for an {csr.n}-vertex graph")
+    plan = csr.gather_plan()
+    if plan[0] == "regular":
+        slots = plan[1]
+        if w == 1:
+            flat = np.ascontiguousarray(words[:, 0])
+            acc = np.zeros(n, dtype=np.uint64)
+            buf = np.empty(n, dtype=np.uint64)
+            for k in range(slots.shape[0]):
+                nbr_words = np.take(flat, slots[k], out=buf, mode="clip")
+                np.bitwise_or(acc, nbr_words, out=acc)
+            return acc[:, None]
+        acc = np.zeros((n, w), dtype=np.uint64)
+        buf = np.empty((n, w), dtype=np.uint64)
+        for k in range(slots.shape[0]):
+            nbr_words = np.take(words, slots[k], axis=0, out=buf, mode="clip")
+            np.bitwise_or(acc, nbr_words, out=acc)
+        return acc
+    acc = np.zeros((n, w), dtype=np.uint64)
+    _, order, starts, slot_counts = plan
+    indices = csr.indices
+    for k, m in enumerate(slot_counts):
+        rows = order[:m]
+        nbr = indices[starts[:m] + np.int64(k)]
+        acc[rows] |= words[nbr]
+    return acc
+
+
+def any_neighbor_words_at(csr, words: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """:func:`any_neighbor_words` evaluated only at the given rows.
+
+    Returns the ``(len(rows), W)`` restriction of the neighbour OR — the
+    telemetry fast path: wasted transmissions only need the fold at
+    transmitter rows, and decay keeps those sparse in most rounds, so the
+    gather touches ``d * len(rows)`` edges instead of all ``d * n``.
+    Exact by construction (the restriction of the same fold), so callers
+    may mix it freely with the full fold without changing any count.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    rows = np.asarray(rows, dtype=np.intp)
+    n, w = words.shape
+    if n != csr.n:
+        raise ValueError(f"word matrix has {n} rows for an {csr.n}-vertex graph")
+    if rows.size == 0:
+        return np.zeros((0, w), dtype=np.uint64)
+    plan = csr.gather_plan()
+    if plan[0] != "regular":
+        # Irregular degree plans (chains, C⁺) only arise at small n where
+        # the full fold is already cheap — restrict its output instead.
+        return any_neighbor_words(csr, words)[rows]
+    slots = plan[1][:, rows]
+    return _or_reduce_slots(words, slots)
+
+
+def _or_reduce_slots(words: np.ndarray, slots: np.ndarray) -> np.ndarray:
+    """OR-fold ``words`` over a ``(d, m)`` neighbour-id matrix."""
+    w = words.shape[1]
+    if slots.shape[0] == 0:
+        return np.zeros((slots.shape[1], w), dtype=np.uint64)
+    if w == 1:
+        flat = np.ascontiguousarray(words[:, 0])
+        acc = flat[slots[0]]
+        buf = np.empty_like(acc)
+        for k in range(1, slots.shape[0]):
+            np.take(flat, slots[k], out=buf, mode="clip")
+            np.bitwise_or(acc, buf, out=acc)
+        return acc[:, None]
+    acc = words[slots[0]]
+    buf = np.empty_like(acc)
+    for k in range(1, slots.shape[0]):
+        np.take(words, slots[k], axis=0, out=buf, mode="clip")
+        np.bitwise_or(acc, buf, out=acc)
+    return acc
+
+
+def scatter_neighbor_words(csr, words: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Push-side :func:`any_neighbor_words`: OR each listed row's word
+    into all of that row's neighbours.
+
+    ``rows`` must cover every nonzero row of ``words`` — then the result
+    equals ``any_neighbor_words(csr, words)`` exactly (zero rows push
+    nothing, and adjacency is symmetric, so pushing from the nonzero rows
+    is the whole fold).  The scatter touches ``d * len(rows)`` edges, so
+    it wins when the nonzero rows are scarce — the blast rounds, where
+    nearly everyone transmits and nearly nobody receives.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    rows = np.asarray(rows, dtype=np.intp)
+    n, w = words.shape
+    if n != csr.n:
+        raise ValueError(f"word matrix has {n} rows for an {csr.n}-vertex graph")
+    acc = np.zeros((n, w), dtype=np.uint64)
+    if rows.size == 0:
+        return acc
+    plan = csr.gather_plan()
+    if plan[0] != "regular":
+        return any_neighbor_words(csr, words)
+    nbrs = plan[1][:, rows]
+    if w == 1:
+        flat = acc[:, 0]
+        np.bitwise_or.at(flat, nbrs.ravel(), np.broadcast_to(
+            words[rows, 0], nbrs.shape
+        ).ravel())
+        return acc
+    np.bitwise_or.at(acc, nbrs.reshape(-1), np.broadcast_to(
+        words[rows], nbrs.shape + (w,)
+    ).reshape(-1, w))
+    return acc

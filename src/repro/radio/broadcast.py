@@ -51,6 +51,7 @@ import numpy as np
 
 from repro._util import as_rng, spawn_seeds
 from repro.graphs.graph import Graph
+from repro.obs.telemetry import TELEMETRY_PREFIX, TelemetryAccumulator
 from repro.radio.channel import ChannelModel, ClassicCollision
 from repro.radio.network import RadioNetwork
 from repro.radio.protocols import BroadcastProtocol, legacy_hooks_specialized
@@ -219,12 +220,24 @@ def merge_batches(parts: Sequence[BatchBroadcastResult]) -> BatchBroadcastResult
     keys = set().union(*(p.extras.keys() for p in parts))
     if any(set(p.extras) != keys for p in parts):
         raise ValueError("shards carry mismatched extras keys")
-    extras = {
-        # Extras arrays put the trial axis last by convention, so shards
-        # concatenate the same way the per-trial result vectors do.
-        key: np.concatenate([np.asarray(p.extras[key]) for p in parts], axis=-1)
-        for key in sorted(keys)
-    }
+    # Extras arrays put the trial axis last by convention, so shards
+    # concatenate the same way the per-trial result vectors do.  Telemetry
+    # matrices additionally need their round axis aligned: a shard that
+    # finished early records zero activity in the missing rounds (frozen
+    # trials transmit nothing), so zero-padding reproduces the unsharded
+    # run bit for bit.
+    extras = {}
+    for key in sorted(keys):
+        arrays = [np.asarray(p.extras[key]) for p in parts]
+        if key.startswith(TELEMETRY_PREFIX):
+            cap = max(a.shape[0] for a in arrays)
+            arrays = [
+                a
+                if a.shape[0] == cap
+                else np.pad(a, ((0, cap - a.shape[0]), (0, 0)))
+                for a in arrays
+            ]
+        extras[key] = np.concatenate(arrays, axis=-1)
     return BatchBroadcastResult(
         trials=sum(p.trials for p in parts),
         rounds=np.concatenate([p.rounds for p in parts]),
@@ -351,6 +364,7 @@ def run_broadcast_batch(
     engine: str = "auto",
     memory_budget: MemoryBudget | int | None = None,
     workload=None,
+    telemetry: bool = False,
 ) -> BatchBroadcastResult:
     """Run ``trials`` independent executions of ``workload`` under
     ``protocol`` on ``graph``, advanced together round by round.
@@ -394,6 +408,15 @@ def run_broadcast_batch(
         ``source`` — the latter is bit-for-bit the pre-workload engine.
         ``source`` applies only to that default; other workloads pin
         their own sources (``broadcast(source=3)``, ``gossip(source=0)``).
+    telemetry:
+        When true, both engines additionally record per round × per trial
+        collision telemetry (transmitters, receptions, collision victims,
+        newly informed, wasted transmissions — see
+        :mod:`repro.obs.telemetry`), returned as ``(R, T)`` int64 extras
+        under ``telemetry_``-prefixed keys, bit-for-bit identical between
+        engines and across memory-budget shards.  Off by default and a
+        strict no-op when off — no allocation, no per-round work beyond
+        one predicate check.
     """
     if workload is None:
         workload = BroadcastWorkload(source=source)
@@ -432,6 +455,7 @@ def run_broadcast_batch(
     )
     resolved = _resolve_engine(engine, protocol, channel_model, graph.n, workload)
 
+    telemetry = bool(telemetry)
     budget = _as_memory_budget(memory_budget)
     if budget is not None:
         shard = budget.max_trials(graph.n, resolved)
@@ -440,25 +464,31 @@ def run_broadcast_batch(
                 _run_resolved(
                     resolved, graph, protocol, face, channel_model,
                     workload, max_rounds, trial_rngs[start : start + shard],
+                    telemetry,
                 )
                 for start in range(0, trials, shard)
             ]
             return merge_batches(parts)
     return _run_resolved(
         resolved, graph, protocol, face, channel_model,
-        workload, max_rounds, trial_rngs,
+        workload, max_rounds, trial_rngs, telemetry,
     )
 
 
 def _run_resolved(
-    resolved, graph, protocol, face, channel_model, workload, max_rounds, trial_rngs
+    resolved, graph, protocol, face, channel_model, workload, max_rounds,
+    trial_rngs, telemetry=False,
 ) -> BatchBroadcastResult:
     run = _run_bitset if resolved == "bitset" else _run_dense
-    return run(graph, protocol, face, channel_model, workload, max_rounds, trial_rngs)
+    return run(
+        graph, protocol, face, channel_model, workload, max_rounds,
+        trial_rngs, telemetry,
+    )
 
 
 def _run_dense(
-    graph, protocol, face, channel_model, workload, max_rounds, trial_rngs
+    graph, protocol, face, channel_model, workload, max_rounds, trial_rngs,
+    telemetry=False,
 ) -> BatchBroadcastResult:
     """The ``(n, T)`` bool-matrix backend with trial compaction."""
     trials = len(trial_rngs)
@@ -486,6 +516,7 @@ def _run_dense(
     # Per round: (still-active trial ids, their satisfied counts) — assembled
     # into the dense (R, T) matrix at the end.
     count_log: list[tuple[np.ndarray, np.ndarray]] = []
+    tel = TelemetryAccumulator(T) if telemetry else None
 
     # Completed trials are compacted out of the working set, so late rounds
     # (only the slowest trials still running) cost proportionally less —
@@ -515,6 +546,12 @@ def _run_dense(
         mask = mask & eligible
         mask = network.channel.effective_transmitters(round_index, mask)
         transmissions[active] += mask.sum(axis=0)
+        if tel is not None:
+            # The channel's own sparse product, pulled forward and primed
+            # into the network's identity cache: victims read it here, the
+            # channel's deliver reuses it — counts run once either way.
+            tcounts = network.transmit_counts(mask)
+            network.prime_transmit_counts(mask, tcounts)
         received = network.step(mask, round_index)
         feedback = network.channel.feedback
         if feedback is not None:
@@ -522,6 +559,23 @@ def _run_dense(
                 protocol, round_index, feedback, network
             )
         fresh = state.fold(round_index, mask, received, satisfied, network)
+        if tel is not None:
+            # Victims are counted against the base adjacency on every
+            # channel (the legacy tracer's convention: lossy channels show
+            # as receptions < contacts, not as fewer collisions).  A
+            # transmitter is wasted when no neighbour received — a receiver
+            # hears its unique transmitting neighbour, so any receiving
+            # neighbour is a delivery credit.
+            tel.append_active(
+                active,
+                transmitters=mask.sum(axis=0),
+                receptions=received.sum(axis=0),
+                collision_victims=((tcounts >= 2) & ~mask).sum(axis=0),
+                newly_informed=fresh.sum(axis=0),
+                wasted_transmissions=(
+                    mask & ~(network.transmit_counts(received) > 0)
+                ).sum(axis=0),
+            )
         round_index += 1
         rounds[active] += 1
         satisfied |= fresh
@@ -556,6 +610,9 @@ def _run_dense(
             informed_per_round[0, done0] = counts0[done0]
         np.maximum.accumulate(informed_per_round, axis=0, out=informed_per_round)
 
+    extras = state.extras
+    if tel is not None:
+        extras = {**extras, **tel.extras()}
     return BatchBroadcastResult(
         trials=T,
         rounds=rounds,
@@ -563,12 +620,13 @@ def _run_dense(
         informed_per_round=informed_per_round,
         first_informed_round=first_round,
         transmissions=transmissions,
-        extras=state.extras,
+        extras=extras,
     )
 
 
 def _run_bitset(
-    graph, protocol, face, channel_model, workload, max_rounds, trial_rngs
+    graph, protocol, face, channel_model, workload, max_rounds, trial_rngs,
+    telemetry=False,
 ) -> BatchBroadcastResult:
     """The packed-word backend: trial state 64-to-a-word, CSR gathers.
 
@@ -587,8 +645,12 @@ def _run_bitset(
     """
     from repro.radio.bitset import (
         TransmissionTally,
+        any_neighbor_words,
+        any_neighbor_words_at,
         full_mask_words,
+        neighbor_fold_words,
         pack_bool_matrix,
+        scatter_neighbor_words,
         unpack_words,
         word_column_counts,
     )
@@ -641,6 +703,39 @@ def _run_bitset(
     # (transposed + popcounted) every few dozen rounds instead of paying a
     # 64×64 transpose per round.
     tally = TransmissionTally()
+    tel = TelemetryAccumulator(T) if telemetry else None
+    tel_zeros = np.zeros(T, dtype=np.int64)
+
+    def tel_rows(words_mat: np.ndarray) -> np.ndarray:
+        # flatnonzero on the single word column skips the bool cast a
+        # reduction over the trial axis would pay.
+        if words_mat.shape[1] == 1:
+            return np.flatnonzero(words_mat[:, 0])
+        return np.flatnonzero(words_mat.any(axis=1))
+
+    def tel_nnz(words_mat: np.ndarray) -> int:
+        # Row-count probe: SIMD count_nonzero costs a fraction of
+        # materializing the index vector, so dense rounds can pick the
+        # full-matrix path without ever allocating row indices.
+        if words_mat.shape[1] == 1:
+            return int(np.count_nonzero(words_mat[:, 0]))
+        return int(np.count_nonzero(words_mat.any(axis=1)))
+
+    def tel_counts_at(words_mat: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        # Per-trial counts restricted to the rows that can contribute —
+        # exact (all-zero rows add nothing to any column) and much
+        # cheaper in the sparse rounds decay spends most of its schedule
+        # in; near-dense matrices fall through to the full popcount (the
+        # gather stops paying for itself around 90% row density).
+        if rows.size == 0:
+            return tel_zeros
+        if 10 * rows.size >= 9 * n:
+            return word_column_counts(words_mat)[:T]
+        return word_column_counts(words_mat[rows])[:T]
+
+    def tel_counts(words_mat: np.ndarray) -> np.ndarray:
+        return tel_counts_at(words_mat, tel_rows(words_mat))
+
     round_index = 0
     informed_rows = np.flatnonzero(informed_any)
     while round_index < max_rounds and active_mask.any():
@@ -658,16 +753,45 @@ def _run_bitset(
             mask = face.transmitters_batch(protocol, round_index, informed, network)
             tw = pack_bool_matrix(mask & informed)
         tw &= running
-        tally.add(tw)
-        if round_index % _TALLY_DRAIN_ROUNDS == _TALLY_DRAIN_ROUNDS - 1:
-            drained = tally.drain(T)
-            if drained is not None:
-                transmissions += drained
+        if tel is None:
+            # With telemetry on, the exact per-round transmitter counts
+            # below already carry the energy totals (transmissions is
+            # their running sum), so the tally's counter planes are
+            # skipped entirely rather than paid twice.
+            tally.add(tw)
+            if round_index % _TALLY_DRAIN_ROUNDS == _TALLY_DRAIN_ROUNDS - 1:
+                drained = tally.drain(T)
+                if drained is not None:
+                    transmissions += drained
+        if tel is not None:
+            # One pair fold yields both reception and collision structure:
+            # exactly-one is primed into the network's identity cache so
+            # the channel's deliver reuses it — the fold runs once either
+            # way, telemetry's net cost is popcounts plus one OR fold.
+            once, twice = neighbor_fold_words(graph.csr, tw)
+            # Victim rows are a subset of twice's nonzero rows, so the
+            # mask and its counts are built on that restriction directly.
+            vic_nnz = tel_nnz(twice)
+            if vic_nnz == 0:
+                vict_counts = tel_zeros
+            elif 10 * vic_nnz < 9 * n:
+                vic_rows = tel_rows(twice)
+                vict_counts = word_column_counts(
+                    twice[vic_rows] & ~tw[vic_rows]
+                )[:T]
+            else:
+                vict_counts = word_column_counts(twice & ~tw)[:T]
+            # twice is dead after the victim counts — reduce the pair to
+            # exactly-one in place rather than allocating a third plane.
+            np.invert(twice, out=twice)
+            np.bitwise_and(once, twice, out=once)
+            network.prime_exactly_one_words(tw, once)
         received_words = network.step_words(tw, round_index)
         fresh = received_words & ~informed_words
         round_index += 1
         rounds[active_mask] += 1
         informed_words |= fresh
+        newly = None
         touched = np.flatnonzero(fresh.any(axis=1))
         if touched.size:
             informed_any[touched] = True
@@ -678,7 +802,8 @@ def _run_bitset(
                 rr, tt = np.nonzero(unpack_words(fresh[blk], T))
                 first_round[blk[rr], tt] = round_index
             fresh_touched = fresh[touched]
-            counts = counts + word_column_counts(fresh_touched)[:T]
+            newly = word_column_counts(fresh_touched)[:T]
+            counts = counts + newly
             if targets is not None:
                 covered = covered + word_column_counts(
                     fresh_touched[targets[touched]]
@@ -686,6 +811,73 @@ def _run_bitset(
             if informed_rows.size < n:
                 informed_rows = np.flatnonzero(informed_any)
         count_rows.append(counts)
+        if tel is not None:
+            # Wasted transmissions only exist at transmitter rows, so the
+            # neighbour-OR fold is evaluated there alone when sparse (and
+            # the gathered tw rows are reused for the transmitter counts);
+            # the restricted fold stops winning around 60% row density.
+            # Past that — the blast rounds — almost nobody *receives*, so
+            # the fold flips to a push from the scarce receiver rows.
+            tx_nnz = tel_nnz(tw)
+            recv_nnz = tel_nnz(received_words)
+            # Row indices are materialized only for genuinely sparse
+            # matrices; the scatter trigger (below 1/(4d) density) is
+            # always inside that regime.
+            recv_rows = (
+                tel_rows(received_words)
+                if recv_nnz and 10 * recv_nnz < 9 * n
+                else None
+            )
+            if tx_nnz == 0:
+                tx_counts = wasted_counts = tel_zeros
+            elif 5 * tx_nnz < 3 * n:
+                tx_rows = tel_rows(tw)
+                tw_sub = tw[tx_rows]
+                tx_counts = word_column_counts(tw_sub)[:T]
+                if recv_nnz == 0:
+                    # No receptions anywhere: every transmission in every
+                    # trial was wasted, no fold needed.
+                    wasted_counts = tx_counts
+                else:
+                    heard_sub = any_neighbor_words_at(
+                        graph.csr, received_words, tx_rows
+                    )
+                    # The fold result is freshly allocated — mask it in
+                    # place instead of building a third m-row plane.
+                    np.invert(heard_sub, out=heard_sub)
+                    heard_sub &= tw_sub
+                    wasted_counts = word_column_counts(heard_sub)[:T]
+            else:
+                tx_counts = word_column_counts(tw)[:T]
+                if recv_nnz == 0:
+                    wasted_counts = tx_counts
+                else:
+                    if (
+                        recv_rows is not None
+                        and 4 * graph.csr.max_degree * recv_nnz < n
+                    ):
+                        heard = scatter_neighbor_words(
+                            graph.csr, received_words, recv_rows
+                        )
+                    else:
+                        heard = any_neighbor_words(graph.csr, received_words)
+                    np.invert(heard, out=heard)
+                    heard &= tw
+                    wasted_counts = tel_counts(heard)
+            transmissions += tx_counts
+            if recv_nnz == 0:
+                recv_counts = tel_zeros
+            elif recv_rows is None:
+                recv_counts = word_column_counts(received_words)[:T]
+            else:
+                recv_counts = word_column_counts(received_words[recv_rows])[:T]
+            tel.append_full(
+                transmitters=tx_counts,
+                receptions=recv_counts,
+                collision_victims=vict_counts,
+                newly_informed=newly if newly is not None else tel_zeros,
+                wasted_transmissions=wasted_counts,
+            )
         if targets is None:
             covered = counts
         done = (covered >= need) & active_mask
@@ -694,15 +886,19 @@ def _run_bitset(
             active_mask &= ~done
             running = pack_bool_matrix(active_mask[None, :])[0]
 
-    drained = tally.drain(T)
-    if drained is not None:
-        transmissions += drained
+    if tel is None:
+        drained = tally.drain(T)
+        if drained is not None:
+            transmissions += drained
     informed_per_round = (
         np.stack(count_rows)
         if count_rows
         else np.zeros((0, T), dtype=np.int64)
     )
 
+    extras = state.extras
+    if tel is not None:
+        extras = {**extras, **tel.extras()}
     return BatchBroadcastResult(
         trials=T,
         rounds=rounds,
@@ -710,7 +906,7 @@ def _run_bitset(
         informed_per_round=informed_per_round,
         first_informed_round=first_round,
         transmissions=transmissions,
-        extras=state.extras,
+        extras=extras,
     )
 
 

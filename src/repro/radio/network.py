@@ -42,11 +42,30 @@ class RadioNetwork:
     does this automatically.
     """
 
-    __slots__ = ("graph", "channel", "_adj_cast", "_count_dtype")
+    __slots__ = (
+        "graph",
+        "channel",
+        "_adj_cast",
+        "_count_dtype",
+        "_tc_key",
+        "_tc_val",
+        "_eow_key",
+        "_eow_val",
+    )
 
     def __init__(self, graph: Graph, channel: ChannelModel | None = None) -> None:
         self.graph = graph
         self.channel = channel if channel is not None else ClassicCollision()
+        # Identity-keyed single-entry caches: when telemetry computes the
+        # round's counts / exactly-one fold first, the channel's own call
+        # with the *same* transmit object reuses it instead of re-running
+        # the sparse kernel.  Keying on object identity is exact — any
+        # channel that filters transmitters (jamming crashes) builds a new
+        # array and correctly misses.
+        self._tc_key = None
+        self._tc_val = None
+        self._eow_key = None
+        self._eow_val = None
         # Neighbour counts are bounded by the max degree, so the sparse
         # product can run in the narrowest safe integer type — int8 is
         # several times faster than int32 on wide trial batches.
@@ -74,19 +93,42 @@ class RadioNetwork:
     def transmit_counts(self, transmitting: np.ndarray) -> np.ndarray:
         """Transmitting-neighbour counts — the shared sparse kernel every
         channel's reception rule is built from."""
+        if self._tc_key is transmitting:
+            return self._tc_val
         if self._adj_cast is None:
             self._adj_cast = self.graph.adjacency.astype(
                 self._count_dtype, copy=False
             )
         return self._adj_cast @ transmitting.astype(self._count_dtype)
 
+    def prime_transmit_counts(
+        self, transmitting: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Cache ``counts`` for the next :meth:`transmit_counts` call made
+        with this exact ``transmitting`` object (telemetry shares its fold
+        with the channel).  Callers must not mutate either array while the
+        entry is live; each prime replaces the previous one."""
+        self._tc_key = transmitting
+        self._tc_val = counts
+
     def exactly_one_words(self, transmit_words: np.ndarray) -> np.ndarray:
         """Packed-word sibling of ``transmit_counts(...) == 1``: per-vertex
         words marking trials with exactly one transmitting neighbour,
         gathered over the graph's CSR (no scipy, no count matrix)."""
+        if self._eow_key is transmit_words:
+            return self._eow_val
         from repro.radio.bitset import exactly_one_words
 
         return exactly_one_words(self.graph.csr, transmit_words)
+
+    def prime_exactly_one_words(
+        self, transmit_words: np.ndarray, exactly_one: np.ndarray
+    ) -> None:
+        """Packed sibling of :meth:`prime_transmit_counts`: cache the
+        exactly-one words derived from this exact ``transmit_words``
+        object."""
+        self._eow_key = transmit_words
+        self._eow_val = exactly_one
 
     def step(self, transmitting: np.ndarray, round_index: int = 0) -> np.ndarray:
         """One synchronous round, for one trial or a whole batch.

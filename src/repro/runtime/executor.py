@@ -19,10 +19,14 @@ result as it lands — which is what makes interrupted runs resumable.
 
 from __future__ import annotations
 
+import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
 from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.obs.tracing import TraceRecorder, active_recorder, recording
 
 __all__ = [
     "Executor",
@@ -62,6 +66,28 @@ def _invoke(fn: Callable, kwargs: dict) -> Any:
     return fn(**kwargs)
 
 
+def _fn_label(fn: Callable) -> str:
+    return getattr(fn, "__qualname__", repr(fn))
+
+
+def _invoke_obs(fn: Callable, kwargs: dict, traced: bool) -> tuple:
+    """Observing trampoline: ``(result, wall_seconds, events)``.
+
+    When the submitting process is recording a trace, each worker builds a
+    private recorder, runs the task under a ``task`` span (so in-task
+    instrumentation like cache spans lands somewhere), and ships its
+    events back with the result — the parent merges them at join.
+    """
+    start = time.perf_counter()
+    if not traced:
+        return fn(**kwargs), time.perf_counter() - start, None
+    rec = TraceRecorder()
+    with recording(recorder=rec):
+        with rec.span("task", fn=_fn_label(fn)):
+            result = fn(**kwargs)
+    return result, time.perf_counter() - start, rec.events
+
+
 class Executor:
     """Interface: schedule ``fn(**kwargs)`` calls, results in call order."""
 
@@ -72,6 +98,18 @@ class Executor:
     ) -> Iterator[tuple[int, Any]]:
         """Yield ``(call_index, result)`` pairs in *completion* order."""
         raise NotImplementedError
+
+    def imap_timed(
+        self, fn: Callable, calls: Sequence[Mapping[str, Any]]
+    ) -> Iterator[tuple[int, Any, float]]:
+        """Like :meth:`imap` but with per-call compute wall seconds.
+
+        The base fallback cannot time inside a foreign executor, so it
+        reports ``nan`` (callers treat ``nan`` walls as unmeasured); both
+        built-in executors override it with real clocks.
+        """
+        for i, result in self.imap(fn, calls):
+            yield i, result, float("nan")
 
     def map(self, fn: Callable, calls: Sequence[Mapping[str, Any]]) -> list:
         """Results of every call, in submission order."""
@@ -88,8 +126,19 @@ class SerialExecutor(Executor):
     jobs = 1
 
     def imap(self, fn, calls):
+        for i, result, _ in self.imap_timed(fn, calls):
+            yield i, result
+
+    def imap_timed(self, fn, calls):
+        rec = active_recorder()
         for i, kwargs in enumerate(calls):
-            yield i, fn(**kwargs)
+            start = time.perf_counter()
+            if rec is not None:
+                with rec.span("task", fn=_fn_label(fn)):
+                    result = fn(**kwargs)
+            else:
+                result = fn(**kwargs)
+            yield i, result, time.perf_counter() - start
 
 
 class ParallelExecutor(Executor):
@@ -107,18 +156,26 @@ class ParallelExecutor(Executor):
         self.jobs = jobs
 
     def imap(self, fn, calls):
+        for i, result, _ in self.imap_timed(fn, calls):
+            yield i, result
+
+    def imap_timed(self, fn, calls):
         calls = list(calls)
         if self.jobs == 1 or len(calls) <= 1:
-            yield from SerialExecutor().imap(fn, calls)
+            yield from SerialExecutor().imap_timed(fn, calls)
             return
+        rec = active_recorder()
         with _ProcessPool(max_workers=min(self.jobs, len(calls))) as pool:
             futures = {
-                pool.submit(_invoke, fn, dict(kwargs)): i
+                pool.submit(_invoke_obs, fn, dict(kwargs), rec is not None): i
                 for i, kwargs in enumerate(calls)
             }
             try:
                 for future in as_completed(futures):
-                    yield futures[future], future.result()
+                    result, seconds, events = future.result()
+                    if rec is not None and events:
+                        rec.extend(events)
+                    yield futures[future], result, seconds
             except BaseException:
                 for future in futures:
                     future.cancel()
@@ -240,22 +297,39 @@ def execute_sweep(
     results: list[Any] = [None] * len(calls)
     done = [False] * len(calls)
     keys: list[str] | None = None
+    walls: list = [None] * len(calls)
+    manifest = None
     if store is not None:
+        from repro.runtime.manifest import SweepManifest
+
         manifest = build_manifest(
             evaluator, space, seeds, repetitions, static, store.salt, mode
         )
+        # A prior run of this exact sweep may have recorded per-task wall
+        # times; recovering them lets replays credit the compute they skip.
+        try:
+            prior = SweepManifest.load(store, manifest.sweep_id)
+            if prior.walls is not None and len(prior.walls) == len(calls):
+                walls = list(prior.walls)
+        except (OSError, ValueError, KeyError):
+            pass
+        manifest = manifest.with_walls(walls)
         manifest.save(store)
         keys = manifest.keys
         for t, key in enumerate(keys):
             try:
                 results[t] = store.get(key)
                 done[t] = True
+                if walls[t]:
+                    store.record_time_saved(walls[t])
             except KeyError:
                 pass
 
     pending = [t for t in range(len(calls)) if not done[t]]
     per_task = repetitions if mode == "batch" else 1
-    for j, result in exec_.imap(evaluator, [calls[t] for t in pending]):
+    for j, result, seconds in exec_.imap_timed(
+        evaluator, [calls[t] for t in pending]
+    ):
         t = pending[j]
         if mode == "batch":
             result = list(result)
@@ -266,8 +340,12 @@ def execute_sweep(
             )
         results[t] = result
         done[t] = True
+        if not math.isnan(seconds):
+            walls[t] = seconds
         if store is not None and keys is not None:
             store.put(keys[t], result)
+    if store is not None and manifest is not None and pending:
+        manifest.with_walls(walls).save(store)
 
     out: list[SweepPoint] = []
     for t, (result, seed_list) in enumerate(zip(results, task_seeds)):

@@ -16,6 +16,7 @@ grid point carrying all of that point's repetition seeds.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -48,6 +49,12 @@ class SweepManifest:
         One content address per task, in schedule order.
     salt:
         The store salt the keys were computed under.
+    walls:
+        Optional per-task compute wall times (seconds, schedule order;
+        ``None`` entries are unmeasured).  Recorded after a run so a
+        resumed sweep can report the time its cache replays saved.  Not
+        part of the sweep identity: ``sweep_id`` ignores it, so a manifest
+        with walls overwrites its wall-less predecessor in place.
     """
 
     fn: str
@@ -58,6 +65,7 @@ class SweepManifest:
     seeds: list[int]
     keys: list[str]
     salt: str
+    walls: list | None = None
 
     @property
     def sweep_id(self) -> str:
@@ -88,7 +96,7 @@ class SweepManifest:
         return self.task_count - len(self.pending(store)), self.task_count
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "sweep_id": self.sweep_id,
             "fn": self.fn,
             "mode": self.mode,
@@ -99,6 +107,9 @@ class SweepManifest:
             "keys": self.keys,
             "salt": self.salt,
         }
+        if self.walls is not None:
+            payload["walls"] = self.walls
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Mapping) -> "SweepManifest":
@@ -111,7 +122,20 @@ class SweepManifest:
             seeds=[int(s) for s in payload["seeds"]],
             keys=list(payload["keys"]),
             salt=payload["salt"],
+            # Absent in manifests written before wall recording existed.
+            walls=payload.get("walls"),
         )
+
+    def with_walls(self, walls: Sequence[float | None]) -> "SweepManifest":
+        """This manifest with per-task wall times attached (same
+        ``sweep_id`` — walls are bookkeeping, not identity)."""
+        walls = list(walls)
+        if len(walls) != len(self.keys):
+            raise ValueError(
+                f"walls list has {len(walls)} entries for "
+                f"{len(self.keys)} tasks"
+            )
+        return dataclasses.replace(self, walls=walls)
 
     def path_in(self, store: ResultStore) -> str:
         return os.path.join(store.manifests_dir, self.sweep_id + ".json")

@@ -26,10 +26,14 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracing import active_recorder
 
 __all__ = [
     "CacheStats",
@@ -286,12 +290,22 @@ def write_json_payload(path: str, payload: Any) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """One ``repro cache stats`` snapshot."""
+    """One ``repro cache stats`` snapshot.
+
+    The first four fields describe the on-disk state; the defaulted tail
+    carries the producing :class:`ResultStore` instance's *live* counters
+    (this process's lookups and their wall time) — zero on a cold snapshot.
+    """
 
     root: str
     entries: int
     manifests: int
     bytes: int
+    hits: int = 0
+    misses: int = 0
+    get_seconds: float = 0.0
+    put_seconds: float = 0.0
+    time_saved_seconds: float = 0.0
 
 
 class ResultStore:
@@ -299,7 +313,12 @@ class ResultStore:
 
     ``hits`` / ``misses`` count this instance's lookups (a warm replay of a
     sweep is exactly ``hits == tasks, misses == 0`` — the invariant CI's
-    runtime-smoke step asserts).
+    runtime-smoke step asserts).  ``get_seconds`` / ``put_seconds``
+    accumulate lookup/persist wall time, and ``time_saved`` the recorded
+    compute time of tasks a sweep replayed instead of re-running; all are
+    mirrored into the process metrics registry (``repro cache stats``) and,
+    when a trace recording is active, emitted as ``cache.get`` /
+    ``cache.put`` spans with hit/miss counters.
     """
 
     def __init__(self, root: str | os.PathLike | None = None, salt: str | None = None):
@@ -307,6 +326,9 @@ class ResultStore:
         self.salt = code_salt() if salt is None else str(salt)
         self.hits = 0
         self.misses = 0
+        self.get_seconds = 0.0
+        self.put_seconds = 0.0
+        self.time_saved = 0.0
 
     @property
     def objects_dir(self) -> str:
@@ -389,13 +411,43 @@ class ResultStore:
 
     def get(self, key: str) -> Any:
         """Return the cached value for ``key`` or raise ``KeyError``."""
+        rec = active_recorder()
+        start = time.perf_counter()
         try:
             value = self._load(key)
         except KeyError:
+            elapsed = time.perf_counter() - start
             self.misses += 1
+            self.get_seconds += elapsed
+            METRICS.incr("cache.misses")
+            METRICS.incr("cache.get_seconds", elapsed)
+            if rec is not None:
+                rec.counter("cache.miss")
             raise
+        elapsed = time.perf_counter() - start
         self.hits += 1
+        self.get_seconds += elapsed
+        METRICS.incr("cache.hits")
+        METRICS.incr("cache.get_seconds", elapsed)
+        if rec is not None:
+            rec.counter("cache.hit")
+            rec.record(
+                {
+                    "kind": "span",
+                    "name": "cache.get",
+                    "path": "cache.get",
+                    "start": start,
+                    "duration": elapsed,
+                    "pid": os.getpid(),
+                }
+            )
         return value
+
+    def record_time_saved(self, seconds: float) -> None:
+        """Credit ``seconds`` of compute a cache replay avoided (sweeps
+        call this with the manifest's recorded per-task wall times)."""
+        self.time_saved += float(seconds)
+        METRICS.incr("cache.time_saved_seconds", float(seconds))
 
     def put(self, key: str, value: Any, meta: dict | None = None) -> str:
         """Persist ``value`` under ``key``; returns the JSON path.
@@ -403,6 +455,8 @@ class ResultStore:
         The ``.npz`` sidecar (if any) lands before the JSON document, so a
         crash mid-put never leaves a JSON entry pointing at missing arrays.
         """
+        rec = active_recorder()
+        start = time.perf_counter()
         arrays: list[np.ndarray] = []
         encoded = _encode(value, arrays=arrays, inline=False)
         json_path, npz_path = self._paths(key)
@@ -428,6 +482,20 @@ class ResultStore:
             json_path,
             json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(),
         )
+        elapsed = time.perf_counter() - start
+        self.put_seconds += elapsed
+        METRICS.incr("cache.put_seconds", elapsed)
+        if rec is not None:
+            rec.record(
+                {
+                    "kind": "span",
+                    "name": "cache.put",
+                    "path": "cache.put",
+                    "start": start,
+                    "duration": elapsed,
+                    "pid": os.getpid(),
+                }
+            )
         return json_path
 
     def discard(self, key: str) -> bool:
@@ -460,7 +528,15 @@ class ResultStore:
                     manifests += 1
                     total += os.path.getsize(os.path.join(self.manifests_dir, name))
         return CacheStats(
-            root=self.root, entries=entries, manifests=manifests, bytes=total
+            root=self.root,
+            entries=entries,
+            manifests=manifests,
+            bytes=total,
+            hits=self.hits,
+            misses=self.misses,
+            get_seconds=self.get_seconds,
+            put_seconds=self.put_seconds,
+            time_saved_seconds=self.time_saved,
         )
 
     def clear(self) -> CacheStats:

@@ -129,7 +129,8 @@ class RealizedScenario:
 
 
 _SCALAR_FIELDS = (
-    "trials", "seed", "source", "max_rounds", "engine", "memory_budget"
+    "trials", "seed", "source", "max_rounds", "engine", "memory_budget",
+    "telemetry",
 )
 _ENGINE_CHOICES = ("auto", "dense", "bitset")
 _COMPONENT_FIELDS = ("graph", "protocol", "channel", "workload")
@@ -228,6 +229,23 @@ def _coerce_scalar(key: str, value):
                 f"{', '.join(_ENGINE_CHOICES)}; got {value!r}"
             )
         return value
+    if key == "telemetry":
+        # The one boolean scalar.  Accept bools, 0/1, and the usual
+        # switch spellings so spec strings read `telemetry=on`.
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("on", "true", "1"):
+                return True
+            if lowered in ("off", "false", "0"):
+                return False
+        raise ValueError(
+            f"scenario telemetry must be on/off (or true/false, 0/1); "
+            f"got {value!r}"
+        )
     if key == "memory_budget" and isinstance(value, str):
         # Accept human byte sizes ("2GiB", "512MB") wherever the grammar
         # accepts the field — spec strings and -S overrides alike.
@@ -280,6 +298,12 @@ class Scenario:
         Peak per-run working-set budget in bytes; the engine shards the
         trial batch into column chunks that fit (``None`` = unbounded).
         Spec strings accept human sizes: ``memory_budget=2GiB``.
+    telemetry:
+        When ``True``, the run records per-round collision telemetry
+        (:class:`~repro.obs.telemetry.RoundTelemetry`) into the result's
+        ``extras``.  Off by default, and serialized only when on, so
+        telemetry-off scenarios keep their pre-telemetry cache keys.
+        Spec strings accept ``telemetry=on`` / ``telemetry=off``.
     """
 
     graph: GraphSpec
@@ -292,6 +316,7 @@ class Scenario:
     max_rounds: int | None = None
     engine: str = "auto"
     memory_budget: int | None = None
+    telemetry: bool = False
 
     def __post_init__(self):
         object.__setattr__(
@@ -330,6 +355,10 @@ class Scenario:
         if self.memory_budget is not None and self.memory_budget < 1:
             raise ValueError(
                 f"memory_budget must be >= 1 byte, got {self.memory_budget}"
+            )
+        if not isinstance(self.telemetry, bool):
+            object.__setattr__(
+                self, "telemetry", _coerce_scalar("telemetry", self.telemetry)
             )
         # `source` is a deprecated alias of the broadcast workload's own
         # parameter: canonicalize it into the workload segment so every
@@ -374,7 +403,7 @@ class Scenario:
         and any segment may be a ``key=value`` assignment (``graph=``,
         ``protocol=``, ``channel=``, ``workload=``, ``trials=``,
         ``seed=``, ``source=``, ``max_rounds=``, ``engine=``,
-        ``memory_budget=``)::
+        ``memory_budget=``, ``telemetry=``)::
 
             "hypercube(10) | decay | erasure(0.05) | trials=64 | seed=3"
             "margulis(8) | decay | erasure(0.1) | gossip(k=16)"
@@ -460,6 +489,8 @@ class Scenario:
             parts.append(f"engine={self.engine}")
         if self.memory_budget is not None:
             parts.append(f"memory_budget={self.memory_budget}")
+        if self.telemetry:
+            parts.append("telemetry=on")
         return " | ".join(parts)
 
     def to_dict(self) -> dict:
@@ -483,6 +514,8 @@ class Scenario:
             out["engine"] = str(self.engine)
         if self.memory_budget is not None:
             out["memory_budget"] = int(self.memory_budget)
+        if self.telemetry:
+            out["telemetry"] = True
         return out
 
     @classmethod
@@ -540,7 +573,7 @@ class Scenario:
 
         Keys are scenario fields (``graph``, ``protocol``, ``channel``,
         ``workload``, ``trials``, ``seed``, ``source``, ``max_rounds``,
-        ``engine``, ``memory_budget``) or dotted paths
+        ``engine``, ``memory_budget``, ``telemetry``) or dotted paths
         one level into a component spec (``channel.erasure_p``,
         ``protocol.name``, ``graph.family``).  Component values may be
         spec objects, spec strings, or canonical dicts; scalar values may

@@ -199,6 +199,8 @@ class ScenarioSweep:
         whichever executor runs them and whether they were computed or
         replayed.
         """
+        import math
+
         from repro.runtime.executor import as_executor, as_store
 
         fn, view = self._view_fn(summary)
@@ -207,28 +209,47 @@ class ScenarioSweep:
         results: list[Any] = [None] * len(points)
         done = [False] * len(points)
         keys: list[str] | None = None
+        walls: list = [None] * len(points)
+        manifest = None
         if store is not None:
+            from repro.runtime.manifest import SweepManifest
+
             manifest = self.manifest(store, summary=summary)
+            # A prior run may have recorded per-task wall times; recover
+            # them so cache replays can credit the compute they skip.
+            try:
+                prior = SweepManifest.load(store, manifest.sweep_id)
+                if prior.walls is not None and len(prior.walls) == len(points):
+                    walls = list(prior.walls)
+            except (OSError, ValueError, KeyError):
+                pass
+            manifest = manifest.with_walls(walls)
             manifest.save(store)
             keys = manifest.keys
             for i, key in enumerate(keys):
                 try:
                     results[i] = store.get(key)
                     done[i] = True
+                    if walls[i]:
+                        store.record_time_saved(walls[i])
                 except KeyError:
                     pass
         pending = [i for i in range(len(points)) if not done[i]]
         calls = [{"scenario": points[i][1]} for i in pending]
-        for j, result in as_executor(executor).imap(fn, calls):
+        for j, result, seconds in as_executor(executor).imap_timed(fn, calls):
             i = pending[j]
             results[i] = result
             done[i] = True
+            if not math.isnan(seconds):
+                walls[i] = seconds
             if store is not None and keys is not None:
                 store.put(
                     keys[i],
                     result,
                     meta={"scenario": points[i][1].describe()},
                 )
+        if store is not None and manifest is not None and pending:
+            manifest.with_walls(walls).save(store)
         return [
             ScenarioPoint(overrides=dict(ov), scenario=sc, result=res)
             for (ov, sc), res in zip(points, results)

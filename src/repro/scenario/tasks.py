@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro._util import as_rng, spawn_seeds
+from repro.obs.tracing import maybe_span
 from repro.radio.broadcast import (
     BatchBroadcastResult,
     merge_batches,
@@ -58,17 +59,19 @@ def _run_realized(realized, scenario) -> BatchBroadcastResult:
     """The one engine invocation every scenario view shares — so the
     cached ``summary`` and ``result`` views of a spec can never disagree
     about how it was run."""
-    return run_broadcast_batch(
-        realized.built.graph,
-        realized.protocol,
-        trials=scenario.trials,
-        max_rounds=scenario.max_rounds,
-        seed=realized.protocol_seed,
-        channel=realized.channel,
-        engine=scenario.engine,
-        memory_budget=scenario.memory_budget,
-        workload=realized.workload,
-    )
+    with maybe_span("engine.run", scenario=scenario.describe()):
+        return run_broadcast_batch(
+            realized.built.graph,
+            realized.protocol,
+            trials=scenario.trials,
+            max_rounds=scenario.max_rounds,
+            seed=realized.protocol_seed,
+            channel=realized.channel,
+            engine=scenario.engine,
+            memory_budget=scenario.memory_budget,
+            workload=realized.workload,
+            telemetry=scenario.telemetry,
+        )
 
 
 def run_scenario(scenario) -> BatchBroadcastResult:
@@ -90,17 +93,19 @@ def run_scenario_shard(scenario, trial_seeds: Sequence[int]) -> BatchBroadcastRe
     """
     scenario = _as_scenario(scenario)
     realized = scenario.build()
-    return run_broadcast_batch(
-        realized.built.graph,
-        realized.protocol,
-        trials=len(trial_seeds),
-        max_rounds=scenario.max_rounds,
-        trial_rngs=list(trial_seeds),
-        channel=realized.channel,
-        engine=scenario.engine,
-        memory_budget=scenario.memory_budget,
-        workload=realized.workload,
-    )
+    with maybe_span("engine.run_shard", trials=len(trial_seeds)):
+        return run_broadcast_batch(
+            realized.built.graph,
+            realized.protocol,
+            trials=len(trial_seeds),
+            max_rounds=scenario.max_rounds,
+            trial_rngs=list(trial_seeds),
+            channel=realized.channel,
+            engine=scenario.engine,
+            memory_budget=scenario.memory_budget,
+            workload=realized.workload,
+            telemetry=scenario.telemetry,
+        )
 
 
 # merge_batches grew a second caller (the MemoryBudget column sharder) and
@@ -128,8 +133,11 @@ def run_scenario_sharded(scenario, executor) -> BatchBroadcastResult:
         for chunk in chunks
         if chunk
     ]
-    parts = exec_.map(run_scenario_shard, calls)
-    return merge_batches(parts)
+    with maybe_span(
+        "scenario.sharded", shards=len(calls), trials=scenario.trials
+    ):
+        parts = exec_.map(run_scenario_shard, calls)
+        return merge_batches(parts)
 
 
 def _as_graph_spec(graph):

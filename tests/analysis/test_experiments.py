@@ -14,12 +14,15 @@ class TestRegistry:
     def test_registry_is_clean(self):
         assert validate_registry(BENCH_DIR) == []
 
-    def test_nineteen_experiments(self):
-        assert len(EXPERIMENTS) == 19
-        assert [e.id for e in EXPERIMENTS] == [f"E{i}" for i in range(1, 20)]
+    def test_twenty_experiments(self):
+        assert len(EXPERIMENTS) == 20
+        assert [e.id for e in EXPERIMENTS] == [f"E{i}" for i in range(1, 21)]
 
     def test_every_bench_file_registered(self):
         registered = {e.bench_file for e in EXPERIMENTS}
+        registered |= {
+            name for e in EXPERIMENTS for name in e.companion_benches
+        }
         on_disk = {
             f for f in os.listdir(BENCH_DIR)
             if f.startswith("bench_") and f.endswith(".py")
@@ -40,5 +43,8 @@ class TestRegistry:
 
     def test_validate_reports_missing_bench(self, tmp_path):
         problems = validate_registry(str(tmp_path))
-        assert len(problems) == len(EXPERIMENTS)
+        expected = sum(
+            1 + len(e.companion_benches) for e in EXPERIMENTS
+        )
+        assert len(problems) == expected
         assert all("missing" in p for p in problems)

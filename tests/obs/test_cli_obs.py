@@ -1,0 +1,128 @@
+"""The observability CLI verbs: trace, obs summary, --trace-out, cache stats."""
+
+import json
+
+from repro.cli import main
+from repro.obs.tracing import read_jsonl
+
+
+class TestTraceCommand:
+    def test_default_chain_trace(self, capsys):
+        assert main(["trace", "--s", "4", "--layers", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "collision trace:" in out
+        for col in ("round", "tx", "recv", "victims", "newly", "wasted"):
+            assert col in out
+        assert "totals:" in out
+        assert "mean collision rate" in out
+
+    def test_scenario_override_forces_telemetry(self, capsys):
+        assert main([
+            "trace", "--scenario",
+            "hypercube(4) | decay | trials=8 | seed=2 | engine=bitset",
+        ]) == 0
+        out = capsys.readouterr().out
+        # telemetry was forced on without the spec naming it
+        assert "collision trace:" in out
+        assert "completion 100%" in out
+
+    def test_long_trace_elided(self, capsys):
+        # Flooding on C⁺ stalls forever; a 64-round cap yields 64 rows,
+        # which the table elides to keep the anatomy readable.
+        assert main([
+            "trace", "--scenario",
+            "cplus(8) | flooding | trials=4 | seed=0 | max_rounds=64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rounds elided" in out
+        assert "completion 0%" in out
+
+    def test_trace_out_sidecar(self, tmp_path, capsys):
+        sink = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--s", "4", "--layers", "2", "--seed", "3",
+            "--trace-out", str(sink),
+        ]) == 0
+        capsys.readouterr()
+        events = read_jsonl(sink)
+        kinds = {e.get("kind") for e in events}
+        assert "telemetry" in kinds
+        assert "span" in kinds
+        tel_events = [e for e in events if e.get("kind") == "telemetry"]
+        assert all("collision_rate" in e for e in tel_events)
+
+
+class TestObsSummary:
+    def test_summarizes_trace_out(self, tmp_path, capsys):
+        sink = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--s", "4", "--layers", "2", "--seed", "3",
+            "--trace-out", str(sink),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summary", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert "telemetry" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["obs", "summary", str(tmp_path / "absent.jsonl")])
+
+    def test_garbage_file_fails_cleanly(self, tmp_path):
+        import pytest
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["obs", "summary", str(bad)])
+
+
+class TestCacheStats:
+    def test_stats_shows_live_counters(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        # A cached sweep populates the store, then stats reads it back in
+        # the same process, so the live counter line is nonzero.
+        assert main([
+            "sweep", "--s-values", "4", "--layers", "2", "--reps", "1",
+            "--trials", "2", "--cache-dir", str(cache),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "cache root:" in out
+        assert "entries:" in out
+        assert "live:" in out and "hits" in out
+        assert "sweep" in out
+
+    def test_sweep_replay_reports_time_saved(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["sweep", "--s-values", "4", "--layers", "2", "--reps", "1",
+                "--trials", "2", "--cache-dir", str(cache)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "replay saved" in out
+
+
+class TestTelemetryScenarioRoundTrip:
+    def test_scenarios_show_telemetry_on(self, capsys):
+        assert main([
+            "scenarios", "show",
+            "hypercube(4) | decay | trials=8 | telemetry=on",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry=on" in out
+        canonical = next(
+            line for line in out.splitlines() if line.startswith("canonical:")
+        )
+        payload = json.loads(canonical.split(":", 1)[1])
+        assert payload["telemetry"] is True
+
+    def test_scenarios_show_off_omits_telemetry(self, capsys):
+        assert main(["scenarios", "show", "hypercube(4) | decay | trials=8"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out

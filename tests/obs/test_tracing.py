@@ -1,0 +1,261 @@
+"""Runtime tracing: spans, sinks, executor walls, cache counters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracing import (
+    Span,
+    TraceRecorder,
+    active_recorder,
+    format_summary,
+    maybe_span,
+    read_jsonl,
+    recording,
+    summarize_events,
+    traced,
+    write_jsonl,
+)
+from repro.runtime import ResultStore, SweepManifest
+from repro.runtime.executor import ParallelExecutor, SerialExecutor
+from repro.scenario import Scenario
+from repro.scenario.sweep import ScenarioSweep
+
+
+class TestRecorder:
+    def test_span_nesting_paths(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        spans = rec.spans()
+        # Inner closes (and records) first; paths carry the stack.
+        assert [s.path for s in spans] == ["outer/inner", "outer"]
+        assert all(s.duration >= 0 for s in spans)
+
+    def test_span_closes_on_exception(self):
+        rec = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("boom"):
+                raise RuntimeError("x")
+        assert [s.name for s in rec.spans()] == ["boom"]
+
+    def test_span_event_round_trip(self):
+        rec = TraceRecorder()
+        with rec.span("s", scenario="spec"):
+            pass
+        span = Span.from_event(rec.events[0])
+        assert span.name == "s"
+        assert span.meta == {"scenario": "spec"}
+
+    def test_counter_events(self):
+        rec = TraceRecorder()
+        rec.counter("cache.hit")
+        rec.counter("cache.hit", 2.0)
+        summary = summarize_events(rec.events)
+        assert summary["counters"]["cache.hit"] == 3.0
+
+    def test_recording_installs_and_restores(self):
+        assert active_recorder() is None
+        with recording() as rec:
+            assert active_recorder() is rec
+            with recording() as inner:
+                assert active_recorder() is inner
+            assert active_recorder() is rec
+        assert active_recorder() is None
+
+    def test_recording_sink_written_on_error(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        with pytest.raises(ValueError):
+            with recording(sink=sink) as rec:
+                with rec.span("doomed"):
+                    raise ValueError("x")
+        events = read_jsonl(sink)
+        assert [e["name"] for e in events] == ["doomed"]
+
+    def test_maybe_span_no_op_without_recorder(self):
+        with maybe_span("free"):
+            pass  # must not raise, must not record anywhere
+
+    def test_traced_decorator(self):
+        @traced("unit.fn")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2  # no recorder: plain call
+        with recording() as rec:
+            assert fn(2) == 3
+        assert [s.name for s in rec.spans()] == ["unit.fn"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = [
+            {"kind": "counter", "name": "c", "value": 1.0},
+            {"kind": "telemetry", "round": 1, "receptions": 3,
+             "collision_victims": 1, "collision_rate": 0.25},
+        ]
+        write_jsonl(path, events)
+        assert read_jsonl(path) == events
+
+
+class TestSummarize:
+    def test_summary_sections(self):
+        rec = TraceRecorder()
+        with rec.span("task"):
+            pass
+        with rec.span("engine.run"):
+            pass
+        rec.counter("cache.hit", 3)
+        rec.counter("cache.miss", 1)
+        rec.record({"kind": "telemetry", "round": 1, "transmitters": 5,
+                    "receptions": 4, "collision_victims": 1,
+                    "newly_informed": 4, "wasted_transmissions": 1,
+                    "collision_rate": 0.2})
+        summary = summarize_events(rec.events)
+        assert summary["spans"]["task"]["count"] == 1
+        assert summary["tasks"]["count"] == 1
+        assert summary["tasks"]["p50"] <= summary["tasks"]["p99"]
+        assert summary["cache_hit_rate"] == 0.75
+        assert summary["telemetry"]["rounds"] == 1
+        assert summary["telemetry"]["collision_rate"] == 0.2
+        text = format_summary(summary)
+        for needle in ("spans:", "task", "cache", "telemetry"):
+            assert needle in text
+
+    def test_empty_summary(self):
+        assert summarize_events([]) == {"spans": {}, "counters": {}}
+        assert format_summary(summarize_events([])) == "(empty trace)" or \
+            isinstance(format_summary(summarize_events([])), str)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestExecutorWalls:
+    def test_serial_imap_timed(self):
+        ex = SerialExecutor()
+        out = list(ex.imap_timed(_double, [{"x": 1}, {"x": 2}]))
+        assert [(i, r) for i, r, _ in out] == [(0, 2), (1, 4)]
+        assert all(t >= 0 and not math.isnan(t) for _, _, t in out)
+
+    def test_parallel_imap_timed_and_merged_spans(self):
+        ex = ParallelExecutor(jobs=2)
+        with recording() as rec:
+            out = sorted(ex.imap_timed(_double, [{"x": i} for i in range(4)]))
+        assert [r for _, r, _ in out] == [0, 2, 4, 6]
+        assert all(t >= 0 and not math.isnan(t) for _, _, t in out)
+        # Each worker task ran under a "task" span shipped back at join.
+        task_spans = [s for s in rec.spans() if s.name == "task"]
+        assert len(task_spans) == 4
+
+    def test_serial_task_spans_under_recording(self):
+        with recording() as rec:
+            list(SerialExecutor().imap_timed(_double, [{"x": 1}]))
+        assert [s.name for s in rec.spans()] == ["task"]
+
+
+class TestMetricsRegistry:
+    def test_incr_get_snapshot_reset(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.incr("a", 2.5)
+        assert reg.get("a") == 3.5
+        assert reg.get("absent") == 0.0
+        assert reg.snapshot() == {"a": 3.5}
+        reg.reset()
+        assert reg.snapshot() == {}
+
+
+class TestStoreCounters:
+    def test_live_hit_miss_latency(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        before = METRICS.get("cache.hits"), METRICS.get("cache.misses")
+        with pytest.raises(KeyError):
+            store.get("nope")
+        store.put("k", {"v": 1})
+        assert store.get("k") == {"v": 1}
+        assert (store.hits, store.misses) == (1, 1)
+        assert store.get_seconds > 0
+        assert store.put_seconds > 0
+        assert METRICS.get("cache.hits") == before[0] + 1
+        assert METRICS.get("cache.misses") == before[1] + 1
+        st = store.stats()
+        assert (st.hits, st.misses) == (1, 1)
+
+    def test_cache_spans_under_recording(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        with recording() as rec:
+            store.put("k", 1)
+            store.get("k")
+        names = [s.name for s in rec.spans()]
+        assert "cache.put" in names and "cache.get" in names
+        counters = summarize_events(rec.events)["counters"]
+        assert counters.get("cache.hit") == 1.0
+
+    def test_record_time_saved(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        before = METRICS.get("cache.time_saved_seconds")
+        store.record_time_saved(2.5)
+        assert store.time_saved == 2.5
+        assert METRICS.get("cache.time_saved_seconds") == before + 2.5
+
+
+class TestSweepWalls:
+    def _sweep(self):
+        return ScenarioSweep(
+            "hypercube(3) | decay | trials=4 | seed=1",
+            {"trials": [2, 4]},
+        )
+
+    def test_manifest_records_walls_and_replay_credits(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        sweep = self._sweep()
+        first = sweep.run(cache=store)
+        manifest = SweepManifest.load(
+            store, sweep.manifest(store).sweep_id
+        )
+        assert manifest.walls is not None
+        assert len(manifest.walls) == 2
+        assert all(w is not None and w >= 0 for w in manifest.walls)
+        # Replay: identical results, and the skipped compute is credited.
+        saved_before = store.time_saved
+        again = sweep.run(cache=store)
+        assert [p.result for p in again] == [p.result for p in first]
+        assert store.time_saved > saved_before
+
+    def test_walls_do_not_change_sweep_identity(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        manifest = self._sweep().manifest(store)
+        with_walls = manifest.with_walls([1.0, 2.0])
+        assert with_walls.sweep_id == manifest.sweep_id
+        assert with_walls.walls == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            manifest.with_walls([1.0])
+
+    def test_walls_survive_save_load(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        manifest = self._sweep().manifest(store).with_walls([0.5, None])
+        manifest.save(store)
+        loaded = SweepManifest.load(store, manifest.sweep_id)
+        assert loaded.walls == [0.5, None]
+
+
+class TestScenarioSpans:
+    def test_scenario_run_emits_engine_span(self):
+        sc = Scenario.from_string("hypercube(3) | decay | trials=4 | seed=1")
+        with recording() as rec:
+            batch = sc.run()
+        assert batch.trials == 4
+        names = [s.name for s in rec.spans()]
+        assert "engine.run" in names
+
+    def test_expansion_pipeline_traced(self):
+        from repro.scenario.tasks import expansion_summary
+
+        with recording() as rec:
+            summary = expansion_summary("hypercube(3)", seed=0)
+        assert "beta_w" in summary or summary  # summary shape is pipeline's
+        assert any("expansion" in s.name for s in rec.spans())

@@ -424,3 +424,99 @@ def test_margulis_expander_is_regular_csr():
     assert graph.n == 400
     assert graph.max_degree <= 8
     assert graph.is_connected()
+
+
+class TestTelemetryKernels:
+    """The restricted gather/scatter kernels the telemetry path leans on."""
+
+    def _setup(self, n=200, d=6, w=2, seed=5):
+        rng = np.random.default_rng(seed)
+        graph = random_regular(n, d, rng=rng)
+        words = rng.integers(0, 2**63, size=(n, w), dtype=np.uint64)
+        return graph.csr, words
+
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.5, 1.0])
+    def test_any_neighbor_words_at_matches_full(self, density):
+        from repro.radio.bitset import any_neighbor_words, any_neighbor_words_at
+
+        csr, words = self._setup()
+        rng = np.random.default_rng(1)
+        rows = np.flatnonzero(rng.random(words.shape[0]) < density)
+        full = any_neighbor_words(csr, words)
+        assert np.array_equal(
+            any_neighbor_words_at(csr, words, rows), full[rows]
+        )
+
+    def test_any_neighbor_words_at_single_word(self):
+        from repro.radio.bitset import any_neighbor_words, any_neighbor_words_at
+
+        csr, words = self._setup(w=1)
+        rows = np.arange(0, words.shape[0], 3)
+        assert np.array_equal(
+            any_neighbor_words_at(csr, words, rows),
+            any_neighbor_words(csr, words)[rows],
+        )
+
+    def test_any_neighbor_words_at_irregular_plan(self):
+        from repro.radio.bitset import any_neighbor_words, any_neighbor_words_at
+        from repro.graphs import cplus_graph
+
+        csr = cplus_graph(9).csr  # irregular degrees: general gather plan
+        rng = np.random.default_rng(2)
+        words = rng.integers(0, 2**63, size=(10, 1), dtype=np.uint64)
+        rows = np.array([0, 3, 7])
+        assert np.array_equal(
+            any_neighbor_words_at(csr, words, rows),
+            any_neighbor_words(csr, words)[rows],
+        )
+
+    @pytest.mark.parametrize("w", [1, 3])
+    def test_scatter_matches_pull_fold_on_covering_rows(self, w):
+        from repro.radio.bitset import any_neighbor_words, scatter_neighbor_words
+
+        csr, words = self._setup(w=w)
+        # Sparse support: zero out most rows, push from the survivors.
+        rng = np.random.default_rng(3)
+        keep = rng.random(words.shape[0]) < 0.1
+        words[~keep] = 0
+        rows = np.flatnonzero(keep)
+        assert np.array_equal(
+            scatter_neighbor_words(csr, words, rows),
+            any_neighbor_words(csr, words),
+        )
+
+    def test_scatter_empty_rows_is_zero(self):
+        from repro.radio.bitset import scatter_neighbor_words
+
+        csr, words = self._setup(w=1)
+        out = scatter_neighbor_words(
+            csr, words, np.empty(0, dtype=np.intp)
+        )
+        assert out.shape == words.shape and out.sum() == 0
+
+
+class TestWordColumnCountsBincountPath:
+    """word_column_counts picks a byte-bincount path above a row
+    threshold; both paths must agree exactly."""
+
+    @pytest.mark.parametrize("n", [2047, 2048, 2049, 5000])
+    @pytest.mark.parametrize("w", [1, 2, 5])
+    def test_paths_agree_around_threshold(self, n, w):
+        rng = np.random.default_rng(11)
+        words = rng.integers(0, 2**64, size=(n, w), dtype=np.uint64)
+        counts = word_column_counts(words)
+        expect = unpack_words(words, w * 64).sum(axis=0)
+        assert np.array_equal(counts, expect)
+
+    def test_large_all_ones_and_zeros(self):
+        n = 4096
+        ones = np.full((n, 1), np.uint64(2**64 - 1), dtype=np.uint64)
+        assert (word_column_counts(ones) == n).all()
+        assert word_column_counts(np.zeros((n, 1), dtype=np.uint64)).sum() == 0
+
+    def test_non_contiguous_input(self):
+        rng = np.random.default_rng(4)
+        big = rng.integers(0, 2**64, size=(4096, 4), dtype=np.uint64)
+        view = big[:, 1:3]  # non-contiguous column slice
+        expect = unpack_words(np.ascontiguousarray(view), 128).sum(axis=0)
+        assert np.array_equal(word_column_counts(view), expect)

@@ -82,3 +82,117 @@ class TestTracedRunner:
         assert trace.total_collision_victims == sum(
             r.collision_victims for r in trace.rounds
         )
+
+
+def _reference_flooding_trace(graph, source, max_rounds=64):
+    """The legacy serial tracer, re-derived: a pure-Python round loop with
+    Section 1.1 semantics (receive iff silent with exactly one transmitting
+    neighbour).  Flooding is deterministic, so this oracle reproduces the
+    engine's schedule without sharing any RNG machinery with it."""
+    neighbors = [set() for _ in range(graph.n)]
+    for u, v in graph.edges():
+        neighbors[int(u)].add(int(v))
+        neighbors[int(v)].add(int(u))
+    informed = {source}
+    first = {source: 0}
+    rounds = []
+    r = 0
+    while len(informed) < graph.n and r < max_rounds:
+        r += 1
+        tx = set(informed)
+        heard = {
+            v: len(neighbors[v] & tx) for v in range(graph.n) if v not in tx
+        }
+        received = {v for v, c in heard.items() if c == 1}
+        victims = sum(1 for c in heard.values() if c >= 2)
+        newly = received - informed
+        wasted = sum(1 for u in tx if not (neighbors[u] & received))
+        rounds.append(
+            dict(
+                transmitters=len(tx),
+                receptions=len(received),
+                collision_victims=victims,
+                newly_informed=len(newly),
+                wasted_transmissions=wasted,
+            )
+        )
+        for v in newly:
+            first[v] = r
+        informed |= newly
+    return rounds, informed, first
+
+
+class TestLegacyTracerEquivalence:
+    """The batched T=1 view must agree, field for field, with a serial
+    reference loop — the contract that let the old per-round tracer be
+    deleted in favour of the telemetry engine."""
+
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: path_graph(7),
+            lambda: hypercube(4),
+            lambda: cplus_graph(6),
+        ],
+    )
+    def test_flooding_matches_reference_loop(self, make_graph):
+        g = make_graph()
+        trace = run_broadcast_traced(
+            g, FloodingProtocol(), source=0, seed=0, max_rounds=64
+        )
+        ref_rounds, ref_informed, ref_first = _reference_flooding_trace(
+            g, source=0
+        )
+        assert len(trace.rounds) == len(ref_rounds)
+        for got, want in zip(trace.rounds, ref_rounds):
+            for field, value in want.items():
+                assert getattr(got, field) == value, (field, got.round_index)
+        assert trace.completed == (len(ref_informed) == g.n)
+        for v, r in ref_first.items():
+            assert trace.first_informed_round[v] == r
+
+    def test_path_flooding_wasted_anatomy(self):
+        # path 0-1-2-3-4 from 0: each round the trailing transmitters
+        # reach only other transmitters, so exactly the frontier's parent
+        # chain is wasted: round 1 wastes nothing, later rounds waste all
+        # but the frontier vertex.
+        trace = run_broadcast_traced(
+            path_graph(5), FloodingProtocol(), source=0, seed=0
+        )
+        wasted = [r.wasted_transmissions for r in trace.rounds]
+        assert wasted == [0, 1, 2, 3]
+        assert trace.total_wasted_transmissions == 6
+
+    def test_erasure_trace_agrees_with_plain_runner(self):
+        from repro.radio import run_broadcast
+        from repro.radio.channel import ErasureChannel
+
+        g = hypercube(4)
+        kw = dict(source=0, seed=11, channel=ErasureChannel(0.3))
+        plain = run_broadcast(g, DecayProtocol(), **kw)
+        trace = run_broadcast_traced(g, DecayProtocol(), **kw)
+        assert trace.completed == plain.completed
+        assert len(trace.rounds) == plain.rounds
+        assert (
+            trace.first_informed_round == plain.first_informed_round
+        ).all()
+        assert trace.total_transmissions == plain.transmissions
+        for r in trace.rounds:
+            assert r.wasted_transmissions <= r.transmitters
+            assert r.newly_informed <= r.receptions
+
+    def test_channel_feedback_branch_traced(self):
+        from repro.radio import run_broadcast
+        from repro.radio.channel import CollisionDetection
+        from repro.radio.protocols import CollisionBackoffProtocol
+
+        g = hypercube(4)
+        kw = dict(source=0, seed=5, channel=CollisionDetection())
+        plain = run_broadcast(g, CollisionBackoffProtocol(), **kw)
+        trace = run_broadcast_traced(g, CollisionBackoffProtocol(), **kw)
+        assert trace.completed == plain.completed
+        assert len(trace.rounds) == plain.rounds
+        assert trace.total_transmissions == plain.transmissions
+        assert (
+            trace.first_informed_round == plain.first_informed_round
+        ).all()
