@@ -1,0 +1,139 @@
+"""E21 — experiment service: submission throughput and submit→done latency.
+
+Load-tests the full service loop in-process: a live ``ServiceServer`` on
+an ephemeral port, a pool of worker threads draining the queue, and a
+client firing distinct scenario submissions over HTTP.  Measured twice —
+**cold** (every job computes its trial shards) and **warm** (the result
+store already holds every scenario, so jobs complete as pure cache
+replays) — reporting sustained submissions/sec and p50/p99 submit→done
+latency for each pass.
+
+Acceptance bars: every job reaches ``done`` in both passes; the warm pass
+performs zero shard computations (asserted via the ``METRICS`` registry,
+the no-recompute contract); and warm p50 latency beats cold p50 (full
+scale only — smoke runs keep the shape checks, not the performance bars).
+"""
+
+import threading
+import time
+
+from conftest import emit, scaled
+
+from repro.analysis import render_table
+from repro.obs.metrics import METRICS
+from repro.runtime import ResultStore
+from repro.service import JobQueue, ServiceClient, Worker, create_server
+
+N_JOBS = scaled(24, 4)
+N_WORKERS = scaled(4, 2)
+TRIALS = scaled(16, 4)
+SHARD_TRIALS = 8
+
+HEADERS = ["pass", "jobs", "subs/sec", "p50 ms", "p99 ms", "shards computed",
+           "cache hits"]
+
+
+def _specs():
+    # Distinct scenarios (seed varies) so cold really computes N_JOBS jobs.
+    return [
+        f"margulis(4) | decay | erasure(0.1) | gossip(k=4) "
+        f"| trials={TRIALS} | max_rounds=12 | seed={seed}"
+        for seed in range(N_JOBS)
+    ]
+
+
+def _percentile(sorted_values, q):
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _run_pass(label, client, queue, store, specs):
+    stop = threading.Event()
+
+    def drain():
+        worker = Worker(queue, store=store, shard_trials=SHARD_TRIALS,
+                        poll_interval=0.005)
+        while not stop.is_set():
+            if worker.run_once() is None:
+                time.sleep(worker.poll_interval)
+
+    threads = [threading.Thread(target=drain, daemon=True)
+               for _ in range(N_WORKERS)]
+    for thread in threads:
+        thread.start()
+
+    computed0 = METRICS.get("service.shards.computed")
+    hits0 = METRICS.get("service.jobs.cache_hits")
+    latencies = []
+    t0 = time.perf_counter()
+    submitted = []
+    for spec in specs:
+        job, _ = client.submit(spec)
+        submitted.append((job["id"], time.perf_counter()))
+    submit_elapsed = time.perf_counter() - t0
+    for job_id, at in submitted:
+        client.wait(job_id, timeout=120.0, poll=0.005)
+        latencies.append(time.perf_counter() - at)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=5)
+
+    assert all(job["state"] == "done" for job in
+               (client.job(jid) for jid, _ in submitted)), label
+    latencies.sort()
+    return {
+        "pass": label,
+        "jobs": len(specs),
+        "subs_per_sec": len(specs) / submit_elapsed,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "shards_computed": METRICS.get("service.shards.computed") - computed0,
+        "cache_hits": METRICS.get("service.jobs.cache_hits") - hits0,
+    }
+
+
+def measure(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    rows = []
+    for label in ("cold", "warm"):
+        # A fresh queue per pass: warm resubmissions must re-execute (and
+        # hit the store) rather than dedupe against the cold pass's rows.
+        queue = JobQueue(tmp_path / f"{label}.db")
+        server = create_server(queue, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url, timeout=30.0)
+            rows.append(_run_pass(label, client, queue, store, _specs()))
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+    return rows
+
+
+def test_e21_service_load(benchmark, results_dir, tmp_path):
+    rows = benchmark.pedantic(measure, args=(tmp_path,), rounds=1,
+                              iterations=1)
+    cold, warm = rows
+
+    # The no-recompute contract: a warm service does zero shard work and
+    # completes every job as a cache hit.
+    assert cold["shards_computed"] > 0
+    assert cold["cache_hits"] == 0
+    assert warm["shards_computed"] == 0
+    assert warm["cache_hits"] == warm["jobs"]
+
+    if not scaled(False, True):  # performance bars at full scale only
+        assert warm["p50_ms"] < cold["p50_ms"]
+
+    table = render_table(
+        HEADERS,
+        [[r["pass"], r["jobs"], f"{r['subs_per_sec']:.0f}",
+          f"{r['p50_ms']:.1f}", f"{r['p99_ms']:.1f}",
+          r["shards_computed"], r["cache_hits"]] for r in rows],
+        title="E21 service load: cold vs warm submit->done",
+    )
+    emit(results_dir, "E21_service_load.txt", table,
+         data={"rows": rows, "workers": N_WORKERS,
+               "shard_trials": SHARD_TRIALS})

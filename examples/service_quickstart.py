@@ -1,0 +1,82 @@
+"""Quickstart for the experiment service (E21).
+
+The whole serving loop in one process: a persistent ``JobQueue``, a
+``ServiceServer`` on an ephemeral port, a worker draining the queue with
+trial-shard checkpoints, and a ``ServiceClient`` submitting scenario
+specs over HTTP and following the server-sent event stream. The same
+loop runs across processes as ``repro serve`` + ``repro submit``.
+
+Run:  python examples/service_quickstart.py
+"""
+
+import tempfile
+import threading
+
+from repro.runtime import ResultStore
+from repro.service import JobQueue, ServiceClient, Worker, create_server
+
+SPEC = "margulis(8) | decay | erasure(0.1) | gossip(k=16) | trials=32 | seed=7"
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        # The persistent pieces: a SQLite-backed queue (WAL, schema-
+        # versioned) and the content-addressed result store.
+        queue = JobQueue(f"{root}/jobs.db")
+        store = ResultStore(f"{root}/cache")
+
+        # The API server — stdlib http.server on an ephemeral port.
+        server = create_server(queue, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(server.url)
+        print(f"service: {server.url}  (queue schema "
+              f"v{queue.schema_version()})")
+
+        # A worker: leases jobs under a heartbeat, computes trial shards,
+        # checkpoints each into the store. `repro serve --workers N` runs
+        # these as processes; a thread shows the same loop.
+        worker = Worker(queue, store=store, shard_trials=8)
+        threading.Thread(
+            target=lambda: worker.run(max_jobs=1, idle_timeout=10),
+            daemon=True,
+        ).start()
+
+        # Submit over HTTP and follow the stream: shard events as partial
+        # results land, then the result summary and the terminal event.
+        job, created = client.submit(SPEC)
+        print(f"\nsubmitted: job {job['id']} (created={created})")
+        for kind, payload in client.stream(job["id"], timeout=60):
+            if kind == "shard":
+                print(f"  shard {payload['shard']}/{payload['shards']}: "
+                      f"{payload['trials_done']}/{payload['trials']} trials, "
+                      f"mean_rounds={payload['mean_rounds']:.1f}")
+            elif kind == "result":
+                print(f"  result: completion_rate="
+                      f"{payload['completion_rate']:.2f}")
+            elif kind == "done":
+                print("  done")
+
+        # Spec-equal resubmission dedupes to the same content-addressed
+        # row — no new job, no recompute.
+        again, created = client.submit(SPEC)
+        print(f"\nresubmitted: job {again['id']} (created={created}, "
+              f"state={again['state']}) — same row, served from cache")
+
+        # A fresh queue sharing the store shows the warm-worker path: the
+        # job executes as a pure cache replay (cache_hit=True).
+        queue2 = JobQueue(f"{root}/jobs2.db")
+        warm_job, _ = queue2.submit(SPEC)
+        Worker(queue2, store=store, shard_trials=8).run_once()
+        record = queue2.get(warm_job.id)
+        print(f"fresh queue, same store: state={record.state}, "
+              f"cache_hit={record.cache_hit}")
+
+        # The pooled observability surface.
+        metrics = client.metrics()
+        print(f"\nmetrics: jobs={metrics['jobs']}, "
+              f"queue_depth={metrics['queue_depth']}")
+        server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

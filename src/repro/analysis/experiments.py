@@ -1,6 +1,6 @@
 """Experiment registry: the canonical index of reproduction targets.
 
-A single table mapping experiment ids (E1–E20) to the paper statement they
+A single table mapping experiment ids (E1–E21) to the paper statement they
 reproduce, the modules that implement the pieces, and the benchmark file
 that regenerates the table.  DESIGN.md and EXPERIMENTS.md mirror this
 registry; a consistency test (``tests/analysis/test_experiments.py``)
@@ -228,6 +228,20 @@ EXPERIMENTS: tuple[Experiment, ...] = (
             "| engine=bitset | telemetry=on"
         ),
         companion_benches=("bench_telemetry_overhead.py",),
+    ),
+    Experiment(
+        "E21", "experiment service",
+        "from library to serving system: sustained submissions/sec and "
+        "p50/p99 submit→done latency through the persistent job queue, "
+        "worker pool, and streaming HTTP API — warm-cache resubmission "
+        "completes without recompute, and a killed worker resumes from "
+        "its trial-shard checkpoints bit-for-bit",
+        ("repro.service.queue", "repro.service.worker",
+         "repro.service.api", "repro.runtime.store"),
+        "bench_service_load.py", ("E21_service_load.txt",),
+        scenario=Scenario.from_string(
+            "margulis(8) | decay | erasure(0.1) | gossip(k=16) | trials=32"
+        ),
     ),
 )
 

@@ -15,7 +15,7 @@ Commands
 ``channels``    Broadcast degradation across channel/fault models (E15).
 ``expansion``   Batched wireless-expansion estimation (βw) of a
                 scenario's graph, cached and executor-sharded (E17).
-``run``         Regenerate a registered experiment (E1–E20) via its bench.
+``run``         Regenerate a registered experiment (E1–E21) via its bench.
 ``sweep``       Cached, resumable scenario grid sweep (runtime demo).
 ``trace``       Per-round collision telemetry of one scenario (E20's
                 anatomy view): transmitters, receptions, victims, wasted.
@@ -26,6 +26,12 @@ Commands
                 scenario's string/dict/key forms (``show``).
 ``workloads``   Discover the workload registry (``list``) or inspect one
                 workload's signature and engine support (``show``).
+``serve``       Run the experiment service: the HTTP/JSON API plus a
+                local worker pool over the persistent job queue.
+``submit``      Submit a scenario spec to a running service and stream
+                shard progress (server-sent events) until completion.
+``jobs``        Inspect the service queue: ``list``, ``show``,
+                ``cancel``.
 
 Every simulation verb routes through the declarative scenario layer
 (:mod:`repro.scenario`) and shares one spec builder: ``--scenario SPEC``
@@ -910,6 +916,126 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        DEFAULT_SHARD_TRIALS,
+        JobQueue,
+        WorkerPool,
+        create_server,
+    )
+
+    queue = JobQueue(args.queue)
+    server = create_server(queue, host=args.host, port=args.port,
+                           quiet=not args.verbose)
+    print(f"queue:   {queue.path} (schema v{queue.schema_version()})")
+    print(f"serving on {server.url} ({args.workers} worker"
+          f"{'s' if args.workers != 1 else ''})")
+    sys.stdout.flush()
+    pool = WorkerPool(
+        queue.path, cache_root=args.cache_dir, workers=args.workers,
+        lease_ttl=args.lease_ttl,
+        shard_trials=args.shard_trials or DEFAULT_SHARD_TRIALS)
+    with pool:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+    print("service stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    started = _time.monotonic()
+    try:
+        job, created = client.submit(args.spec)
+    except ServiceError as exc:
+        # The same eager-validation message `--scenario` errors print.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    verb = "created" if created else "deduplicated to"
+    print(f"job {job['id']} {verb} state={job['state']}")
+    if job["state"] == "done":
+        hit = " — cache hit, no recompute" if not created else ""
+        print(f"done{hit}")
+        return 0
+    if args.no_stream:
+        return 0
+    try:
+        for kind, payload in client.stream(job["id"], timeout=args.timeout):
+            if kind == "shard":
+                print(f"  shard {payload['shard']}/{payload['shards']}: "
+                      f"{payload['trials_done']}/{payload['trials']} trials"
+                      f" (mean_rounds={payload['mean_rounds']:.2f}"
+                      f"{', resumed' if payload.get('resumed') else ''})")
+            elif kind == "result":
+                hit = ", cache hit" if payload.get("cache_hit") else ""
+                print(f"  result: {payload['trials']} trials, "
+                      f"mean_rounds={payload['mean_rounds']:.2f}, "
+                      f"completion_rate={payload['completion_rate']:.3f}{hit}")
+            elif kind in ("done", "failed", "cancelled", "timeout"):
+                elapsed = _time.monotonic() - started
+                suffix = f" ({payload['error']})" if payload.get("error") else ""
+                print(f"{kind} in {elapsed:.2f}s{suffix}")
+                return 0 if kind == "done" else 1
+            sys.stdout.flush()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.jobs_command == "list":
+            records = client.jobs(args.state)
+            rows = [
+                [r["id"], r["state"], r["attempts"],
+                 f"{r['progress_done']}/{r['progress_total']}"
+                 if r["progress_total"] else "-",
+                 "yes" if r["cache_hit"] else "",
+                 r["spec"] if len(r["spec"]) <= 48 else r["spec"][:45] + "..."]
+                for r in records
+            ]
+            print(render_table(
+                ["id", "state", "attempts", "progress", "cache hit", "spec"],
+                rows, title=f"jobs ({len(rows)})"))
+            return 0
+        if args.jobs_command == "show":
+            import json
+
+            record = client.job(args.id)
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        payload = client.cancel(args.id)
+        state = payload["job"]["state"]
+        print(f"job {args.id} "
+              + ("cancelled" if payload["cancelled"] else f"already {state}"))
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _add_service_url(p: "argparse.ArgumentParser") -> None:
+    from repro.service.api import DEFAULT_HOST, DEFAULT_PORT
+
+    p.add_argument("--url", default=f"http://{DEFAULT_HOST}:{DEFAULT_PORT}",
+                   help="service base URL (default: %(default)s)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="request/stream timeout in seconds")
+
+
 def _add_trace_out(p: "argparse.ArgumentParser") -> None:
     p.add_argument(
         "--trace-out", dest="trace_out", default=None, metavar="FILE",
@@ -1026,7 +1152,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_worstcase)
 
     p = sub.add_parser(
-        "run", help="regenerate a registered experiment (E1-E20) via its bench")
+        "run", help="regenerate a registered experiment (E1-E21) via its bench")
     p.add_argument("experiment", help="registry id, e.g. E17")
     p.add_argument("--smoke", action="store_true",
                    help="tiny-scale run (sets REPRO_BENCH_SMOKE=1)")
@@ -1110,6 +1236,56 @@ def build_parser() -> argparse.ArgumentParser:
     wsp.add_argument("name",
                      help="workload name or spec string, e.g. gossip(k=4)")
     wsp.set_defaults(fn=_cmd_workloads_show)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the experiment service: HTTP API + a local worker pool")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes leasing jobs from the queue")
+    p.add_argument("--queue", default=None,
+                   help="job-queue SQLite file "
+                        "(default: results/service/jobs.db)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-store root workers execute against "
+                        "(default: results/cache)")
+    p.add_argument("--lease-ttl", type=float, default=60.0,
+                   help="seconds before a dead worker's lease expires")
+    p.add_argument("--shard-trials", type=int, default=None,
+                   help="trials per checkpoint shard (default 16)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a scenario spec to a running service and stream "
+             "shard progress until it completes")
+    p.add_argument("spec", help="scenario spec string, e.g. "
+                                "'margulis(8) | decay | erasure(0.1) | "
+                                "gossip(k=16)'")
+    p.add_argument("--no-stream", action="store_true",
+                   help="print the job id and return without streaming")
+    _add_service_url(p)
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="inspect the service queue: list, show, or cancel jobs")
+    jobs_sub = p.add_subparsers(dest="jobs_command", required=True)
+    jp = jobs_sub.add_parser("list", help="all jobs, newest last")
+    jp.add_argument("--state", default=None,
+                    help="filter: queued|running|done|failed|cancelled")
+    _add_service_url(jp)
+    jp.set_defaults(fn=_cmd_jobs)
+    jp = jobs_sub.add_parser("show", help="one job's full record as JSON")
+    jp.add_argument("id")
+    _add_service_url(jp)
+    jp.set_defaults(fn=_cmd_jobs)
+    jp = jobs_sub.add_parser("cancel", help="cancel a queued/running job")
+    jp.add_argument("id")
+    _add_service_url(jp)
+    jp.set_defaults(fn=_cmd_jobs)
 
     p = sub.add_parser("cache", help="inspect or wipe the runtime result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

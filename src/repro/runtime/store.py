@@ -546,3 +546,33 @@ class ResultStore:
             if os.path.isdir(sub):
                 shutil.rmtree(sub)
         return removed
+
+    def sweep_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove temp files orphaned by writers killed mid-write.
+
+        ``put`` is crash-safe by construction: payloads are written under
+        a private ``mkstemp`` name and atomically ``os.replace``d into
+        their content address (npz sidecar first, JSON document last), so
+        a reader can never observe a partial entry no matter when a
+        writer dies.  What a kill *can* leak is the temp file itself.
+        This sweeps ``*.tmp*`` files older than ``max_age_seconds`` —
+        the age guard keeps in-flight writes of live concurrent writers
+        untouched (pass ``0`` to remove all).  Returns the count removed.
+        """
+        removed = 0
+        cutoff = time.time() - max_age_seconds
+        if os.path.isdir(self.objects_dir):
+            for dirpath, _, files in os.walk(self.objects_dir):
+                for name in files:
+                    if ".tmp" not in name:
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        if os.path.getmtime(path) <= cutoff:
+                            os.unlink(path)
+                            removed += 1
+                    except OSError:
+                        continue  # raced with its writer; leave it alone
+        if removed:
+            METRICS.incr("cache.tmp_swept", removed)
+        return removed

@@ -1,0 +1,60 @@
+"""repro.service — the experiment service: queue, workers, streaming API.
+
+The bridge from runtime library to serving system.  A submitted job is a
+:class:`~repro.scenario.spec.Scenario` spec string on the wire; the
+service persists it, executes it through the existing
+:class:`~repro.runtime.executor.ParallelExecutor`-era machinery
+(:func:`~repro.scenario.tasks.run_scenario_shard` +
+:class:`~repro.runtime.store.ResultStore`), and streams partial results
+back as trial shards complete:
+
+* :mod:`repro.service.queue` — :class:`JobQueue`, a SQLite-backed (WAL)
+  persistent job store with schema-versioned forward-only migrations,
+  ``queued → running → done/failed`` states, lease-based ownership, and
+  idempotent submission keyed by
+  :meth:`~repro.runtime.store.ResultStore.scenario_key` (spec-equal
+  submissions dedupe to one row);
+* :mod:`repro.service.worker` — :class:`Worker` / :class:`WorkerPool`,
+  lease-heartbeat job executors that checkpoint per trial-shard into the
+  result store, so a killed worker resumes instead of restarting and
+  warm-cache jobs complete without recompute;
+* :mod:`repro.service.api` — a stdlib-only ``http.server`` HTTP/JSON API
+  (``POST /jobs``, ``GET /jobs/<id>``, SSE ``GET /jobs/<id>/stream``,
+  ``/healthz``, ``/metrics``);
+* :mod:`repro.service.client` — the matching stdlib ``urllib`` client
+  the CLI verbs (``repro serve`` / ``repro submit`` / ``repro jobs``)
+  and the tests drive the API with.
+
+Quickstart::
+
+    repro serve --port 8642 --workers 2 &
+    repro submit "margulis(8) | decay | erasure(0.1) | gossip(k=16)"
+"""
+
+from repro.service.api import DEFAULT_HOST, DEFAULT_PORT, ServiceServer, create_server
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.queue import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobQueue,
+    JobRecord,
+    SCHEMA_VERSION,
+)
+from repro.service.worker import DEFAULT_SHARD_TRIALS, Worker, WorkerPool
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_SHARD_TRIALS",
+    "JOB_STATES",
+    "JobQueue",
+    "JobRecord",
+    "SCHEMA_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "TERMINAL_STATES",
+    "Worker",
+    "WorkerPool",
+    "create_server",
+]

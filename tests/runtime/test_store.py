@@ -134,6 +134,77 @@ class TestCorruptionRecovery:
         assert not store.contains(key)
 
 
+class TestCrashMidWrite:
+    """A writer killed at any point of ``put`` must never corrupt what a
+    concurrent reader (or the next writer) sees — the multi-process
+    safety contract the experiment service's workers rely on."""
+
+    def _shard_dir(self, store, key):
+        return os.path.join(store.objects_dir, key[:2])
+
+    def test_orphaned_tmp_is_invisible_to_readers(self, store):
+        key = "e" * 64
+        store.put(key, {"arr": np.arange(4)})
+        # A writer killed between mkstemp and os.replace leaves exactly
+        # this: garbage under a .tmp name next to real entries.
+        for name in ("deadbeef.tmp", "deadbeef.tmp.npz"):
+            with open(os.path.join(self._shard_dir(store, key), name), "wb") as fh:
+                fh.write(b'{"key": "partial')
+        assert store.contains(key)
+        np.testing.assert_array_equal(store.get(key)["arr"], np.arange(4))
+        assert store.stats().entries == 1  # tmp junk is not an entry
+
+    def test_sweep_removes_stale_tmp_but_not_fresh(self, store):
+        key = "f" * 64
+        store.put(key, 1)
+        shard = self._shard_dir(store, key)
+        stale = os.path.join(shard, "stale.tmp")
+        fresh = os.path.join(shard, "fresh.tmp")
+        for path in (stale, fresh):
+            with open(path, "wb") as fh:
+                fh.write(b"x")
+        os.utime(stale, (0, 0))  # crashed long ago
+        assert store.sweep_tmp() == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)  # could be a live writer's in-flight put
+        assert store.sweep_tmp(max_age_seconds=0) == 1
+        assert not os.path.exists(fresh)
+        assert store.get(key) == 1  # real entries untouched throughout
+
+    def test_crash_between_sidecar_and_document_is_a_miss(self, store):
+        # put() lands the .npz sidecar before the .json document, so this
+        # is the only observable intermediate state: sidecar present,
+        # document absent.  It must read as a clean miss and heal on re-put.
+        key = "9" * 64
+        store.put(key, {"arr": np.arange(3)})
+        os.unlink(os.path.join(self._shard_dir(store, key), key + ".json"))
+        assert not store.contains(key)
+        with pytest.raises(KeyError):
+            store.get(key)
+        store.put(key, {"arr": np.arange(3)})
+        np.testing.assert_array_equal(store.get(key)["arr"], np.arange(3))
+
+    def test_interrupted_put_cleans_its_tmp(self, store, monkeypatch):
+        # A *graceful* failure mid-write (exception, not SIGKILL) must not
+        # even leak the tmp file.
+        calls = {"n": 0}
+        real_replace = os.replace
+
+        def failing_replace(src, dst):
+            calls["n"] += 1
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="disk full"):
+            store.put("8" * 64, {"v": 1})
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert calls["n"] == 1
+        shard = self._shard_dir(store, "8" * 64)
+        leftovers = [n for n in os.listdir(shard) if ".tmp" in n]
+        assert leftovers == []
+        assert not store.contains("8" * 64)
+
+
 class TestStoreManagement:
     def test_stats_and_clear(self, store):
         for i in range(3):

@@ -1,0 +1,150 @@
+"""End-to-end HTTP: submit → stream → done on an ephemeral port, plus
+the metrics/health endpoints and job management over the wire."""
+
+import threading
+
+import pytest
+
+from repro.service import ServiceError, Worker
+
+SPEC = (
+    "margulis(4) | decay | erasure(0.1) | gossip(k=4) "
+    "| trials=10 | max_rounds=12 | seed=5"
+)
+
+
+class TestJobsEndpoint:
+    def test_submit_created_then_deduped(self, client):
+        job, created = client.submit(SPEC)
+        assert created
+        assert job["state"] == "queued"
+        again, created2 = client.submit(SPEC)
+        assert not created2
+        assert again["id"] == job["id"]
+
+    def test_get_job_and_list(self, client):
+        job, _ = client.submit(SPEC)
+        assert client.job(job["id"])["spec"] == job["spec"]
+        assert [j["id"] for j in client.jobs()] == [job["id"]]
+        assert client.jobs("queued")[0]["id"] == job["id"]
+        assert client.jobs("done") == []
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.job("beefbeefbeefbeef")
+        assert err.value.status == 404
+        assert "no such job" in str(err.value)
+
+    def test_bad_state_filter_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.jobs("exploded")
+        assert err.value.status == 400
+
+    def test_cancel_over_http(self, client):
+        job, _ = client.submit(SPEC)
+        payload = client.cancel(job["id"])
+        assert payload["cancelled"] is True
+        assert payload["job"]["state"] == "cancelled"
+        assert client.cancel(job["id"])["cancelled"] is False
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+
+class TestStream:
+    def test_full_round_trip_submit_stream_done(self, client, queue, store):
+        job, _ = client.submit(SPEC)
+        worker = Worker(queue, store=store, shard_trials=4,
+                        poll_interval=0.01)
+        thread = threading.Thread(
+            target=lambda: worker.run(max_jobs=1, idle_timeout=10),
+            daemon=True,
+        )
+        thread.start()
+        events = list(client.stream(job["id"], timeout=30))
+        thread.join(timeout=10)
+        kinds = [kind for kind, _ in events]
+        assert kinds[0] == "submitted"
+        assert kinds[-1] == "done"
+        shards = [payload for kind, payload in events if kind == "shard"]
+        assert [s["trials_done"] for s in shards] == [4, 8, 10]
+        assert all(s["trials"] == 10 for s in shards)
+        result = next(payload for kind, payload in events if kind == "result")
+        assert result["trials"] == 10
+        assert result["cache_hit"] is False
+        assert client.job(job["id"])["state"] == "done"
+
+    def test_stream_of_finished_job_replays_history(
+        self, client, queue, store
+    ):
+        job, _ = client.submit(SPEC)
+        Worker(queue, store=store, shard_trials=4).run_once()
+        events = list(client.stream(job["id"]))
+        assert [kind for kind, _ in events][-1] == "done"
+
+    def test_stream_timeout_on_idle_job(self, client):
+        job, _ = client.submit(SPEC)  # no worker anywhere
+        events = list(client.stream(job["id"], timeout=0.3))
+        assert events[-1][0] == "timeout"
+        assert events[-1][1]["state"] == "queued"
+
+    def test_stream_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            list(client.stream("beefbeefbeefbeef"))
+        assert err.value.status == 404
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["ok"] is True
+        assert payload["queue_depth"] == 0
+        client.submit(SPEC)
+        assert client.healthz()["queue_depth"] == 1
+
+    def test_metrics_pools_registry_and_queue(self, client, queue, store):
+        job, _ = client.submit(SPEC)
+        Worker(queue, store=store, shard_trials=4).run_once()
+        payload = client.metrics()
+        assert payload["jobs"]["done"] == 1
+        assert payload["queue_depth"] == 0
+        assert payload["uptime_seconds"] > 0
+        assert payload["jobs_per_second"] > 0
+        # The process-wide registry is visible through the endpoint
+        # (submission happened in the server process).
+        assert payload["counters"].get("service.jobs.submitted", 0) >= 1
+
+    def test_metrics_includes_spans_under_recording(self, client):
+        from repro.obs.tracing import recording
+
+        with recording():
+            client.submit(SPEC)
+            payload = client.metrics()
+        assert "service.submit" in payload.get("spans", {})
+
+
+class TestSubmissionBodies:
+    def test_raw_text_body_is_a_spec(self, client, server):
+        import urllib.request
+
+        request = urllib.request.Request(
+            server.url + "/jobs",
+            data=SPEC.encode(),
+            headers={"Content-Type": "text/plain"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 201
+
+    def test_empty_body_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/jobs", {})
+        assert err.value.status == 400
+        assert "spec" in str(err.value)
+
+    def test_non_string_spec_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/jobs", {"spec": 7})
+        assert err.value.status == 400

@@ -1,0 +1,82 @@
+"""The service CLI verbs (`repro submit`, `repro jobs ...`) end-to-end
+against a live in-process server."""
+
+import threading
+
+from repro.cli import main
+from repro.service import Worker
+
+SPEC = (
+    "margulis(4) | decay | erasure(0.1) | gossip(k=4) "
+    "| trials=10 | max_rounds=12 | seed=5"
+)
+
+
+def _run_worker(queue, store):
+    thread = threading.Thread(
+        target=lambda: Worker(queue, store=store, shard_trials=4,
+                              poll_interval=0.01).run(max_jobs=1,
+                                                      idle_timeout=10),
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+class TestSubmitVerb:
+    def test_submit_streams_to_done(self, server, queue, store, capsys):
+        thread = _run_worker(queue, store)
+        assert main(["submit", SPEC, "--url", server.url]) == 0
+        thread.join(timeout=10)
+        out = capsys.readouterr().out
+        assert "created state=queued" in out
+        assert "shard 3/3: 10/10 trials" in out
+        assert "done in" in out
+
+    def test_warm_resubmit_reports_cache_hit(self, server, queue, store, capsys):
+        thread = _run_worker(queue, store)
+        main(["submit", SPEC, "--url", server.url])
+        thread.join(timeout=10)
+        capsys.readouterr()
+        assert main(["submit", SPEC, "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "deduplicated to state=done" in out
+        assert "cache hit, no recompute" in out
+
+    def test_no_stream_returns_immediately(self, server, capsys):
+        assert main(["submit", SPEC, "--url", server.url, "--no-stream"]) == 0
+        out = capsys.readouterr().out
+        assert "created state=queued" in out
+        assert "shard" not in out
+
+
+class TestJobsVerbs:
+    def test_list_show_cancel(self, server, capsys):
+        main(["submit", SPEC, "--url", server.url, "--no-stream"])
+        job_id = capsys.readouterr().out.split()[1]
+
+        assert main(["jobs", "list", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out and "queued" in out
+
+        assert main(["jobs", "show", job_id, "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert f'"id": "{job_id}"' in out
+        assert '"state": "queued"' in out
+
+        assert main(["jobs", "cancel", job_id, "--url", server.url]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert main(["jobs", "cancel", job_id, "--url", server.url]) == 0
+        assert "already cancelled" in capsys.readouterr().out
+
+    def test_show_unknown_job_fails_cleanly(self, server, capsys):
+        assert main(["jobs", "show", "feedfeedfeedfeed",
+                     "--url", server.url]) == 1
+        assert "no such job" in capsys.readouterr().err
+
+    def test_list_state_filter(self, server, capsys):
+        main(["submit", SPEC, "--url", server.url, "--no-stream"])
+        capsys.readouterr()
+        assert main(["jobs", "list", "--state", "done",
+                     "--url", server.url]) == 0
+        assert "jobs (0)" in capsys.readouterr().out

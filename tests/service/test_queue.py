@@ -1,0 +1,192 @@
+"""JobQueue: schema migrations, idempotent submission, and the
+queued → running → done/failed state machine under leases."""
+
+import sqlite3
+
+import pytest
+
+from repro.runtime.store import scenario_key
+from repro.scenario import Scenario
+from repro.service import JOB_STATES, SCHEMA_VERSION, TERMINAL_STATES, JobQueue
+from repro.service.queue import _MIGRATIONS
+
+SPEC = (
+    "margulis(4) | decay | erasure(0.1) | gossip(k=4) "
+    "| trials=10 | max_rounds=12 | seed=5"
+)
+
+
+class TestSchema:
+    def test_fresh_database_is_current(self, queue):
+        assert queue.schema_version() == SCHEMA_VERSION == len(_MIGRATIONS)
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        path = tmp_path / "jobs.db"
+        JobQueue(path).submit(SPEC)
+        again = JobQueue(path)
+        assert again.schema_version() == SCHEMA_VERSION
+        assert len(again.list()) == 1
+
+    def test_v1_database_migrates_forward(self, tmp_path):
+        # Build a database as the v1 code would have left it: first
+        # migration only, version stamp 1, one job row without cache_hit.
+        path = tmp_path / "old.db"
+        con = sqlite3.connect(path)
+        for statement in _MIGRATIONS[0]:
+            con.execute(statement)
+        con.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+        con.execute("INSERT INTO meta VALUES ('schema_version', '1')")
+        con.execute(
+            "INSERT INTO jobs (id, scenario_key, spec, state, submitted_at) "
+            "VALUES ('aaaa', 'aaaa0000', 'x | y', 'done', 0.0)"
+        )
+        con.commit()
+        con.close()
+        queue = JobQueue(path)
+        assert queue.schema_version() == SCHEMA_VERSION
+        record = queue.get("aaaa")
+        assert record.state == "done"
+        assert record.cache_hit is False  # backfilled default
+
+    def test_newer_database_is_refused(self, tmp_path):
+        path = tmp_path / "future.db"
+        JobQueue(path)
+        con = sqlite3.connect(path)
+        con.execute("UPDATE meta SET value='99' WHERE key='schema_version'")
+        con.commit()
+        con.close()
+        with pytest.raises(RuntimeError, match="newer"):
+            JobQueue(path)
+
+
+class TestSubmission:
+    def test_submit_validates_eagerly(self, queue):
+        with pytest.raises(ValueError, match="duplicate channel segment"):
+            queue.submit("hypercube(3) | decay | erasure(0.1) | erasure(0.9)")
+        assert queue.depth() == 0  # nothing touched the database
+
+    def test_job_id_is_scenario_key_prefix(self, queue):
+        record, created = queue.submit(SPEC)
+        assert created
+        key = scenario_key(Scenario.from_string(SPEC), salt=queue.salt)
+        assert record.scenario_key == key
+        assert record.id == key[:16]
+
+    def test_spec_equal_submissions_dedupe(self, queue):
+        first, created = queue.submit(SPEC)
+        assert created
+        # A different spelling of the same scenario (whitespace, segment
+        # form) still content-addresses to the same row.
+        second, created2 = queue.submit(Scenario.from_string(SPEC))
+        assert not created2
+        assert second.id == first.id
+        assert len(queue.list()) == 1
+
+    def test_resubmit_of_terminal_failure_requeues(self, queue):
+        record, _ = queue.submit(SPEC)
+        queue.lease("w1", ttl=30)
+        queue.finish(record.id, "w1", error="boom")
+        assert queue.get(record.id).state == "failed"
+        requeued, created = queue.submit(SPEC)
+        assert not created
+        assert requeued.id == record.id
+        assert requeued.state == "queued"
+        assert requeued.error is None
+        assert requeued.attempts == 0
+        kinds = [kind for _, _, kind, _ in queue.events_since(record.id)]
+        assert "resubmitted" in kinds
+
+
+class TestStateMachine:
+    def test_happy_path(self, queue):
+        record, _ = queue.submit(SPEC)
+        assert record.state == "queued"
+        leased = queue.lease("w1", ttl=30)
+        assert leased.id == record.id
+        assert leased.state == "running"
+        assert leased.worker == "w1"
+        assert leased.attempts == 1
+        assert queue.heartbeat(record.id, "w1", ttl=30,
+                               progress_done=4, progress_total=10)
+        assert queue.get(record.id).progress_done == 4
+        assert queue.finish(record.id, "w1")
+        done = queue.get(record.id)
+        assert done.state == "done"
+        assert done.lease_expires is None
+        # A second finish is a no-op: ownership is gone.
+        assert not queue.finish(record.id, "w1")
+
+    def test_empty_queue_leases_nothing(self, queue):
+        assert queue.lease("w1", ttl=30) is None
+
+    def test_expired_lease_is_reclaimed(self, queue):
+        record, _ = queue.submit(SPEC)
+        queue.lease("w1", ttl=5, now=100.0)
+        # Not yet expired: nothing to lease.
+        assert queue.lease("w2", ttl=5, now=104.0) is None
+        reclaimed = queue.lease("w2", ttl=5, now=106.0)
+        assert reclaimed.id == record.id
+        assert reclaimed.worker == "w2"
+        assert reclaimed.attempts == 2
+        # The dead worker's writes are refused.
+        assert not queue.heartbeat(record.id, "w1", ttl=5, now=106.5)
+        assert not queue.finish(record.id, "w1", now=106.5)
+        kinds = [kind for _, _, kind, _ in queue.events_since(record.id)]
+        assert "lease_expired" in kinds
+
+    def test_max_attempts_fails_the_job(self, tmp_path):
+        queue = JobQueue(tmp_path / "jobs.db", max_attempts=2)
+        record, _ = queue.submit(SPEC)
+        queue.lease("w1", ttl=1, now=0.0)
+        queue.lease("w2", ttl=1, now=10.0)
+        # Both leases burned; the next claim fails the job instead.
+        assert queue.lease("w3", ttl=1, now=20.0) is None
+        failed = queue.get(record.id)
+        assert failed.state == "failed"
+        assert "lease expired after 2 attempts" in failed.error
+
+    def test_cancel(self, queue):
+        record, _ = queue.submit(SPEC)
+        assert queue.cancel(record.id)
+        assert queue.get(record.id).state == "cancelled"
+        assert not queue.cancel(record.id)  # already terminal
+        with pytest.raises(KeyError):
+            queue.cancel("no-such-job")
+
+    def test_cancel_running_revokes_ownership(self, queue):
+        record, _ = queue.submit(SPEC)
+        queue.lease("w1", ttl=30)
+        assert queue.cancel(record.id)
+        assert not queue.heartbeat(record.id, "w1", ttl=30)
+
+    def test_counts_and_depth(self, queue):
+        assert queue.counts() == {state: 0 for state in JOB_STATES}
+        record, _ = queue.submit(SPEC)
+        queue.submit("hypercube(3) | decay | trials=4")
+        queue.lease("w1", ttl=30)
+        counts = queue.counts()
+        assert counts["running"] == 1 and counts["queued"] == 1
+        assert queue.depth() == 2
+        queue.finish(record.id, "w1")
+        assert queue.depth() == 1
+
+    def test_list_filter_rejects_unknown_state(self, queue):
+        with pytest.raises(ValueError, match="unknown job state"):
+            queue.list("exploded")
+
+
+class TestEvents:
+    def test_sequence_is_monotonic_and_filterable(self, queue):
+        record, _ = queue.submit(SPEC)
+        queue.append_event(record.id, "shard", {"shard": 1})
+        queue.append_event(record.id, "shard", {"shard": 2})
+        events = queue.events_since(record.id)
+        assert [seq for seq, _, _, _ in events] == list(range(len(events)))
+        kinds = [kind for _, _, kind, _ in events]
+        assert kinds[0] == "submitted"
+        tail = queue.events_since(record.id, after_seq=events[-2][0])
+        assert [kind for _, _, kind, _ in tail] == ["shard"]
+        assert tail[0][3] == {"shard": 2}
+
+    def test_terminal_states_are_job_states(self):
+        assert set(TERMINAL_STATES) <= set(JOB_STATES)

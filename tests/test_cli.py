@@ -18,6 +18,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_service_verbs_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "9001", "--workers", "3", "--queue", "q.db"])
+        assert (args.port, args.workers, args.queue) == (9001, 3, "q.db")
+        args = parser.parse_args(
+            ["submit", "hypercube(3) | decay", "--url", "http://h:1",
+             "--no-stream"])
+        assert args.spec == "hypercube(3) | decay"
+        assert args.url == "http://h:1"
+        assert args.no_stream
+        assert parser.parse_args(["jobs", "list", "--state", "done"]).state == "done"
+        assert parser.parse_args(["jobs", "show", "abcd"]).id == "abcd"
+        assert parser.parse_args(["jobs", "cancel", "abcd"]).id == "abcd"
+        with pytest.raises(SystemExit):  # jobs requires a sub-verb
+            parser.parse_args(["jobs"])
+
 
 class TestCommands:
     def test_core(self, capsys):
