@@ -1,0 +1,155 @@
+"""E22 — array-backend matmul study: numpy vs torch-cpu dense kernels.
+
+The array-backend shim (:mod:`repro.backend`) routes the dense engine's
+two sparse products — the neighbour-count matmul behind every channel's
+reception rule and the exact int64 delivered-value matmul behind the
+value workloads — through a pluggable :class:`~repro.backend.base.ArrayBackend`.
+This bench times both kernels and a full seeded Decay broadcast on every
+backend installed here (numpy always; torch-cpu when the optional extra
+is present), on ``hypercube(14)`` at ``T = 4096`` trials:
+
+* **equivalence first** — every backend's batch outcomes (rounds,
+  completion, transmissions, per-round curves) must equal the numpy
+  host's exactly: coins are drawn host-side from the shared counter RNG,
+  and torch's integer embeddings are exact at this scale (degree 14 ≪
+  2²⁴, values ≪ 2⁵³), so the comparison is between two implementations
+  of the same computation;
+* **throughput** — per-kernel wall time for the count and value matmuls
+  (averaged over repeated applications) and end-to-end batch wall time,
+  one table row per backend.
+
+Without torch the table is the one-row numpy baseline (the sidecar's
+``backends`` column records what actually ran) — the CI ``backend-smoke``
+job installs torch CPU wheels so the two-row comparison is exercised on
+every push.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit, scaled
+
+from repro.analysis import render_table
+from repro.backend import HOST, available_backends, get_backend
+from repro.graphs import hypercube
+from repro.radio import DecayProtocol, run_broadcast_batch
+from repro.radio.network import RadioNetwork
+
+DIM = scaled(14, 8)
+TRIALS = scaled(4096, 128)
+KERNEL_REPS = scaled(10, 3)
+SEED = 22
+
+HEADERS = [
+    "backend",
+    "n",
+    "trials",
+    "mean rounds",
+    "counts ms",
+    "values ms",
+    "wall s",
+]
+
+
+def _outcomes(batch) -> tuple:
+    return (
+        batch.rounds.tolist(),
+        batch.completed.tolist(),
+        batch.transmissions.tolist(),
+        batch.informed_per_round.tolist(),
+        batch.first_informed_round.tolist(),
+    )
+
+
+def _time_kernels(graph, backend) -> tuple[float, float]:
+    """Average milliseconds per count-matmul / value-matmul application."""
+    rng = np.random.default_rng(SEED)
+    transmitting = rng.random((graph.n, TRIALS)) < 0.5
+    values = rng.integers(0, 1 << 20, size=(graph.n, TRIALS)).astype(np.int64)
+    network = RadioNetwork(graph, backend=backend)
+    transmitting_b = backend.asarray(transmitting)
+    values_b = backend.asarray(values)
+    # Warm the lazily-built operators (and any backend JIT) out of band.
+    network.transmit_counts(transmitting_b)
+    network.value_counts(values_b)
+    backend.synchronize()
+    t0 = time.perf_counter()
+    for _ in range(KERNEL_REPS):
+        counts = network.transmit_counts(transmitting_b)
+    backend.synchronize()
+    counts_ms = (time.perf_counter() - t0) * 1000 / KERNEL_REPS
+    t0 = time.perf_counter()
+    for _ in range(KERNEL_REPS):
+        delivered = network.value_counts(values_b)
+    backend.synchronize()
+    values_ms = (time.perf_counter() - t0) * 1000 / KERNEL_REPS
+    # The kernels must agree with the host products exactly.
+    assert np.array_equal(
+        backend.to_numpy(counts),
+        HOST.neighbor_counts(
+            HOST.adjacency_operator(graph, np.int64), transmitting
+        ).astype(np.int64),
+    )
+    assert np.array_equal(
+        backend.to_numpy(delivered),
+        graph.adjacency.astype(np.int64) @ values,
+    )
+    return counts_ms, values_ms
+
+
+def _measure(graph, name: str):
+    backend = get_backend(name)
+    counts_ms, values_ms = _time_kernels(graph, backend)
+    t0 = time.perf_counter()
+    batch = run_broadcast_batch(
+        graph, DecayProtocol(), trials=TRIALS, seed=SEED, backend=backend
+    )
+    wall = time.perf_counter() - t0
+    return batch, {
+        "backend": name,
+        "n": graph.n,
+        "trials": TRIALS,
+        "mean_rounds": float(np.mean(batch.rounds)),
+        "counts_ms": counts_ms,
+        "values_ms": values_ms,
+        "wall_s": wall,
+    }
+
+
+def test_e22_backend_matmul(benchmark, results_dir):
+    graph = hypercube(DIM)
+    ran = [name for name, ok in sorted(available_backends().items()) if ok]
+
+    def compare():
+        return [_measure(graph, name) for name in ran]
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    host_batch = next(b for b, row in results if row["backend"] == "numpy")
+    for batch, row in results:
+        assert _outcomes(batch) == _outcomes(host_batch), row["backend"]
+    rows = [
+        [
+            row["backend"],
+            row["n"],
+            row["trials"],
+            f"{row['mean_rounds']:.1f}",
+            f"{row['counts_ms']:.2f}",
+            f"{row['values_ms']:.2f}",
+            f"{row['wall_s']:.2f}",
+        ]
+        for _, row in results
+    ]
+    emit(
+        results_dir,
+        "E22_backend_matmul.txt",
+        render_table(
+            HEADERS, rows,
+            title=(
+                f"E22: dense-kernel throughput by array backend "
+                f"(hypercube({DIM}), T={TRIALS})"
+            ),
+        ),
+        data=[row for _, row in results],
+        engine="dense",
+        backend=",".join(ran),
+    )

@@ -4,6 +4,12 @@ Nothing here is part of the public API; downstream users should import from
 :mod:`repro` or its documented subpackages instead.
 """
 
+from repro._util.dtypes import (
+    WORD_BITS,
+    WORD_DTYPE,
+    count_dtype_for_degree,
+    narrow_uint,
+)
 from repro._util.intmath import (
     ceil_div,
     ceil_log2,
@@ -31,9 +37,12 @@ from repro._util.validation import (
 
 __all__ = [
     "POPCOUNT16",
+    "WORD_BITS",
+    "WORD_DTYPE",
     "as_rng",
     "ceil_div",
     "ceil_log2",
+    "count_dtype_for_degree",
     "check_fraction",
     "check_positive",
     "check_positive_int",
@@ -46,6 +55,7 @@ __all__ = [
     "ilog2",
     "is_power_of_two",
     "log2_real",
+    "narrow_uint",
     "next_power_of_two",
     "parse_byte_size",
     "parse_call",

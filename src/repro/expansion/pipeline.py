@@ -38,11 +38,16 @@ itself.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro._util import as_rng, check_fraction
+from repro.backend import HOST, resolve_backend
 from repro.graphs.graph import Graph
 from repro.obs.tracing import traced
+
+# Host namespace via the backend shim: candidate bookkeeping, bitmask
+# dedup and the uint64 word tricks are host-side; the boundary-mask
+# mat-mats and the lattice DP's weight-table gathers route through the
+# resolved backend.
+np = HOST.xp
 
 __all__ = [
     "enumerate_candidates",
@@ -113,7 +118,7 @@ def enumerate_candidates(
 
 
 def max_unique_coverage_lattice(
-    k: int, masks: np.ndarray, weights: np.ndarray
+    k: int, masks: np.ndarray, weights: np.ndarray, backend=None
 ) -> int:
     """Exact ``max_{S' ⊆ [k]} Σ_m w_m·[|S' ∩ m| = 1]`` by lattice DP.
 
@@ -131,7 +136,12 @@ def max_unique_coverage_lattice(
       weighted unique count gathered through 16-bit weight tables.
 
     The return value is the maximum of the combined count.
+
+    The word-packing and the once/many recurrence are host-side uint64
+    tricks; the ``2^k``-wide weight-table gathers and the running total
+    route through ``backend`` (host numpy when ``None``).
     """
+    bk = resolve_backend(backend)
     masks = np.asarray(masks, dtype=np.uint64)
     if masks.size == 0:
         return 0
@@ -150,7 +160,7 @@ def max_unique_coverage_lattice(
     lo_bits = min(k, 16)
     lo_table = _weight_table(single_weight[:lo_bits])
     hi_table = _weight_table(single_weight[lo_bits:])
-    total = (hi_table[:, None] + lo_table[None, :]).reshape(size)
+    total = bk.asarray((hi_table[:, None] + lo_table[None, :]).reshape(size))
 
     # Multi track: the chunked once/many lattice DP.
     multi = np.flatnonzero(~single)
@@ -179,18 +189,22 @@ def max_unique_coverage_lattice(
             gathered = (
                 (once >> np.uint64(16 * lane16)) & np.uint64(0xFFFF)
             ).astype(np.intp)
-            total += table[gathered]
-    return int(total.max())
+            total = total + bk.take(bk.asarray(table), bk.asarray(gathered))
+    return int(bk.to_numpy(total).max())
 
 
-def _group_best_unique(adjacency, n: int, group: np.ndarray) -> list[int]:
+def _group_best_unique(
+    adjacency, n: int, group: np.ndarray, backend=HOST
+) -> list[int]:
     """``max_{S'} |Γ¹_S(S')|`` for every candidate of one size group.
 
     ``group`` is a ``(C, k)`` index matrix.  One sparse mat-mat product
     yields every vertex's neighbourhood bitmask within every candidate at
     once (0/1 adjacency times powers of two cannot carry, so the integer
     sum *is* the bitwise OR); the per-candidate distinct masks then feed
-    :func:`max_unique_coverage_lattice`.
+    :func:`max_unique_coverage_lattice`.  ``adjacency`` is the backend's
+    value operator (the host int64 scipy cast on numpy); the mask matrix
+    lands back on the host for the bit-level dedup.
     """
     count, k = group.shape
     cols = np.repeat(np.arange(count), k)
@@ -198,7 +212,12 @@ def _group_best_unique(adjacency, n: int, group: np.ndarray) -> list[int]:
     weights_matrix[group.ravel(), cols] = np.tile(
         np.int64(1) << np.arange(k, dtype=np.int64), count
     )
-    masks = adjacency @ weights_matrix
+    if backend.is_host:
+        masks = adjacency @ weights_matrix
+    else:
+        masks = backend.to_numpy(
+            backend.value_matmul(adjacency, backend.asarray(weights_matrix))
+        )
     in_set = np.zeros((n, count), dtype=bool)
     in_set[group.ravel(), cols] = True
     valid = (masks != 0) & ~in_set  # exactly the boundary Γ⁻(S) rows
@@ -210,14 +229,16 @@ def _group_best_unique(adjacency, n: int, group: np.ndarray) -> list[int]:
     starts = np.searchsorted(cand_of, np.arange(count))
     ends = np.searchsorted(cand_of, np.arange(count) + 1)
     return [
-        max_unique_coverage_lattice(k, dmasks[s:e], multiplicity[s:e])
+        max_unique_coverage_lattice(
+            k, dmasks[s:e], multiplicity[s:e], backend=backend
+        )
         for s, e in zip(starts, ends)
     ]
 
 
 @traced("expansion.evaluate_candidate_shard")
 def evaluate_candidate_shard(
-    graph: Graph, candidates, size_cap: int
+    graph: Graph, candidates, size_cap: int, backend=None
 ) -> np.ndarray:
     """Exact per-set wireless expansion of each candidate (``inf`` where
     the candidate is skipped for falling outside ``1..size_cap``).
@@ -225,14 +246,22 @@ def evaluate_candidate_shard(
     Module-level and all-plain-data so :class:`ParallelExecutor` workers
     can evaluate shards; values are exact, so any sharding of the
     candidate list concatenates back to the serial answer bit for bit.
+    ``backend`` (a name or ``None`` for host numpy — names stay picklable
+    across worker boundaries) runs the boundary mat-mats and lattice
+    gathers on an accelerator; values are exact integers either way.
     """
+    bk = resolve_backend(backend)
     values = np.full(len(candidates), np.inf)
     by_size: dict[int, list[int]] = {}
     for i, cand in enumerate(candidates):
         width = int(np.asarray(cand).size)
         if 1 <= width <= size_cap:
             by_size.setdefault(width, []).append(i)
-    adjacency = graph.adjacency.astype(np.int64)
+    adjacency = (
+        graph.adjacency.astype(np.int64)
+        if bk.is_host
+        else bk.value_operator(graph)
+    )
     for k, indices in sorted(by_size.items()):
         group = np.stack(
             [np.asarray(candidates[i], dtype=np.int64) for i in indices]
@@ -246,7 +275,8 @@ def evaluate_candidate_shard(
         for lo in range(0, distinct.shape[0], _GROUP_CHUNK):
             bests.extend(
                 _group_best_unique(
-                    adjacency, graph.n, distinct[lo : lo + _GROUP_CHUNK]
+                    adjacency, graph.n, distinct[lo : lo + _GROUP_CHUNK],
+                    backend=bk,
                 )
             )
         for i, j in zip(indices, inverse.ravel()):
@@ -274,21 +304,26 @@ def _map_shards(fn, make_call, count: int, executor) -> np.ndarray:
 
 @traced("expansion.evaluate_candidates")
 def evaluate_candidates(
-    graph: Graph, candidates, size_cap: int, executor=None
+    graph: Graph, candidates, size_cap: int, executor=None, backend=None
 ) -> np.ndarray:
     """Per-candidate exact values, optionally sharded across workers.
 
     ``executor`` is an :class:`~repro.runtime.executor.Executor`, an int
     job count, or ``None`` (inline).  Shards are contiguous slices of the
     candidate list, and every value is an exact ``best/|S|`` ratio, so the
-    returned array is identical whatever the worker count.
+    returned array is identical whatever the worker count.  ``backend``
+    crosses worker boundaries as its registry spec string, so process
+    shards never pickle live backend handles.
     """
+    if backend is not None and not isinstance(backend, str):
+        backend = resolve_backend(backend).spec
     return _map_shards(
         evaluate_candidate_shard,
         lambda shard: {
             "graph": graph,
             "candidates": [candidates[i] for i in shard],
             "size_cap": size_cap,
+            "backend": backend,
         },
         len(candidates),
         executor,

@@ -20,15 +20,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro._util.dtypes import narrow_uint as _narrow_uint
 from repro.graphs.bipartite import BipartiteGraph
 
 __all__ = ["CSRAdjacency", "Graph"]
-
-
-def _narrow_uint(values: np.ndarray, max_value: int) -> np.ndarray:
-    """Cast an index array to the narrowest uint dtype holding ``max_value``."""
-    dtype = np.min_scalar_type(max(int(max_value), 0))
-    return values.astype(dtype, copy=False)
 
 
 class CSRAdjacency:

@@ -36,6 +36,7 @@ import math
 import numpy as np
 
 from repro._util import ceil_div, popcount_u64
+from repro._util.dtypes import WORD_BITS, WORD_DTYPE
 from repro._util.rng import _GOLDEN, _MURMUR_A, _MURMUR_B, _node_hashes, _splitmix
 
 __all__ = [
@@ -55,8 +56,9 @@ __all__ = [
 
 
 def word_count(trials: int) -> int:
-    """Words needed for ``trials`` trial bits: ``ceil(trials / 64)``."""
-    return ceil_div(int(trials), 64)
+    """Words needed for ``trials`` trial bits: ``ceil(trials / 64)``
+    (the :data:`repro._util.dtypes.WORD_BITS` layout)."""
+    return ceil_div(int(trials), WORD_BITS)
 
 
 def full_mask_words(trials: int) -> np.ndarray:
@@ -64,10 +66,10 @@ def full_mask_words(trials: int) -> np.ndarray:
     if trials < 0:
         raise ValueError(f"trials must be non-negative, got {trials}")
     w = word_count(trials)
-    mask = np.full(w, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
-    rem = trials % 64
+    mask = np.full(w, WORD_DTYPE(0xFFFFFFFFFFFFFFFF), dtype=WORD_DTYPE)
+    rem = trials % WORD_BITS
     if w and rem:
-        mask[-1] = np.uint64((1 << rem) - 1)
+        mask[-1] = WORD_DTYPE((1 << rem) - 1)
     return mask
 
 

@@ -47,6 +47,7 @@ from repro._util import (
     spawn_seeds,
 )
 from repro._util.callspec import CallSpec as _CallSpec
+from repro.backend import BACKEND_NAMES
 from repro.radio.channel import ChannelSpec
 from repro.scenario.registry import GRAPHS, PROTOCOLS, BuiltGraph
 from repro.workload import WORKLOADS, WorkloadSpec
@@ -130,7 +131,7 @@ class RealizedScenario:
 
 _SCALAR_FIELDS = (
     "trials", "seed", "source", "max_rounds", "engine", "memory_budget",
-    "telemetry",
+    "telemetry", "backend",
 )
 _ENGINE_CHOICES = ("auto", "dense", "bitset")
 _COMPONENT_FIELDS = ("graph", "protocol", "channel", "workload")
@@ -229,6 +230,23 @@ def _coerce_scalar(key: str, value):
                 f"{', '.join(_ENGINE_CHOICES)}; got {value!r}"
             )
         return value
+    if key == "backend":
+        # The array-backend selector: a registry name, optionally with a
+        # ':device' suffix ("torch:cuda").  Kept as a string — resolution
+        # (and the graceful numpy fallback when the extra is missing)
+        # happens at run time, so specs stay buildable anywhere.
+        if not isinstance(value, str) or not value.strip():
+            raise ValueError(
+                f"scenario backend must be a backend name, got {value!r}"
+            )
+        value = value.strip().lower()
+        if value.partition(":")[0] not in BACKEND_NAMES:
+            raise ValueError(
+                f"scenario backend must name a registered array backend "
+                f"({', '.join(sorted(BACKEND_NAMES))}, optionally with a "
+                f"':device' suffix); got {value!r}"
+            )
+        return value
     if key == "telemetry":
         # The one boolean scalar.  Accept bools, 0/1, and the usual
         # switch spellings so spec strings read `telemetry=on`.
@@ -304,6 +322,13 @@ class Scenario:
         ``extras``.  Off by default, and serialized only when on, so
         telemetry-off scenarios keep their pre-telemetry cache keys.
         Spec strings accept ``telemetry=on`` / ``telemetry=off``.
+    backend:
+        Array backend the dense engine runs on (:mod:`repro.backend`):
+        ``"numpy"`` (the bit-for-bit default), ``"torch"``, or a
+        device-suffixed form (``"torch:cuda"``).  Resolution happens at
+        run time — a missing optional extra degrades to numpy with one
+        ``RuntimeWarning`` — and the field is serialized only when
+        non-default, so pre-backend scenarios keep their cache keys.
     """
 
     graph: GraphSpec
@@ -317,6 +342,7 @@ class Scenario:
     engine: str = "auto"
     memory_budget: int | None = None
     telemetry: bool = False
+    backend: str = "numpy"
 
     def __post_init__(self):
         object.__setattr__(
@@ -360,6 +386,9 @@ class Scenario:
             object.__setattr__(
                 self, "telemetry", _coerce_scalar("telemetry", self.telemetry)
             )
+        object.__setattr__(
+            self, "backend", _coerce_scalar("backend", self.backend)
+        )
         # `source` is a deprecated alias of the broadcast workload's own
         # parameter: canonicalize it into the workload segment so every
         # view (string/dict/pickle) has one spelling and spec-equal
@@ -403,7 +432,7 @@ class Scenario:
         and any segment may be a ``key=value`` assignment (``graph=``,
         ``protocol=``, ``channel=``, ``workload=``, ``trials=``,
         ``seed=``, ``source=``, ``max_rounds=``, ``engine=``,
-        ``memory_budget=``, ``telemetry=``)::
+        ``memory_budget=``, ``telemetry=``, ``backend=``)::
 
             "hypercube(10) | decay | erasure(0.05) | trials=64 | seed=3"
             "margulis(8) | decay | erasure(0.1) | gossip(k=16)"
@@ -491,6 +520,8 @@ class Scenario:
             parts.append(f"memory_budget={self.memory_budget}")
         if self.telemetry:
             parts.append("telemetry=on")
+        if self.backend != "numpy":
+            parts.append(f"backend={self.backend}")
         return " | ".join(parts)
 
     def to_dict(self) -> dict:
@@ -516,6 +547,11 @@ class Scenario:
             out["memory_budget"] = int(self.memory_budget)
         if self.telemetry:
             out["telemetry"] = True
+        # Non-default only: default-backend scenarios hash to exactly
+        # their pre-backend cache keys (and backend lands in ResultStore
+        # keys automatically whenever it is non-numpy).
+        if self.backend != "numpy":
+            out["backend"] = str(self.backend)
         return out
 
     @classmethod
@@ -573,7 +609,8 @@ class Scenario:
 
         Keys are scenario fields (``graph``, ``protocol``, ``channel``,
         ``workload``, ``trials``, ``seed``, ``source``, ``max_rounds``,
-        ``engine``, ``memory_budget``, ``telemetry``) or dotted paths
+        ``engine``, ``memory_budget``, ``telemetry``, ``backend``) or
+        dotted paths
         one level into a component spec (``channel.erasure_p``,
         ``protocol.name``, ``graph.family``).  Component values may be
         spec objects, spec strings, or canonical dicts; scalar values may

@@ -27,10 +27,14 @@ adjacency mid-run and breaks that identity, so it is rejected eagerly.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro._util import check_positive_int
+from repro.backend import HOST
 from repro.workload.base import SetWorkloadState, Workload, WorkloadState
+
+# Host namespace via the backend shim: initial sets, per-trial draws and
+# extras are built host-side; the value folds run on the network's
+# backend (``self._bk``) via ``network.value_counts``.
+np = HOST.xp
 
 __all__ = [
     "AggregateWorkload",
@@ -143,26 +147,36 @@ class GossipWorkload(Workload):
 
 
 class _AggregateState(WorkloadState):
-    """Per-cell running aggregates folded by max under clean receptions."""
+    """Per-cell running aggregates folded by max under clean receptions.
 
-    def __init__(self, values, target, extras):
+    Working arrays (``values``, ``target``) live on the network's backend;
+    extras stay host numpy.  On the host backend the masked-where fold
+    computes exactly the pre-backend ``np.maximum(..., out=, where=)``
+    in-place form.
+    """
+
+    def __init__(self, values, target, extras, backend=HOST):
         super().__init__(extras)
-        self.values = values  # (n, active) int64 working aggregates
-        self.target = target  # (active,) int64 per-trial convergence value
+        self._bk = backend
+        self.values = backend.asarray(values)  # (n, active) int64 aggregates
+        self.target = backend.asarray(target)  # (active,) int64 targets
 
     def initial_satisfied(self) -> np.ndarray:
         return self.values >= self.target[None, :]
 
     def transmit_eligible(self, satisfied) -> np.ndarray:
         # Every node always holds a partial aggregate worth sharing.
-        return np.ones_like(satisfied)
+        return self._bk.ones_like(satisfied)
 
     def fold(self, round_index, transmitting, received, satisfied, network):
-        sums = network.graph.adjacency @ (transmitting * self.values)
-        np.maximum(self.values, sums, out=self.values, where=received)
+        sums = network.value_counts(transmitting * self.values)
+        self.values = self._bk.where(
+            received, self._bk.maximum(self.values, sums), self.values
+        )
         return (self.values >= self.target[None, :]) & ~satisfied
 
     def select_trials(self, keep) -> None:
+        keep = self._bk.asarray(keep)
         self.values = self.values[:, keep]
         self.target = self.target[keep]
 
@@ -213,16 +227,24 @@ class AggregateWorkload(Workload):
             estimate = np.exp2(target.astype(np.float64))
             truth = np.full(T, n, dtype=np.int64)
         return _AggregateState(
-            values, target, extras={"estimate": estimate, "truth": truth}
+            values,
+            target,
+            extras={"estimate": estimate, "truth": truth},
+            backend=network.backend,
         )
 
 
 class _PipelineState(WorkloadState):
-    """Per-cell consecutive-prefix counters for multi-message streaming."""
+    """Per-cell consecutive-prefix counters for multi-message streaming.
 
-    def __init__(self, h, m):
+    The prefix matrix ``h`` lives on the network's backend; the fold's
+    masked increment is the same expression on every backend.
+    """
+
+    def __init__(self, h, m, backend=HOST):
         super().__init__()
-        self.h = h  # (n, active) int64 consecutive-prefix lengths
+        self._bk = backend
+        self.h = backend.asarray(h)  # (n, active) int64 prefix lengths
         self.m = m
 
     def initial_satisfied(self) -> np.ndarray:
@@ -232,7 +254,7 @@ class _PipelineState(WorkloadState):
         return self.h > 0
 
     def fold(self, round_index, transmitting, received, satisfied, network):
-        sums = network.graph.adjacency @ (transmitting * self.h)
+        sums = network.value_counts(transmitting * self.h)
         # A clean reception from a strictly-ahead neighbour delivers the
         # next message in the prefix — one message per round, pipelined.
         advance = received & (sums > self.h)
@@ -240,7 +262,7 @@ class _PipelineState(WorkloadState):
         return (self.h >= self.m) & ~satisfied
 
     def select_trials(self, keep) -> None:
-        self.h = self.h[:, keep]
+        self.h = self.h[:, self._bk.asarray(keep)]
 
 
 class PipelineWorkload(Workload):
@@ -277,4 +299,4 @@ class PipelineWorkload(Workload):
         n, T = network.graph.n, len(trial_rngs)
         h = np.zeros((n, T), dtype=np.int64)
         h[self.source, :] = self.m
-        return _PipelineState(h, self.m)
+        return _PipelineState(h, self.m, backend=network.backend)

@@ -1,0 +1,94 @@
+"""Unit tests for the consolidated dtype-narrowing policy
+(:mod:`repro._util.dtypes`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.dtypes import (
+    WORD_BITS,
+    WORD_DTYPE,
+    count_dtype_for_degree,
+    narrow_uint,
+)
+
+
+class TestWordLayout:
+    def test_word_dtype_width_matches_word_bits(self):
+        assert np.dtype(WORD_DTYPE).itemsize * 8 == WORD_BITS
+
+    def test_word_dtype_is_unsigned(self):
+        assert np.dtype(WORD_DTYPE).kind == "u"
+
+    def test_bitset_layout_agrees(self):
+        from repro.radio import bitset
+
+        packed = bitset.pack_bool_matrix(np.ones((3, WORD_BITS + 1), dtype=bool))
+        assert packed.dtype == WORD_DTYPE
+        assert packed.shape == (3, 2)
+
+
+class TestCountDtypeForDegree:
+    @pytest.mark.parametrize(
+        "degree,dtype",
+        [
+            (0, np.int8),
+            (1, np.int8),
+            (2**7 - 1, np.int8),
+            (2**7, np.int16),
+            (2**15 - 1, np.int16),
+            (2**15, np.int32),
+            (2**31 - 1, np.int32),
+            (2**31, np.int64),
+            (2**40, np.int64),
+        ],
+    )
+    def test_boundaries(self, degree, dtype):
+        assert count_dtype_for_degree(degree) is dtype
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            count_dtype_for_degree(-1)
+
+    def test_counts_representable(self):
+        for degree in (5, 200, 70_000):
+            dtype = count_dtype_for_degree(degree)
+            assert np.iinfo(dtype).max >= degree
+
+    def test_network_uses_policy(self, q3):
+        from repro.radio.network import RadioNetwork
+
+        net = RadioNetwork(q3)
+        counts = net.transmit_counts(np.ones(q3.n, dtype=bool))
+        assert counts.dtype == count_dtype_for_degree(q3.max_degree)
+
+
+class TestNarrowUint:
+    @pytest.mark.parametrize(
+        "max_value,dtype",
+        [
+            (0, np.uint8),
+            (255, np.uint8),
+            (256, np.uint16),
+            (2**16 - 1, np.uint16),
+            (2**16, np.uint32),
+            (2**32, np.uint64),
+        ],
+    )
+    def test_boundaries(self, max_value, dtype):
+        out = narrow_uint(np.array([0, 1]), max_value)
+        assert out.dtype == dtype
+
+    def test_negative_bound_clamps_to_uint8(self):
+        assert narrow_uint(np.array([0]), -5).dtype == np.uint8
+
+    def test_values_preserved(self):
+        values = np.array([0, 3, 65_000])
+        out = narrow_uint(values, 65_535)
+        assert out.dtype == np.uint16
+        assert np.array_equal(out, values)
+
+    def test_no_copy_when_already_narrow(self):
+        values = np.array([1, 2], dtype=np.uint8)
+        assert narrow_uint(values, 200) is values

@@ -1,0 +1,164 @@
+"""Seeded equivalence of every routed kernel across array backends.
+
+Each registered backend runs the same seeded scenarios as the numpy
+host; counter-based randomness is always drawn host-side, so per-trial
+coin streams are identical and the observable outcomes (rounds,
+completion, transmissions, expansion ratios) must agree.  The numpy host
+path is bit-for-bit by construction; torch-cpu's integer embeddings are
+exact within their documented bounds (float32 counts below ``2**24``,
+float64 values below ``2**53``), so its outcomes match exactly too.
+
+Backends whose library is not installed are skipped here and exercised
+by the CI ``backend-smoke`` job, which installs torch CPU wheels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, get_backend
+from repro.graphs import hypercube, margulis_expander
+from repro.radio.broadcast import run_broadcast_batch
+from repro.radio.channel import (
+    AdversarialJamming,
+    ClassicCollision,
+    CollisionDetection,
+    ErasureChannel,
+    FaultSchedule,
+)
+from repro.radio.protocols import DecayProtocol
+
+AVAILABLE = available_backends()
+BACKENDS = pytest.mark.parametrize(
+    "backend_name",
+    [
+        pytest.param(
+            name,
+            marks=()
+            if AVAILABLE[name]
+            else pytest.mark.skip(reason=f"{name} not installed"),
+        )
+        for name in sorted(AVAILABLE)
+    ],
+)
+
+CHANNELS = {
+    "classic": lambda: ClassicCollision(),
+    "cd": lambda: CollisionDetection(),
+    "erasure": lambda: ErasureChannel(0.2),
+    "jamming": lambda: AdversarialJamming(
+        FaultSchedule(
+            jam_windows=((0, 4, (0, 1)),), crashes=((2, (3,)),)
+        )
+    ),
+}
+
+
+def outcomes(batch) -> tuple:
+    return (
+        batch.rounds.tolist(),
+        batch.completed.tolist(),
+        batch.transmissions.tolist(),
+        batch.informed_per_round.tolist(),
+        batch.first_informed_round.tolist(),
+    )
+
+
+@BACKENDS
+@pytest.mark.parametrize("channel_name", sorted(CHANNELS))
+def test_channels_match_host(backend_name, channel_name):
+    g = hypercube(5)
+    host = run_broadcast_batch(
+        g, DecayProtocol(), trials=16, seed=11, channel=CHANNELS[channel_name]()
+    )
+    other = run_broadcast_batch(
+        g,
+        DecayProtocol(),
+        trials=16,
+        seed=11,
+        channel=CHANNELS[channel_name](),
+        backend=get_backend(backend_name),
+    )
+    assert outcomes(other) == outcomes(host)
+
+
+@BACKENDS
+@pytest.mark.parametrize(
+    "workload", ["gossip(k=3)", "aggregate(op=max)", "pipeline(m=3)"]
+)
+def test_value_workloads_match_host(backend_name, workload):
+    from repro.scenario import Scenario
+
+    base = f"margulis(3) | decay | classic | {workload} | trials=8 | seed=5"
+    host = Scenario.from_string(base).run()
+    other = Scenario.from_string(f"{base} | backend={backend_name}").run()
+    assert outcomes(other) == outcomes(host)
+    assert set(other.extras) == set(host.extras)
+    for key in host.extras:
+        assert np.array_equal(other.extras[key], host.extras[key]), key
+
+
+@BACKENDS
+def test_trial_compaction_matches_host(backend_name):
+    g = hypercube(6)
+    host = run_broadcast_batch(
+        g, DecayProtocol(), trials=40, seed=2, channel=ErasureChannel(0.3)
+    )
+    other = run_broadcast_batch(
+        g,
+        DecayProtocol(),
+        trials=40,
+        seed=2,
+        channel=ErasureChannel(0.3),
+        backend=get_backend(backend_name),
+    )
+    assert outcomes(other) == outcomes(host)
+
+
+@BACKENDS
+def test_memory_budget_sharding_matches_host(backend_name):
+    from repro.radio.broadcast import MemoryBudget
+
+    g = hypercube(6)
+    host = run_broadcast_batch(g, DecayProtocol(), trials=24, seed=9)
+    other = run_broadcast_batch(
+        g,
+        DecayProtocol(),
+        trials=24,
+        seed=9,
+        memory_budget=MemoryBudget(65536),
+        backend=get_backend(backend_name),
+    )
+    assert outcomes(other) == outcomes(host)
+
+
+@BACKENDS
+def test_expansion_pipeline_matches_host(backend_name):
+    from repro.expansion.pipeline import evaluate_candidate_shard
+
+    g = margulis_expander(4)
+    rng = np.random.default_rng(7)
+    candidates = [
+        np.flatnonzero(rng.random(g.n) < 0.3) for _ in range(6)
+    ]
+    candidates = [c for c in candidates if c.size]
+    host = evaluate_candidate_shard(g, candidates, size_cap=g.n // 2)
+    other = evaluate_candidate_shard(
+        g, candidates, size_cap=g.n // 2, backend=get_backend(backend_name)
+    )
+    assert np.array_equal(other, host)
+
+
+@BACKENDS
+def test_lattice_dp_matches_host(backend_name):
+    from repro.expansion.pipeline import max_unique_coverage_lattice
+
+    rng = np.random.default_rng(3)
+    masks = np.unique(rng.integers(1, 1 << 10, size=16, dtype=np.int64))
+    weights = rng.integers(1, 50, size=masks.size).astype(np.int64)
+    host = max_unique_coverage_lattice(10, masks, weights)
+    other = max_unique_coverage_lattice(
+        10, masks, weights, backend=get_backend(backend_name)
+    )
+    assert other == host

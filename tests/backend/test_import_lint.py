@@ -1,0 +1,72 @@
+"""The backend import lint must hold on the tree as committed.
+
+Runs ``tools/lint_backend_imports.py`` exactly as the CI lint job does,
+plus unit checks of its AST detector on synthetic modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL = REPO_ROOT / "tools" / "lint_backend_imports.py"
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("lint_backend_imports", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_tree_passes_lint():
+    proc = subprocess.run(
+        [sys.executable, str(TOOL)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "backend import lint: OK" in proc.stdout
+
+
+def test_detector_catches_every_spelling():
+    tool = load_tool()
+    source = (
+        "import numpy\n"
+        "import numpy as np\n"
+        "import numpy.random\n"
+        "from numpy import array\n"
+        "from numpy.linalg import norm\n"
+        "def f():\n"
+        "    import numpy as np2\n"
+    )
+    hits = list(tool.numpy_imports(ast.parse(source)))
+    assert len(hits) == 6
+
+
+def test_detector_ignores_shim_spelling():
+    tool = load_tool()
+    source = (
+        "from repro.backend import HOST\n"
+        "np = HOST.xp\n"
+        "import scipy.sparse\n"
+        "from repro._util import dtypes\n"
+    )
+    assert list(tool.numpy_imports(ast.parse(source))) == []
+
+
+def test_routed_hot_modules_are_not_allowlisted():
+    tool = load_tool()
+    allow = tool.read_allowlist()
+    for routed in (
+        "src/repro/radio/network.py",
+        "src/repro/radio/broadcast.py",
+        "src/repro/workload/zoo.py",
+        "src/repro/expansion/pipeline.py",
+    ):
+        assert routed not in allow, f"{routed} must stay routed"

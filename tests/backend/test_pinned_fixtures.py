@@ -1,0 +1,52 @@
+"""Bit-for-bit certification of the numpy path through the backend shim.
+
+``fixtures/pinned.json`` was generated *before* the array-backend
+refactor routed the dense engine, workloads, and expansion pipeline
+through :mod:`repro.backend`.  Replaying every pinned scenario and
+expansion measurement against those digests proves the refactored numpy
+path is byte-identical to the pre-backend engine — the shim's core
+contract (zero new tolerance on the host path).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from make_fixtures import (  # sibling module; pytest adds this dir to sys.path
+    EXPANSIONS,
+    FIXTURE_PATH,
+    SCENARIOS,
+    batch_record,
+    expansion_record,
+)
+
+
+@pytest.fixture(scope="module")
+def pinned() -> dict:
+    with open(FIXTURE_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_fixture_file_covers_every_pin(pinned):
+    assert set(pinned["scenarios"]) == set(SCENARIOS)
+    assert set(pinned["expansions"]) == {
+        f"{graph} :: {expansion} :: seed={seed}"
+        for graph, expansion, seed in EXPANSIONS
+    }
+
+
+@pytest.mark.parametrize("spec", SCENARIOS)
+def test_scenario_matches_pre_backend_digest(pinned, spec):
+    from repro.scenario import Scenario
+
+    assert batch_record(Scenario.from_string(spec).run()) == (
+        pinned["scenarios"][spec]
+    )
+
+
+@pytest.mark.parametrize("graph,expansion,seed", EXPANSIONS)
+def test_expansion_matches_pre_backend_digest(pinned, graph, expansion, seed):
+    key = f"{graph} :: {expansion} :: seed={seed}"
+    assert expansion_record(graph, expansion, seed) == pinned["expansions"][key]

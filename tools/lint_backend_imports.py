@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""AST lint: backend-routed packages must not import numpy bare.
+
+The array-backend refactor routes every dense hot path through
+:mod:`repro.backend` — routed modules spell the host namespace
+``np = HOST.xp`` so the one numpy binding is the shim's, and an
+accelerator backend can stand in without the module noticing.  A bare
+``import numpy`` in a routed module silently pins that code to the host
+and is exactly the drift this lint exists to catch.
+
+Policy
+------
+Every module under the scanned packages (``repro.radio``,
+``repro.workload``, ``repro.expansion``, ``repro.backend``) that imports
+numpy directly — ``import numpy``, ``import numpy as np``, ``from numpy
+import ...``, anywhere in the file including function bodies — must be
+listed in ``tools/backend_numpy_allowlist.txt`` with a reason.  The
+allowlist is a ratchet in both directions: an unlisted import fails, and
+a listed module that stops importing numpy fails too (delete its entry).
+
+Run from the repo root (CI runs it in the lint job)::
+
+    python tools/lint_backend_imports.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: The packages whose dense kernels route through repro.backend.
+SCAN_PACKAGES = (
+    "src/repro/radio",
+    "src/repro/workload",
+    "src/repro/expansion",
+    "src/repro/backend",
+)
+
+ALLOWLIST_PATH = Path(__file__).with_name("backend_numpy_allowlist.txt")
+
+
+def numpy_imports(tree: ast.AST):
+    """Yield ``(lineno, statement)`` for every direct numpy import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    yield node.lineno, f"import {alias.name}"
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            if module == "numpy" or module.startswith("numpy."):
+                yield node.lineno, f"from {module} import ..."
+
+
+def read_allowlist() -> set[str]:
+    entries = set()
+    for raw in ALLOWLIST_PATH.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            entries.add(line)
+    return entries
+
+
+def main() -> int:
+    allow = read_allowlist()
+    errors: list[str] = []
+    importers: set[str] = set()
+    scanned: set[str] = set()
+    for package in SCAN_PACKAGES:
+        for path in sorted((ROOT / package).rglob("*.py")):
+            rel = path.relative_to(ROOT).as_posix()
+            scanned.add(rel)
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+            hits = list(numpy_imports(tree))
+            if not hits:
+                continue
+            importers.add(rel)
+            if rel in allow:
+                continue
+            for lineno, stmt in hits:
+                errors.append(
+                    f"{rel}:{lineno}: bare `{stmt}` in a backend-routed "
+                    f"package — route through repro.backend (spell the host "
+                    f"namespace `np = HOST.xp`) or add the module to "
+                    f"{ALLOWLIST_PATH.name} with a reason"
+                )
+    for rel in sorted(allow - importers):
+        suffix = (
+            "no longer imports numpy — delete its allowlist entry"
+            if rel in scanned
+            else "is not a scanned module — delete its allowlist entry"
+        )
+        errors.append(f"{ALLOWLIST_PATH.name}: {rel} {suffix}")
+    if errors:
+        print("\n".join(errors))
+        print(f"\nbackend import lint: {len(errors)} error(s)")
+        return 1
+    print(
+        f"backend import lint: OK ({len(scanned)} modules scanned, "
+        f"{len(importers)} allowlisted numpy-only)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
